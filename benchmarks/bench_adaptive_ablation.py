@@ -1,0 +1,85 @@
+"""Adaptive scheduling ablation (the paper's conclusion + future work).
+
+Compares, at every paper frame size:
+
+* the three static configurations,
+* the whole-frame adaptive choice (what the paper proposes),
+* the per-level adaptive plan (this library's extension).
+
+The adaptive row must equal the best static row everywhere; the
+per-level plan may beat even that at sizes where deep levels fall under
+the crossover.
+"""
+
+from repro.core.adaptive import CostModelScheduler, PerLevelScheduler
+from repro.types import PAPER_FRAME_SIZES, FrameShape
+
+from conftest import format_line
+
+
+def test_adaptive_vs_static(engines, report):
+    scheduler = CostModelScheduler(objective="time")
+    per_level = PerLevelScheduler()
+
+    lines = ["Adaptive scheduling ablation (ms per fused frame, 3 levels):",
+             f"  {'size':>7} {'ARM':>9} {'NEON':>9} {'FPGA':>9} "
+             f"{'adaptive':>9} {'per-level':>10}  chosen"]
+    wins = 0
+    for shape in PAPER_FRAME_SIZES:
+        static = {name: e.frame_time(shape).total_s * 1e3
+                  for name, e in engines.items()}
+        decision = scheduler.choose(shape)
+        plan = per_level.plan(shape)
+        adaptive_ms = decision.predicted_s * 1e3
+        plan_ms = plan.predicted_s * 1e3
+        lines.append(
+            f"  {str(shape):>7} {static['arm']:>9.2f} {static['neon']:>9.2f} "
+            f"{static['fpga']:>9.2f} {adaptive_ms:>9.2f} {plan_ms:>10.2f}"
+            f"  {decision.engine.name}")
+        best_static = min(static.values())
+        assert adaptive_ms <= best_static + 1e-9
+        if plan_ms < best_static - 1e-9:
+            wins += 1
+    lines.append("")
+    lines.append(format_line("adaptive == best static everywhere",
+                             "claimed", "yes"))
+    lines.append(format_line("per-level plan beats best static at",
+                             "(extension)", f"{wins}/5 sizes"))
+    report("\n".join(lines))
+    assert wins >= 1  # mixing engines across levels pays at least once
+
+
+def test_per_level_assignment_structure(report):
+    """At the full frame the plan uses FPGA for coarse levels and NEON
+    for the finest — the paper's threshold applied inside one frame."""
+    plan = PerLevelScheduler().plan(FrameShape(88, 72), levels=3)
+    report("Per-level plan @88x72: forward "
+           f"{plan.forward_assignment}, inverse {plan.inverse_assignment}")
+    assert plan.forward_assignment[0] == "fpga"
+    assert plan.forward_assignment[-1] == "neon"
+
+
+def test_energy_objective_changes_decisions(report):
+    time_sched = CostModelScheduler(objective="time")
+    energy_sched = CostModelScheduler(objective="energy")
+    differences = []
+    for px in range(36, 46):
+        shape = FrameShape(px, px)
+        t_pick = time_sched.choose(shape).engine.name
+        e_pick = energy_sched.choose(shape).engine.name
+        if t_pick != e_pick:
+            differences.append((px, t_pick, e_pick))
+    lines = ["Objective sensitivity near the crossover:"]
+    for px, t_pick, e_pick in differences:
+        lines.append(f"  {px}x{px}: time -> {t_pick}, energy -> {e_pick}")
+    if not differences:
+        lines.append("  (no divergence in this band)")
+    report("\n".join(lines))
+    # the +19.2 mW FPGA power must create at least one divergent size
+    assert differences
+
+
+def test_per_level_planner_kernel(benchmark):
+    planner = PerLevelScheduler()
+    plan = benchmark(planner.plan, FrameShape(88, 72), 3)
+    assert plan.predicted_s > 0

@@ -1,0 +1,69 @@
+"""GP-port vs ACP+DMA transfers (Section V's motivation for the DMA).
+
+'The general purpose 32-bit ports do not obtain the require performance
+and every transfer requires around 25 clock cycles with the CPU moving
+the data itself. For this reason we created a custom DMA engine...'
+"""
+
+from repro.hw.axi import AcpModel, AxiLiteModel, GpPortModel
+from repro.types import FrameShape
+
+from conftest import format_line
+
+
+def test_gp_vs_acp_bandwidth(report):
+    gp = GpPortModel()
+    acp = AcpModel()
+
+    lines = ["PS<->PL transfer mechanisms:",
+             f"  {'words':>8} {'GP (us)':>10} {'ACP (us)':>10} {'ratio':>7}"]
+    for words in (16, 128, 1024, 2048):
+        t_gp = gp.transfer_s(words) * 1e6
+        t_acp = acp.transfer_s(words) * 1e6
+        lines.append(f"  {words:>8} {t_gp:>10.2f} {t_acp:>10.2f} "
+                     f"{t_gp / t_acp:>7.1f}x")
+    lines.append("")
+    lines.append(format_line("GP cost per word", "~25 PS cycles",
+                             f"{gp.transfer_s(1) * 533e6:.0f} cycles"))
+    lines.append(format_line("ACP burst bandwidth", "(DMA engine)",
+                             f"{acp.bandwidth_bytes_per_s() / 1e6:.0f} MB/s"))
+    report("\n".join(lines))
+
+    assert abs(gp.transfer_s(1) * 533e6 - 25.0) < 1e-6
+    assert gp.transfer_s(2048) > 5 * acp.transfer_s(2048)
+
+
+def test_what_if_gp_based_engine(report, engines):
+    """If every pass's data moved through a GP port instead of the DMA,
+    the FPGA's crossover moves past 40x40 — it loses the mid-size wins
+    the paper reports, which is why the custom memcpy master exists."""
+    from repro.hw.work import WorkModel
+    gp = GpPortModel()
+    neon = engines["neon"]
+    fpga = engines["fpga"]
+
+    lines = ["Hypothetical GP-port engine (forward stage, ms / frame):",
+             f"  {'size':>7} {'NEON':>9} {'FPGA+DMA':>9} {'FPGA+GP':>9}"]
+    results = {}
+    for shape in [FrameShape(32, 24), FrameShape(40, 40), FrameShape(88, 72)]:
+        work = WorkModel(shape, levels=3)
+        gp_transfer = 2 * sum(gp.transfer_s(p.words_in + p.words_out)
+                              for p in work.forward_passes())
+        t_fpga = fpga.forward_stage_time(shape)
+        t_gp_engine = t_fpga + gp_transfer  # DMA replaced by CPU copying
+        t_neon = neon.forward_stage_time(shape)
+        results[str(shape)] = (t_neon, t_fpga, t_gp_engine)
+        lines.append(f"  {str(shape):>7} {t_neon * 1e3:>9.2f} "
+                     f"{t_fpga * 1e3:>9.2f} {t_gp_engine * 1e3:>9.2f}")
+    report("\n".join(lines))
+
+    neon_40, dma_40, gp_40 = results["40x40"]
+    assert dma_40 < neon_40 < gp_40  # the DMA is what wins 40x40
+    for t_neon, t_fpga, t_gp in results.values():
+        assert t_gp > t_fpga  # CPU-moved data always costs extra
+
+
+def test_axilite_kernel(benchmark):
+    lite = AxiLiteModel()
+    total = benchmark(lambda: sum(lite.write_s(4) for _ in range(1000)))
+    assert total > 0

@@ -1,0 +1,80 @@
+"""Dense frame-size sweep locating every crossover (Section VII text).
+
+The paper gives windows, not exact points: forward performance flips
+between 35x35 and 40x40; energy flips between 40x40 and 64x48.  This
+bench scans square frames pixel by pixel and reports where each metric
+flips, plus the sensitivity of the crossover to the driver overhead
+(the parameter that creates it).
+"""
+
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.fpga import FpgaEngine
+from repro.hw.power import PowerModel
+from repro.types import FrameShape
+
+from conftest import format_line
+
+
+def _first_fpga_win(fpga, neon, metric):
+    for px in range(24, 96):
+        shape = FrameShape(px, px)
+        if metric(fpga, shape) < metric(neon, shape):
+            return px
+    return None
+
+
+def test_crossover_locations(engines, report):
+    neon, fpga = engines["neon"], engines["fpga"]
+    power = PowerModel()
+
+    fwd = _first_fpga_win(fpga, neon, lambda e, s: e.forward_stage_time(s))
+    inv = _first_fpga_win(fpga, neon, lambda e, s: e.inverse_stage_time(s))
+    tot = _first_fpga_win(fpga, neon, lambda e, s: e.frame_time(s).total_s)
+    en = _first_fpga_win(
+        fpga, neon,
+        lambda e, s: e.frame_time(s).total_s * power.power_w(e.power_mode))
+
+    lines = ["Crossover localisation (square frames, px):", ""]
+    lines.append(format_line("forward DT-CWT", "35 < x <= 40", f"{fwd}"))
+    lines.append(format_line("inverse DT-CWT", "'past 40x40' (see note)",
+                             f"{inv}"))
+    lines.append(format_line("total pipeline", "beyond 40x40", f"{tot}"))
+    lines.append(format_line("total energy", "40x40 < x < 64x48", f"{en}"))
+    lines.append("")
+    lines.append("  note: the paper's inverse crossover claim (>40) is not "
+                 "jointly satisfiable with its -60.6 % anchor; see "
+                 "EXPERIMENTS.md.")
+    report("\n".join(lines))
+
+    assert 35 < fwd <= 40
+    assert en > 40
+    assert fwd <= en  # energy switch is never earlier than the time switch
+
+
+def test_crossover_tracks_driver_overhead(report):
+    """The crossover exists *because* of the per-invocation command cost;
+    halving/doubling it must move the threshold accordingly."""
+    from repro.hw.neon import NeonEngine
+    neon = NeonEngine()
+    points = []
+    for scale in (0.5, 1.0, 2.0):
+        cal = DEFAULT_CALIBRATION.with_overrides(
+            fpga_driver_invocation_s=(
+                DEFAULT_CALIBRATION.fpga_driver_invocation_s * scale))
+        fpga = FpgaEngine(calibration=cal)
+        points.append((scale, _first_fpga_win(
+            fpga, neon, lambda e, s: e.forward_stage_time(s))))
+    lines = ["Crossover vs driver invocation cost:"]
+    for scale, px in points:
+        lines.append(f"  driver cost x{scale:<4} -> crossover at "
+                     f"{px}x{px} px")
+    report("\n".join(lines))
+
+    assert points[0][1] < points[1][1] < points[2][1]
+
+
+def test_scheduler_choose_kernel(benchmark):
+    from repro.core.adaptive import CostModelScheduler
+    scheduler = CostModelScheduler()
+    decision = benchmark(scheduler.choose, FrameShape(88, 72), 3)
+    assert decision.engine.name == "fpga"

@@ -1,0 +1,94 @@
+"""HLS design-space and DVFS studies (extensions beyond the paper).
+
+The paper commits to one engine (fully parallel, II=1, 100 MHz) and one
+platform operating point (PS at 533 MHz).  These benches map the
+neighbourhood of that choice: the area/latency Pareto of folded MAC
+arrays, and the time/energy surface across PS operating points.
+"""
+
+from repro.hw.design_space import DesignPoint, explore, pareto_frontier
+from repro.hw.dvfs import best_operating_point, sweep_operating_points
+from repro.hw.vectorization import compare_strategies, vectorization_report
+from repro.types import FrameShape
+
+from conftest import format_line
+
+FULL = FrameShape(88, 72)
+
+
+def test_pareto_of_folded_engines(report):
+    points = explore(FULL)
+    frontier = pareto_frontier(points)
+
+    lines = ["HLS design space (forward transform @88x72, PL side only):",
+             f"  {'unroll':>7} {'II':>3} {'ms/frame':>9} {'slices':>7} "
+             f"{'on Pareto':>10}"]
+    frontier_ids = {id(e) for e in frontier}
+    for e in points:
+        lines.append(f"  {e.point.unroll:>7} {e.point.initiation_interval:>3} "
+                     f"{e.seconds_per_frame * 1e3:>9.2f} {e.slices:>7} "
+                     f"{'yes' if id(e) in frontier_ids else '':>10}")
+    lines.append("")
+    lines.append(format_line("paper's point (unroll=12, II=1)",
+                             "Table I area", "fastest, largest"))
+    report("\n".join(lines))
+
+    fastest = min(points, key=lambda e: e.seconds_per_frame)
+    assert fastest.point.unroll == 12  # the paper chose the fast corner
+    assert len(frontier) >= 3          # folding offers real alternatives
+
+
+def test_dvfs_surface(report):
+    results = sweep_operating_points(FULL)
+    lines = ["PS operating-point sweep @88x72 (ms/frame | mJ/frame):",
+             f"  {'PS MHz':>7} {'ARM':>15} {'NEON':>15} {'FPGA':>15}"]
+    by_freq = {}
+    for r in results:
+        by_freq.setdefault(r.ps_hz, {})[r.engine] = r
+    for ps_hz in sorted(by_freq):
+        row = by_freq[ps_hz]
+        cells = " ".join(
+            f"{row[e].seconds_per_frame * 1e3:6.1f}|{row[e].millijoules_per_frame:7.1f}"
+            for e in ("arm", "neon", "fpga"))
+        lines.append(f"  {ps_hz / 1e6:>7.0f} {cells}")
+    best = best_operating_point(results, "energy")
+    lines.append("")
+    lines.append(format_line("energy-optimal configuration", "(extension)",
+                             f"{best.engine} @ {best.ps_hz / 1e6:.0f} MHz"))
+    report("\n".join(lines))
+
+    # at every operating point the full-frame ranking holds
+    for ps_hz, row in by_freq.items():
+        assert (row["fpga"].millijoules_per_frame
+                < row["neon"].millijoules_per_frame)
+
+
+def test_fig3_vectorization_strategies(report):
+    """Fig. 3 (Section IV): manual intrinsics vs auto-vectorization."""
+    times = compare_strategies(FULL)
+    gain_manual = 1 - times["manual"] / times["scalar"]
+    gain_auto = 1 - times["auto"] / times["scalar"]
+
+    lines = ["Fig. 3 / Section IV - vectorization strategies "
+             "(single forward @88x72):"]
+    for name in ("scalar", "manual", "auto"):
+        lines.append(f"  {name:<8} {times[name] * 1e3:8.2f} ms")
+    lines.append("")
+    lines.append(format_line("manual vs auto enhancement",
+                             "'similar performance'",
+                             f"{gain_manual * 100:.1f} % vs "
+                             f"{gain_auto * 100:.1f} %"))
+    epilogues = [r for r in vectorization_report(FrameShape(35, 35))
+                 if "epilogue" in r.reason]
+    lines.append(format_line("scalar epilogues at 35x35",
+                             "'performance degradation'",
+                             f"{len(epilogues)} loops affected"))
+    report("\n".join(lines))
+
+    assert abs(gain_manual - gain_auto) < 0.02
+    assert epilogues
+
+
+def test_design_space_kernel(benchmark):
+    result = benchmark(explore, FULL)
+    assert len(result) == 6

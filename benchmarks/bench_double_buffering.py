@@ -1,0 +1,60 @@
+"""Double-buffering ablation (the Fig. 5 design choice).
+
+The paper splits the kernel memory into two areas so user-space
+memcpys overlap hardware processing.  This bench quantifies what that
+buys at each frame size, and what a single-buffered driver would cost.
+"""
+
+from repro.hw.fpga import FpgaEngine
+from repro.types import PAPER_FRAME_SIZES, FrameShape
+
+from conftest import format_line
+
+
+def test_double_buffering_gain(report):
+    db_on = FpgaEngine(double_buffered=True)
+    db_off = FpgaEngine(double_buffered=False)
+
+    lines = ["Double buffering ablation (FPGA forward stage, ms / frame):",
+             f"  {'size':>7} {'single':>9} {'double':>9} {'saving':>8}"]
+    for shape in PAPER_FRAME_SIZES:
+        t_off = db_off.forward_stage_time(shape) * 1e3
+        t_on = db_on.forward_stage_time(shape) * 1e3
+        lines.append(f"  {str(shape):>7} {t_off:>9.3f} {t_on:>9.3f} "
+                     f"{100 * (1 - t_on / t_off):>7.1f}%")
+    report("\n".join(lines))
+
+    full = FrameShape(88, 72)
+    assert db_on.forward_stage_time(full) < db_off.forward_stage_time(full)
+
+
+def test_breakdown_attribution(report):
+    """With double buffering, PS transfers hide under hardware time."""
+    db_on = FpgaEngine(double_buffered=True)
+    db_off = FpgaEngine(double_buffered=False)
+    full = FrameShape(88, 72)
+    on = db_on.forward_time(full)
+    off = db_off.forward_time(full)
+
+    lines = ["Latency attribution @88x72 (forward, one image):"]
+    for label, b in (("single-buffered", off), ("double-buffered", on)):
+        lines.append(f"  {label:<16} compute {b.compute_s * 1e3:6.2f} ms | "
+                     f"transfer {b.transfer_s * 1e3:6.2f} ms | "
+                     f"command {b.command_s * 1e3:6.2f} ms")
+    lines.append("")
+    lines.append(format_line("exposed transfer time shrinks", "Fig. 5",
+                             f"{off.transfer_s * 1e3:.2f} -> "
+                             f"{on.transfer_s * 1e3:.2f} ms"))
+    report("\n".join(lines))
+
+    assert on.transfer_s < off.transfer_s
+    # the command cost never hides — it is why small frames lose
+    assert abs(on.command_s - off.command_s) < 1e-9
+
+
+def test_schedule_kernel(benchmark):
+    from repro.hw.driver import PassCost, WaveletDriver
+    driver = WaveletDriver()
+    passes = [PassCost(3e-6, 2e-6, 4e-6, 25e-6) for _ in range(712)]
+    breakdown = benchmark(driver.schedule, passes, True)
+    assert breakdown.total_s > 0

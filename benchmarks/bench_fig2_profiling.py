@@ -1,0 +1,57 @@
+"""Fig. 2: profiling the software-only fusion of two input images.
+
+The model profile attributes stage shares from the calibrated ARM
+engine; the empirical profile times the actual Python implementation.
+Both must show the paper's headline: the forward and inverse DT-CWT
+dominate the pipeline.
+"""
+
+from repro.core.profiling import PipelineProfiler, profile_model
+from repro.types import FrameShape
+
+from conftest import format_line
+
+FULL = FrameShape(88, 72)
+
+
+def test_fig2_stage_shares(report):
+    profile = profile_model(FULL, levels=3)
+    pct = profile.percentages()
+
+    lines = ["Fig. 2 - Profile Results for Image Fusion (ARM only, 88x72)",
+             "=" * 60]
+    for name, share in profile.ranked():
+        bar = "#" * int(round(share / 2))
+        lines.append(f"  {name:<26} {share:5.1f} %  {bar}")
+    transforms = (pct["forward_dtcwt_visible"] + pct["forward_dtcwt_thermal"]
+                  + pct["inverse_dtcwt"])
+    lines.append("")
+    lines.append(format_line("forward+inverse DT-CWT share",
+                             "dominant (top bars ~50 %)",
+                             f"{transforms:.1f} %"))
+    report("\n".join(lines))
+
+    assert transforms > 75.0
+    assert profile.ranked()[0][0] in ("inverse_dtcwt",
+                                      "forward_dtcwt_visible",
+                                      "forward_dtcwt_thermal")
+
+
+def test_empirical_profile_matches_structure(report, frame_pair_88x72):
+    visible, thermal = frame_pair_88x72
+    profiler = PipelineProfiler()
+    for _ in range(3):
+        profiler.run(visible, thermal)
+    pct = profiler.percentages()
+    transforms = (pct["forward_dtcwt_visible"] + pct["forward_dtcwt_thermal"]
+                  + pct["inverse_dtcwt"])
+    report(format_line("empirical transform share (python impl)",
+                       "dominant", f"{transforms:.1f} %"))
+    assert transforms > 60.0
+
+
+def test_profiler_kernel(benchmark, frame_pair_88x72):
+    visible, thermal = frame_pair_88x72
+    profiler = PipelineProfiler()
+    fused = benchmark(profiler.run, visible, thermal)
+    assert fused.shape == visible.shape

@@ -1,0 +1,114 @@
+"""Fusion quality: DT-CWT vs related-work baselines (Section I's claim).
+
+'Compared to other schemes, wavelet transform achieves better signal to
+noise ratios and improved perception with no blocking artefacts ...
+the use of the DT-CWT has been shown to produce significant fusion
+quality improvement.'
+
+Two standard scenarios quantify that:
+
+* **multifocus** — two differently-blurred views of a ground-truth
+  scene; PSNR/SSIM against the truth measure restoration quality;
+* **misregistration** — the thermal source shifted by one pixel; the
+  output of a shift-invariant transform changes gracefully.
+"""
+
+import numpy as np
+
+from repro.baselines import fuse_average, fuse_dwt, fuse_laplacian, fuse_pca
+from repro.core.fusion import fuse_images
+from repro.core.metrics import petrovic_qabf, psnr, ssim
+from repro.video.scene import SyntheticScene
+
+from conftest import format_line
+
+_FUSERS = {
+    "dtcwt": lambda a, b: fuse_images(a, b, levels=3),
+    "dwt": fuse_dwt,
+    "laplacian": fuse_laplacian,
+    "average": fuse_average,
+    "pca": fuse_pca,
+}
+
+
+def _scene_images():
+    scene = SyntheticScene(width=128, height=96, seed=1)
+    return scene.render_visible(0.0), scene.render_thermal(0.0)
+
+
+def _blur(img, passes=6):
+    out = img.copy()
+    for _ in range(passes):
+        out = (out + np.roll(out, 1, 0) + np.roll(out, -1, 0)
+               + np.roll(out, 1, 1) + np.roll(out, -1, 1)) / 5.0
+    return out
+
+
+def test_multifocus_quality(report):
+    vis, _ = _scene_images()
+    blurred = _blur(vis)
+    left = vis.copy()
+    left[:, 64:] = blurred[:, 64:]
+    right = vis.copy()
+    right[:, :64] = blurred[:, :64]
+
+    lines = ["Multifocus fusion vs ground truth (higher is better):",
+             f"  {'method':<11} {'Q^AB/F':>8} {'PSNR':>8} {'SSIM':>8}"]
+    scores = {}
+    for name, fuse in _FUSERS.items():
+        fused = fuse(left, right)
+        scores[name] = (petrovic_qabf(left, right, fused),
+                        psnr(vis, fused), ssim(vis, fused))
+        lines.append(f"  {name:<11} {scores[name][0]:>8.4f} "
+                     f"{scores[name][1]:>8.2f} {scores[name][2]:>8.4f}")
+    lines.append("")
+    lines.append(format_line("DT-CWT vs DWT (PSNR)", "DT-CWT better",
+                             f"{scores['dtcwt'][1]:.1f} vs "
+                             f"{scores['dwt'][1]:.1f} dB"))
+    report("\n".join(lines))
+
+    assert scores["dtcwt"][1] > scores["dwt"][1]        # beats real DWT
+    assert scores["dtcwt"][1] > scores["laplacian"][1]  # beats pyramid
+    assert scores["dtcwt"][1] > scores["average"][1]    # beats naive
+
+
+def test_misregistration_robustness(report):
+    """Shift invariance in action: fusing with a 1-px-shifted source
+    should perturb the output least for the DT-CWT."""
+    vis, th = _scene_images()
+    th_shifted = np.roll(th, 1, axis=0)
+
+    lines = ["Output sensitivity to 1-px source misregistration "
+             "(mean |delta|, lower is better):"]
+    sensitivity = {}
+    for name in ("dtcwt", "dwt", "laplacian"):
+        fuse = _FUSERS[name]
+        delta = np.mean(np.abs(fuse(vis, th_shifted) - fuse(vis, th)))
+        sensitivity[name] = float(delta)
+        lines.append(f"  {name:<11} {delta:8.4f}")
+    report("\n".join(lines))
+
+    assert sensitivity["dtcwt"] < sensitivity["dwt"]
+    assert sensitivity["dtcwt"] < sensitivity["laplacian"]
+
+
+def test_visible_thermal_fusion_report(report):
+    """The system's actual workload: IR + visible surveillance frames."""
+    vis, th = _scene_images()
+    lines = ["Visible+thermal fusion (no-reference metrics):",
+             f"  {'method':<11} {'Q^AB/F':>8} {'entropy':>8}"]
+    from repro.core.metrics import entropy
+    qabf_scores = {}
+    for name, fuse in _FUSERS.items():
+        fused = fuse(vis, th)
+        qabf_scores[name] = petrovic_qabf(vis, th, fused)
+        lines.append(f"  {name:<11} {qabf_scores[name]:>8.4f} "
+                     f"{entropy(fused):>8.3f}")
+    report("\n".join(lines))
+    assert qabf_scores["dtcwt"] > qabf_scores["average"]
+
+
+def test_dtcwt_fusion_kernel(benchmark):
+    vis, th = _scene_images()
+    fused = benchmark(fuse_images, vis, th)
+    assert fused.shape == vis.shape

@@ -1,0 +1,74 @@
+"""HLS wavelet-engine datapath: functional throughput and cycle model.
+
+Times the line-level functional model (the unit of work one hardware
+invocation performs) and prints the PL-cycle budget per line — the
+quantity that, together with the driver cost, produces Fig. 9's FPGA
+curves.
+"""
+
+import numpy as np
+
+from repro.hw.hls import HlsWaveletEngine, shift_register_dual_fir
+from repro.hw.platform import DEFAULT_PLATFORM
+
+from conftest import format_line
+
+
+def test_cycle_budget_per_line(report):
+    engine = HlsWaveletEngine()
+    lines = ["PL cycle budget per invocation (12-tap engine, ACP bursts):",
+             f"  {'row width':>10} {'cycles':>8} {'us @100MHz':>11}"]
+    for width in (32, 44, 88, 720, 2048):
+        words_in = width + 12
+        words_out = width
+        iters = width // 2 + 6
+        seconds = engine.line_seconds_estimate(words_in, words_out, iters)
+        cycles = seconds / DEFAULT_PLATFORM.pl_cycle_s
+        lines.append(f"  {width:>10} {cycles:>8.0f} {seconds * 1e6:>11.2f}")
+    lines.append("")
+    lines.append(format_line(
+        "88-px row latency vs driver overhead", "overhead dominates",
+        f"{engine.line_seconds_estimate(100, 88, 50) * 1e6:.1f} us hw "
+        "vs ~25 us cmd"))
+    report("\n".join(lines))
+
+    fast = engine.line_seconds_estimate(100, 88, 50)
+    assert fast < 25e-6  # hardware is never the bottleneck at paper sizes
+
+
+def test_vectorized_path_matches_scalar_datapath(report, rng=None):
+    rng = np.random.default_rng(3)
+    engine = HlsWaveletEngine()
+    lp = rng.standard_normal(12).astype(np.float32)
+    hp = rng.standard_normal(12).astype(np.float32)
+    engine.load_coefficients(lp, hp)
+    x = rng.standard_normal(2 * 44 + 12).astype(np.float32)
+    lp_fast, hp_fast, _ = engine.forward_line(x, 44, step=2)
+    ref_hp, ref_lp = shift_register_dual_fir(x, hp[::-1].copy(),
+                                             lp[::-1].copy())
+    worst = max(float(np.max(np.abs(lp_fast - ref_lp[:44]))),
+                float(np.max(np.abs(hp_fast - ref_hp[:44]))))
+    report(format_line("fast path vs literal Fig. 4 loop",
+                       "bit-comparable", f"max delta {worst:.2e}"))
+    assert worst < 1e-3
+
+
+def test_forward_line_kernel(benchmark, rng=None):
+    rng = np.random.default_rng(4)
+    engine = HlsWaveletEngine()
+    engine.load_coefficients(np.ones(12, np.float32) / 12,
+                             np.ones(12, np.float32) / 12)
+    x = rng.standard_normal(2 * 88 + 12).astype(np.float32)
+    lp, hp, _ = benchmark(engine.forward_line, x, 88, 2)
+    assert lp.shape == (88,)
+
+
+def test_full_fpga_transform_kernel(benchmark, rng=None):
+    """Wall-clock of a whole forward DT-CWT through the HLS path."""
+    from repro.hw.fpga import HlsBackend
+    from repro.dtcwt import Dtcwt2D
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((24, 32)).astype(np.float32)
+    transform = Dtcwt2D(levels=2, backend=HlsBackend())
+    pyramid = benchmark(transform.forward, x)
+    assert pyramid.levels == 2

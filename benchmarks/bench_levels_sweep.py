@@ -1,0 +1,85 @@
+"""Decomposition-level sweep (Section VII: 'the decomposition level of
+the CT-DWT was varied').
+
+Wavelet level count is the paper's second workload axis: each extra
+level adds work on a frame a quarter the size, so deeper transforms
+shift the per-level balance toward the NEON side of the crossover even
+when the input frame is large.  This bench sweeps levels 1..5 at the
+full frame and reports each engine's time, energy, and the per-level
+adaptive plan.
+"""
+
+from repro.core.adaptive import PerLevelScheduler
+from repro.hw.power import PowerModel
+from repro.types import FrameShape
+
+from conftest import format_line
+
+FULL = FrameShape(88, 72)
+
+
+def test_levels_sweep(engines, report):
+    power = PowerModel()
+    lines = ["Decomposition-level sweep @88x72 (ms/frame | mJ/frame):",
+             f"  {'levels':>7} {'ARM':>15} {'NEON':>15} {'FPGA':>15} "
+             f"{'winner':>7}"]
+    winners = []
+    for levels in range(1, 6):
+        cells = {}
+        for name, engine in engines.items():
+            seconds = engine.frame_time(FULL, levels).total_s
+            mj = seconds * power.power_w(engine.power_mode) * 1e3
+            cells[name] = (seconds, mj)
+        winner = min(cells, key=lambda n: cells[n][0])
+        winners.append(winner)
+        row = " ".join(f"{cells[n][0] * 1e3:6.1f}|{cells[n][1]:7.2f}"
+                       for n in ("arm", "neon", "fpga"))
+        lines.append(f"  {levels:>7} {row} {winner:>7}")
+    report("\n".join(lines))
+
+    # at the full frame the FPGA stays the right choice at every depth
+    assert set(winners) == {"fpga"}
+
+
+def test_deeper_levels_grow_sublinearly(engines, report):
+    """Level l works on 1/4^{l-1} of the pixels: adding depth costs
+    geometrically less — the shrinking-workload effect of Fig. 1."""
+    arm = engines["arm"]
+    increments = []
+    previous = arm.frame_time(FULL, 1).total_s
+    for levels in range(2, 6):
+        current = arm.frame_time(FULL, levels).total_s
+        increments.append(current - previous)
+        previous = current
+    report("ARM cost increments per added level (ms): "
+           + ", ".join(f"{v * 1e3:.2f}" for v in increments))
+    assert all(b < a for a, b in zip(increments, increments[1:]))
+
+
+def test_per_level_plan_tracks_depth(report):
+    """Deep levels flip to NEON once their sub-frame falls below the
+    crossover — the finer-grained version of the paper's adaptive idea."""
+    planner = PerLevelScheduler()
+    lines = ["Per-level plans vs depth @88x72:"]
+    neon_seen = False
+    for levels in range(1, 6):
+        plan = planner.plan(FULL, levels=levels)
+        lines.append(f"  L={levels}: forward "
+                     f"{'/'.join(plan.forward_assignment)}")
+        if "neon" in plan.forward_assignment:
+            neon_seen = True
+    report("\n".join(lines))
+    assert neon_seen
+
+    deep = planner.plan(FULL, levels=5)
+    assert deep.forward_assignment[0] == "fpga"
+    # the deepest level's sub-frame (6x5 per tree) sits far below the
+    # crossover: anything but the FPGA (NEON, or ARM when the all-scalar
+    # epilogue makes them tie) is the right call
+    assert deep.forward_assignment[-1] != "fpga"
+
+
+def test_frame_time_kernel(benchmark, engines):
+    fpga = engines["fpga"]
+    breakdown = benchmark(fpga.frame_time, FULL, 5)
+    assert breakdown.total_s > 0

@@ -1,0 +1,68 @@
+"""Table I: implementation complexity of the wavelet engine.
+
+The component-level resource model, configured as the paper's 12-tap
+engine, must land on the published utilization of the xc7z020.
+"""
+
+from repro.hw.resources import (
+    PAPER_TABLE1,
+    EngineConfig,
+    estimate_resources,
+)
+
+from conftest import format_line
+
+
+def test_table1(report):
+    estimate = estimate_resources(EngineConfig())
+    util = estimate.utilization("xc7z020clg484-1")
+
+    measured = {
+        "registers": (estimate.registers, util["registers"]),
+        "luts": (estimate.luts, util["luts"]),
+        "slices": (estimate.slices, util["slices"]),
+        "bufg": (estimate.bufg, util["bufg"]),
+    }
+    lines = ["Table I - Implementation Complexity of Wavelet Engine "
+             "(xc7z020clg484-1)",
+             "=" * 70,
+             f"  {'resource':<12} {'paper':>14} {'model':>14} "
+             f"{'paper %':>9} {'model %':>9}"]
+    for name in ("registers", "luts", "slices", "bufg"):
+        paper_count, paper_pct = PAPER_TABLE1[name]
+        model_count, model_pct = measured[name]
+        lines.append(f"  {name:<12} {paper_count:>14} {model_count:>14} "
+                     f"{paper_pct:>8}% {model_pct:>8.1f}%")
+    lines.append("")
+    lines.append(format_line("BRAM for the double-buffered I/O",
+                             "4096 x 32-bit x 2",
+                             f"{estimate.bram_kbit:.0f} kbit"))
+    report("\n".join(lines))
+
+    for name in ("registers", "luts", "slices"):
+        paper_count, _ = PAPER_TABLE1[name]
+        model_count, _ = measured[name]
+        assert abs(model_count - paper_count) / paper_count < 0.02
+    assert estimate.bufg == PAPER_TABLE1["bufg"][0]
+    assert estimate.fits("xc7z020clg484-1")
+
+
+def test_scaling_story(report):
+    """The model's value beyond Table I: it scales with the design."""
+    rows = ["Resource scaling (model extrapolation):",
+            f"  {'taps':>5} {'registers':>10} {'luts':>8} {'slices':>8} "
+            f"{'fits 7z020':>11}"]
+    for taps in (8, 12, 16, 20, 24):
+        est = estimate_resources(EngineConfig(taps=taps))
+        rows.append(f"  {taps:>5} {est.registers:>10} {est.luts:>8} "
+                    f"{est.slices:>8} {str(est.fits()):>11}")
+    report("\n".join(rows))
+
+    small = estimate_resources(EngineConfig(taps=8))
+    large = estimate_resources(EngineConfig(taps=24))
+    assert large.slices > small.slices
+
+
+def test_resource_estimation_kernel(benchmark):
+    estimate = benchmark(estimate_resources, EngineConfig())
+    assert estimate.registers > 0

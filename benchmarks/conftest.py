@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` file regenerates one of the paper's tables or figures
+and prints a paper-vs-measured comparison through the ``report``
+fixture (visible even under pytest's output capture), in addition to
+timing a representative kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.arm import ArmEngine
+from repro.hw.fpga import FpgaEngine
+from repro.hw.neon import NeonEngine
+from repro.video.scene import SyntheticScene
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduction table through pytest's capture."""
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+    return _report
+
+
+@pytest.fixture(scope="session")
+def engines():
+    return {"arm": ArmEngine(), "neon": NeonEngine(), "fpga": FpgaEngine()}
+
+
+@pytest.fixture(scope="session")
+def frame_pair_88x72():
+    scene = SyntheticScene(width=176, height=144, seed=7)
+    vis_full = scene.render_visible(0.0)
+    th_full = scene.render_thermal(0.0)
+    rows = np.linspace(0, 143, 72).round().astype(int)
+    cols = np.linspace(0, 175, 88).round().astype(int)
+    return vis_full[np.ix_(rows, cols)], th_full[np.ix_(rows, cols)]
+
+
+def format_line(label: str, paper: str, measured: str, verdict: str = "") -> str:
+    return f"  {label:<46} paper: {paper:>12}   measured: {measured:>12} {verdict}"

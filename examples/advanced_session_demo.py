@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The production session: every extension of this library, assembled.
+
+Runs :class:`repro.system.AdvancedFusionSession` — capture, rig
+calibration (registration), online adaptive engine selection, temporal
+flicker suppression, quality monitoring and telemetry — for a short
+surveillance run, then prints the session report.
+
+Run:  python examples/advanced_session_demo.py
+"""
+
+from repro.system import AdvancedFusionSession
+from repro.types import FrameShape
+from repro.video import SyntheticScene
+
+
+def main() -> None:
+    session = AdvancedFusionSession(
+        fusion_shape=FrameShape(88, 72),
+        levels=3,
+        scene=SyntheticScene(seed=2016),
+        target_fps=25.0,
+        energy_budget_mj=10_000.0,   # a small battery's worth
+    )
+    report = session.run(12)
+
+    print("=== advanced fusion session ===")
+    print(f"frames fused      : {report.frames}")
+    print("engine usage      : "
+          + ", ".join(f"{k}:{v}" for k, v in
+                      sorted(report.engine_usage.items())))
+    print("output policy     : "
+          + ", ".join(f"{k}:{v}" for k, v in sorted(report.actions.items())))
+    print(f"quality (Q^AB/F)  : {report.mean_qabf:.3f}")
+    print(f"monitor alarms    : {report.alarms}")
+    print(f"rig shift applied : {report.registered_shift_px:.1f} px avg")
+    print("telemetry         :")
+    for key, value in report.telemetry.items():
+        print(f"  {key:<20} {value:10.2f}")
+    remaining = session.telemetry.frames_remaining()
+    print(f"battery headroom  : ~{remaining} more frames on this budget")
+    print()
+    print("After the probe frames the scheduler settles on the FPGA (the")
+    print("right answer at 88x72) while the monitor keeps the rig honest —")
+    print("the paper's adaptive conclusion as a running system.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fusion quality study: DT-CWT against the related-work baselines.
+
+Reproduces the qualitative claim of the paper's introduction (wavelet
+fusion beats pyramid schemes; DT-CWT beats the real DWT) on three
+standard scenarios:
+
+* multifocus fusion with a known ground truth,
+* visible + thermal surveillance frames,
+* robustness to 1-pixel source misregistration (shift invariance).
+
+Run:  python examples/fusion_quality_study.py
+"""
+
+import numpy as np
+
+from repro import fuse_images
+from repro.baselines import fuse_average, fuse_dwt, fuse_laplacian, fuse_pca
+from repro.core.metrics import entropy, petrovic_qabf, psnr, ssim
+from repro.video import SyntheticScene
+
+METHODS = {
+    "DT-CWT (paper)": lambda a, b: fuse_images(a, b, levels=3),
+    "DWT": fuse_dwt,
+    "Laplacian pyr": fuse_laplacian,
+    "PCA blend": fuse_pca,
+    "averaging": fuse_average,
+}
+
+
+def blur(image: np.ndarray, passes: int = 6) -> np.ndarray:
+    out = image.copy()
+    for _ in range(passes):
+        out = (out + np.roll(out, 1, 0) + np.roll(out, -1, 0)
+               + np.roll(out, 1, 1) + np.roll(out, -1, 1)) / 5.0
+    return out
+
+
+def multifocus_study(visible: np.ndarray) -> None:
+    soft = blur(visible)
+    half = visible.shape[1] // 2
+    left = visible.copy()
+    left[:, half:] = soft[:, half:]     # right half out of focus
+    right = visible.copy()
+    right[:, :half] = soft[:, :half]    # left half out of focus
+
+    print("1) Multifocus fusion (ground truth known)")
+    print(f"   {'method':<16} {'PSNR dB':>8} {'SSIM':>7} {'Q^AB/F':>7}")
+    for name, fuse in METHODS.items():
+        fused = fuse(left, right)
+        print(f"   {name:<16} {psnr(visible, fused):>8.2f} "
+              f"{ssim(visible, fused):>7.4f} "
+              f"{petrovic_qabf(left, right, fused):>7.4f}")
+    print()
+
+
+def surveillance_study(visible: np.ndarray, thermal: np.ndarray) -> None:
+    print("2) Visible + thermal fusion (no-reference metrics)")
+    print(f"   {'method':<16} {'Q^AB/F':>7} {'entropy':>8}")
+    for name, fuse in METHODS.items():
+        fused = fuse(visible, thermal)
+        print(f"   {name:<16} {petrovic_qabf(visible, thermal, fused):>7.4f} "
+              f"{entropy(fused):>8.3f}")
+    print()
+
+
+def misregistration_study(visible: np.ndarray, thermal: np.ndarray) -> None:
+    shifted = np.roll(thermal, 1, axis=0)
+    print("3) Sensitivity to 1-px misregistration (lower = more robust)")
+    print(f"   {'method':<16} {'mean |delta|':>12}")
+    for name, fuse in METHODS.items():
+        delta = float(np.mean(np.abs(fuse(visible, shifted)
+                                     - fuse(visible, thermal))))
+        print(f"   {name:<16} {delta:>12.4f}")
+    print()
+
+
+def main() -> None:
+    scene = SyntheticScene(width=128, height=96, seed=1)
+    visible = scene.render_visible(0.0)
+    thermal = scene.render_thermal(0.0)
+    multifocus_study(visible)
+    surveillance_study(visible, thermal)
+    misregistration_study(visible, thermal)
+    print("Expected ranking: DT-CWT leads the transform methods on PSNR/")
+    print("SSIM and degrades most gracefully under misregistration — the")
+    print("shift-invariance property that motivated the paper's algorithm.")
+
+
+if __name__ == "__main__":
+    main()

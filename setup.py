@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described in pyproject.toml; this file only
+enables `python setup.py develop` / legacy editable installs where
+build isolation is unavailable (offline CI).
+"""
+
+from setuptools import setup
+
+setup()

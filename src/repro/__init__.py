@@ -1,0 +1,49 @@
+"""repro — reproduction of "Energy Efficient Video Fusion with
+Heterogeneous CPU-FPGA Devices" (Nunez-Yanez & Sun, DATE 2016).
+
+The package implements the paper's complete system in simulation:
+
+* :mod:`repro.dtcwt` — the Dual-Tree Complex Wavelet Transform substrate
+  (filters designed from first principles, perfect reconstruction);
+* :mod:`repro.core` — DT-CWT image/video fusion, fusion-quality metrics
+  and the adaptive NEON/FPGA scheduler (the paper's key finding);
+* :mod:`repro.hw` — the modelled ZYNQ platform: ARM, NEON and FPGA
+  engines, AXI interconnect, HLS wavelet datapath, kernel driver,
+  power rails, energy accounting and resource estimation;
+* :mod:`repro.baselines` — related-work fusion algorithms;
+* :mod:`repro.video` — cameras, BT.656 decode, scaler, FIFO, pipeline;
+* :mod:`repro.system` — the assembled Section VI system and sweeps.
+
+Quick start::
+
+    from repro import fuse_images, VideoFusionSystem
+    fused = fuse_images(visible, thermal)            # one frame pair
+    VideoFusionSystem(engine="adaptive").run(10)     # whole system
+"""
+
+from .core.adaptive import CostModelScheduler, OnlineScheduler, PerLevelScheduler
+from .core.fusion import FusionResult, ImageFusion, fuse_images
+from .core.fusion_rules import MaxMagnitudeRule, WeightedRule, WindowActivityRule
+from .core.metrics import fusion_report
+from .dtcwt import Dtcwt2D, DtcwtPyramid, Dwt2D, dtcwt_banks
+from .errors import ReproError
+from .hw import ArmEngine, FpgaEngine, NeonEngine, ZynqPlatform
+from .system import VideoFusionSystem
+from .types import FULL_FRAME, PAPER_FRAME_SIZES, FrameShape
+from .video import FusionPipeline, SyntheticScene
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModelScheduler", "OnlineScheduler", "PerLevelScheduler",
+    "FusionResult", "ImageFusion", "fuse_images",
+    "MaxMagnitudeRule", "WeightedRule", "WindowActivityRule",
+    "fusion_report",
+    "Dtcwt2D", "DtcwtPyramid", "Dwt2D", "dtcwt_banks",
+    "ReproError",
+    "ArmEngine", "FpgaEngine", "NeonEngine", "ZynqPlatform",
+    "VideoFusionSystem",
+    "FULL_FRAME", "PAPER_FRAME_SIZES", "FrameShape",
+    "FusionPipeline", "SyntheticScene",
+    "__version__",
+]

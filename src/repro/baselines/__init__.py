@@ -1,0 +1,11 @@
+"""Related-work fusion baselines the paper compares against."""
+
+from .dwt_fusion import fuse_dwt
+from .laplacian import fuse_laplacian, laplacian_pyramid, pyr_down, pyr_up, reconstruct
+from .simple import fuse_average, fuse_max, fuse_pca
+
+__all__ = [
+    "fuse_dwt",
+    "fuse_laplacian", "laplacian_pyramid", "pyr_down", "pyr_up", "reconstruct",
+    "fuse_average", "fuse_max", "fuse_pca",
+]

@@ -1,0 +1,89 @@
+"""Laplacian-pyramid image fusion (related-work baseline).
+
+The paper's related work (Sims & Irvine, Song et al., Toet) fuses with
+pyramidal decompositions; the Laplacian pyramid is their common core.
+Implementing it lets the benchmarks compare the DT-CWT's fusion quality
+against the pre-wavelet state of the art, as the paper's introduction
+claims ("wavelet transform achieves better signal to noise ratios and
+improved perception with no blocking artefacts").
+
+The pyramid uses the classic 5-tap Burt-Adelson generating kernel with
+edge-replicated borders; fusion selects the larger absolute Laplacian
+coefficient per level and averages the coarsest Gaussian level.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import FusionError
+
+#: Burt & Adelson generating kernel (a = 0.4).
+_KERNEL = np.array([0.05, 0.25, 0.4, 0.25, 0.05])
+
+
+def _filter_sep(image: np.ndarray) -> np.ndarray:
+    """Separable 5-tap smoothing with edge replication."""
+    padded = np.pad(image, 2, mode="edge")
+    tmp = np.zeros_like(padded)
+    for k, w in enumerate(_KERNEL):
+        tmp += w * np.roll(padded, k - 2, axis=0)
+    out = np.zeros_like(tmp)
+    for k, w in enumerate(_KERNEL):
+        out += w * np.roll(tmp, k - 2, axis=1)
+    return out[2:-2, 2:-2]
+
+
+def pyr_down(image: np.ndarray) -> np.ndarray:
+    """Smooth and decimate by two (ceil sizes, like OpenCV's pyrDown)."""
+    return _filter_sep(image)[::2, ::2]
+
+
+def pyr_up(image: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+    """Zero-stuff, smooth (x4 gain) and crop to ``shape``."""
+    rows, cols = shape
+    up = np.zeros((image.shape[0] * 2, image.shape[1] * 2), dtype=image.dtype)
+    up[::2, ::2] = image
+    return (4.0 * _filter_sep(up))[:rows, :cols]
+
+
+def laplacian_pyramid(image: np.ndarray, levels: int) -> List[np.ndarray]:
+    """Laplacian pyramid: ``levels`` band-pass layers + Gaussian top."""
+    if levels < 1:
+        raise FusionError(f"levels must be >= 1, got {levels}")
+    image = np.asarray(image, dtype=np.float64)
+    pyramid: List[np.ndarray] = []
+    current = image
+    for _ in range(levels):
+        if min(current.shape) < 4:
+            break
+        down = pyr_down(current)
+        pyramid.append(current - pyr_up(down, current.shape))
+        current = down
+    pyramid.append(current)
+    return pyramid
+
+
+def reconstruct(pyramid: List[np.ndarray]) -> np.ndarray:
+    """Invert :func:`laplacian_pyramid`."""
+    current = pyramid[-1]
+    for band in reversed(pyramid[:-1]):
+        current = band + pyr_up(current, band.shape)
+    return current
+
+
+def fuse_laplacian(image_a: np.ndarray, image_b: np.ndarray,
+                   levels: int = 3) -> np.ndarray:
+    """Max-abs selection on Laplacian layers, averaging the top."""
+    a = np.asarray(image_a, dtype=np.float64)
+    b = np.asarray(image_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise FusionError(f"shape mismatch: {a.shape} vs {b.shape}")
+    pyr_a = laplacian_pyramid(a, levels)
+    pyr_b = laplacian_pyramid(b, levels)
+    fused = [np.where(np.abs(la) >= np.abs(lb), la, lb)
+             for la, lb in zip(pyr_a[:-1], pyr_b[:-1])]
+    fused.append((pyr_a[-1] + pyr_b[-1]) / 2.0)
+    return reconstruct(fused)

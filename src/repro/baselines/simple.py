@@ -1,0 +1,48 @@
+"""Trivial fusion baselines: averaging, max-pixel and PCA weighting.
+
+These are the lower bounds every fusion paper compares against; the
+paper's reference [1] surveys them.  They operate directly in the pixel
+domain (no transform), so they are also the fastest — useful context
+for the energy benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FusionError
+
+
+def _pair(image_a: np.ndarray, image_b: np.ndarray):
+    a = np.asarray(image_a, dtype=np.float64)
+    b = np.asarray(image_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise FusionError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def fuse_average(image_a: np.ndarray, image_b: np.ndarray) -> np.ndarray:
+    """Plain mean of the two frames."""
+    a, b = _pair(image_a, image_b)
+    return (a + b) / 2.0
+
+
+def fuse_max(image_a: np.ndarray, image_b: np.ndarray) -> np.ndarray:
+    """Per-pixel maximum (keeps hot thermal blobs and bright detail)."""
+    a, b = _pair(image_a, image_b)
+    return np.maximum(a, b)
+
+
+def fuse_pca(image_a: np.ndarray, image_b: np.ndarray) -> np.ndarray:
+    """PCA-weighted blend: weights from the dominant eigenvector of the
+    two images' covariance — the classic 'PCA fusion' baseline."""
+    a, b = _pair(image_a, image_b)
+    stacked = np.stack([a.ravel(), b.ravel()])
+    cov = np.cov(stacked)
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    principal = np.abs(eigvecs[:, np.argmax(eigvals)])
+    total = principal.sum()
+    if total <= 0:
+        return fuse_average(a, b)
+    w_a, w_b = principal / total
+    return w_a * a + w_b * b

@@ -1,0 +1,183 @@
+"""Command-line interface: ``repro-fusion``.
+
+Subcommands
+-----------
+``demo``
+    Run the complete capture->fuse system for N frames and report
+    modelled fps, energy and fusion quality.
+``fuse``
+    Fuse one synthetic frame pair and write PGM images (visible,
+    thermal, fused) — a dependency-free way to *see* the system work.
+``sweep``
+    Print the Fig. 9/Fig. 10 engine-comparison tables.
+``schedule``
+    Show the adaptive scheduler's decision for a frame size, including
+    the per-level plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core.adaptive import CostModelScheduler, PerLevelScheduler
+from .errors import ReproError
+from .system.fusion_system import VideoFusionSystem
+from .types import FrameShape
+
+
+def _parse_shape(text: str) -> FrameShape:
+    try:
+        width, height = text.lower().split("x")
+        return FrameShape(int(width), int(height))
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"frame size must look like 88x72, got {text!r}"
+        ) from exc
+
+
+def write_pgm(path: Path, image: np.ndarray) -> None:
+    """Write an 8-bit grayscale PGM (no imaging dependency needed)."""
+    data = np.clip(np.round(np.asarray(image, dtype=np.float64)), 0, 255)
+    data = data.astype(np.uint8)
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{data.shape[1]} {data.shape[0]}\n255\n".encode())
+        fh.write(data.tobytes())
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    system = VideoFusionSystem(engine=args.engine, fusion_shape=args.size,
+                               levels=args.levels)
+    report = system.run(args.frames)
+    print(f"engine used      : {report.engine_used}")
+    print(f"frames fused     : {report.frames}")
+    print(f"modelled fps     : {report.model_fps:.1f}")
+    print(f"energy per frame : {report.millijoules_per_frame:.2f} mJ")
+    if report.quality:
+        print("fusion quality   : "
+              + ", ".join(f"{k}={v:.3f}" for k, v in report.quality.items()))
+    return 0
+
+
+def cmd_fuse(args: argparse.Namespace) -> int:
+    system = VideoFusionSystem(engine=args.engine, fusion_shape=args.size,
+                               levels=args.levels)
+    report = system.run(1, with_quality=False)
+    record = report.pipeline.records[0]
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    write_pgm(out / "visible.pgm", record.visible)
+    write_pgm(out / "thermal.pgm", record.thermal)
+    write_pgm(out / "fused.pgm", record.frame.pixels)
+    print(f"wrote {out}/visible.pgm, thermal.pgm, fused.pgm "
+          f"({args.size} px, engine {report.engine_used})")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .system.runtime import (energy_sweep, format_rows,
+                                 forward_stage_sweep, inverse_stage_sweep,
+                                 total_time_sweep)
+    tables = {
+        "fig9a": (forward_stage_sweep, "seconds / 10 frames",
+                  "Fig. 9(a) forward DT-CWT"),
+        "fig9b": (total_time_sweep, "seconds / 10 frames",
+                  "Fig. 9(b) total time"),
+        "fig9c": (inverse_stage_sweep, "seconds / 10 frames",
+                  "Fig. 9(c) inverse DT-CWT"),
+        "fig10": (energy_sweep, "millijoules / 10 frames",
+                  "Fig. 10 total energy"),
+    }
+    which = ("fig9a", "fig9b", "fig9c", "fig10") if args.table == "all" \
+        else (args.table,)
+    for key in which:
+        fn, unit, title = tables[key]
+        print(format_rows(fn(levels=args.levels), unit, title))
+        print()
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    scheduler = CostModelScheduler(objective=args.objective)
+    decision = scheduler.choose(args.size, args.levels)
+    print(f"frame size {args.size}, objective {args.objective}:")
+    for name, value in sorted(decision.alternatives.items(),
+                              key=lambda kv: kv[1]):
+        unit = "s" if args.objective == "time" else "mJ"
+        marker = " <= chosen" if name == decision.engine.name else ""
+        print(f"  {name:>5}: {value:.6f} {unit}{marker}")
+    plan = PerLevelScheduler().plan(args.size, args.levels)
+    print(f"per-level plan (extension): forward {plan.forward_assignment}, "
+          f"inverse {plan.inverse_assignment}, "
+          f"predicted {plan.predicted_s * 1e3:.2f} ms/frame")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from .figures import generate_figures
+    for path in generate_figures(args.output, levels=args.levels):
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fusion",
+        description="Energy-efficient video fusion on a modelled "
+                    "CPU-FPGA ZYNQ platform (DATE 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the capture->fuse system")
+    demo.add_argument("--frames", type=int, default=10)
+    demo.add_argument("--engine", default="adaptive",
+                      choices=("arm", "neon", "fpga", "adaptive"))
+    demo.add_argument("--size", type=_parse_shape, default=FrameShape(88, 72))
+    demo.add_argument("--levels", type=int, default=3)
+    demo.set_defaults(func=cmd_demo)
+
+    fuse = sub.add_parser("fuse", help="fuse one frame pair to PGM files")
+    fuse.add_argument("--engine", default="neon",
+                      choices=("arm", "neon", "fpga", "adaptive"))
+    fuse.add_argument("--size", type=_parse_shape, default=FrameShape(88, 72))
+    fuse.add_argument("--levels", type=int, default=3)
+    fuse.add_argument("--output", default="fusion_out")
+    fuse.set_defaults(func=cmd_fuse)
+
+    sweep = sub.add_parser("sweep", help="print Fig. 9 / Fig. 10 tables")
+    sweep.add_argument("--table", default="all",
+                       choices=("all", "fig9a", "fig9b", "fig9c", "fig10"))
+    sweep.add_argument("--levels", type=int, default=3)
+    sweep.set_defaults(func=cmd_sweep)
+
+    schedule = sub.add_parser("schedule", help="adaptive engine choice")
+    schedule.add_argument("--size", type=_parse_shape,
+                          default=FrameShape(88, 72))
+    schedule.add_argument("--levels", type=int, default=3)
+    schedule.add_argument("--objective", default="time",
+                          choices=("time", "energy"))
+    schedule.set_defaults(func=cmd_schedule)
+
+    figures = sub.add_parser("figures",
+                             help="render Fig. 9/Fig. 10 as SVG charts")
+    figures.add_argument("--output", default="figures")
+    figures.add_argument("--levels", type=int, default=3)
+    figures.set_defaults(func=cmd_figures)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""DT-CWT based image and video fusion (the paper's core algorithm).
+
+The algorithm of Section III: apply the forward DT-CWT to the visible
+and the infrared frame, combine the coefficient pyramids with a fusion
+rule, and reconstruct the fused frame with the inverse DT-CWT.
+
+:class:`ImageFusion` is the reusable object (transform + rule +
+engine); :func:`fuse_images` the one-shot convenience.  The class also
+exposes the *staged* execution used by the profiler and the runtime so
+each stage can be timed and attributed the way Fig. 2 and Fig. 9 do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..dtcwt.coeffs import DtcwtBanks
+from ..dtcwt.transform2d import Dtcwt2D, DtcwtPyramid
+from ..errors import FusionError
+from .fusion_rules import FusionRule, MaxMagnitudeRule
+
+
+@dataclass
+class FusionResult:
+    """Fused frame plus the intermediate pyramids (for inspection)."""
+
+    fused: np.ndarray
+    pyramid_a: DtcwtPyramid
+    pyramid_b: DtcwtPyramid
+    pyramid_fused: DtcwtPyramid
+
+
+class ImageFusion:
+    """Pixel-level fusion of two co-registered frames.
+
+    Parameters
+    ----------
+    levels:
+        DT-CWT decomposition depth (the paper sweeps this indirectly by
+        shrinking frames; 3 is its full-frame setting).
+    rule:
+        Coefficient fusion rule; defaults to the paper's max-magnitude
+        selection with low-pass averaging.
+    transform:
+        Optionally a pre-built :class:`Dtcwt2D` (e.g. wired to a
+        hardware engine's backend).  Overrides ``levels``/``banks``.
+    """
+
+    def __init__(self, levels: int = 3, rule: Optional[FusionRule] = None,
+                 banks: Optional[DtcwtBanks] = None,
+                 transform: Optional[Dtcwt2D] = None):
+        self.transform = transform if transform is not None else Dtcwt2D(
+            levels=levels, banks=banks)
+        self.rule = rule if rule is not None else MaxMagnitudeRule()
+
+    @property
+    def levels(self) -> int:
+        return self.transform.levels
+
+    # ------------------------------------------------------------------
+    # staged execution (what the profiler instruments)
+    # ------------------------------------------------------------------
+    def decompose(self, image: np.ndarray) -> DtcwtPyramid:
+        """Stage 1/2: forward DT-CWT of one source frame."""
+        return self.transform.forward(image)
+
+    def combine(self, pyr_a: DtcwtPyramid, pyr_b: DtcwtPyramid) -> DtcwtPyramid:
+        """Stage 3: coefficient fusion."""
+        return self.rule.fuse(pyr_a, pyr_b)
+
+    def reconstruct(self, pyramid: DtcwtPyramid) -> np.ndarray:
+        """Stage 4: inverse DT-CWT of the fused pyramid."""
+        return self.transform.inverse(pyramid)
+
+    # ------------------------------------------------------------------
+    def fuse(self, image_a: np.ndarray, image_b: np.ndarray) -> FusionResult:
+        """Full pipeline on one frame pair."""
+        a = np.asarray(image_a)
+        b = np.asarray(image_b)
+        if a.shape != b.shape:
+            raise FusionError(
+                f"source frames must share a shape, got {a.shape} vs {b.shape}"
+            )
+        pyr_a = self.decompose(a)
+        pyr_b = self.decompose(b)
+        pyr_f = self.combine(pyr_a, pyr_b)
+        fused = self.reconstruct(pyr_f)
+        return FusionResult(fused=fused, pyramid_a=pyr_a, pyramid_b=pyr_b,
+                            pyramid_fused=pyr_f)
+
+
+def fuse_images(image_a: np.ndarray, image_b: np.ndarray, levels: int = 3,
+                rule: Optional[FusionRule] = None) -> np.ndarray:
+    """One-shot DT-CWT fusion of two frames; returns the fused frame."""
+    return ImageFusion(levels=levels, rule=rule).fuse(image_a, image_b).fused

@@ -1,0 +1,153 @@
+"""Coefficient fusion rules for DT-CWT pixel-level image fusion.
+
+After both source frames are decomposed, a fusion rule decides — per
+complex high-pass coefficient and per low-pass sample — how to combine
+the two pyramids into one.  The paper uses the classic rule family from
+Nikolov/Hill (its reference [2]):
+
+* **maximum magnitude** selection for the high-pass bands (a larger
+  ``|z|`` means more salient local structure in that band), and
+* **averaging** for the final low-pass (the coarse illumination of the
+  two modalities is blended).
+
+Additional rules implemented here (window activity with consistency
+checking, weighted blending) are standard variants used to study fusion
+quality; they share the same interface so the pipeline can swap them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+import numpy as np
+
+from ..dtcwt.transform2d import DtcwtPyramid
+from ..errors import FusionError
+
+
+class FusionRule(ABC):
+    """Combines two same-shape DT-CWT pyramids into one."""
+
+    name = "rule"
+
+    def fuse(self, a: DtcwtPyramid, b: DtcwtPyramid) -> DtcwtPyramid:
+        """Return the fused pyramid (inputs are not modified)."""
+        _check_compatible(a, b)
+        highpasses = tuple(
+            self.fuse_highpass(ha, hb)
+            for ha, hb in zip(a.highpasses, b.highpasses)
+        )
+        lowpass = self.fuse_lowpass(a.lowpass, b.lowpass)
+        return DtcwtPyramid(
+            lowpass=lowpass,
+            highpasses=highpasses,
+            original_shape=a.original_shape,
+            padded_shape=a.padded_shape,
+            levels=a.levels,
+        )
+
+    @abstractmethod
+    def fuse_highpass(self, band_a: np.ndarray, band_b: np.ndarray) -> np.ndarray:
+        """Combine one level's complex subband stack ``(6, H, W)``."""
+
+    def fuse_lowpass(self, low_a: np.ndarray, low_b: np.ndarray) -> np.ndarray:
+        """Default low-pass handling: average the two modalities."""
+        return (low_a + low_b) / 2.0
+
+
+class MaxMagnitudeRule(FusionRule):
+    """Per-coefficient selection of the larger complex magnitude.
+
+    The paper's rule: keep the coefficient with more local energy,
+    which transfers the sharpest structure from either modality.
+    """
+
+    name = "max-magnitude"
+
+    def fuse_highpass(self, band_a: np.ndarray, band_b: np.ndarray) -> np.ndarray:
+        choose_a = np.abs(band_a) >= np.abs(band_b)
+        return np.where(choose_a, band_a, band_b)
+
+
+class WeightedRule(FusionRule):
+    """Fixed-weight linear blend of coefficients (alpha toward input A).
+
+    Mostly useful as a lower bound in quality studies: blending complex
+    coefficients averages away contrast that selection rules keep.
+    """
+
+    name = "weighted"
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0.0 <= alpha <= 1.0:
+            raise FusionError(f"alpha must be within [0, 1], got {alpha}")
+        self.alpha = alpha
+
+    def fuse_highpass(self, band_a: np.ndarray, band_b: np.ndarray) -> np.ndarray:
+        return self.alpha * band_a + (1.0 - self.alpha) * band_b
+
+    def fuse_lowpass(self, low_a: np.ndarray, low_b: np.ndarray) -> np.ndarray:
+        return self.alpha * low_a + (1.0 - self.alpha) * low_b
+
+
+class WindowActivityRule(FusionRule):
+    """Area-based selection with an optional consistency check.
+
+    The activity of each coefficient is the local sum of ``|z|`` over a
+    ``window x window`` neighbourhood; whole neighbourhoods vote for the
+    source with more energy, which suppresses the salt-and-pepper
+    selection noise of the per-coefficient rule.  With
+    ``consistency=True`` a majority filter flips isolated decisions —
+    the standard Li/Kingsbury refinement.
+    """
+
+    name = "window-activity"
+
+    def __init__(self, window: int = 3, consistency: bool = True):
+        if window < 1 or window % 2 == 0:
+            raise FusionError(f"window must be odd and >= 1, got {window}")
+        self.window = window
+        self.consistency = consistency
+
+    def fuse_highpass(self, band_a: np.ndarray, band_b: np.ndarray) -> np.ndarray:
+        act_a = _box_sum(np.abs(band_a), self.window)
+        act_b = _box_sum(np.abs(band_b), self.window)
+        choose_a = act_a >= act_b
+        if self.consistency:
+            votes = _box_sum(choose_a.astype(np.float64), self.window)
+            majority = self.window * self.window / 2.0
+            choose_a = votes > majority
+        return np.where(choose_a, band_a, band_b)
+
+
+def _box_sum(stack: np.ndarray, window: int) -> np.ndarray:
+    """Sliding-window sum over the trailing two axes (edge-replicated)."""
+    half = window // 2
+    out = np.zeros_like(stack)
+    for dy in range(-half, half + 1):
+        rolled = np.roll(stack, dy, axis=-2)
+        for dx in range(-half, half + 1):
+            out += np.roll(rolled, dx, axis=-1)
+    return out
+
+
+def _check_compatible(a: DtcwtPyramid, b: DtcwtPyramid) -> None:
+    if a.levels != b.levels:
+        raise FusionError(
+            f"pyramids disagree on levels: {a.levels} vs {b.levels}"
+        )
+    if a.padded_shape != b.padded_shape:
+        raise FusionError(
+            f"pyramids disagree on shape: {a.padded_shape} vs {b.padded_shape}"
+        )
+
+
+def rule_by_name(name: str, **kwargs) -> FusionRule:
+    """Factory used by the CLI and the examples."""
+    rules = {
+        MaxMagnitudeRule.name: MaxMagnitudeRule,
+        WeightedRule.name: WeightedRule,
+        WindowActivityRule.name: WindowActivityRule,
+    }
+    if name not in rules:
+        raise FusionError(f"unknown fusion rule {name!r}; known: {sorted(rules)}")
+    return rules[name](**kwargs)

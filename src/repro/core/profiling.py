@@ -1,0 +1,87 @@
+"""Stage profiler for the fusion pipeline (reproduces Fig. 2).
+
+The paper profiles the software-only fusion of two input images and
+finds the forward and inverse DT-CWT to be the dominant stages — the
+justification for accelerating exactly those two.  This module offers
+two profiling paths:
+
+* :func:`profile_model` — analytic: attributes the calibrated engine
+  model's stage times, which is what the Fig. 2 benchmark prints;
+* :class:`PipelineProfiler` — empirical: wall-clock timing of the
+  actual Python stages, used to sanity-check that the *functional*
+  implementation has the same dominance structure.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..hw.arm import ArmEngine
+from ..hw.engine import Engine
+from ..types import FrameShape, StageProfile
+from .fusion import ImageFusion
+
+
+#: Stage names in pipeline order, as profiled by the paper's Fig. 2.
+STAGES = (
+    "forward_dtcwt_visible",
+    "forward_dtcwt_thermal",
+    "fusion_rule",
+    "inverse_dtcwt",
+)
+
+
+def profile_model(shape: FrameShape, levels: int = 3,
+                  engine: Optional[Engine] = None) -> StageProfile:
+    """Analytic stage profile of fusing one frame pair.
+
+    With the default (ARM) engine this is the software-only profile the
+    paper shows in Fig. 2: both transforms dominate.
+    """
+    engine = engine if engine is not None else ArmEngine()
+    profile = StageProfile()
+    fwd = engine.forward_time(shape, levels).total_s
+    profile.add("forward_dtcwt_visible", fwd)
+    profile.add("forward_dtcwt_thermal", fwd)
+    profile.add("fusion_rule", engine.fusion_time(shape, levels).total_s)
+    profile.add("inverse_dtcwt", engine.inverse_time(shape, levels).total_s)
+    return profile
+
+
+class PipelineProfiler:
+    """Wall-clock profiler around the staged :class:`ImageFusion` API."""
+
+    def __init__(self, fusion: Optional[ImageFusion] = None):
+        self.fusion = fusion if fusion is not None else ImageFusion()
+        self.profile = StageProfile()
+
+    @contextmanager
+    def _stage(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.profile.add(name, time.perf_counter() - start)
+
+    def run(self, visible: np.ndarray, thermal: np.ndarray) -> np.ndarray:
+        """Fuse one frame pair, accumulating stage timings."""
+        with self._stage("forward_dtcwt_visible"):
+            pyr_a = self.fusion.decompose(visible)
+        with self._stage("forward_dtcwt_thermal"):
+            pyr_b = self.fusion.decompose(thermal)
+        with self._stage("fusion_rule"):
+            pyr_f = self.fusion.combine(pyr_a, pyr_b)
+        with self._stage("inverse_dtcwt"):
+            fused = self.fusion.reconstruct(pyr_f)
+        return fused
+
+    def percentages(self) -> Dict[str, float]:
+        return self.profile.percentages()
+
+    def dominant_stages(self, count: int = 2) -> list:
+        """The ``count`` most expensive stages (Fig. 2's headline)."""
+        return [name for name, _ in self.profile.ranked()[:count]]

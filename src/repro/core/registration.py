@@ -1,0 +1,201 @@
+"""Image registration for the multi-sensor rig.
+
+The paper places the webcam and the thermal camera "together to capture
+the same scene" and fuses pixel-to-pixel; any real rig needs to
+estimate and remove the residual translation between the two views
+first.  Two estimators are provided:
+
+* :func:`phase_correlation` — classic FFT cross-power method, accurate
+  to a pixel (sub-pixel via parabolic peak interpolation);
+* :class:`DtcwtRegistration` — coarse-to-fine translation estimation on
+  the DT-CWT's coefficient magnitudes (which are nearly shift
+  invariant, so the correlation surfaces are smooth), refined at full
+  resolution on gradient magnitudes and bounded by the rig's physical
+  ``max_shift``.
+
+Scope: exact for same-sensor displacement and robust to nonlinear
+intensity remapping (different sensor response curves).  Truly
+cross-*content* registration — where the two modalities see disjoint
+structure, or the scene carries periodic texture whose period divides
+the search range — is ambiguous for any correlation method and out of
+scope here (mutual-information methods are the literature's answer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..dtcwt.transform2d import Dtcwt2D
+from ..errors import FusionError
+
+
+@dataclass
+class RegistrationResult:
+    """Estimated displacement of image B relative to image A (pixels)."""
+
+    dy: float
+    dx: float
+    confidence: float
+
+    @property
+    def magnitude(self) -> float:
+        return float(np.hypot(self.dy, self.dx))
+
+
+def _parabolic_refine(values: np.ndarray, index: int) -> float:
+    """Sub-sample peak position from three neighbouring samples."""
+    prev_v = values[(index - 1) % len(values)]
+    peak_v = values[index]
+    next_v = values[(index + 1) % len(values)]
+    denom = prev_v - 2.0 * peak_v + next_v
+    if abs(denom) < 1e-12:
+        return float(index)
+    return index + 0.5 * (prev_v - next_v) / denom
+
+
+def phase_correlation(image_a: np.ndarray, image_b: np.ndarray
+                      ) -> RegistrationResult:
+    """Translation of ``image_b`` relative to ``image_a`` by FFT.
+
+    Returns the shift that, applied to ``image_b``, aligns it onto
+    ``image_a``; sub-pixel accuracy via parabolic interpolation of the
+    correlation peak.
+    """
+    a = np.asarray(image_a, dtype=np.float64)
+    b = np.asarray(image_b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 2:
+        raise FusionError("phase correlation needs two equal 2-D images")
+    a = a - a.mean()
+    b = b - b.mean()
+    fa = np.fft.fft2(a)
+    fb = np.fft.fft2(b)
+    cross = fa * np.conj(fb)
+    magnitude = np.abs(cross)
+    magnitude[magnitude < 1e-12] = 1e-12
+    surface = np.real(np.fft.ifft2(cross / magnitude))
+
+    peak = np.unravel_index(int(np.argmax(surface)), surface.shape)
+    dy = _parabolic_refine(surface[:, peak[1]], peak[0])
+    dx = _parabolic_refine(surface[peak[0], :], peak[1])
+    rows, cols = surface.shape
+    if dy > rows / 2:
+        dy -= rows
+    if dx > cols / 2:
+        dx -= cols
+    total = float(np.sum(np.abs(surface)))
+    confidence = float(surface[peak]) / total * surface.size if total else 0.0
+    return RegistrationResult(dy=float(dy), dx=float(dx),
+                              confidence=min(1.0, confidence / 50.0))
+
+
+class DtcwtRegistration:
+    """Coarse-to-fine translation estimation on DT-CWT magnitudes.
+
+    At each level the per-band magnitude maps of both images are
+    cross-correlated (circularly); coarse levels vote first, finer
+    levels refine the running estimate within +-1 sample of the
+    upsampled coarse shift.
+    """
+
+    def __init__(self, levels: int = 4, max_shift: int = 10):
+        if levels < 2:
+            raise FusionError("coarse-to-fine needs at least 2 levels")
+        if max_shift < 1:
+            raise FusionError("max_shift must be >= 1 pixel")
+        self.levels = levels
+        self.max_shift = max_shift
+
+    def estimate(self, image_a: np.ndarray, image_b: np.ndarray
+                 ) -> RegistrationResult:
+        a = np.asarray(image_a, dtype=np.float64)
+        b = np.asarray(image_b, dtype=np.float64)
+        if a.shape != b.shape or a.ndim != 2:
+            raise FusionError("registration needs two equal 2-D images")
+        transform = Dtcwt2D(levels=self.levels)
+        pyr_a = transform.forward(a)
+        pyr_b = transform.forward(b)
+
+        dy = dx = 0.0
+        confidence = 0.0
+        for level in range(self.levels - 1, -1, -1):
+            scale = 2 ** (level + 1)
+            if scale > 2 * self.max_shift:
+                # a cell at this level exceeds the physically possible
+                # displacement of the co-located rig: searching here can
+                # only lock onto wrong cross-modal structure
+                continue
+            mag_a = _normalized(np.sum(np.abs(pyr_a.highpasses[level]), axis=0))
+            mag_b = _normalized(np.sum(np.abs(pyr_b.highpasses[level]), axis=0))
+            radius = max(1, -(-self.max_shift // scale)) if dy == dx == 0.0 \
+                else 1
+            guess = (dy / scale, dx / scale)
+            shift, confidence = _local_correlation(mag_a, mag_b, guess,
+                                                   radius=radius)
+            dy = _clamp(shift[0] * scale, self.max_shift)
+            dx = _clamp(shift[1] * scale, self.max_shift)
+
+        # the finest band sits at half resolution, so the estimate is a
+        # multiple of two; resolve the last pixel on full-resolution
+        # gradient magnitudes (robust to intensity remapping)
+        grad_a = _normalized(_gradient_magnitude(a))
+        grad_b = _normalized(_gradient_magnitude(b))
+        shift, confidence = _local_correlation(grad_a, grad_b, (dy, dx),
+                                               radius=1)
+        return RegistrationResult(dy=_clamp(shift[0], self.max_shift),
+                                  dx=_clamp(shift[1], self.max_shift),
+                                  confidence=confidence)
+
+
+def _clamp(value: float, bound: float) -> float:
+    return max(-bound, min(bound, value))
+
+
+def _normalized(image: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-norm copy — correlation becomes NCC-like, which
+    is what makes cross-modality matching workable."""
+    out = image - image.mean()
+    norm = float(np.linalg.norm(out))
+    return out / norm if norm > 1e-12 else out
+
+
+def _gradient_magnitude(image: np.ndarray) -> np.ndarray:
+    gy = np.roll(image, -1, axis=0) - np.roll(image, 1, axis=0)
+    gx = np.roll(image, -1, axis=1) - np.roll(image, 1, axis=1)
+    return np.hypot(gy, gx)
+
+
+def _local_correlation(mag_a: np.ndarray, mag_b: np.ndarray,
+                       guess: Tuple[float, float], radius: int
+                       ) -> Tuple[Tuple[float, float], float]:
+    """Best integer shift near ``guess`` by circular correlation score."""
+    best = (0.0, 0.0)
+    best_score = -np.inf
+    scores = {}
+    g_r, g_c = int(round(guess[0])), int(round(guess[1]))
+    norm = float(np.linalg.norm(mag_a) * np.linalg.norm(mag_b)) or 1.0
+    for dr in range(g_r - radius, g_r + radius + 1):
+        for dc in range(g_c - radius, g_c + radius + 1):
+            rolled = np.roll(np.roll(mag_b, dr, axis=0), dc, axis=1)
+            score = float(np.sum(mag_a * rolled)) / norm
+            scores[(dr, dc)] = score
+            if score > best_score:
+                best_score = score
+                best = (float(dr), float(dc))
+    return best, min(1.0, max(0.0, best_score))
+
+
+def register_and_fuse(image_a: np.ndarray, image_b: np.ndarray,
+                      levels: int = 3,
+                      estimator: Optional[DtcwtRegistration] = None
+                      ) -> Tuple[np.ndarray, RegistrationResult]:
+    """Align ``image_b`` to ``image_a`` (integer shift), then fuse."""
+    from .fusion import fuse_images
+    est = estimator if estimator is not None else DtcwtRegistration()
+    result = est.estimate(image_a, image_b)
+    aligned = np.roll(np.roll(np.asarray(image_b, dtype=np.float64),
+                              int(round(result.dy)), axis=0),
+                      int(round(result.dx)), axis=1)
+    return fuse_images(image_a, aligned, levels=levels), result

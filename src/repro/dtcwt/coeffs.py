@@ -1,0 +1,507 @@
+"""Wavelet filter banks, constructed from first principles.
+
+The paper's fusion algorithm uses Kingsbury's Dual-Tree Complex Wavelet
+Transform.  Rather than copying coefficient tables, this module *derives*
+every filter from its defining polynomial construction:
+
+* **Level-1 biorthogonal banks** (odd length) come from factorizing the
+  maximally-flat Daubechies half-band product polynomial
+  ``P(y) = sum_k C(p-1+k, k) y^k`` with ``y = (2 - z - z^{-1})/4``:
+  the analysis low-pass takes the complex root quads, the synthesis
+  low-pass the real root pairs (the classic CDF construction: ``p = 2``
+  yields the LeGall 5/3 pair, ``p = 4`` the CDF/JPEG2000 9/7 pair).
+  High-pass filters follow the modulation rules ``h1[n] = (-1)^n g0[n]``
+  and ``g1[n] = (-1)^{n+1} h0[n]``, which make the undecimated
+  two-channel bank satisfy ``H0 G0 + H1 G1 = 2`` exactly.
+
+* **Q-shift banks** (even length, levels >= 2) are designed with the
+  common-factor method (Selesnick): ``H_a(z) = F(z) D(z)`` and
+  ``H_b(z) = F(z) z^{-K} D(z^{-1})`` share the factor ``F`` while ``D`` is
+  a Thiran polynomial whose allpass ratio ``z^{-K} D(z^{-1})/D(z)``
+  approximates a half-sample delay.  The symmetric autocorrelation of
+  ``F`` is solved from the half-band (orthonormality) constraints as a
+  linear system and spectrally factorized, so both trees are orthonormal
+  to machine precision and their group delays differ by almost exactly
+  0.5 samples — the q-shift property the DT-CWT requires.
+
+Every bank self-checks its defining identities at construction time, so a
+mis-derivation fails fast rather than silently degrading reconstruction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, TransformError
+from .util import group_delay, is_orthonormal_filter
+
+_SQRT2 = math.sqrt(2.0)
+
+
+# ---------------------------------------------------------------------------
+# Half-band product polynomial machinery
+# ---------------------------------------------------------------------------
+
+def halfband_remainder_coeffs(p: int) -> np.ndarray:
+    """Coefficients of ``R(y) = sum_{k=0}^{p-1} C(p-1+k, k) y^k`` (ascending).
+
+    ``R`` is the remainder of the degree-``p`` maximally-flat half-band
+    product filter ``P(y) = (1-y)^p R(y)`` with ``P(y) + P(1-y) = 1``
+    (Daubechies' construction).
+    """
+    if p < 1:
+        raise ConfigurationError(f"half-band order p must be >= 1, got {p}")
+    return np.array(
+        [math.comb(p - 1 + k, k) for k in range(p)], dtype=np.float64
+    )
+
+
+def _z_roots_of_y_root(y_root: complex) -> Tuple[complex, complex]:
+    """Map a root of the ``y``-polynomial to its ``z``-domain pair.
+
+    With ``y = (2 - z - z^{-1}) / 4`` a root ``y0`` corresponds to the two
+    roots of ``z^2 - (2 - 4 y0) z + 1 = 0``; their product is 1, so they
+    form a reciprocal pair.
+    """
+    b = 2.0 - 4.0 * y_root
+    disc = np.sqrt(b * b - 4.0 + 0j)
+    z1 = (b + disc) / 2.0
+    z2 = (b - disc) / 2.0
+    return z1, z2
+
+
+def _remainder_z_roots(p: int) -> List[complex]:
+    """All ``z``-domain roots contributed by the remainder ``R(y)``."""
+    coeffs = halfband_remainder_coeffs(p)
+    if len(coeffs) == 1:  # R(y) == 1, no roots
+        return []
+    y_roots = np.roots(coeffs[::-1])  # np.roots wants descending order
+    z_roots: List[complex] = []
+    for y0 in y_roots:
+        z_roots.extend(_z_roots_of_y_root(complex(y0)))
+    return z_roots
+
+
+def _poly_from_roots(roots: Sequence[complex]) -> np.ndarray:
+    """Real polynomial coefficients from a conjugate-closed root set."""
+    poly = np.atleast_1d(np.poly(np.asarray(roots))) if len(roots) else np.array([1.0])
+    imag_mag = float(np.max(np.abs(poly.imag))) if np.iscomplexobj(poly) else 0.0
+    if imag_mag > 1e-7 * max(1.0, float(np.max(np.abs(poly.real)))):
+        raise TransformError(
+            f"root set is not conjugate-closed (residual imag {imag_mag:.2e})"
+        )
+    return np.real(poly)
+
+
+def _filter_from_roots(roots: Sequence[complex], vanishing_moments: int) -> np.ndarray:
+    """Build a low-pass filter with given extra roots and zeros at z = -1.
+
+    The result is normalized to DC gain sqrt(2) (``sum(h) == sqrt(2)``),
+    the convention used throughout this package.
+    """
+    all_roots = list(roots) + [-1.0] * vanishing_moments
+    taps = _poly_from_roots(all_roots)
+    return taps * (_SQRT2 / float(np.sum(taps)))
+
+
+# ---------------------------------------------------------------------------
+# Level-1 biorthogonal banks (odd-length filters)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BiorthogonalBank:
+    """An odd-length biorthogonal two-channel bank for DT-CWT level 1.
+
+    Filters are stored with explicit integer centers so that centered
+    circular convolution with them is zero phase.  ``h*`` are analysis
+    filters, ``g*`` synthesis filters; ``0`` low-pass, ``1`` high-pass.
+
+    The defining identity for the undecimated (all-polyphase) level-1
+    usage is ``H0(w)G0(w) + H1(w)G1(w) = 2`` for all ``w``; it is checked
+    by :meth:`validate` at construction.
+    """
+
+    name: str
+    h0: np.ndarray
+    g0: np.ndarray
+    h1: np.ndarray = field(init=False)
+    g1: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.h0) % 2 == 0 or len(self.g0) % 2 == 0:
+            raise ConfigurationError("level-1 filters must have odd length")
+        n_g = np.arange(len(self.g0))
+        n_h = np.arange(len(self.h0))
+        object.__setattr__(self, "h1", ((-1.0) ** n_g) * self.g0)
+        object.__setattr__(self, "g1", ((-1.0) ** (n_h + 1)) * self.h0)
+        self.validate()
+
+    @property
+    def c_h0(self) -> int:
+        return len(self.h0) // 2
+
+    @property
+    def c_g0(self) -> int:
+        return len(self.g0) // 2
+
+    @property
+    def c_h1(self) -> int:
+        return len(self.h1) // 2
+
+    @property
+    def c_g1(self) -> int:
+        return len(self.g1) // 2
+
+    def centered_response(self, taps: np.ndarray, center: int,
+                          omegas: np.ndarray) -> np.ndarray:
+        """Frequency response of a filter treated as centered at ``center``."""
+        n = np.arange(len(taps)) - center
+        return np.exp(-1j * np.outer(omegas, n)) @ taps
+
+    def validate(self, tol: float = 1e-9) -> None:
+        """Assert the undecimated PR identity ``H0 G0 + H1 G1 == 2``."""
+        omegas = np.linspace(0.0, np.pi, 257)
+        total = (
+            self.centered_response(self.h0, self.c_h0, omegas)
+            * self.centered_response(self.g0, self.c_g0, omegas)
+            + self.centered_response(self.h1, self.c_h1, omegas)
+            * self.centered_response(self.g1, self.c_g1, omegas)
+        )
+        err = float(np.max(np.abs(total - 2.0)))
+        if err > tol:
+            raise TransformError(
+                f"bank {self.name!r} violates H0*G0 + H1*G1 = 2 (max err {err:.2e})"
+            )
+
+
+def _biorthogonal_from_halfband(p: int, name: str, swap: bool = False) -> BiorthogonalBank:
+    """CDF-style factorization: complex quads -> analysis, real pairs -> synthesis."""
+    z_roots = _remainder_z_roots(p)
+    real_roots = [r.real for r in z_roots if abs(r.imag) < 1e-9]
+    complex_roots = [r for r in z_roots if abs(r.imag) >= 1e-9]
+    h0 = _filter_from_roots(complex_roots, vanishing_moments=p)
+    g0 = _filter_from_roots(real_roots, vanishing_moments=p)
+    if swap:
+        h0, g0 = g0, h0
+    return BiorthogonalBank(name=name, h0=h0, g0=g0)
+
+
+@lru_cache(maxsize=None)
+def biorthogonal_bank(name: str = "cdf97") -> BiorthogonalBank:
+    """Return a named level-1 biorthogonal bank.
+
+    ``"cdf97"``  — 9/7-tap CDF pair (JPEG2000 irreversible), from ``p = 4``.
+    ``"legall53"`` — 5/3-tap LeGall pair, from ``p = 2``.
+    """
+    if name == "cdf97":
+        return _biorthogonal_from_halfband(4, "cdf97")
+    if name == "legall53":
+        # swap so the 5-tap filter is the analysis side, matching the
+        # conventional LeGall 5/3 orientation
+        return _biorthogonal_from_halfband(2, "legall53", swap=True)
+    raise ConfigurationError(
+        f"unknown biorthogonal bank {name!r}; expected 'cdf97' or 'legall53'"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q-shift orthonormal banks (even-length filters, levels >= 2)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class QshiftBank:
+    """An even-length orthonormal bank pair for DT-CWT levels >= 2.
+
+    Tree A uses ``(h0a, h1a)``; tree B uses ``(h0b, h1b)``.  The two
+    low-pass filters share a common factor and have identical magnitude
+    responses; their passband group delays differ by (almost exactly)
+    half a sample — the q-shift property.  Both trees are independently
+    orthonormal, which is what perfect reconstruction relies on.
+    """
+
+    name: str
+    h0a: np.ndarray
+    h0b: np.ndarray
+    delay_a: float  # mean passband group delay of h0a, in samples
+    delay_b: float
+
+    @property
+    def length(self) -> int:
+        return len(self.h0a)
+
+    @property
+    def h1a(self) -> np.ndarray:
+        return _modulated_highpass(self.h0a)
+
+    @property
+    def h1b(self) -> np.ndarray:
+        return _modulated_highpass(self.h0b)
+
+    @property
+    def delay_difference(self) -> float:
+        return self.delay_b - self.delay_a
+
+    def validate(self, tol: float = 1e-6) -> None:
+        for label, taps in (("h0a", self.h0a), ("h0b", self.h0b)):
+            if not is_orthonormal_filter(taps, tol=tol):
+                raise TransformError(
+                    f"q-shift bank {self.name!r}: {label} is not orthonormal"
+                )
+        if abs(abs(self.delay_difference) - 0.5) > 0.1:
+            raise TransformError(
+                f"q-shift bank {self.name!r}: tree delay difference "
+                f"{self.delay_difference:.3f} is not ~0.5 samples"
+            )
+
+
+def _modulated_highpass(h0: np.ndarray) -> np.ndarray:
+    """Orthonormal high-pass companion: ``h1[n] = (-1)^n h0[L-1-n]``."""
+    length = len(h0)
+    n = np.arange(length)
+    return ((-1.0) ** n) * h0[::-1]
+
+
+def thiran_halfsample_factor(order: int) -> np.ndarray:
+    """Thiran polynomial ``D(z)`` whose allpass ratio delays by half a sample.
+
+    The allpass ``z^{-K} D(z^{-1}) / D(z)`` built from the returned
+    coefficients has maximally-flat group delay of 0.5 samples at DC;
+    this is the fractional-delay ingredient of the common-factor q-shift
+    design.
+    """
+    if order < 1:
+        raise ConfigurationError(f"Thiran order must be >= 1, got {order}")
+    tau = 0.5
+    taps = np.zeros(order + 1)
+    taps[0] = 1.0
+    for k in range(1, order + 1):
+        prod = 1.0
+        for n in range(order + 1):
+            prod *= (tau - order + n) / (tau - order + k + n)
+        taps[k] = ((-1.0) ** k) * math.comb(order, k) * prod
+    return taps
+
+
+def _autocorrelation(taps: np.ndarray) -> np.ndarray:
+    return np.convolve(taps, taps[::-1])
+
+
+def _solve_factor_autocorrelation(
+    g_known: np.ndarray, q: int, length: int
+) -> np.ndarray:
+    """Solve the half-band constraints for the symmetric part ``W = Q Q~``.
+
+    ``S(z) = G_known(z) W(z)`` must satisfy ``S[0] = 1`` and ``S[2k] = 0``
+    — the orthonormality condition of the final filter.  ``W`` is
+    symmetric with ``q`` free coefficients; the system is solved in the
+    least-squares sense (it is square for the supported configurations).
+    """
+    center = length - 1
+    columns = np.zeros((2 * length - 1, q))
+    for i in range(q):
+        w_vec = np.zeros(2 * q - 1)
+        w_vec[q - 1 + i] = 1.0
+        if i:
+            w_vec[q - 1 - i] = 1.0
+        columns[:, i] = np.convolve(g_known, w_vec)
+    rows = [columns[center]]
+    rhs = [1.0]
+    for lag in range(2, length, 2):
+        rows.append(columns[center + lag])
+        rhs.append(0.0)
+    solution, *_ = np.linalg.lstsq(np.array(rows), np.array(rhs), rcond=None)
+    w_full = np.zeros(2 * q - 1)
+    w_full[q - 1:] = solution
+    w_full[: q - 1] = solution[1:][::-1]
+    return w_full
+
+
+def _spectral_factor_candidates(w_full: np.ndarray) -> List[np.ndarray]:
+    """Enumerate real spectral factors ``Q`` of a symmetric ``W = Q Q~``.
+
+    Roots of ``W`` come in reciprocal (and conjugate) families; choosing
+    the inside or outside member of each family yields every real factor.
+    Near-unit-circle roots are double zeros — one copy goes to ``Q``.
+    """
+    roots = np.roots(w_full[::-1])
+    outside = [z for z in roots if abs(z) > 1.0 + 1e-7]
+    on_circle = [z for z in roots if abs(abs(z) - 1.0) <= 1e-7]
+
+    groups: List[Tuple[List[complex], List[complex]]] = []
+    used = [False] * len(outside)
+    for i, root in enumerate(outside):
+        if used[i]:
+            continue
+        used[i] = True
+        if abs(root.imag) < 1e-8:
+            groups.append(([root.real], [1.0 / root.real]))
+        else:
+            for j in range(i + 1, len(outside)):
+                if not used[j] and abs(outside[j] - root.conjugate()) < 1e-5:
+                    used[j] = True
+                    break
+            groups.append(
+                ([root, root.conjugate()], [1.0 / root, 1.0 / root.conjugate()])
+            )
+
+    # keep one of each double unit-circle zero (conjugate-closed)
+    fixed: List[complex] = []
+    upper = sorted(
+        (z for z in on_circle if z.imag >= -1e-12), key=lambda z: np.angle(z)
+    )
+    i = 0
+    while i < len(upper):
+        fixed.append(upper[i])
+        if abs(upper[i].imag) > 1e-8:
+            fixed.append(upper[i].conjugate())
+        i += 2
+
+    candidates: List[np.ndarray] = []
+    combos = itertools.product(*[range(2) for _ in groups]) if groups else [()]
+    for combo in combos:
+        chosen = list(fixed)
+        for group, pick in zip(groups, combo):
+            chosen.extend(group[pick])
+        poly = np.atleast_1d(np.poly(np.asarray(chosen)))
+        if np.iscomplexobj(poly) and np.max(np.abs(poly.imag)) > 1e-6:
+            continue
+        candidates.append(np.real(poly))
+    return candidates
+
+
+#: (vanishing moments J, Thiran order K) tried for each filter length;
+#: the first configuration yielding a valid nonnegative autocorrelation wins.
+_QSHIFT_CONFIGS = {
+    10: ((2, 3), (3, 2), (1, 4)),
+    12: ((2, 4), (3, 3), (4, 2)),
+    14: ((2, 5), (4, 3), (3, 4)),
+    16: ((2, 6), (4, 4), (3, 5)),
+    18: ((2, 7), (4, 5), (3, 6)),
+}
+
+
+@lru_cache(maxsize=None)
+def qshift_bank(length: int = 14) -> QshiftBank:
+    """Design an orthonormal q-shift bank of even ``length`` taps.
+
+    Uses the common-factor method: ``H_a = F D``, ``H_b = F z^{-K} D~``
+    with a Thiran half-sample-delay factor ``D``, a binomial factor for
+    vanishing moments and a spectrally-factorized remainder solved from
+    the half-band constraints.  Among the valid spectral factors the one
+    with flattest passband group delay is kept.
+
+    ``length = 14`` (the package default) matches the popular qshift_b
+    size; ``length = 12`` mirrors the paper's HLS engine configuration.
+    """
+    if length not in _QSHIFT_CONFIGS:
+        raise ConfigurationError(
+            f"q-shift length must be one of {sorted(_QSHIFT_CONFIGS)}, got {length}"
+        )
+
+    omegas = np.linspace(0.05 * np.pi, 0.45 * np.pi, 64)
+    last_error: str = "no configuration attempted"
+    for moments, thiran_order in _QSHIFT_CONFIGS[length]:
+        q = length - moments - thiran_order
+        if q < 1:
+            continue
+        thiran = thiran_halfsample_factor(thiran_order)
+        binom = np.array(
+            [math.comb(moments, i) for i in range(moments + 1)], dtype=np.float64
+        )
+        g_known = np.convolve(_autocorrelation(binom), _autocorrelation(thiran))
+        w_full = _solve_factor_autocorrelation(g_known, q, length)
+
+        check = np.linspace(0.0, np.pi, 600)
+        lags = np.arange(-(q - 1), q)
+        w_response = np.cos(np.outer(check, lags)) @ w_full
+        if float(w_response.min()) < -1e-9:
+            last_error = (
+                f"(J={moments}, K={thiran_order}): autocorrelation not nonnegative"
+            )
+            continue
+
+        best: Tuple[float, QshiftBank] = (np.inf, None)  # type: ignore[assignment]
+        for q_taps in _spectral_factor_candidates(w_full):
+            common = np.convolve(binom, q_taps)
+            h0a = np.convolve(common, thiran)
+            h0a = h0a * (_SQRT2 / float(np.sum(h0a)))
+            h0b = np.convolve(common, thiran[::-1])
+            h0b = h0b * (_SQRT2 / float(np.sum(h0b)))
+            if not (is_orthonormal_filter(h0a, 1e-6)
+                    and is_orthonormal_filter(h0b, 1e-6)):
+                continue
+            delay_a = float(np.nanmean(group_delay(h0a, omegas)))
+            delay_b = float(np.nanmean(group_delay(h0b, omegas)))
+            ripple = float(np.nanstd(group_delay(h0a, omegas)))
+            score = abs(abs(delay_b - delay_a) - 0.5) + 0.3 * ripple
+            if score < best[0]:
+                bank = QshiftBank(
+                    name=f"qshift{length}",
+                    h0a=h0a,
+                    h0b=h0b,
+                    delay_a=delay_a,
+                    delay_b=delay_b,
+                )
+                best = (score, bank)
+        if best[1] is not None:
+            best[1].validate()
+            return best[1]
+        last_error = f"(J={moments}, K={thiran_order}): no orthonormal factor"
+
+    raise TransformError(
+        f"q-shift design failed for length {length}: {last_error}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Combined DT-CWT bank selection
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DtcwtBanks:
+    """The (level-1, level>=2) filter pair used by a DT-CWT instance."""
+
+    level1: BiorthogonalBank
+    qshift: QshiftBank
+
+    @property
+    def max_taps(self) -> int:
+        """Longest filter in the set — sizes the HLS coefficient registers."""
+        lengths = [len(self.level1.h0), len(self.level1.g0),
+                   len(self.level1.h1), len(self.level1.g1),
+                   self.qshift.length]
+        return max(lengths)
+
+
+@lru_cache(maxsize=None)
+def dtcwt_banks(level1: str = "cdf97", qshift_length: int = 14) -> DtcwtBanks:
+    """Construct (and cache) the default filter set for the transform."""
+    return DtcwtBanks(
+        level1=biorthogonal_bank(level1),
+        qshift=qshift_bank(qshift_length),
+    )
+
+
+@lru_cache(maxsize=None)
+def orthonormal_dwt_filter(length: int = 8) -> np.ndarray:
+    """Minimum-delay orthonormal low-pass for the plain-DWT baseline.
+
+    This is a Daubechies-style spectral factor (all retained roots inside
+    the unit circle), adequate for the Fig. 1 DWT decomposition and the
+    DWT fusion baseline.
+    """
+    if length < 2 or length % 2:
+        raise ConfigurationError(f"DWT filter length must be even, got {length}")
+    p = length // 2
+    z_roots = _remainder_z_roots(p)
+    inside = [r for r in z_roots if abs(r) <= 1.0]
+    taps = _filter_from_roots(inside, vanishing_moments=p)
+    if not is_orthonormal_filter(taps, tol=1e-7):
+        raise TransformError("DWT filter construction lost orthonormality")
+    return taps

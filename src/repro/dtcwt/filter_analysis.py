@@ -1,0 +1,135 @@
+"""Filter-bank analysis utilities.
+
+Quantitative characterization of the designed wavelets — the numbers a
+filter designer reads off before trusting a bank:
+
+* frequency/phase responses on a grid,
+* vanishing moments (zeros at z = -1 for low-pass, at z = 1 for
+  high-pass),
+* stop-band attenuation,
+* the q-shift delay and analyticity measures.
+
+Everything here is model-free analysis of the tap vectors, usable on
+any filter, and is what ``examples``/benchmarks print when documenting
+the construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .coeffs import BiorthogonalBank, DtcwtBanks, QshiftBank, dtcwt_banks
+from .util import group_delay
+
+
+def frequency_response(taps: np.ndarray, n_points: int = 512
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """(omega, H(omega)) of an FIR filter on [0, pi]."""
+    taps = np.asarray(taps, dtype=np.float64)
+    omegas = np.linspace(0.0, np.pi, n_points)
+    response = np.exp(-1j * np.outer(omegas, np.arange(len(taps)))) @ taps
+    return omegas, response
+
+
+def vanishing_moments(taps: np.ndarray, at: float = -1.0,
+                      tol: float = 1e-7) -> int:
+    """Multiplicity of the zero at ``z = at`` (±1 for wavelet filters).
+
+    Counted by repeated synthetic division: while the filter evaluates
+    to ~0 at ``z = at``, divide out the root.
+    """
+    poly = np.asarray(taps, dtype=np.float64).copy()
+    count = 0
+    scale = float(np.max(np.abs(poly))) or 1.0
+    while len(poly) > 1:
+        value = float(np.polyval(poly[::-1], at))
+        if abs(value) > tol * scale * len(poly):
+            break
+        # divide by (z - at) in ascending-power representation
+        poly = np.polydiv(poly[::-1], np.array([1.0, -at]))[0][::-1]
+        count += 1
+    return count
+
+
+def stopband_attenuation_db(taps: np.ndarray, edge: float = 0.8 * np.pi
+                            ) -> float:
+    """Worst-case stop-band rejection of a low-pass filter, in dB.
+
+    The default edge suits half-band wavelet filters (cutoff pi/2,
+    transition band reaching ~0.8 pi).
+    """
+    omegas, response = frequency_response(taps)
+    passband_peak = float(np.max(np.abs(response)))
+    stop = np.abs(response[omegas >= edge])
+    worst = float(np.max(stop)) if stop.size else 0.0
+    if worst <= 0.0:
+        return float("inf")
+    return 20.0 * np.log10(passband_peak / worst)
+
+
+@dataclass(frozen=True)
+class BankCharacterization:
+    """Summary table of one DT-CWT filter set."""
+
+    level1_name: str
+    level1_moments_analysis: int
+    level1_moments_synthesis: int
+    qshift_name: str
+    qshift_length: int
+    qshift_moments: int
+    qshift_delay_difference: float
+    qshift_delay_ripple: float
+    qshift_stopband_db: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "level1_moments_analysis": self.level1_moments_analysis,
+            "level1_moments_synthesis": self.level1_moments_synthesis,
+            "qshift_length": self.qshift_length,
+            "qshift_moments": self.qshift_moments,
+            "qshift_delay_difference": self.qshift_delay_difference,
+            "qshift_delay_ripple": self.qshift_delay_ripple,
+            "qshift_stopband_db": self.qshift_stopband_db,
+        }
+
+
+def characterize(banks: Optional[DtcwtBanks] = None) -> BankCharacterization:
+    """Full characterization of a bank set (defaults to the package's)."""
+    banks = banks if banks is not None else dtcwt_banks()
+    level1 = banks.level1
+    qshift = banks.qshift
+
+    omegas = np.linspace(0.05 * np.pi, 0.45 * np.pi, 64)
+    delays = group_delay(qshift.h0a, omegas)
+
+    return BankCharacterization(
+        level1_name=level1.name,
+        level1_moments_analysis=vanishing_moments(level1.h1, at=1.0),
+        level1_moments_synthesis=vanishing_moments(level1.g1, at=1.0),
+        qshift_name=qshift.name,
+        qshift_length=qshift.length,
+        qshift_moments=vanishing_moments(qshift.h0a, at=-1.0),
+        qshift_delay_difference=qshift.delay_difference,
+        qshift_delay_ripple=float(np.nanstd(delays)),
+        qshift_stopband_db=stopband_attenuation_db(qshift.h0a),
+    )
+
+
+def magnitude_match_error(bank: QshiftBank, n_points: int = 512) -> float:
+    """Max |  |H_a| - |H_b|  | over frequency — 0 for a valid q-shift pair."""
+    _, resp_a = frequency_response(bank.h0a, n_points)
+    _, resp_b = frequency_response(bank.h0b, n_points)
+    return float(np.max(np.abs(np.abs(resp_a) - np.abs(resp_b))))
+
+
+def pr_identity_error(bank: BiorthogonalBank, n_points: int = 512) -> float:
+    """Max |H0 G0 + H1 G1 - 2| over frequency (level-1 PR identity)."""
+    omegas = np.linspace(0.0, np.pi, n_points)
+    total = (bank.centered_response(bank.h0, bank.c_h0, omegas)
+             * bank.centered_response(bank.g0, bank.c_g0, omegas)
+             + bank.centered_response(bank.h1, bank.c_h1, omegas)
+             * bank.centered_response(bank.g1, bank.c_g1, omegas))
+    return float(np.max(np.abs(total - 2.0)))

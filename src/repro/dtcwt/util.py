@@ -1,0 +1,149 @@
+"""Low-level signal helpers for the wavelet substrate.
+
+All transforms in :mod:`repro.dtcwt` use **periodic (circular) extension**.
+Circular convolution makes perfect reconstruction a matter of linear
+algebra: the synthesis operator is the exact transpose of the analysis
+operator, so an orthonormal filter bank reconstructs to machine precision
+with no boundary bookkeeping.  The price is wrap-around at frame borders,
+which is acceptable for the small frames the paper evaluates (see
+DESIGN.md, "Key design decisions").
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import TransformError
+
+
+def as_float_image(image: np.ndarray, dtype: np.dtype = np.float64) -> np.ndarray:
+    """Validate and convert a 2-D image to a floating point array."""
+    arr = np.asarray(image)
+    if arr.ndim != 2:
+        raise TransformError(f"expected a 2-D image, got shape {arr.shape}")
+    if arr.size == 0:
+        raise TransformError("cannot transform an empty image")
+    return arr.astype(dtype, copy=False)
+
+
+def cconv(x: np.ndarray, taps: np.ndarray, center: int, axis: int = 0) -> np.ndarray:
+    """Centered circular convolution along ``axis``.
+
+    Computes ``out[n] = sum_k taps[k] * x[(n + center - k) mod N]`` so a
+    filter symmetric about ``center`` is exactly zero phase.
+
+    Parameters
+    ----------
+    x:
+        Input array (any number of dimensions).
+    taps:
+        1-D filter taps.
+    center:
+        Index of the tap treated as the filter origin.
+    axis:
+        Axis of ``x`` along which to filter.
+    """
+    taps = np.asarray(taps, dtype=x.dtype if x.dtype.kind == "f" else np.float64)
+    out = np.zeros_like(x, dtype=np.result_type(x, taps))
+    for k, tap in enumerate(taps):
+        if tap != 0.0:
+            out += tap * np.roll(x, k - center, axis=axis)
+    return out
+
+
+def cconv_causal(x: np.ndarray, taps: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Causal circular convolution: ``out[n] = sum_k taps[k] x[(n-k) mod N]``."""
+    return cconv(x, taps, center=0, axis=axis)
+
+
+def ccorr_causal(x: np.ndarray, taps: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Causal circular correlation: ``out[n] = sum_k taps[k] x[(n+k) mod N]``.
+
+    This is the exact adjoint (transpose) of :func:`cconv_causal` with the
+    same taps, which is what makes transpose-based synthesis exact.
+    """
+    taps = np.asarray(taps, dtype=x.dtype if x.dtype.kind == "f" else np.float64)
+    out = np.zeros_like(x, dtype=np.result_type(x, taps))
+    for k, tap in enumerate(taps):
+        if tap != 0.0:
+            out += tap * np.roll(x, -k, axis=axis)
+    return out
+
+
+def downsample2(x: np.ndarray, phase: int, axis: int = 0) -> np.ndarray:
+    """Keep every second sample along ``axis`` starting at ``phase`` (0 or 1)."""
+    if phase not in (0, 1):
+        raise TransformError(f"downsample phase must be 0 or 1, got {phase}")
+    slicer = [slice(None)] * x.ndim
+    slicer[axis] = slice(phase, None, 2)
+    return x[tuple(slicer)]
+
+
+def upsample2(x: np.ndarray, phase: int, axis: int = 0) -> np.ndarray:
+    """Insert zeros between samples along ``axis``; adjoint of :func:`downsample2`."""
+    if phase not in (0, 1):
+        raise TransformError(f"upsample phase must be 0 or 1, got {phase}")
+    shape = list(x.shape)
+    shape[axis] *= 2
+    out = np.zeros(shape, dtype=x.dtype)
+    slicer = [slice(None)] * x.ndim
+    slicer[axis] = slice(phase, None, 2)
+    out[tuple(slicer)] = x
+    return out
+
+
+def pad_to_multiple(
+    image: np.ndarray, multiple: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Edge-replicate pad a 2-D image so both dimensions divide ``multiple``.
+
+    Returns the padded image and the original ``(rows, cols)`` so the
+    caller can crop after an inverse transform.  The paper's odd 35x35
+    sweep point is handled this way by the functional transform path
+    (the analytic timing model keeps using the true size; see DESIGN.md).
+    """
+    rows, cols = image.shape
+    pad_r = (-rows) % multiple
+    pad_c = (-cols) % multiple
+    if pad_r == 0 and pad_c == 0:
+        return image, (rows, cols)
+    padded = np.pad(image, ((0, pad_r), (0, pad_c)), mode="edge")
+    return padded, (rows, cols)
+
+
+def crop_to(image: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+    """Crop a 2-D image back to ``shape`` (inverse of :func:`pad_to_multiple`)."""
+    rows, cols = shape
+    return image[:rows, :cols]
+
+
+def group_delay(taps: np.ndarray, omegas: np.ndarray) -> np.ndarray:
+    """Group delay (in samples) of an FIR filter at angular frequencies.
+
+    Uses the exact identity tau(w) = Re( H'(w) / H(w) ) where
+    ``H(w) = sum_n h[n] e^{-jwn}`` and ``H'`` is the derivative filter
+    ``n * h[n]``.  Frequencies where ``|H|`` is tiny return NaN.
+    """
+    taps = np.asarray(taps, dtype=np.float64)
+    n = np.arange(len(taps))
+    expo = np.exp(-1j * np.outer(omegas, n))
+    h_resp = expo @ taps
+    dh_resp = expo @ (n * taps)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        tau = np.real(dh_resp / h_resp)
+    tau[np.abs(h_resp) < 1e-9] = np.nan
+    return tau
+
+
+def is_orthonormal_filter(taps: np.ndarray, tol: float = 1e-10) -> bool:
+    """Check the even-shift orthonormality condition sum h[n]h[n+2k] = delta_k."""
+    taps = np.asarray(taps, dtype=np.float64)
+    length = len(taps)
+    for lag in range(0, length, 2):
+        acc = float(np.dot(taps[: length - lag], taps[lag:]))
+        target = 1.0 if lag == 0 else 0.0
+        if abs(acc - target) > tol:
+            return False
+    return True

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single except clause while still
+being able to distinguish configuration problems from hardware-model
+protocol violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class TransformError(ReproError):
+    """A wavelet transform was asked to do something unsupported."""
+
+
+class FusionError(ReproError):
+    """Image/video fusion failed (shape mismatch, bad rule, ...)."""
+
+
+class HardwareModelError(ReproError):
+    """Base class for errors in the ZYNQ hardware model."""
+
+
+class DriverError(HardwareModelError):
+    """Kernel-driver model protocol violation (bad ioctl, unmapped buffer...)."""
+
+
+class AxiError(HardwareModelError):
+    """AXI transaction model misuse (bad address, oversized burst, ...)."""
+
+
+class EngineError(HardwareModelError):
+    """A compute engine was used incorrectly (mode, coefficients, sizing)."""
+
+
+class VideoError(ReproError):
+    """Video substrate failure (decode error, FIFO misuse, bad stream)."""
+
+
+class DecodeError(VideoError):
+    """BT.656 stream could not be decoded."""
+
+
+class CalibrationError(ReproError):
+    """Calibration data is missing or inconsistent."""

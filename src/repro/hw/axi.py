@@ -1,0 +1,85 @@
+"""AXI interconnect transfer-cost models.
+
+Section V of the paper motivates the custom DMA engine: moving data
+through a general-purpose (GP) port with the CPU costs ~25 clock cycles
+per transfer, which is far too slow, so the authors synthesize a
+``memcpy``-based burst master on the ACP instead.  This module models
+the three transfer mechanisms so benchmarks can reproduce that
+comparison (see ``benchmarks/bench_axi_transfers.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AxiError
+from .platform import DEFAULT_PLATFORM, ZynqPlatform
+
+
+@dataclass(frozen=True)
+class AxiLiteModel:
+    """AXI4-Lite slave interface used for commands and filter loading.
+
+    Single-beat transactions driven by the CPU; each register write or
+    read costs a handful of PS cycles plus interconnect latency.
+    """
+
+    platform: ZynqPlatform = DEFAULT_PLATFORM
+    cycles_per_access: float = 30.0
+
+    def write_s(self, n_writes: int = 1) -> float:
+        if n_writes < 0:
+            raise AxiError(f"negative write count: {n_writes}")
+        return n_writes * self.cycles_per_access * self.platform.ps_cycle_s
+
+    def read_s(self, n_reads: int = 1) -> float:
+        if n_reads < 0:
+            raise AxiError(f"negative read count: {n_reads}")
+        return n_reads * self.cycles_per_access * self.platform.ps_cycle_s
+
+
+@dataclass(frozen=True)
+class GpPortModel:
+    """CPU-driven word-at-a-time transfers through a 32-bit GP port.
+
+    The paper measured ~25 clock cycles per transfer with the CPU moving
+    the data itself — the reason this path is only used for control.
+    """
+
+    platform: ZynqPlatform = DEFAULT_PLATFORM
+
+    def transfer_s(self, words: int) -> float:
+        if words < 0:
+            raise AxiError(f"negative word count: {words}")
+        return words * self.platform.gp_cycles_per_word * self.platform.ps_cycle_s
+
+    def bandwidth_bytes_per_s(self) -> float:
+        return 4.0 / (self.platform.gp_cycles_per_word * self.platform.ps_cycle_s)
+
+
+@dataclass(frozen=True)
+class AcpModel:
+    """Burst transfers through the Accelerator Coherency Port.
+
+    The HLS ``memcpy`` master moves ``acp_words_per_cycle`` 32-bit words
+    per PL cycle once a burst is running, with a small setup cost per
+    burst.  Cache coherence is the ACP's point: no flushes are modelled
+    because none are needed (Section V).
+    """
+
+    platform: ZynqPlatform = DEFAULT_PLATFORM
+    burst_setup_cycles: float = 8.0
+
+    def transfer_cycles(self, words: int) -> float:
+        if words < 0:
+            raise AxiError(f"negative word count: {words}")
+        if words == 0:
+            return 0.0
+        return self.burst_setup_cycles + words / self.platform.acp_words_per_cycle
+
+    def transfer_s(self, words: int) -> float:
+        return self.transfer_cycles(words) * self.platform.pl_cycle_s
+
+    def bandwidth_bytes_per_s(self) -> float:
+        """Asymptotic burst bandwidth in bytes/second."""
+        return (self.platform.acp_words_per_cycle * 4.0) / self.platform.pl_cycle_s

@@ -1,0 +1,118 @@
+"""Calibrated cost-model constants for the ZYNQ platform model.
+
+No real board is available to this reproduction (the paper's energy and
+latency numbers were measured on a ZC702), so the per-engine cost models
+are *fitted* to the published evaluation:
+
+* Fig. 9(a)/(c): forward/inverse DT-CWT stage times for ARM, NEON and
+  FPGA at five frame sizes (known percentages: FPGA -55.6 % / -60.6 %,
+  NEON -10 % / -16 % at 88x72; FPGA +36.4 % vs NEON at 32x24),
+* Fig. 9(b): total pipeline time (FPGA -48.1 %, NEON -8 % at 88x72),
+* Section VII text: performance crossover between 35x35 and 40x40,
+  energy crossover between 40x40 and 64x48,
+* Fig. 10 + text: ARM/NEON power equal; FPGA mode +19.2 mW (+3.6 %).
+
+``tools/fit_calibration.py`` re-derives the fitted values; the module
+stores the result so the library has no scipy dependency at runtime.
+The *shape* of the cost models (what scales with MACs, invocations,
+words) is physical; only the rates below are fitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Fitted constants consumed by the engine timing models."""
+
+    # --- ARM Cortex-A9 scalar code ------------------------------------
+    #: effective scalar MAC throughput of the forward-transform code path
+    arm_mac_rate_fwd: float = 12.07e6
+    #: effective scalar MAC throughput of the inverse-transform code path
+    #: (slower: strided writes into upsampled arrays)
+    arm_mac_rate_inv: float = 8.68e6
+    #: per-pass loop setup / function call overhead
+    arm_pass_overhead_s: float = 2.0e-6
+    #: fusion-rule cost per complex coefficient (includes coefficient
+    #: marshalling; always executed by the ARM in every mode)
+    arm_fuse_coeff_s: float = 1.71e-6
+
+    # --- NEON SIMD engine ----------------------------------------------
+    #: float32 lanes of a 128-bit quad register
+    neon_lanes: int = 4
+    #: sustained fraction of the ideal lane speedup (issue limits, loads)
+    neon_lane_efficiency: float = 0.85
+    #: fraction of forward-path MAC work that vectorizes
+    neon_vector_fraction_fwd: float = 0.147
+    #: fraction of inverse-path MAC work that vectorizes
+    neon_vector_fraction_inv: float = 0.2315
+
+    # --- FPGA wavelet engine (PS-side costs) ----------------------------
+    #: kernel-driver cost per accelerator activation: completion check,
+    #: ioctl, command write-back (the dominant small-frame overhead)
+    fpga_driver_invocation_s: float = 2.55e-5
+    #: AXI4-Lite register writes issued per pass (mode, offsets, length)
+    fpga_axilite_writes_per_pass: int = 4
+    #: user-space memcpy cost per 32-bit word moved to/from the kernel
+    #: buffers (overlapped with hardware time when double buffering);
+    #: 8 ns/word is ~500 MB/s, a realistic Cortex-A9 memcpy rate
+    fpga_ps_word_s: float = 8.0e-9
+    #: extra PS-side marshalling per *inverse* invocation: synthesis
+    #: passes feed two separate channel lines (two memcpys plus
+    #: zero-stuffing), where analysis passes feed one
+    fpga_inverse_marshal_s: float = 8.0e-6
+    #: extra pipeline registers between BRAM and the MAC array
+    fpga_pipeline_depth_cycles: int = 20
+
+    def validate(self) -> None:
+        positives = {
+            "arm_mac_rate_fwd": self.arm_mac_rate_fwd,
+            "arm_mac_rate_inv": self.arm_mac_rate_inv,
+            "arm_fuse_coeff_s": self.arm_fuse_coeff_s,
+            "fpga_driver_invocation_s": self.fpga_driver_invocation_s,
+            "fpga_ps_word_s": self.fpga_ps_word_s,
+        }
+        for name, value in positives.items():
+            if value <= 0:
+                raise CalibrationError(f"{name} must be positive, got {value}")
+        if not 0.0 <= self.neon_vector_fraction_fwd <= 1.0:
+            raise CalibrationError("neon_vector_fraction_fwd out of [0, 1]")
+        if not 0.0 <= self.neon_vector_fraction_inv <= 1.0:
+            raise CalibrationError("neon_vector_fraction_inv out of [0, 1]")
+        if self.neon_lanes < 1:
+            raise CalibrationError("neon_lanes must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "Calibration":
+        """Return a modified copy (used by ablation benchmarks)."""
+        updated = replace(self, **kwargs)
+        updated.validate()
+        return updated
+
+
+DEFAULT_CALIBRATION = Calibration()
+DEFAULT_CALIBRATION.validate()
+
+
+#: Paper-reported reference points used by the fit and by EXPERIMENTS.md.
+#: Times are seconds per fused frame (Fig. 9 plots 10 frames).
+PAPER_TARGETS = {
+    # stage, size -> (arm, neon, fpga) seconds per fused frame
+    ("forward", "88x72"): (0.090, 0.081, 0.040),
+    ("inverse", "88x72"): (0.062, 0.0521, 0.0244),
+    # headline percentages from Section VII
+    "fpga_forward_gain_full": 0.556,
+    "neon_forward_gain_full": 0.10,
+    "fpga_inverse_gain_full": 0.606,
+    "neon_inverse_gain_full": 0.16,
+    "fpga_total_gain_full": 0.481,
+    "neon_total_gain_full": 0.08,
+    "fpga_vs_neon_penalty_32x24": 0.364,
+    "fpga_energy_saving_full": 0.463,
+    "neon_energy_saving_full": 0.08,
+    "fpga_power_increase_w": 0.0192,
+    "fpga_power_increase_frac": 0.036,
+}

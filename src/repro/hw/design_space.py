@@ -1,0 +1,136 @@
+"""HLS design-space exploration for the wavelet engine.
+
+The paper synthesizes one engine configuration (fully-parallel 12-tap
+dual MAC chains, II=1, 100 MHz).  Vivado HLS exposes a design space:
+folding the MAC array trades area for initiation interval, wider bursts
+trade BRAM for transfer cycles, and the PL clock trades timing slack
+for speed.  This module models those knobs — per-line latency from the
+same cycle structure the engine model uses, area from the Table I
+component model — and enumerates the Pareto frontier, the analysis an
+EDA engineer would run before committing to the paper's design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..errors import ConfigurationError
+from ..types import FrameShape
+from .resources import EngineConfig, ResourceEstimate, estimate_resources
+from .work import WorkModel
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One HLS configuration of the wavelet engine.
+
+    ``unroll`` is the number of taps computed per cycle per channel:
+    ``unroll == taps`` is the paper's fully-parallel engine (II=1);
+    smaller values fold the MAC array, multiplying the initiation
+    interval and dividing the multiplier count.
+    """
+
+    taps: int = 12
+    unroll: int = 12
+    pl_clock_hz: float = 100e6
+    burst_words_per_cycle: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.unroll < 1 or self.unroll > self.taps:
+            raise ConfigurationError(
+                f"unroll must be in [1, taps]; got {self.unroll} for "
+                f"{self.taps} taps"
+            )
+        if self.pl_clock_hz <= 0:
+            raise ConfigurationError("pl_clock_hz must be positive")
+
+    @property
+    def initiation_interval(self) -> int:
+        """Cycles between accepted input pairs (II)."""
+        return -(-self.taps // self.unroll)  # ceil division
+
+    @property
+    def achievable_clock_hz(self) -> float:
+        """Deeper combinational adder trees close timing at lower fmax.
+
+        A folded design (small unroll) has a shorter critical path; the
+        fully parallel one is constrained harder.  Simple model: fmax
+        degrades ~3 % per extra parallel tap beyond 4.
+        """
+        penalty = max(0, self.unroll - 4) * 0.03
+        fmax = 160e6 * (1.0 - penalty)
+        return min(self.pl_clock_hz, fmax)
+
+
+def line_cycles(point: DesignPoint, out_len: int, words_in: int,
+                words_out: int, pipeline_depth: int = 20) -> float:
+    """PL cycles for one line job under a design point."""
+    transfer = (words_in + words_out) / point.burst_words_per_cycle + 16
+    compute = out_len * point.initiation_interval + point.taps // 2
+    return transfer + compute + pipeline_depth
+
+
+def frame_seconds(point: DesignPoint, shape: FrameShape,
+                  levels: int = 3) -> float:
+    """PL-side seconds for one forward transform (no PS costs).
+
+    Isolates the hardware's own contribution so the design-space trends
+    are visible without the driver overhead that dominates end-to-end.
+    """
+    work = WorkModel(shape, levels=levels)
+    clock = point.achievable_clock_hz
+    total_cycles = 0.0
+    for p in work.forward_passes():
+        total_cycles += line_cycles(point, p.out_len,
+                                    p.words_in + point.taps, p.words_out)
+    return total_cycles / clock
+
+
+def resources_for(point: DesignPoint) -> ResourceEstimate:
+    """Area of a design point: folded engines share multipliers."""
+    effective_taps = point.unroll  # multipliers actually instantiated
+    config = EngineConfig(taps=max(2, effective_taps))
+    return estimate_resources(config)
+
+
+@dataclass(frozen=True)
+class EvaluatedPoint:
+    point: DesignPoint
+    seconds_per_frame: float
+    slices: int
+    fits: bool
+
+    @property
+    def area_delay_product(self) -> float:
+        return self.seconds_per_frame * self.slices
+
+
+def explore(shape: FrameShape = FrameShape(88, 72), levels: int = 3,
+            taps: int = 12,
+            unrolls: Sequence[int] = (1, 2, 3, 4, 6, 12),
+            part: str = "xc7z020clg484-1") -> List[EvaluatedPoint]:
+    """Evaluate a family of design points (latency + area)."""
+    results = []
+    for unroll in unrolls:
+        point = DesignPoint(taps=taps, unroll=unroll)
+        est = resources_for(point)
+        results.append(EvaluatedPoint(
+            point=point,
+            seconds_per_frame=frame_seconds(point, shape, levels),
+            slices=est.slices,
+            fits=est.fits(part),
+        ))
+    return results
+
+
+def pareto_frontier(points: Iterable[EvaluatedPoint]) -> List[EvaluatedPoint]:
+    """Non-dominated points in the (latency, area) plane."""
+    candidates = sorted(points, key=lambda e: (e.seconds_per_frame, e.slices))
+    frontier: List[EvaluatedPoint] = []
+    best_area = float("inf")
+    for item in candidates:
+        if item.slices < best_area:
+            frontier.append(item)
+            best_area = item.slices
+    return frontier

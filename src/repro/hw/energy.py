@@ -1,0 +1,60 @@
+"""Energy accounting: joules = mode power x stage seconds (Fig. 10).
+
+The paper computes energy "using the power values, measured by
+power-recording software ... and the total time taken shown in
+Fig. 9(b)".  :class:`EnergyMeter` reproduces that bookkeeping: it runs a
+pipeline's stage timings under a mode's power draw and accumulates
+millijoules per stage and in total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..types import EnergyReport, TimingBreakdown
+from .power import DEFAULT_POWER_MODEL, PowerModel
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates per-stage energy for one execution mode."""
+
+    mode: str
+    model: PowerModel = field(default_factory=lambda: DEFAULT_POWER_MODEL)
+    stages: Dict[str, EnergyReport] = field(default_factory=dict)
+
+    def add_stage(self, name: str, seconds: float) -> EnergyReport:
+        """Charge ``seconds`` of work in this meter's mode to ``name``."""
+        if seconds < 0:
+            raise ConfigurationError(f"negative stage time: {seconds}")
+        report = EnergyReport(seconds=seconds, power_w=self.model.power_w(self.mode))
+        if name in self.stages:
+            prev = self.stages[name]
+            report = EnergyReport(seconds=prev.seconds + seconds,
+                                  power_w=report.power_w)
+        self.stages[name] = report
+        return report
+
+    def add_breakdown(self, name: str, breakdown: TimingBreakdown) -> EnergyReport:
+        return self.add_stage(name, breakdown.total_s)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.stages.values())
+
+    @property
+    def total_joules(self) -> float:
+        return sum(r.joules for r in self.stages.values())
+
+    @property
+    def total_millijoules(self) -> float:
+        return self.total_joules * 1e3
+
+
+def energy_mj(seconds: float, mode: str,
+              model: Optional[PowerModel] = None) -> float:
+    """One-shot helper: millijoules for ``seconds`` of work in ``mode``."""
+    model = model if model is not None else DEFAULT_POWER_MODEL
+    return seconds * model.power_w(mode) * 1e3

@@ -1,0 +1,97 @@
+"""Common interface of the three compute engines (ARM, NEON, FPGA).
+
+An engine bundles two things, mirroring the paper's methodology:
+
+* a **functional path** — a :class:`repro.dtcwt.Dtcwt2D` wired to the
+  engine's kernel backend, so every engine *actually computes* the
+  transform (results are cross-checked in the tests), and
+* an **analytic timing model** — seconds for the forward transform,
+  inverse transform and fusion stage of one frame, decomposed the way
+  the paper discusses (compute / transfer / command / overhead).
+
+The fusion rule always executes on the ARM (the paper accelerates only
+the transforms), so :meth:`Engine.fusion_time` is shared.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..dtcwt.coeffs import DtcwtBanks, dtcwt_banks
+from ..dtcwt.transform2d import Dtcwt2D
+from ..types import FrameShape, TimingBreakdown
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .platform import DEFAULT_PLATFORM, ZynqPlatform
+from .work import WorkModel
+
+
+class Engine(ABC):
+    """One way of executing the DT-CWT transforms on the ZYNQ."""
+
+    #: short identifier used in reports ("arm", "neon", "fpga")
+    name: str = "engine"
+    #: key into the power model for the whole-pipeline execution mode
+    power_mode: str = "arm"
+
+    def __init__(self, platform: ZynqPlatform = DEFAULT_PLATFORM,
+                 calibration: Calibration = DEFAULT_CALIBRATION,
+                 banks: Optional[DtcwtBanks] = None):
+        self.platform = platform
+        self.calibration = calibration
+        self.banks = banks if banks is not None else dtcwt_banks()
+
+    # ------------------------------------------------------------------
+    # functional path
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def make_backend(self):
+        """Kernel backend computing this engine's arithmetic."""
+
+    def transform(self, levels: int = 3) -> Dtcwt2D:
+        """A ready-to-use functional transform on this engine."""
+        return Dtcwt2D(levels=levels, banks=self.banks,
+                       backend=self.make_backend())
+
+    # ------------------------------------------------------------------
+    # analytic timing
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def forward_time(self, shape: FrameShape, levels: int = 3) -> TimingBreakdown:
+        """Latency of the forward DT-CWT of ONE image."""
+
+    @abstractmethod
+    def inverse_time(self, shape: FrameShape, levels: int = 3) -> TimingBreakdown:
+        """Latency of the inverse DT-CWT producing ONE image."""
+
+    def fusion_time(self, shape: FrameShape, levels: int = 3) -> TimingBreakdown:
+        """Latency of the coefficient fusion rule (always on the ARM)."""
+        work = self.work_model(shape, levels)
+        seconds = work.fusion_coefficients() * self.calibration.arm_fuse_coeff_s
+        return TimingBreakdown(compute_s=seconds)
+
+    def frame_time(self, shape: FrameShape, levels: int = 3) -> TimingBreakdown:
+        """Latency of one fused frame: two forwards, fusion, one inverse.
+
+        This is the quantity Fig. 9(b) plots (x10 frames).
+        """
+        fwd = self.forward_time(shape, levels)
+        return fwd + fwd + self.fusion_time(shape, levels) \
+            + self.inverse_time(shape, levels)
+
+    def forward_stage_time(self, shape: FrameShape, levels: int = 3) -> float:
+        """Seconds of forward-transform work per fused frame (two images).
+
+        Matches what Fig. 9(a) plots per frame.
+        """
+        return 2.0 * self.forward_time(shape, levels).total_s
+
+    def inverse_stage_time(self, shape: FrameShape, levels: int = 3) -> float:
+        """Seconds of inverse-transform work per fused frame (Fig. 9(c))."""
+        return self.inverse_time(shape, levels).total_s
+
+    def work_model(self, shape: FrameShape, levels: int) -> WorkModel:
+        return WorkModel(shape, levels=levels, banks=self.banks)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,256 @@
+"""FPGA wavelet-engine execution path (PL side of the ZYNQ).
+
+Two cooperating pieces:
+
+* :class:`HlsBackend` — a functional kernel backend that slices every
+  2-D filtering primitive into halo-extended lines and pushes them
+  through the :class:`~repro.hw.hls.HlsWaveletEngine` datapath model,
+  exactly the way the user-space application feeds the real accelerator
+  through the kernel driver's mmap'd buffers.  Arithmetic is float32,
+  like the synthesized engine.
+* :class:`FpgaEngine` — the timing/energy side: it converts the shared
+  work model into per-invocation :class:`~repro.hw.driver.PassCost`
+  records (user memcpy, AXI-Lite commands, driver activation, PL
+  cycles) and runs them through the Fig. 5 double-buffering schedule.
+
+The per-invocation command cost is the term that makes the FPGA *lose*
+below the ~40x40 crossover — the paper's central observation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..dtcwt.backend import KernelBackend
+from ..dtcwt.coeffs import DtcwtBanks
+from ..errors import EngineError
+from ..types import FrameShape, TimingBreakdown
+from .axi import AxiLiteModel
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .driver import PassCost, WaveletDriver
+from .engine import Engine
+from .hls import HlsWaveletEngine
+from .platform import DEFAULT_PLATFORM, ZynqPlatform
+from .work import FilterPass
+
+
+def pad_filter_pair(h0: np.ndarray, c0: int, h1: np.ndarray, c1: int
+                    ) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Align two filters on a common center and length.
+
+    The hardware holds both filters in equal-length coefficient
+    registers; shorter/offset filters are zero-padded.  Returns
+    ``(f0, f1, common_center)`` with ``len(f0) == len(f1)``.
+    """
+    center = max(c0, c1)
+    length = max(len(h0) + center - c0, len(h1) + center - c1)
+    f0 = np.zeros(length, dtype=np.float32)
+    f1 = np.zeros(length, dtype=np.float32)
+    f0[center - c0: center - c0 + len(h0)] = h0
+    f1[center - c1: center - c1 + len(h1)] = h1
+    return f0, f1, center
+
+
+class HlsBackend(KernelBackend):
+    """Kernel backend executing every line on the HLS engine model."""
+
+    name = "fpga"
+
+    def __init__(self, engine: Optional[HlsWaveletEngine] = None,
+                 driver: Optional[WaveletDriver] = None,
+                 platform: ZynqPlatform = DEFAULT_PLATFORM):
+        super().__init__(dtype=np.float32)
+        self.engine = engine if engine is not None else HlsWaveletEngine(platform)
+        self.driver = driver if driver is not None else WaveletDriver(platform)
+        self._loaded_key: Optional[bytes] = None
+
+    # -- coefficient management -----------------------------------------
+    def _load(self, lp: np.ndarray, hp: np.ndarray) -> None:
+        key = lp.tobytes() + b"|" + hp.tobytes()
+        if key != self._loaded_key:
+            self.engine.load_coefficients(lp, hp)
+            self._loaded_key = key
+
+    # -- line plumbing ----------------------------------------------------
+    @staticmethod
+    def _lines(x: np.ndarray, axis: int) -> np.ndarray:
+        """View with the filtered dimension last (lines = rows)."""
+        x = np.asarray(x, dtype=np.float32)
+        return x.T if axis == 0 else x
+
+    @staticmethod
+    def _unlines(lines: np.ndarray, axis: int) -> np.ndarray:
+        return lines.T if axis == 0 else lines
+
+    def _check_width(self, n: int) -> None:
+        if n > self.driver.area_words:
+            raise EngineError(
+                f"line of {n} words exceeds the {self.driver.area_words}-word "
+                "buffer area (the hardware supports widths up to 2048 pixels)"
+            )
+
+    # -- primitives --------------------------------------------------------
+    def analysis_u(self, x, h0, c0, h1, c1, axis):
+        lines = self._lines(x, axis)
+        n = lines.shape[1]
+        self._check_width(n)
+        f0, f1, center = pad_filter_pair(np.asarray(h0, np.float32), c0,
+                                         np.asarray(h1, np.float32), c1)
+        taps = len(f0)
+        self._load(f0, f1)
+        ext_idx = (np.arange(n + taps - 1) - (taps - 1) + center) % n
+        lo = np.empty_like(lines)
+        hi = np.empty_like(lines)
+        for i, line in enumerate(lines):
+            lo[i], hi[i], _ = self.engine.forward_line(line[ext_idx], n, step=1)
+        return self._unlines(lo, axis), self._unlines(hi, axis)
+
+    def analysis_d(self, x, h0, h1, axis):
+        lines = self._lines(x, axis)
+        n = lines.shape[1]
+        self._check_width(n)
+        f0 = np.asarray(h0, dtype=np.float32)
+        f1 = np.asarray(h1, dtype=np.float32)
+        taps = len(f0)
+        self._load(f0, f1)
+        out_len = n // 2
+        ext_idx = (np.arange((out_len - 1) * 2 + taps) - (taps - 1)) % n
+        lo = np.empty((lines.shape[0], out_len), dtype=np.float32)
+        hi = np.empty_like(lo)
+        for i, line in enumerate(lines):
+            lo[i], hi[i], _ = self.engine.forward_line(line[ext_idx], out_len,
+                                                       step=2)
+        return self._unlines(lo, axis), self._unlines(hi, axis)
+
+    def synthesis_d(self, lo, hi, h0, h1, axis):
+        lo_l = self._lines(lo, axis)
+        hi_l = self._lines(hi, axis)
+        half = lo_l.shape[1]
+        n = half * 2
+        self._check_width(n)
+        f0 = np.asarray(h0, dtype=np.float32)
+        f1 = np.asarray(h1, dtype=np.float32)
+        taps = len(f0)
+        self._load(f0, f1)
+        ext_idx = np.arange(n + taps - 1) % n
+        out = np.empty((lo_l.shape[0], n), dtype=np.float32)
+        for i in range(lo_l.shape[0]):
+            up_lo = np.zeros(n, dtype=np.float32)
+            up_hi = np.zeros(n, dtype=np.float32)
+            up_lo[0::2] = lo_l[i]
+            up_hi[0::2] = hi_l[i]
+            out[i], _ = self.engine.inverse_line(up_lo[ext_idx],
+                                                 up_hi[ext_idx], n)
+        return self._unlines(out, axis)
+
+    def synthesis_u(self, u0, u1, g0, c0, g1, c1, axis):
+        u0_l = self._lines(u0, axis)
+        u1_l = self._lines(u1, axis)
+        n = u0_l.shape[1]
+        self._check_width(n)
+        f0, f1, center = pad_filter_pair(np.asarray(g0, np.float32), c0,
+                                         np.asarray(g1, np.float32), c1)
+        taps = len(f0)
+        # inverse mode correlates; reverse the padded filters to realize
+        # the centered convolution of the level-1 synthesis identity
+        self._load(f0[::-1].copy(), f1[::-1].copy())
+        ext_idx = (np.arange(n + taps - 1) - (taps - 1) + center) % n
+        out = np.empty_like(u0_l)
+        for i in range(u0_l.shape[0]):
+            out[i], _ = self.engine.inverse_line(u0_l[i][ext_idx],
+                                                 u1_l[i][ext_idx], n)
+        return self._unlines(out, axis)
+
+
+class FpgaEngine(Engine):
+    """ARM+FPGA execution: transforms on the PL, control and fusion on the PS."""
+
+    name = "fpga"
+    power_mode = "fpga"
+
+    def __init__(self, platform: ZynqPlatform = DEFAULT_PLATFORM,
+                 calibration: Calibration = DEFAULT_CALIBRATION,
+                 banks: Optional[DtcwtBanks] = None,
+                 double_buffered: bool = True):
+        super().__init__(platform, calibration, banks)
+        self.double_buffered = double_buffered
+        self.axilite = AxiLiteModel(platform)
+        self._hls = HlsWaveletEngine(
+            platform,
+            max_taps=max(self.banks.max_taps, 20),
+            pipeline_depth=calibration.fpga_pipeline_depth_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    def make_backend(self) -> HlsBackend:
+        return HlsBackend(
+            engine=HlsWaveletEngine(
+                self.platform,
+                max_taps=max(self.banks.max_taps, 20),
+                pipeline_depth=self.calibration.fpga_pipeline_depth_cycles,
+            ),
+            driver=WaveletDriver(self.platform),
+            platform=self.platform,
+        )
+
+    # ------------------------------------------------------------------
+    def forward_time(self, shape: FrameShape, levels: int = 3) -> TimingBreakdown:
+        passes = self.work_model(shape, levels).forward_passes()
+        breakdown = self._schedule(passes, direction="forward")
+        breakdown.command_s += self._coefficient_load_s(levels, primitive_calls=3
+                                                        + 12 * (levels - 1))
+        return breakdown
+
+    def inverse_time(self, shape: FrameShape, levels: int = 3) -> TimingBreakdown:
+        passes = self.work_model(shape, levels).inverse_passes()
+        breakdown = self._schedule(passes, direction="inverse")
+        breakdown.command_s += self._coefficient_load_s(levels, primitive_calls=3
+                                                        + 12 * (levels - 1))
+        return breakdown
+
+    # ------------------------------------------------------------------
+    def _engine_taps(self, level: int) -> int:
+        if level == 1:
+            bank = self.banks.level1
+            f0, _, _ = pad_filter_pair(bank.h0, bank.c_h0, bank.h1, bank.c_h1)
+            return len(f0)
+        return self.banks.qshift.length
+
+    def _pass_cost(self, p: FilterPass) -> PassCost:
+        cal = self.calibration
+        taps = self._engine_taps(p.level)
+        words_in = p.words_in + taps            # halo included in the copy
+        words_out = p.words_out
+        if p.direction == "forward" and p.level > 1:
+            iterations = p.out_len + taps // 2  # two samples per cycle
+        else:
+            iterations = p.out_len + taps
+        hw_s = self._hls.line_seconds_estimate(words_in, words_out, iterations)
+        ps_in_s = words_in * cal.fpga_ps_word_s
+        if p.direction == "inverse":
+            # synthesis feeds two channel lines: an extra user memcpy
+            # plus the zero-stuffing loop
+            ps_in_s += cal.fpga_inverse_marshal_s
+        return PassCost(
+            ps_in_s=ps_in_s,
+            ps_out_s=words_out * cal.fpga_ps_word_s,
+            hw_s=hw_s,
+            cmd_s=(cal.fpga_driver_invocation_s
+                   + self.axilite.write_s(cal.fpga_axilite_writes_per_pass)),
+        )
+
+    def _schedule(self, passes: List[FilterPass], direction: str
+                  ) -> TimingBreakdown:
+        driver = WaveletDriver(self.platform)
+        costs = [self._pass_cost(p) for p in passes]
+        return driver.schedule(costs, double_buffered=self.double_buffered)
+
+    def _coefficient_load_s(self, levels: int, primitive_calls: int) -> float:
+        """Reloading the coefficient registers when the filter set changes."""
+        taps = self.banks.max_taps
+        per_load = (self.calibration.fpga_driver_invocation_s
+                    + self.axilite.write_s(2 * taps)
+                    + taps * self.platform.pl_cycle_s)
+        return primitive_calls * per_load

@@ -1,0 +1,248 @@
+"""Functional + cycle model of the Vivado-HLS wavelet engine (paper Fig. 4).
+
+The real engine is synthesized from C++ by VIVADO_HLS: a ``memcpy``
+pulls one line (plus halo) from DDR into BRAM over the ACP, a
+shift-register feeds two 12-tap MAC chains (high-pass and low-pass
+accumulators) pipelined at II=1, and a second ``memcpy`` pushes the
+results back.  An AXI4-Lite slave carries three commands: (1) load
+filter coefficients, (2) forward transform, (3) inverse transform.
+
+This module reproduces that structure:
+
+* :class:`HlsWaveletEngine` holds the coefficient registers, executes
+  line-sized jobs in **float32** (the hardware datapath precision) and
+  accounts PL cycles per invocation with the paper's latency structure
+  — the two memcpys are *not* pipelined with the processing loop
+  ("the current VIVADO_HLS tools do not pipeline the memcpy's").
+* :func:`shift_register_dual_fir` is a literal, scalar transcription of
+  the Fig. 4 inner loop, used by the tests to pin the vectorized
+  implementation to the documented datapath.
+
+The engine is deliberately line-oriented: the processing system (see
+:mod:`repro.hw.driver` and :mod:`repro.hw.fpga`) prepares circular
+halos and interleaving exactly the way the Linux driver's user-space
+code would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import EngineError
+from .axi import AcpModel
+from .platform import DEFAULT_PLATFORM, ZynqPlatform
+
+MODE_IDLE = 0
+MODE_LOAD_COEFFS = 1
+MODE_FORWARD = 2
+MODE_INVERSE = 3
+
+
+def shift_register_dual_fir(extended: np.ndarray, hp: np.ndarray,
+                            lp: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Scalar transcription of the Fig. 4 datapath (reference only).
+
+    Consumes two interleaved input samples per iteration, multiplies the
+    shift register against both coefficient registers and emits one
+    (hp, lp) output pair once the register is primed.  ``extended`` must
+    contain ``2 * out_len + taps`` float32 samples (the halo included),
+    mirroring the ``outwidth * 2 + 12`` words of the paper's buffer.
+
+    Note the datapath computes a *correlation* against the coefficient
+    registers (``out[m] = sum_j c[j] x[2m + j]``): the oldest sample
+    meets register 0.  The driver therefore loads filter taps in
+    reversed order when a convolution is wanted —
+    :meth:`HlsWaveletEngine.forward_line` does this internally.
+    """
+    taps = len(hp)
+    if len(lp) != taps:
+        raise EngineError("hp/lp coefficient registers must match in length")
+    if taps % 2:
+        raise EngineError("the dual-sample datapath needs an even tap count")
+    x = np.asarray(extended, dtype=np.float32)
+    out_len = (len(x) - taps) // 2
+    if out_len <= 0:
+        raise EngineError(f"input of {len(x)} samples too short for {taps} taps")
+
+    shift = np.zeros(taps, dtype=np.float32)
+    hp_out = np.zeros(out_len, dtype=np.float32)
+    lp_out = np.zeros(out_len, dtype=np.float32)
+    prime = taps // 2
+    for i in range(out_len + prime):
+        hp_acc = np.float32(0.0)
+        lp_acc = np.float32(0.0)
+        for j in range(taps):
+            hp_acc += np.float32(hp[j]) * shift[j]
+            lp_acc += np.float32(lp[j]) * shift[j]
+        shift[:-2] = shift[2:]
+        shift[-2] = x[2 * i]
+        shift[-1] = x[2 * i + 1]
+        if i >= prime:
+            hp_out[i - prime] = hp_acc
+            lp_out[i - prime] = lp_acc
+    return hp_out, lp_out
+
+
+@dataclass
+class EngineStats:
+    """Running counters of everything the engine has executed."""
+
+    invocations: int = 0
+    cycles: float = 0.0
+    words_in: int = 0
+    words_out: int = 0
+    coefficient_loads: int = 0
+
+    def reset(self) -> None:
+        self.invocations = 0
+        self.cycles = 0.0
+        self.words_in = 0
+        self.words_out = 0
+        self.coefficient_loads = 0
+
+
+class HlsWaveletEngine:
+    """Line-level functional model of the PL wavelet engine.
+
+    Parameters
+    ----------
+    platform:
+        Clock/bus description used for the cycle accounting.
+    max_taps:
+        Size of the coefficient registers.  The paper's engine uses 12;
+        the default of 20 also accommodates the 9/19-tap level-1 bank.
+    pipeline_depth:
+        Register stages between BRAM read and accumulator write-back.
+    """
+
+    def __init__(self, platform: ZynqPlatform = DEFAULT_PLATFORM,
+                 max_taps: int = 20, pipeline_depth: int = 20):
+        if max_taps < 2:
+            raise EngineError(f"max_taps must be >= 2, got {max_taps}")
+        self.platform = platform
+        self.max_taps = max_taps
+        self.pipeline_depth = pipeline_depth
+        self.acp = AcpModel(platform)
+        self.mode = MODE_IDLE
+        self._coeff_hp = np.zeros(max_taps, dtype=np.float32)
+        self._coeff_lp = np.zeros(max_taps, dtype=np.float32)
+        self._loaded_taps = 0
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # command interface (what the AXI4-Lite slave exposes)
+    # ------------------------------------------------------------------
+    def load_coefficients(self, lp: np.ndarray, hp: np.ndarray) -> float:
+        """Mode 1: load both coefficient registers; returns PL seconds."""
+        lp = np.asarray(lp, dtype=np.float32)
+        hp = np.asarray(hp, dtype=np.float32)
+        if len(lp) != len(hp):
+            raise EngineError("lp/hp filters must have equal length")
+        if len(lp) > self.max_taps:
+            raise EngineError(
+                f"filter of {len(lp)} taps exceeds the {self.max_taps}-tap registers"
+            )
+        self.mode = MODE_LOAD_COEFFS
+        self._coeff_lp[:] = 0.0
+        self._coeff_hp[:] = 0.0
+        self._coeff_lp[: len(lp)] = lp
+        self._coeff_hp[: len(hp)] = hp
+        self._loaded_taps = len(lp)
+        self.stats.coefficient_loads += 1
+        self.mode = MODE_IDLE
+        # one register pair per cycle through the AXI4-Lite-fed loader
+        return len(lp) * self.platform.pl_cycle_s
+
+    @property
+    def loaded_taps(self) -> int:
+        return self._loaded_taps
+
+    # ------------------------------------------------------------------
+    # line jobs
+    # ------------------------------------------------------------------
+    def forward_line(self, extended: np.ndarray, out_len: int,
+                     step: int) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Mode 2: dual-filter one line.
+
+        ``extended`` holds the halo-extended input samples; ``step`` is
+        the input stride per output (2 = decimated, 1 = undecimated).
+        Returns ``(lp_out, hp_out, pl_seconds)``.
+        """
+        if self._loaded_taps == 0:
+            raise EngineError("no coefficients loaded (run mode 1 first)")
+        if step not in (1, 2):
+            raise EngineError(f"step must be 1 or 2, got {step}")
+        taps = self._loaded_taps
+        x = np.asarray(extended, dtype=np.float32)
+        expected = (out_len - 1) * step + taps
+        if len(x) < expected:
+            raise EngineError(
+                f"line of {len(x)} samples too short: need {expected} "
+                f"for {out_len} outputs at step {step} with {taps} taps"
+            )
+        self.mode = MODE_FORWARD
+        lp = self._coeff_lp[:taps].astype(np.float64)
+        hp = self._coeff_hp[:taps].astype(np.float64)
+        # vectorized equivalent of the Fig. 4 shift-register loop
+        idx = np.arange(out_len)[:, None] * step + np.arange(taps)[None, :]
+        window = x[idx].astype(np.float32)
+        lp_out = (window @ lp.astype(np.float32)[::-1]).astype(np.float32)
+        hp_out = (window @ hp.astype(np.float32)[::-1]).astype(np.float32)
+        seconds = self._line_seconds(len(x), out_len * 2,
+                                     out_len + (taps + 1) // 2)
+        self.mode = MODE_IDLE
+        return lp_out, hp_out, seconds
+
+    def inverse_line(self, lo_ext: np.ndarray, hi_ext: np.ndarray,
+                     out_len: int) -> Tuple[np.ndarray, float]:
+        """Mode 3: dual-channel synthesis of one line.
+
+        ``lo_ext``/``hi_ext`` are zero-stuffed, halo-extended channel
+        lines; the datapath correlates both against the coefficient
+        registers and sums the accumulators.  Returns ``(line, seconds)``.
+        """
+        if self._loaded_taps == 0:
+            raise EngineError("no coefficients loaded (run mode 1 first)")
+        taps = self._loaded_taps
+        lo = np.asarray(lo_ext, dtype=np.float32)
+        hi = np.asarray(hi_ext, dtype=np.float32)
+        if len(lo) != len(hi):
+            raise EngineError("inverse-mode channel lines must match in length")
+        if len(lo) < out_len + taps - 1:
+            raise EngineError(
+                f"channel lines of {len(lo)} samples too short for "
+                f"{out_len} outputs with {taps} taps"
+            )
+        self.mode = MODE_INVERSE
+        idx = np.arange(out_len)[:, None] + np.arange(taps)[None, :]
+        out = (lo[idx] @ self._coeff_lp[:taps]
+               + hi[idx] @ self._coeff_hp[:taps]).astype(np.float32)
+        seconds = self._line_seconds(2 * len(lo), out_len, out_len + taps)
+        self.mode = MODE_IDLE
+        return out, seconds
+
+    # ------------------------------------------------------------------
+    # cycle accounting
+    # ------------------------------------------------------------------
+    def _line_seconds(self, words_in: int, words_out: int,
+                      loop_iterations: int) -> float:
+        """Latency of one invocation: memcpy-in, loop, memcpy-out (serial)."""
+        cycles = (self.acp.transfer_cycles(words_in)
+                  + loop_iterations + self.pipeline_depth
+                  + self.acp.transfer_cycles(words_out))
+        self.stats.invocations += 1
+        self.stats.cycles += cycles
+        self.stats.words_in += words_in
+        self.stats.words_out += words_out
+        return cycles * self.platform.pl_cycle_s
+
+    def line_seconds_estimate(self, words_in: int, words_out: int,
+                              loop_iterations: int) -> float:
+        """Pure estimate (no counters) used by the analytic timing model."""
+        cycles = (self.acp.transfer_cycles(words_in)
+                  + loop_iterations + self.pipeline_depth
+                  + self.acp.transfer_cycles(words_out))
+        return cycles * self.platform.pl_cycle_s

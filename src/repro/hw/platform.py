@@ -1,0 +1,71 @@
+"""ZYNQ-7000 platform description (ZC702 evaluation board).
+
+Holds the static facts of the paper's hardware setup: clock frequencies,
+device part numbers and interconnect widths.  All timing models in
+:mod:`repro.hw` derive their cycle<->second conversions from here, so a
+single object describes a what-if platform (e.g. a faster PL clock for
+an ablation study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ZynqPlatform:
+    """Frequencies and sizing of the modelled ZYNQ SoC.
+
+    Defaults follow Section V of the paper: the PS (ARM Cortex-A9) runs
+    at its default 533 MHz and the PL (wavelet engine) at 100 MHz to
+    meet timing; the ACP provides a 64-bit cache-coherent data path.
+    """
+
+    name: str = "zc702"
+    part: str = "xc7z020clg484-1"
+    ps_clock_hz: float = 533e6
+    pl_clock_hz: float = 100e6
+    acp_bus_bits: int = 64
+    gp_bus_bits: int = 32
+    #: CPU-driven transfer through a general-purpose port costs ~25 PS
+    #: clock cycles per word (measured in the paper, Section V).
+    gp_cycles_per_word: float = 25.0
+    #: BRAM I/O buffers of the wavelet engine: 4096 x 32-bit words,
+    #: split into two halves for double buffering (Section V).
+    io_buffer_words: int = 4096
+    io_buffer_areas: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ps_clock_hz <= 0 or self.pl_clock_hz <= 0:
+            raise ConfigurationError("clock frequencies must be positive")
+        if self.io_buffer_areas < 1:
+            raise ConfigurationError("at least one I/O buffer area is required")
+
+    @property
+    def ps_cycle_s(self) -> float:
+        """Duration of one PS clock cycle in seconds."""
+        return 1.0 / self.ps_clock_hz
+
+    @property
+    def pl_cycle_s(self) -> float:
+        """Duration of one PL clock cycle in seconds."""
+        return 1.0 / self.pl_clock_hz
+
+    @property
+    def buffer_area_words(self) -> int:
+        """Words per double-buffer area (2048 for the default platform).
+
+        This bounds the image width the hardware engine accepts — the
+        paper states widths up to 2048 pixels.
+        """
+        return self.io_buffer_words // self.io_buffer_areas
+
+    @property
+    def acp_words_per_cycle(self) -> float:
+        """32-bit words moved per PL cycle on the ACP (64-bit bus -> 2)."""
+        return self.acp_bus_bits / 32.0
+
+
+DEFAULT_PLATFORM = ZynqPlatform()

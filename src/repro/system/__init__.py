@@ -1,0 +1,23 @@
+"""Top-level system assembly (Section VI) and sweep runtime."""
+
+from .fusion_system import ENGINE_NAMES, SystemReport, VideoFusionSystem, make_engine
+from .advanced import AdvancedFusionSession, SessionReport
+from .telemetry import FrameTelemetry, TelemetrySummary
+from .runtime import (
+    SweepRow,
+    energy_sweep,
+    find_crossover,
+    format_rows,
+    forward_stage_sweep,
+    inverse_stage_sweep,
+    sweep,
+    total_time_sweep,
+)
+
+__all__ = [
+    "ENGINE_NAMES", "SystemReport", "VideoFusionSystem", "make_engine",
+    "SweepRow", "energy_sweep", "find_crossover", "format_rows",
+    "forward_stage_sweep", "inverse_stage_sweep", "sweep", "total_time_sweep",
+    "FrameTelemetry", "TelemetrySummary",
+    "AdvancedFusionSession", "SessionReport",
+]

@@ -1,0 +1,115 @@
+"""The complete video fusion system (paper Section VI).
+
+:class:`VideoFusionSystem` is the top-level object a user of this
+library instantiates: cameras + capture substrate + fusion engine +
+power accounting, with the engine either fixed ("arm", "neon", "fpga")
+or chosen at run time by the adaptive scheduler — the configuration the
+paper's conclusion recommends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.adaptive import CostModelScheduler
+from ..core.metrics import fusion_report
+from ..errors import ConfigurationError
+from ..hw.arm import ArmEngine
+from ..hw.engine import Engine
+from ..hw.fpga import FpgaEngine
+from ..hw.neon import NeonEngine
+from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
+from ..types import FrameShape
+from ..video.pipeline import FusionPipeline, PipelineReport
+from ..video.scene import SyntheticScene
+
+ENGINE_NAMES = ("arm", "neon", "fpga", "adaptive")
+
+
+@dataclass
+class SystemReport:
+    """What a system run produced and what it would have cost."""
+
+    engine_used: str
+    pipeline: PipelineReport
+    quality: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def frames(self) -> int:
+        return self.pipeline.frames
+
+    @property
+    def model_fps(self) -> float:
+        return self.pipeline.model_fps
+
+    @property
+    def millijoules_per_frame(self) -> float:
+        return self.pipeline.millijoules_per_frame
+
+
+def make_engine(name: str) -> Engine:
+    """Engine factory used by the CLI and the examples."""
+    engines = {"arm": ArmEngine, "neon": NeonEngine, "fpga": FpgaEngine}
+    if name not in engines:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; expected one of {sorted(engines)}"
+        )
+    return engines[name]()
+
+
+class VideoFusionSystem:
+    """Cameras + capture + DT-CWT fusion on a selectable engine."""
+
+    def __init__(self, engine: str = "adaptive",
+                 fusion_shape: FrameShape = FrameShape(88, 72),
+                 levels: int = 3,
+                 scene: Optional[SyntheticScene] = None,
+                 power_model: PowerModel = DEFAULT_POWER_MODEL,
+                 objective: str = "energy"):
+        if engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+            )
+        self.requested_engine = engine
+        self.fusion_shape = fusion_shape
+        self.levels = levels
+        self.scene = scene if scene is not None else SyntheticScene()
+        self.power_model = power_model
+
+        if engine == "adaptive":
+            scheduler = CostModelScheduler(objective=objective,
+                                           power_model=power_model)
+            decision = scheduler.choose(fusion_shape, levels)
+            self.engine: Engine = decision.engine
+            self.decision = decision
+        else:
+            self.engine = make_engine(engine)
+            self.decision = None
+
+        self.pipeline = FusionPipeline(
+            engine=self.engine,
+            fusion_shape=fusion_shape,
+            levels=levels,
+            scene=self.scene,
+            power_model=power_model,
+        )
+
+    def run(self, n_frames: int = 10, with_quality: bool = True) -> SystemReport:
+        """Fuse ``n_frames`` pairs; optionally score fusion quality."""
+        report = self.pipeline.run(n_frames)
+        quality: Dict[str, float] = {}
+        if with_quality and report.records:
+            metrics: List[Dict[str, float]] = []
+            for record in report.records:
+                metrics.append(fusion_report(record.visible, record.thermal,
+                                             record.frame.pixels.astype(float)))
+            quality = {key: float(np.mean([m[key] for m in metrics]))
+                       for key in metrics[0]}
+        return SystemReport(
+            engine_used=self.engine.name,
+            pipeline=report,
+            quality=quality,
+        )

@@ -1,0 +1,234 @@
+"""ITU-R BT.656 stream encoder/decoder (the PL-side camera interface).
+
+The paper's thermal camera emits analog video digitized as a BT.656
+byte stream, decoded by a custom ``BT656_Decoder`` block on the FPGA
+(Fig. 7).  This module implements the standard faithfully enough to
+exercise the same logic in simulation:
+
+* **Timing reference codes**: every line starts/ends with the 4-byte
+  sequences ``FF 00 00 XY``.  ``XY = 1 F V H P3 P2 P1 P0`` carries the
+  field bit, vertical-blanking bit and H bit (0 = SAV, start of active
+  video; 1 = EAV, end of active video); ``P3..P0`` are the standard
+  Hamming protection bits, which the decoder checks.
+* **Payload**: 4:2:2 multiplexed ``Cb Y Cr Y`` samples during active
+  video; blanking intervals carry the idle pattern ``80 10``.
+
+:class:`Bt656Decoder` is a byte-at-a-time state machine mirroring the
+hardware block: it hunts for the preamble, validates the XY code,
+tracks V transitions to delimit frames and accumulates active lines.
+Protection-bit failures are corrected (3-bit Hamming distance allows
+single-bit repair) or counted as errors, like the ``Error`` output pin
+of the paper's decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DecodeError
+
+#: Idle (blanking) chroma/luma levels.
+_BLANK_CHROMA = 0x80
+_BLANK_LUMA = 0x10
+
+
+def _xy_code(f: int, v: int, h: int) -> int:
+    """Timing reference byte with ITU protection bits."""
+    p3 = v ^ h
+    p2 = f ^ h
+    p1 = f ^ v
+    p0 = f ^ v ^ h
+    return (0x80 | (f << 6) | (v << 5) | (h << 4)
+            | (p3 << 3) | (p2 << 2) | (p1 << 1) | p0)
+
+
+#: All eight valid XY codes, for single-error correction in the decoder.
+_VALID_XY = {(_xy_code(f, v, h)): (f, v, h)
+             for f in (0, 1) for v in (0, 1) for h in (0, 1)}
+
+
+def _clip_video(values: np.ndarray) -> np.ndarray:
+    """BT.656 reserves 0x00 and 0xFF for sync codes; clip payload."""
+    return np.clip(values, 0x01, 0xFE).astype(np.uint8)
+
+
+@dataclass
+class Bt656Config:
+    """Stream geometry.  Defaults follow the paper's 720x243 @60 Hz
+    field format (NTSC-style) feeding the video scaler."""
+
+    active_width: int = 720
+    active_lines: int = 243
+    vblank_lines: int = 20
+    #: blanking lines after the active region (closes the frame so a
+    #: standalone field decodes without waiting for the next one)
+    post_blank_lines: int = 3
+    hblank_samples: int = 64  # payload words during horizontal blanking
+
+
+def encode_frame(luma: np.ndarray, config: Bt656Config = Bt656Config(),
+                 field_bit: int = 0) -> bytes:
+    """Encode one grayscale frame as a BT.656 byte stream.
+
+    The luma plane is resized by sampling/replication to the configured
+    active geometry; chroma is set to the neutral value (the thermal
+    camera is monochrome).
+    """
+    luma = np.asarray(luma)
+    if luma.ndim != 2:
+        raise DecodeError(f"encoder expects a 2-D luma plane, got {luma.shape}")
+    rows, cols = config.active_lines, config.active_width
+    # nearest-neighbour fit to the active geometry
+    row_idx = np.linspace(0, luma.shape[0] - 1, rows).round().astype(int)
+    col_idx = np.linspace(0, luma.shape[1] - 1, cols).round().astype(int)
+    active = _clip_video(luma[np.ix_(row_idx, col_idx)])
+
+    out = bytearray()
+
+    def emit_line(line: Optional[np.ndarray], v: int) -> None:
+        # EAV of previous line, horizontal blanking, SAV, payload
+        out.extend((0xFF, 0x00, 0x00, _xy_code(field_bit, v, 1)))
+        out.extend((_BLANK_CHROMA, _BLANK_LUMA) * (config.hblank_samples // 2))
+        out.extend((0xFF, 0x00, 0x00, _xy_code(field_bit, v, 0)))
+        if line is None:
+            out.extend((_BLANK_CHROMA, _BLANK_LUMA) * cols)
+        else:
+            payload = np.empty(cols * 2, dtype=np.uint8)
+            payload[0::2] = _BLANK_CHROMA  # Cb / Cr neutral
+            payload[1::2] = line
+            out.extend(payload.tobytes())
+
+    for _ in range(config.vblank_lines):
+        emit_line(None, v=1)
+    for r in range(rows):
+        emit_line(active[r], v=0)
+    for _ in range(config.post_blank_lines):
+        emit_line(None, v=1)
+    return bytes(out)
+
+
+@dataclass
+class DecoderStats:
+    """Counters mirroring the hardware block's status outputs."""
+
+    frames: int = 0
+    lines: int = 0
+    xy_errors: int = 0
+    corrected_xy: int = 0
+    resyncs: int = 0
+
+
+class Bt656Decoder:
+    """Byte-at-a-time BT.656 decoder state machine."""
+
+    _HUNT, _P1, _P2, _ACTIVE = range(4)
+
+    def __init__(self, config: Bt656Config = Bt656Config()):
+        self.config = config
+        self.stats = DecoderStats()
+        self._state = self._HUNT
+        self._line: List[int] = []
+        self._lines: List[np.ndarray] = []
+        self._frames: List[np.ndarray] = []
+        self._in_active_video = False
+        self._prev_v = 1
+        self._payload_phase = 0
+
+    # ------------------------------------------------------------------
+    def push_bytes(self, data: bytes) -> List[np.ndarray]:
+        """Feed stream bytes; returns any frames completed by this chunk."""
+        completed: List[np.ndarray] = []
+        for byte in data:
+            frame = self._push_byte(byte)
+            if frame is not None:
+                completed.append(frame)
+        return completed
+
+    def _push_byte(self, byte: int) -> Optional[np.ndarray]:
+        if self._state == self._HUNT:
+            if byte == 0xFF:
+                self._state = self._P1
+            elif self._in_active_video:
+                self._payload(byte)
+            return None
+        if self._state == self._P1:
+            self._state = self._P2 if byte == 0x00 else self._HUNT
+            if byte == 0xFF:  # FF FF ... stay hunting on the new FF
+                self._state = self._P1
+            return None
+        if self._state == self._P2:
+            if byte == 0x00:
+                self._state = self._ACTIVE
+            else:
+                self._state = self._HUNT
+            return None
+        # _ACTIVE: this byte is the XY code
+        self._state = self._HUNT
+        return self._timing_code(byte)
+
+    # ------------------------------------------------------------------
+    def _timing_code(self, xy: int) -> Optional[np.ndarray]:
+        decoded = self._decode_xy(xy)
+        if decoded is None:
+            self.stats.xy_errors += 1
+            self.stats.resyncs += 1
+            self._in_active_video = False
+            self._line.clear()
+            return None
+        _f, v, h = decoded
+        frame: Optional[np.ndarray] = None
+        if h == 0:  # SAV
+            if v == 0:
+                self._in_active_video = True
+                self._line.clear()
+                self._payload_phase = 0
+            else:
+                self._in_active_video = False
+        else:  # EAV
+            if self._in_active_video and self._line:
+                self._finish_line()
+            self._in_active_video = False
+            if v == 1 and self._prev_v == 0 and self._lines:
+                frame = self._finish_frame()
+        self._prev_v = v
+        return frame
+
+    def _decode_xy(self, xy: int) -> Optional[Tuple[int, int, int]]:
+        if xy in _VALID_XY:
+            return _VALID_XY[xy]
+        # attempt single-bit correction against the valid code set
+        for valid, decoded in _VALID_XY.items():
+            if bin(valid ^ xy).count("1") == 1:
+                self.stats.corrected_xy += 1
+                return decoded
+        return None
+
+    def _payload(self, byte: int) -> None:
+        # 4:2:2 order Cb Y Cr Y: keep every second byte (luma)
+        if self._payload_phase % 2 == 1:
+            self._line.append(byte)
+        self._payload_phase += 1
+
+    def _finish_line(self) -> None:
+        width = self.config.active_width
+        line = np.asarray(self._line[:width], dtype=np.uint8)
+        if len(line) == width:
+            self._lines.append(line)
+            self.stats.lines += 1
+        else:
+            self.stats.resyncs += 1
+        self._line.clear()
+
+    def _finish_frame(self) -> Optional[np.ndarray]:
+        expected = self.config.active_lines
+        lines = self._lines
+        self._lines = []
+        if len(lines) != expected:
+            self.stats.resyncs += 1
+            if not lines:
+                return None
+        self.stats.frames += 1
+        return np.stack(lines)

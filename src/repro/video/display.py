@@ -1,0 +1,148 @@
+"""Display composition (the paper's Fig. 8 presentation path).
+
+The original system shows the webcam frame, the thermal frame and the
+fused result on screen through OpenCV.  This module reproduces that
+presentation without any imaging dependency: a triptych compositor with
+separators and captions rendered by a built-in 5x7 bitmap font, plus a
+small histogram strip — everything a demo screenshot needs, as plain
+numpy arrays ready for :func:`repro.io.write_pgm`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import VideoError
+
+#: Minimal 5x7 bitmap font for captions (digits, capitals, few symbols).
+_FONT: Dict[str, Tuple[int, ...]] = {
+    "A": (0x0E, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11),
+    "B": (0x1E, 0x11, 0x11, 0x1E, 0x11, 0x11, 0x1E),
+    "C": (0x0E, 0x11, 0x10, 0x10, 0x10, 0x11, 0x0E),
+    "D": (0x1E, 0x11, 0x11, 0x11, 0x11, 0x11, 0x1E),
+    "E": (0x1F, 0x10, 0x10, 0x1E, 0x10, 0x10, 0x1F),
+    "F": (0x1F, 0x10, 0x10, 0x1E, 0x10, 0x10, 0x10),
+    "G": (0x0E, 0x11, 0x10, 0x17, 0x11, 0x11, 0x0E),
+    "H": (0x11, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11),
+    "I": (0x0E, 0x04, 0x04, 0x04, 0x04, 0x04, 0x0E),
+    "J": (0x07, 0x02, 0x02, 0x02, 0x02, 0x12, 0x0C),
+    "K": (0x11, 0x12, 0x14, 0x18, 0x14, 0x12, 0x11),
+    "L": (0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x1F),
+    "M": (0x11, 0x1B, 0x15, 0x15, 0x11, 0x11, 0x11),
+    "N": (0x11, 0x19, 0x15, 0x13, 0x11, 0x11, 0x11),
+    "O": (0x0E, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0E),
+    "P": (0x1E, 0x11, 0x11, 0x1E, 0x10, 0x10, 0x10),
+    "Q": (0x0E, 0x11, 0x11, 0x11, 0x15, 0x12, 0x0D),
+    "R": (0x1E, 0x11, 0x11, 0x1E, 0x14, 0x12, 0x11),
+    "S": (0x0F, 0x10, 0x10, 0x0E, 0x01, 0x01, 0x1E),
+    "T": (0x1F, 0x04, 0x04, 0x04, 0x04, 0x04, 0x04),
+    "U": (0x11, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0E),
+    "V": (0x11, 0x11, 0x11, 0x11, 0x11, 0x0A, 0x04),
+    "W": (0x11, 0x11, 0x11, 0x15, 0x15, 0x1B, 0x11),
+    "X": (0x11, 0x11, 0x0A, 0x04, 0x0A, 0x11, 0x11),
+    "Y": (0x11, 0x11, 0x0A, 0x04, 0x04, 0x04, 0x04),
+    "Z": (0x1F, 0x01, 0x02, 0x04, 0x08, 0x10, 0x1F),
+    "0": (0x0E, 0x11, 0x13, 0x15, 0x19, 0x11, 0x0E),
+    "1": (0x04, 0x0C, 0x04, 0x04, 0x04, 0x04, 0x0E),
+    "2": (0x0E, 0x11, 0x01, 0x02, 0x04, 0x08, 0x1F),
+    "3": (0x1F, 0x02, 0x04, 0x02, 0x01, 0x11, 0x0E),
+    "4": (0x02, 0x06, 0x0A, 0x12, 0x1F, 0x02, 0x02),
+    "5": (0x1F, 0x10, 0x1E, 0x01, 0x01, 0x11, 0x0E),
+    "6": (0x06, 0x08, 0x10, 0x1E, 0x11, 0x11, 0x0E),
+    "7": (0x1F, 0x01, 0x02, 0x04, 0x08, 0x08, 0x08),
+    "8": (0x0E, 0x11, 0x11, 0x0E, 0x11, 0x11, 0x0E),
+    "9": (0x0E, 0x11, 0x11, 0x0F, 0x01, 0x02, 0x0C),
+    " ": (0, 0, 0, 0, 0, 0, 0),
+    ".": (0, 0, 0, 0, 0, 0x0C, 0x0C),
+    ":": (0, 0x0C, 0x0C, 0, 0x0C, 0x0C, 0),
+    "-": (0, 0, 0, 0x1F, 0, 0, 0),
+    "+": (0, 0x04, 0x04, 0x1F, 0x04, 0x04, 0),
+    "/": (0x01, 0x02, 0x02, 0x04, 0x08, 0x08, 0x10),
+    "%": (0x19, 0x19, 0x02, 0x04, 0x08, 0x13, 0x13),
+}
+
+GLYPH_ROWS, GLYPH_COLS = 7, 5
+
+
+def render_text(text: str, intensity: int = 255) -> np.ndarray:
+    """Rasterize a caption with the built-in font (1 px letter spacing)."""
+    text = text.upper()
+    glyphs = [_FONT.get(ch, _FONT[" "]) for ch in text]
+    width = len(glyphs) * (GLYPH_COLS + 1) - 1 if glyphs else 0
+    canvas = np.zeros((GLYPH_ROWS, max(width, 0)), dtype=np.uint8)
+    for index, rows in enumerate(glyphs):
+        x0 = index * (GLYPH_COLS + 1)
+        for r, bits in enumerate(rows):
+            for c in range(GLYPH_COLS):
+                if bits & (1 << (GLYPH_COLS - 1 - c)):
+                    canvas[r, x0 + c] = intensity
+    return canvas
+
+
+def stamp_text(image: np.ndarray, text: str, row: int = 2, col: int = 2,
+               intensity: int = 255) -> np.ndarray:
+    """Blit a caption onto a copy of ``image`` (clipped at borders)."""
+    out = np.asarray(image).copy()
+    glyphs = render_text(text, intensity)
+    rows = min(glyphs.shape[0], out.shape[0] - row)
+    cols = min(glyphs.shape[1], out.shape[1] - col)
+    if rows <= 0 or cols <= 0:
+        raise VideoError("caption does not fit on the frame")
+    region = out[row: row + rows, col: col + cols]
+    mask = glyphs[:rows, :cols] > 0
+    region[mask] = glyphs[:rows, :cols][mask]
+    return out
+
+
+def histogram_strip(image: np.ndarray, height: int = 24,
+                    bins: int = 64) -> np.ndarray:
+    """Tiny intensity histogram rendered as a bar strip (OSD element)."""
+    if height < 4:
+        raise VideoError("histogram strip needs at least 4 rows")
+    data = np.asarray(image, dtype=np.float64).ravel()
+    hist, _ = np.histogram(data, bins=bins, range=(0, 255))
+    peak = hist.max() if hist.max() > 0 else 1
+    strip = np.zeros((height, bins), dtype=np.uint8)
+    for b, count in enumerate(hist):
+        bar = int(round((height - 1) * count / peak))
+        if bar:
+            strip[height - bar:, b] = 200
+    return strip
+
+
+def triptych(visible: np.ndarray, thermal: np.ndarray, fused: np.ndarray,
+             captions: Sequence[str] = ("WEBCAM", "THERMAL", "FUSED"),
+             separator: int = 4, with_histograms: bool = True) -> np.ndarray:
+    """Compose the Fig. 8 panel: webcam | thermal | fused.
+
+    All frames must share a shape; output is uint8 grayscale.
+    """
+    panels = [np.asarray(p) for p in (visible, thermal, fused)]
+    shape = panels[0].shape
+    if any(p.shape != shape or p.ndim != 2 for p in panels):
+        raise VideoError("triptych needs three equal 2-D frames")
+    if len(captions) != 3:
+        raise VideoError("triptych needs exactly three captions")
+
+    processed: List[np.ndarray] = []
+    for panel, caption in zip(panels, captions):
+        frame = np.clip(np.round(panel.astype(np.float64)), 0,
+                        255).astype(np.uint8)
+        frame = stamp_text(frame, caption, row=2, col=2)
+        if with_histograms:
+            strip = histogram_strip(frame)
+            pad = np.zeros((strip.shape[0], frame.shape[1]), dtype=np.uint8)
+            pad[:, : strip.shape[1]] = strip
+            frame = np.vstack([frame, np.full((1, frame.shape[1]), 90,
+                                              dtype=np.uint8), pad])
+        processed.append(frame)
+
+    sep = np.full((processed[0].shape[0], separator), 255, dtype=np.uint8)
+    columns: List[np.ndarray] = []
+    for i, frame in enumerate(processed):
+        if i:
+            columns.append(sep)
+        columns.append(frame)
+    return np.hstack(columns)

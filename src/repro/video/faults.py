@@ -1,0 +1,119 @@
+"""Fault injection for the capture substrate.
+
+A fielded fusion system sees imperfect inputs: analog video picks up
+bit errors, connectors drop bytes, cameras stall.  These injectors wrap
+the clean models so the tests can verify the failure behaviour the
+hardware blocks advertise (the BT.656 decoder's error counting and
+resynchronization, the FIFO's producer-drop policy, the pipeline's
+ability to keep producing frames).
+
+All injectors are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import VideoError
+
+
+@dataclass
+class FaultStats:
+    bytes_seen: int = 0
+    bits_flipped: int = 0
+    bytes_dropped: int = 0
+    bursts: int = 0
+
+
+class NoisyByteChannel:
+    """Random bit flips on a byte stream (analog capture noise).
+
+    ``bit_error_rate`` is per *bit*; typical coax interference sits in
+    the 1e-7..1e-5 band, where the decoder should sail through, while
+    1e-3 visibly corrupts timing codes and exercises resync.
+    """
+
+    def __init__(self, bit_error_rate: float, seed: int = 0):
+        if not 0.0 <= bit_error_rate <= 1.0:
+            raise VideoError("bit error rate must be within [0, 1]")
+        self.bit_error_rate = bit_error_rate
+        self._rng = np.random.default_rng(seed)
+        self.stats = FaultStats()
+
+    def transmit(self, data: bytes) -> bytes:
+        arr = np.frombuffer(data, dtype=np.uint8).copy()
+        self.stats.bytes_seen += len(arr)
+        if self.bit_error_rate <= 0.0 or not len(arr):
+            return arr.tobytes()
+        flips = self._rng.random((len(arr), 8)) < self.bit_error_rate
+        if flips.any():
+            masks = (flips * (1 << np.arange(8))).sum(axis=1).astype(np.uint8)
+            arr ^= masks
+            self.stats.bits_flipped += int(flips.sum())
+        return arr.tobytes()
+
+
+class DropoutChannel:
+    """Contiguous byte loss (loose connector, FIFO underrun upstream)."""
+
+    def __init__(self, dropout_rate: float, burst_bytes: int = 64,
+                 seed: int = 0):
+        if not 0.0 <= dropout_rate <= 1.0:
+            raise VideoError("dropout rate must be within [0, 1]")
+        if burst_bytes < 1:
+            raise VideoError("burst length must be >= 1 byte")
+        self.dropout_rate = dropout_rate
+        self.burst_bytes = burst_bytes
+        self._rng = np.random.default_rng(seed)
+        self.stats = FaultStats()
+
+    def transmit(self, data: bytes) -> bytes:
+        self.stats.bytes_seen += len(data)
+        if self.dropout_rate <= 0.0 or not data:
+            return data
+        out = bytearray()
+        position = 0
+        while position < len(data):
+            if self._rng.random() < self.dropout_rate:
+                lost = min(self.burst_bytes, len(data) - position)
+                position += lost
+                self.stats.bytes_dropped += lost
+                self.stats.bursts += 1
+            else:
+                chunk_end = min(position + self.burst_bytes, len(data))
+                out.extend(data[position:chunk_end])
+                position = chunk_end
+        return bytes(out)
+
+
+class StallingCamera:
+    """Wraps a frame source; every ``period``-th capture returns the
+    previous frame again (sensor stall / USB hiccup)."""
+
+    def __init__(self, source, period: int = 5):
+        if period < 2:
+            raise VideoError("stall period must be >= 2")
+        self.source = source
+        self.period = period
+        self._count = 0
+        self._last = None
+        self.stalls = 0
+
+    def capture(self):
+        self._count += 1
+        if self._last is not None and self._count % self.period == 0:
+            self.stalls += 1
+            return self._last
+        self._last = self.source.capture()
+        return self._last
+
+
+def corrupt_stream(stream: bytes, channels: Iterable) -> bytes:
+    """Pass a byte stream through a chain of fault channels."""
+    data = stream
+    for channel in channels:
+        data = channel.transmit(data)
+    return data

@@ -1,0 +1,76 @@
+"""Output FIFO with AXI-stream style handshaking (Fig. 7's ``OutPut FIFO``).
+
+The paper: "The AXI control signals guarantee that a new frame will be
+stored in the output FIFO only after the previous frame is taken by the
+wave engine hardware."  That is a ready/valid handshake around a
+single-frame (or small) buffer; when the consumer is slower than the
+camera, frames are *dropped at the producer* rather than torn — the
+behaviour the pipeline tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+import numpy as np
+
+from ..errors import VideoError
+
+
+@dataclass
+class FifoStats:
+    pushed: int = 0
+    dropped: int = 0
+    popped: int = 0
+
+    @property
+    def accepted(self) -> int:
+        return self.pushed - self.dropped
+
+
+class FrameFifo:
+    """Bounded frame queue with producer-drop semantics."""
+
+    def __init__(self, capacity: int = 1):
+        if capacity < 1:
+            raise VideoError(f"FIFO capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queue: Deque[np.ndarray] = deque()
+        self.stats = FifoStats()
+
+    # -- producer side (camera / decoder) --------------------------------
+    @property
+    def ready(self) -> bool:
+        """AXI 'ready' seen by the producer: space for a new frame."""
+        return len(self._queue) < self.capacity
+
+    def push(self, frame: np.ndarray) -> bool:
+        """Offer a frame; returns False (dropped) when the FIFO is full."""
+        self.stats.pushed += 1
+        if not self.ready:
+            self.stats.dropped += 1
+            return False
+        self._queue.append(frame)
+        return True
+
+    # -- consumer side (wavelet engine) -----------------------------------
+    @property
+    def valid(self) -> bool:
+        """AXI 'valid' seen by the consumer: a frame is waiting."""
+        return bool(self._queue)
+
+    def pop(self) -> Optional[np.ndarray]:
+        """Take the oldest frame, or None when empty."""
+        if not self._queue:
+            return None
+        self.stats.popped += 1
+        return self._queue.popleft()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    def clear(self) -> None:
+        self._queue.clear()

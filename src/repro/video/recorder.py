@@ -1,0 +1,121 @@
+"""Stream recording and playback.
+
+Captured runs become reproducible assets: :class:`StreamRecorder`
+writes a frame sequence as numbered PGM files plus a small text
+manifest; :class:`PgmSequenceSource` plays a recorded directory back
+through the standard :class:`~repro.video.frames.FrameSource`
+interface, so a recorded session can drive the fusion pipeline exactly
+like a live camera — the usual workflow for tuning a vision system.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from ..errors import VideoError
+from ..io import read_pgm, write_pgm
+from .frames import FrameSource, VideoFrame
+
+PathLike = Union[str, Path]
+_MANIFEST = "manifest.txt"
+
+
+class StreamRecorder:
+    """Writes frames to ``<dir>/<prefix>_<index>.pgm`` plus a manifest."""
+
+    def __init__(self, directory: PathLike, prefix: str = "frame",
+                 fps: float = 30.0):
+        if fps <= 0:
+            raise VideoError("fps must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.prefix = prefix
+        self.fps = fps
+        self._names: List[str] = []
+
+    def write(self, frame: Union[VideoFrame, np.ndarray]) -> Path:
+        pixels = frame.pixels if isinstance(frame, VideoFrame) else frame
+        pixels = np.asarray(pixels)
+        if pixels.ndim == 3:
+            # store luma; the recorder archives fusion inputs/outputs
+            weights = np.array([0.299, 0.587, 0.114])
+            pixels = pixels.astype(np.float64) @ weights
+        name = f"{self.prefix}_{len(self._names):05d}.pgm"
+        write_pgm(self.directory / name, pixels)
+        self._names.append(name)
+        return self.directory / name
+
+    def close(self) -> Path:
+        """Write the manifest; returns its path."""
+        manifest = self.directory / _MANIFEST
+        lines = [f"fps {self.fps}", f"frames {len(self._names)}"]
+        lines.extend(self._names)
+        manifest.write_text("\n".join(lines) + "\n")
+        return manifest
+
+    @property
+    def frames_written(self) -> int:
+        return len(self._names)
+
+    def __enter__(self) -> "StreamRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class PgmSequenceSource(FrameSource):
+    """Plays a recorded directory back as a frame source.
+
+    ``loop=True`` wraps around at the end (useful for soak tests);
+    otherwise :meth:`capture` raises :class:`VideoError` when exhausted.
+    """
+
+    def __init__(self, directory: PathLike, loop: bool = False):
+        self.directory = Path(directory)
+        manifest = self.directory / _MANIFEST
+        if not manifest.exists():
+            raise VideoError(f"no manifest in {self.directory}")
+        lines = [ln.strip() for ln in manifest.read_text().splitlines()
+                 if ln.strip()]
+        header = dict(ln.split(" ", 1) for ln in lines[:2])
+        try:
+            self.fps = float(header["fps"])
+            declared = int(header["frames"])
+        except (KeyError, ValueError) as exc:
+            raise VideoError(f"malformed manifest in {self.directory}") from exc
+        self._names = lines[2:]
+        if len(self._names) != declared:
+            raise VideoError(
+                f"manifest declares {declared} frames but lists "
+                f"{len(self._names)}"
+            )
+        if not self._names:
+            raise VideoError(f"recording in {self.directory} is empty")
+        self.loop = loop
+        self._index = 0
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def capture(self) -> VideoFrame:
+        if self._index >= len(self._names):
+            if not self.loop:
+                raise VideoError("recorded sequence exhausted")
+            self._index = 0
+        name = self._names[self._index]
+        pixels = read_pgm(self.directory / name)
+        frame = VideoFrame(
+            pixels=pixels,
+            timestamp_s=self._index / self.fps,
+            frame_id=self._index,
+            source=f"playback:{name}",
+        )
+        self._index += 1
+        return frame
+
+    def rewind(self) -> None:
+        self._index = 0

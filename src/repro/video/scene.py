@@ -1,0 +1,137 @@
+"""Synthetic multi-sensor scene model.
+
+The paper's cameras watch a real scene (a person in a lab, Fig. 8); we
+have no cameras, so this module renders a *shared world* into the two
+modalities the system fuses:
+
+* the **visible** rendering sees reflectance: textured background,
+  high-frequency structure, illumination and shadows — but warm objects
+  may be low contrast (a person in the dark);
+* the **thermal** rendering sees temperature: warm bodies glow
+  regardless of illumination, backgrounds are flat, optics are soft and
+  the sensor adds NETD noise — but surface texture is invisible.
+
+Because both renderings sample the same geometry, fusion genuinely adds
+information (the motivating property of multi-sensor fusion), and the
+ground-truth world lets tests assert that fused frames contain both the
+visible-only texture and the thermal-only targets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import VideoError
+
+
+@dataclass
+class WarmObject:
+    """A moving warm target (person, vehicle) in world coordinates.
+
+    Positions are fractions of the scene extent; velocity in fractions
+    per second.  ``visible_contrast`` is deliberately small for people
+    in low light — the case where fusion pays off.
+    """
+
+    x: float
+    y: float
+    vx: float
+    vy: float
+    radius: float
+    temperature_c: float = 34.0
+    visible_contrast: float = 10.0
+
+    def position_at(self, t_s: float) -> Tuple[float, float]:
+        """Bounce inside [0, 1] x [0, 1]."""
+        def bounce(p0: float, v: float) -> float:
+            p = p0 + v * t_s
+            p = math.fmod(p, 2.0)
+            if p < 0:
+                p += 2.0
+            return 2.0 - p if p > 1.0 else p
+        return bounce(self.x, self.vx), bounce(self.y, self.vy)
+
+
+@dataclass
+class SyntheticScene:
+    """A deterministic world renderable into visible and thermal frames."""
+
+    width: int = 352
+    height: int = 288
+    seed: int = 2016
+    ambient_c: float = 18.0
+    illumination: float = 0.75
+    objects: List[WarmObject] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.width < 8 or self.height < 8:
+            raise VideoError("scene must be at least 8x8 pixels")
+        if not self.objects:
+            self.objects = [
+                WarmObject(x=0.25, y=0.55, vx=0.05, vy=0.012, radius=0.06,
+                           temperature_c=34.0, visible_contrast=8.0),
+                WarmObject(x=0.70, y=0.35, vx=-0.03, vy=0.02, radius=0.10,
+                           temperature_c=60.0, visible_contrast=25.0),
+            ]
+        rng = np.random.default_rng(self.seed)
+        self._texture = rng.normal(0.0, 1.0, (self.height, self.width))
+        # smooth the texture once so it has realistic spatial correlation
+        self._texture = (self._texture
+                         + np.roll(self._texture, 1, 0)
+                         + np.roll(self._texture, 1, 1)
+                         + np.roll(self._texture, (1, 1), (0, 1))) / 4.0
+        self._grid_y, self._grid_x = np.mgrid[0:self.height, 0:self.width]
+        self._gx = self._grid_x / max(1, self.width - 1)
+        self._gy = self._grid_y / max(1, self.height - 1)
+        self._noise_rng = np.random.default_rng(self.seed + 1)
+
+    # ------------------------------------------------------------------
+    def _object_masks(self, t_s: float) -> List[Tuple[np.ndarray, WarmObject]]:
+        masks = []
+        for obj in self.objects:
+            ox, oy = obj.position_at(t_s)
+            dist2 = ((self._gx - ox) ** 2 + (self._gy - oy) ** 2)
+            masks.append((np.exp(-dist2 / (2.0 * obj.radius ** 2)), obj))
+        return masks
+
+    def render_visible(self, t_s: float, noise_sigma: float = 1.5) -> np.ndarray:
+        """Visible-band frame (float, 0..255): texture + structure + objects."""
+        base = 90.0 + 60.0 * self.illumination * self._gy
+        # background structure: textured wall with strong vertical edge
+        image = base + 18.0 * self._texture
+        image += 35.0 * (self._gx > 0.62)              # bright doorway
+        image += 12.0 * np.sin(2 * np.pi * self._gx * 12)  # blind slats
+        for mask, obj in self._object_masks(t_s):
+            image += obj.visible_contrast * mask
+        image += self._noise_rng.normal(0.0, noise_sigma, image.shape)
+        return np.clip(image, 0.0, 255.0)
+
+    def render_thermal(self, t_s: float, netd_c: float = 0.08,
+                       blur: int = 2) -> np.ndarray:
+        """LWIR frame (float, 0..255): temperature map through soft optics.
+
+        ``netd_c`` models the sensor's noise-equivalent temperature
+        difference; ``blur`` the optics' softness in pixels.
+        """
+        temps = np.full((self.height, self.width), self.ambient_c)
+        temps += 2.0 * self._gy                      # warm floor gradient
+        for mask, obj in self._object_masks(t_s):
+            temps += (obj.temperature_c - self.ambient_c) * mask
+        temps += self._noise_rng.normal(0.0, netd_c, temps.shape)
+        for _ in range(max(0, blur)):
+            temps = (temps
+                     + np.roll(temps, 1, 0) + np.roll(temps, -1, 0)
+                     + np.roll(temps, 1, 1) + np.roll(temps, -1, 1)) / 5.0
+        # radiometric mapping: ambient-20C .. ambient+50C onto 0..255
+        lo, hi = self.ambient_c - 20.0, self.ambient_c + 50.0
+        return np.clip((temps - lo) / (hi - lo) * 255.0, 0.0, 255.0)
+
+    def hottest_position(self, t_s: float) -> Tuple[int, int]:
+        """Pixel coordinates (row, col) of the hottest object center."""
+        obj = max(self.objects, key=lambda o: o.temperature_c)
+        ox, oy = obj.position_at(t_s)
+        return int(round(oy * (self.height - 1))), int(round(ox * (self.width - 1)))

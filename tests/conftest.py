@@ -1,0 +1,64 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.arm import ArmEngine
+from repro.hw.fpga import FpgaEngine
+from repro.hw.neon import NeonEngine
+from repro.types import FrameShape
+from repro.video.scene import SyntheticScene
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20160314)
+
+
+@pytest.fixture
+def random_image(rng):
+    """A 48x64 random test image (rows, cols)."""
+    return rng.standard_normal((48, 64))
+
+
+@pytest.fixture
+def structured_pair():
+    """A (visible, thermal) pair with complementary information."""
+    yy, xx = np.mgrid[0:72, 0:88]
+    visible = (100.0 + 40.0 * np.sin(xx / 3.5)
+               + 25.0 * (yy > 36) + 0.5 * yy)
+    thermal = (60.0 + 150.0 * np.exp(-((xx - 60) ** 2 + (yy - 30) ** 2) / 90.0)
+               + 90.0 * np.exp(-((xx - 20) ** 2 + (yy - 55) ** 2) / 40.0))
+    return visible, thermal
+
+
+@pytest.fixture
+def full_frame():
+    return FrameShape(88, 72)
+
+
+@pytest.fixture
+def small_frame():
+    return FrameShape(32, 24)
+
+
+@pytest.fixture(scope="session")
+def arm_engine():
+    return ArmEngine()
+
+
+@pytest.fixture(scope="session")
+def neon_engine():
+    return NeonEngine()
+
+
+@pytest.fixture(scope="session")
+def fpga_engine():
+    return FpgaEngine()
+
+
+@pytest.fixture
+def scene():
+    return SyntheticScene(width=96, height=80, seed=42)

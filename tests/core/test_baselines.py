@@ -1,0 +1,104 @@
+"""Related-work fusion baselines: correctness and sanity."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    fuse_average,
+    fuse_dwt,
+    fuse_laplacian,
+    fuse_max,
+    fuse_pca,
+    laplacian_pyramid,
+    reconstruct,
+)
+from repro.errors import FusionError
+
+
+class TestSimpleBaselines:
+    def test_average(self, rng):
+        a = rng.uniform(0, 255, (16, 16))
+        b = rng.uniform(0, 255, (16, 16))
+        assert np.allclose(fuse_average(a, b), (a + b) / 2)
+
+    def test_max(self, rng):
+        a = rng.uniform(0, 255, (16, 16))
+        b = rng.uniform(0, 255, (16, 16))
+        fused = fuse_max(a, b)
+        assert np.all(fused >= a) and np.all(fused >= b)
+
+    def test_pca_weights_sum_to_one(self, rng):
+        a = rng.uniform(0, 255, (32, 32))
+        b = a * 0.5 + rng.normal(0, 5, a.shape)
+        fused = fuse_pca(a, b)
+        # output stays within the convex hull of the inputs
+        assert fused.min() >= min(a.min(), b.min()) - 1e-9
+        assert fused.max() <= max(a.max(), b.max()) + 1e-9
+
+    def test_pca_follows_dominant_source(self, rng):
+        """The source with far more variance should dominate the blend."""
+        strong = rng.uniform(0, 255, (32, 32))
+        weak = np.full((32, 32), 128.0) + rng.normal(0, 1, (32, 32))
+        fused = fuse_pca(strong, weak)
+        corr_strong = np.corrcoef(fused.ravel(), strong.ravel())[0, 1]
+        corr_weak = np.corrcoef(fused.ravel(), weak.ravel())[0, 1]
+        assert corr_strong > corr_weak
+
+    @pytest.mark.parametrize("fn", [fuse_average, fuse_max, fuse_pca])
+    def test_shape_mismatch(self, fn, rng):
+        with pytest.raises(FusionError):
+            fn(rng.uniform(0, 1, (8, 8)), rng.uniform(0, 1, (9, 9)))
+
+    @pytest.mark.parametrize("fn", [fuse_average, fuse_max, fuse_pca])
+    def test_self_fusion_identity(self, fn, rng):
+        a = rng.uniform(0, 255, (16, 16))
+        assert np.allclose(fn(a, a), a)
+
+
+class TestLaplacianPyramid:
+    def test_reconstruction_exact(self, rng):
+        img = rng.uniform(0, 255, (48, 64))
+        pyr = laplacian_pyramid(img, levels=3)
+        assert np.max(np.abs(reconstruct(pyr) - img)) < 1e-9
+
+    def test_pyramid_depth(self, rng):
+        img = rng.uniform(0, 255, (64, 64))
+        pyr = laplacian_pyramid(img, levels=3)
+        assert len(pyr) == 4  # 3 band-pass + 1 Gaussian top
+        assert pyr[0].shape == (64, 64)
+        assert pyr[1].shape == (32, 32)
+
+    def test_small_image_stops_early(self, rng):
+        img = rng.uniform(0, 255, (8, 8))
+        pyr = laplacian_pyramid(img, levels=6)
+        assert len(pyr) <= 4
+
+    def test_bad_levels(self):
+        with pytest.raises(FusionError):
+            laplacian_pyramid(np.zeros((16, 16)), levels=0)
+
+    def test_fusion_keeps_stronger_detail(self, rng):
+        sharp = rng.uniform(0, 255, (32, 32))
+        flat = np.full((32, 32), 128.0)
+        fused = fuse_laplacian(sharp, flat, levels=2)
+        # fused image must carry the detail of the sharp source
+        assert np.std(fused) > 0.5 * np.std(sharp)
+
+    def test_self_fusion_identity(self, rng):
+        a = rng.uniform(0, 255, (32, 32))
+        assert np.max(np.abs(fuse_laplacian(a, a, 3) - a)) < 1e-9
+
+
+class TestDwtFusion:
+    def test_self_fusion_identity(self, rng):
+        a = rng.uniform(0, 255, (32, 32))
+        assert np.max(np.abs(fuse_dwt(a, a) - a)) < 1e-8
+
+    def test_output_shape(self, rng):
+        a = rng.uniform(0, 255, (40, 40))
+        b = rng.uniform(0, 255, (40, 40))
+        assert fuse_dwt(a, b).shape == (40, 40)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(FusionError):
+            fuse_dwt(rng.uniform(0, 1, (8, 8)), rng.uniform(0, 1, (16, 16)))

@@ -1,0 +1,68 @@
+"""ImageFusion pipeline: staged API, shapes, information transfer."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import FusionResult, ImageFusion, fuse_images
+from repro.core.fusion_rules import WeightedRule
+from repro.errors import FusionError
+
+
+class TestFuse:
+    def test_output_shape_matches_input(self, structured_pair):
+        vis, th = structured_pair
+        fused = fuse_images(vis, th)
+        assert fused.shape == vis.shape
+
+    def test_result_fields(self, structured_pair):
+        vis, th = structured_pair
+        result = ImageFusion(levels=2).fuse(vis, th)
+        assert isinstance(result, FusionResult)
+        assert result.pyramid_a.levels == 2
+        assert result.pyramid_fused.levels == 2
+        assert result.fused.shape == vis.shape
+
+    def test_identical_inputs_reconstruct_exactly(self, rng):
+        x = rng.standard_normal((40, 40)) * 50 + 100
+        fused = fuse_images(x, x)
+        assert np.max(np.abs(fused - x)) < 1e-8
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(FusionError):
+            fuse_images(rng.standard_normal((16, 16)),
+                        rng.standard_normal((24, 24)))
+
+    def test_odd_sizes_supported(self, rng):
+        """The paper's 35x35 sweep point must work."""
+        a = rng.standard_normal((35, 35))
+        b = rng.standard_normal((35, 35))
+        assert fuse_images(a, b).shape == (35, 35)
+
+    def test_fused_contains_both_modalities(self, structured_pair):
+        """Fusion transfers the thermal blob into the visible context."""
+        vis, th = structured_pair
+        fused = fuse_images(vis, th)
+        # the hot blob region must be brighter in the fused image than
+        # the visible image alone shows it
+        blob = (slice(25, 36), slice(55, 66))
+        assert fused[blob].mean() > vis[blob].mean() + 5.0
+
+    def test_weighted_rule_full_alpha_recovers_input_a(self, structured_pair):
+        vis, th = structured_pair
+        fusion = ImageFusion(levels=3, rule=WeightedRule(alpha=1.0))
+        fused = fusion.fuse(vis, th).fused
+        assert np.max(np.abs(fused - vis)) < 1e-8
+
+
+class TestStagedApi:
+    def test_stages_compose_to_fuse(self, structured_pair):
+        vis, th = structured_pair
+        fusion = ImageFusion(levels=2)
+        pyr_a = fusion.decompose(vis)
+        pyr_b = fusion.decompose(th)
+        fused_pyr = fusion.combine(pyr_a, pyr_b)
+        fused = fusion.reconstruct(fused_pyr)
+        assert np.allclose(fused, fusion.fuse(vis, th).fused)
+
+    def test_levels_property(self):
+        assert ImageFusion(levels=4).levels == 4

@@ -1,0 +1,61 @@
+"""Profiler: Fig. 2's 'transforms dominate' must hold in both paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiling import STAGES, PipelineProfiler, profile_model
+from repro.types import FrameShape
+
+
+class TestModelProfile:
+    def test_stage_names(self, full_frame):
+        profile = profile_model(full_frame)
+        assert set(profile.stages) == set(STAGES)
+
+    def test_percentages_sum_to_100(self, full_frame):
+        pct = profile_model(full_frame).percentages()
+        assert np.isclose(sum(pct.values()), 100.0)
+
+    def test_transforms_dominate(self, full_frame):
+        """Fig. 2's claim: forward+inverse DT-CWT are the most compute
+        intensive parts (they motivate the acceleration)."""
+        pct = profile_model(full_frame).percentages()
+        transform_share = (pct["forward_dtcwt_visible"]
+                           + pct["forward_dtcwt_thermal"]
+                           + pct["inverse_dtcwt"])
+        assert transform_share > 75.0
+        assert pct["fusion_rule"] < 25.0
+
+    def test_ranked_order(self, full_frame):
+        ranked = profile_model(full_frame).ranked()
+        assert ranked[0][1] >= ranked[-1][1]
+        # the single most expensive stage is the inverse transform
+        assert ranked[0][0] == "inverse_dtcwt"
+
+
+class TestEmpiricalProfiler:
+    def test_run_produces_all_stages(self, structured_pair):
+        vis, th = structured_pair
+        profiler = PipelineProfiler()
+        fused = profiler.run(vis, th)
+        assert fused.shape == vis.shape
+        assert set(profiler.profile.stages) == set(STAGES)
+        assert all(v > 0 for v in profiler.profile.stages.values())
+
+    def test_transforms_dominate_in_wall_clock(self, structured_pair):
+        """The functional implementation shows the same structure the
+        paper measured: the transforms outweigh the fusion rule."""
+        vis, th = structured_pair
+        profiler = PipelineProfiler()
+        for _ in range(3):
+            profiler.run(vis, th)
+        assert set(profiler.dominant_stages(2)) <= {
+            "forward_dtcwt_visible", "forward_dtcwt_thermal", "inverse_dtcwt"}
+
+    def test_percentages_accumulate_across_runs(self, structured_pair):
+        vis, th = structured_pair
+        profiler = PipelineProfiler()
+        profiler.run(vis, th)
+        first_total = profiler.profile.total_s
+        profiler.run(vis, th)
+        assert profiler.profile.total_s > first_total

@@ -1,0 +1,106 @@
+"""Registration: phase correlation and DT-CWT coarse-to-fine."""
+
+import numpy as np
+import pytest
+
+from repro.core.registration import (
+    DtcwtRegistration,
+    RegistrationResult,
+    phase_correlation,
+    register_and_fuse,
+)
+from repro.errors import FusionError
+from repro.video.scene import SyntheticScene
+
+
+@pytest.fixture
+def textured_image():
+    scene = SyntheticScene(width=96, height=80, seed=2)
+    return scene.render_thermal(0.0)
+
+
+class TestPhaseCorrelation:
+    @pytest.mark.parametrize("shift", [(3, -5), (0, 0), (-7, 2), (10, 10)])
+    def test_recovers_integer_shifts(self, textured_image, shift):
+        moved = np.roll(np.roll(textured_image, shift[0], axis=0),
+                        shift[1], axis=1)
+        result = phase_correlation(textured_image, moved)
+        assert round(result.dy) == -shift[0]
+        assert round(result.dx) == -shift[1]
+
+    def test_confidence_high_for_clean_shift(self, textured_image):
+        moved = np.roll(textured_image, 4, axis=0)
+        assert phase_correlation(textured_image, moved).confidence > 0.5
+
+    def test_confidence_lower_for_unrelated_images(self, textured_image, rng):
+        noise = rng.uniform(0, 255, textured_image.shape)
+        clean = phase_correlation(textured_image,
+                                  np.roll(textured_image, 3, axis=0))
+        messy = phase_correlation(textured_image, noise)
+        assert messy.confidence < clean.confidence
+
+    def test_shape_mismatch(self, textured_image, rng):
+        with pytest.raises(FusionError):
+            phase_correlation(textured_image, rng.uniform(0, 1, (10, 10)))
+
+    def test_subpixel_interpolation_stays_close(self, textured_image):
+        """A half-pixel-ish shift (average of two rolls) lands between
+        the integer candidates."""
+        blended = 0.5 * (np.roll(textured_image, 2, axis=0)
+                         + np.roll(textured_image, 3, axis=0))
+        result = phase_correlation(textured_image, blended)
+        assert -3.5 < result.dy < -1.5
+
+
+class TestDtcwtRegistration:
+    @pytest.mark.parametrize("shift", [(3, -5), (2, 4), (-1, 7), (0, 0),
+                                       (6, 6), (-4, -2)])
+    def test_same_sensor_exact(self, textured_image, shift):
+        moved = np.roll(np.roll(textured_image, shift[0], axis=0),
+                        shift[1], axis=1)
+        result = DtcwtRegistration(levels=4, max_shift=8).estimate(
+            textured_image, moved)
+        assert (result.dy, result.dx) == (-shift[0], -shift[1])
+
+    @pytest.mark.parametrize("shift", [(3, -2), (-4, 5), (0, 0)])
+    def test_robust_to_intensity_remapping(self, textured_image, shift):
+        """Different sensor response: gamma curve + inversion + offset.
+        Gradient/magnitude-based matching must not care."""
+        remapped = 255.0 - 200.0 * (textured_image / 255.0) ** 0.6
+        moved = np.roll(np.roll(remapped, shift[0], axis=0),
+                        shift[1], axis=1)
+        result = DtcwtRegistration(levels=4, max_shift=8).estimate(
+            textured_image, moved)
+        assert abs(result.dy + shift[0]) <= 1
+        assert abs(result.dx + shift[1]) <= 1
+
+    def test_estimates_respect_max_shift(self, textured_image, rng):
+        noise = rng.uniform(0, 255, textured_image.shape)
+        result = DtcwtRegistration(levels=4, max_shift=5).estimate(
+            textured_image, noise)
+        assert abs(result.dy) <= 5
+        assert abs(result.dx) <= 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(FusionError):
+            DtcwtRegistration(levels=1)
+        with pytest.raises(FusionError):
+            DtcwtRegistration(max_shift=0)
+
+    def test_result_magnitude(self):
+        result = RegistrationResult(dy=3.0, dx=4.0, confidence=1.0)
+        assert result.magnitude == 5.0
+
+
+class TestRegisterAndFuse:
+    def test_alignment_before_fusion(self, textured_image):
+        """Fusing a misaligned copy after registration must beat fusing
+        it raw (sharper result, closer to the self-fusion ideal)."""
+        from repro.core.fusion import fuse_images
+        moved = np.roll(np.roll(textured_image, 4, axis=0), -3, axis=1)
+        fused_registered, result = register_and_fuse(textured_image, moved)
+        fused_raw = fuse_images(textured_image, moved)
+        err_registered = np.mean(np.abs(fused_registered - textured_image))
+        err_raw = np.mean(np.abs(fused_raw - textured_image))
+        assert (round(result.dy), round(result.dx)) == (-4, 3)
+        assert err_registered < err_raw

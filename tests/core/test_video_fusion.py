@@ -1,0 +1,91 @@
+"""Temporal video fusion: flicker suppression and scene-change reset."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import ImageFusion, fuse_images
+from repro.core.video_fusion import TemporalFusion, selection_flicker
+from repro.errors import FusionError
+from repro.video.scene import SyntheticScene
+
+
+@pytest.fixture
+def noisy_static_frames(rng):
+    scene = SyntheticScene(width=96, height=80, seed=4)
+    visible = scene.render_visible(0.0)
+    thermal = scene.render_thermal(0.0)
+    vis_frames = [visible + rng.normal(0, 2.0, visible.shape)
+                  for _ in range(6)]
+    th_frames = [thermal + rng.normal(0, 2.0, thermal.shape)
+                 for _ in range(6)]
+    return vis_frames, th_frames
+
+
+class TestTemporalFusion:
+    def test_reduces_flicker_on_noisy_static_scene(self, noisy_static_frames):
+        vis_frames, th_frames = noisy_static_frames
+        independent = selection_flicker(
+            lambda a, b: fuse_images(a, b), vis_frames, th_frames)
+        temporal = selection_flicker(
+            TemporalFusion(smoothing=0.8).fuse, vis_frames, th_frames)
+        assert temporal < independent
+
+    def test_zero_smoothing_similar_to_independent(self, noisy_static_frames):
+        """smoothing=0 keeps the per-frame hard selection (up to the
+        soft-mask blend of exact ties)."""
+        vis_frames, th_frames = noisy_static_frames
+        fuser = TemporalFusion(smoothing=0.0)
+        out_t = fuser.fuse(vis_frames[0], th_frames[0])
+        out_i = fuse_images(vis_frames[0], th_frames[0])
+        assert np.allclose(out_t, out_i, atol=1e-6)
+
+    def test_output_shape_and_finiteness(self, noisy_static_frames):
+        vis_frames, th_frames = noisy_static_frames
+        fuser = TemporalFusion()
+        out = fuser.fuse(vis_frames[0], th_frames[0])
+        assert out.shape == vis_frames[0].shape
+        assert np.all(np.isfinite(out))
+
+    def test_scene_change_resets_state(self, noisy_static_frames):
+        vis_frames, th_frames = noisy_static_frames
+        fuser = TemporalFusion(smoothing=0.8, scene_threshold=0.2)
+        fuser.fuse(vis_frames[0], th_frames[0])
+        fuser.fuse(vis_frames[1], th_frames[1])
+        assert fuser.stats.scene_resets == 0
+        # hard cut: completely different content
+        fuser.fuse(255.0 - vis_frames[0] * 0.2, th_frames[0])
+        assert fuser.stats.scene_resets == 1
+
+    def test_stats_accumulate(self, noisy_static_frames):
+        vis_frames, th_frames = noisy_static_frames
+        fuser = TemporalFusion()
+        for v, t in zip(vis_frames[:3], th_frames[:3]):
+            fuser.fuse(v, t)
+        assert fuser.stats.frames == 3
+        assert fuser.stats.mean_flicker >= 0.0
+
+    def test_manual_reset(self, noisy_static_frames):
+        vis_frames, th_frames = noisy_static_frames
+        fuser = TemporalFusion()
+        fuser.fuse(vis_frames[0], th_frames[0])
+        fuser.reset()
+        assert fuser._masks is None  # noqa: SLF001 - state cleared
+
+    def test_parameter_validation(self):
+        with pytest.raises(FusionError):
+            TemporalFusion(smoothing=1.0)
+        with pytest.raises(FusionError):
+            TemporalFusion(smoothing=-0.1)
+        with pytest.raises(FusionError):
+            TemporalFusion(scene_threshold=0.0)
+
+    def test_flicker_helper_needs_two_frames(self):
+        with pytest.raises(FusionError):
+            selection_flicker(lambda a, b: a, [np.zeros((8, 8))],
+                              [np.zeros((8, 8))])
+
+    def test_custom_fusion_engine(self, noisy_static_frames):
+        vis_frames, th_frames = noisy_static_frames
+        fuser = TemporalFusion(fusion=ImageFusion(levels=2))
+        out = fuser.fuse(vis_frames[0], th_frames[0])
+        assert out.shape == vis_frames[0].shape

@@ -1,0 +1,182 @@
+"""Filter-bank construction: the defining identities must hold exactly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dtcwt import coeffs
+from repro.dtcwt.util import group_delay, is_orthonormal_filter
+from repro.errors import ConfigurationError, TransformError
+
+
+class TestBiorthogonalBank:
+    def test_cdf97_matches_jpeg2000_analysis_taps(self):
+        """The construction must land on the canonical CDF 9/7 values."""
+        bank = coeffs.biorthogonal_bank("cdf97")
+        # canonical irreversible 9/7 analysis low-pass, DC gain sqrt(2)
+        reference = np.array([
+            0.026748757411, -0.016864118443, -0.078223266529,
+            0.266864118443, 0.602949018236, 0.266864118443,
+            -0.078223266529, -0.016864118443, 0.026748757411,
+        ]) * math.sqrt(2.0)
+        assert np.allclose(bank.h0, reference, atol=1e-9)
+
+    def test_cdf97_lengths(self):
+        bank = coeffs.biorthogonal_bank("cdf97")
+        assert len(bank.h0) == 9
+        assert len(bank.g0) == 7
+        assert len(bank.h1) == 7
+        assert len(bank.g1) == 9
+
+    def test_legall53_lengths(self):
+        bank = coeffs.biorthogonal_bank("legall53")
+        assert len(bank.h0) == 5
+        assert len(bank.g0) == 3
+
+    @pytest.mark.parametrize("name", ["cdf97", "legall53"])
+    def test_pr_identity(self, name):
+        """H0*G0 + H1*G1 == 2 over the whole frequency axis."""
+        bank = coeffs.biorthogonal_bank(name)
+        bank.validate(tol=1e-9)  # raises on violation
+
+    @pytest.mark.parametrize("name", ["cdf97", "legall53"])
+    def test_dc_gain(self, name):
+        bank = coeffs.biorthogonal_bank(name)
+        assert np.isclose(np.sum(bank.h0), math.sqrt(2.0))
+        assert np.isclose(np.sum(bank.g0), math.sqrt(2.0))
+
+    @pytest.mark.parametrize("name", ["cdf97", "legall53"])
+    def test_highpass_kills_dc(self, name):
+        bank = coeffs.biorthogonal_bank(name)
+        assert abs(np.sum(bank.h1)) < 1e-9
+        assert abs(np.sum(bank.g1)) < 1e-9
+
+    def test_filters_symmetric(self):
+        bank = coeffs.biorthogonal_bank("cdf97")
+        assert np.allclose(bank.h0, bank.h0[::-1])
+        assert np.allclose(bank.g0, bank.g0[::-1])
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            coeffs.biorthogonal_bank("haar99")
+
+    def test_centers(self):
+        bank = coeffs.biorthogonal_bank("cdf97")
+        assert bank.c_h0 == 4
+        assert bank.c_g0 == 3
+
+    def test_even_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coeffs.BiorthogonalBank(name="bad",
+                                    h0=np.ones(4), g0=np.ones(3))
+
+
+class TestQshiftBank:
+    @pytest.mark.parametrize("length", [10, 12, 14, 16])
+    def test_orthonormal_both_trees(self, length):
+        bank = coeffs.qshift_bank(length)
+        assert is_orthonormal_filter(bank.h0a, tol=1e-7)
+        assert is_orthonormal_filter(bank.h0b, tol=1e-7)
+
+    @pytest.mark.parametrize("length", [10, 12, 14, 16])
+    def test_half_sample_delay_difference(self, length):
+        bank = coeffs.qshift_bank(length)
+        assert abs(abs(bank.delay_difference) - 0.5) < 0.05
+
+    @pytest.mark.parametrize("length", [12, 14])
+    def test_magnitude_responses_match(self, length):
+        """|H_a| == |H_b| — both trees see identical subband gains."""
+        bank = coeffs.qshift_bank(length)
+        omegas = np.linspace(0, np.pi, 257)
+        n = np.arange(length)
+        resp = np.exp(-1j * np.outer(omegas, n))
+        mag_a = np.abs(resp @ bank.h0a)
+        mag_b = np.abs(resp @ bank.h0b)
+        assert np.allclose(mag_a, mag_b, atol=1e-9)
+
+    def test_highpass_modulation(self):
+        bank = coeffs.qshift_bank(14)
+        assert abs(np.sum(bank.h1a)) < 1e-9  # kills DC
+        assert is_orthonormal_filter(bank.h1a, tol=1e-7)
+        assert len(bank.h1a) == 14
+
+    def test_dc_gain(self):
+        bank = coeffs.qshift_bank(14)
+        assert np.isclose(np.sum(bank.h0a), math.sqrt(2.0))
+        assert np.isclose(np.sum(bank.h0b), math.sqrt(2.0))
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coeffs.qshift_bank(13)
+
+    def test_unsupported_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coeffs.qshift_bank(6)
+
+    def test_bank_is_cached(self):
+        assert coeffs.qshift_bank(14) is coeffs.qshift_bank(14)
+
+    def test_group_delay_flat_over_passband(self):
+        bank = coeffs.qshift_bank(14)
+        omegas = np.linspace(0.05 * np.pi, 0.45 * np.pi, 64)
+        delays = group_delay(bank.h0a, omegas)
+        assert float(np.nanstd(delays)) < 0.3
+
+
+class TestThiranFactor:
+    def test_halfsample_allpass_delay(self):
+        """The allpass built from D must delay by ~0.5 samples at DC."""
+        for order in (2, 3, 4, 5):
+            d = coeffs.thiran_halfsample_factor(order)
+            omegas = np.linspace(0.01, 0.3 * np.pi, 50)
+            n = np.arange(order + 1)
+            resp = np.exp(-1j * np.outer(omegas, n))
+            ratio = (resp @ d[::-1]) / (resp @ d)
+            phase = np.unwrap(np.angle(ratio))
+            delay = -np.gradient(phase, omegas)
+            assert abs(delay[0] - 0.5) < 0.02
+
+    def test_order_validation(self):
+        with pytest.raises(ConfigurationError):
+            coeffs.thiran_halfsample_factor(0)
+
+
+class TestDwtFilter:
+    @pytest.mark.parametrize("length", [4, 6, 8, 10])
+    def test_orthonormal(self, length):
+        taps = coeffs.orthonormal_dwt_filter(length)
+        assert is_orthonormal_filter(taps, tol=1e-7)
+        assert len(taps) == length
+
+    def test_db2_is_exact(self):
+        """Length 4 must reproduce the closed-form Daubechies D4."""
+        taps = coeffs.orthonormal_dwt_filter(4)
+        s3 = math.sqrt(3.0)
+        reference = np.array([1 + s3, 3 + s3, 3 - s3, 1 - s3]) / (4 * math.sqrt(2))
+        # min-phase factor may be time-reversed relative to the textbook
+        assert (np.allclose(taps, reference, atol=1e-9)
+                or np.allclose(taps, reference[::-1], atol=1e-9))
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coeffs.orthonormal_dwt_filter(7)
+
+
+class TestDtcwtBanks:
+    def test_default_banks(self):
+        banks = coeffs.dtcwt_banks()
+        assert banks.level1.name == "cdf97"
+        assert banks.qshift.length == 14
+        assert banks.max_taps == 14
+
+    def test_paper_hardware_configuration(self):
+        """The paper's 12-tap engine configuration must construct."""
+        banks = coeffs.dtcwt_banks(qshift_length=12)
+        assert banks.qshift.length == 12
+
+    def test_halfband_remainder_coeffs(self):
+        assert list(coeffs.halfband_remainder_coeffs(1)) == [1]
+        assert list(coeffs.halfband_remainder_coeffs(4)) == [1, 4, 10, 20]
+        with pytest.raises(ConfigurationError):
+            coeffs.halfband_remainder_coeffs(0)

@@ -1,0 +1,80 @@
+"""Filter characterization utilities."""
+
+import numpy as np
+import pytest
+
+from repro.dtcwt import biorthogonal_bank, dtcwt_banks, qshift_bank
+from repro.dtcwt.filter_analysis import (
+    characterize,
+    frequency_response,
+    magnitude_match_error,
+    pr_identity_error,
+    stopband_attenuation_db,
+    vanishing_moments,
+)
+
+
+class TestFrequencyResponse:
+    def test_dc_gain(self):
+        banks = dtcwt_banks()
+        _, response = frequency_response(banks.qshift.h0a)
+        assert np.isclose(abs(response[0]), np.sqrt(2.0), atol=1e-9)
+
+    def test_nyquist_null_for_lowpass(self):
+        banks = dtcwt_banks()
+        _, response = frequency_response(banks.qshift.h0a)
+        assert abs(response[-1]) < 1e-6
+
+
+class TestVanishingMoments:
+    def test_cdf97_has_four(self):
+        bank = biorthogonal_bank("cdf97")
+        assert vanishing_moments(bank.h0, at=-1.0) == 4
+        assert vanishing_moments(bank.g0, at=-1.0) == 4
+
+    def test_legall_has_two(self):
+        bank = biorthogonal_bank("legall53")
+        assert vanishing_moments(bank.h0, at=-1.0) == 2
+
+    def test_highpass_moments_at_plus_one(self):
+        bank = biorthogonal_bank("cdf97")
+        assert vanishing_moments(bank.h1, at=1.0) == 4
+
+    def test_qshift_moments_match_design(self):
+        # the default 14-tap design uses J=2 binomial zeros
+        assert vanishing_moments(qshift_bank(14).h0a, at=-1.0) == 2
+
+    def test_no_zero_counts_zero(self):
+        assert vanishing_moments(np.array([1.0, 0.5, 0.25]), at=-1.0) == 0
+
+
+class TestStopband:
+    def test_longer_filters_reject_more(self):
+        short = stopband_attenuation_db(qshift_bank(10).h0a)
+        longer = stopband_attenuation_db(qshift_bank(16).h0a)
+        assert longer > short
+
+    def test_reasonable_attenuation(self):
+        assert stopband_attenuation_db(qshift_bank(14).h0a) > 15.0
+
+
+class TestCharacterization:
+    def test_summary_values(self):
+        summary = characterize()
+        assert summary.level1_moments_analysis == 4
+        assert summary.qshift_length == 14
+        assert abs(abs(summary.qshift_delay_difference) - 0.5) < 0.01
+        assert summary.qshift_delay_ripple < 0.2
+        assert set(summary.as_dict()) >= {"qshift_delay_difference",
+                                          "qshift_stopband_db"}
+
+    def test_magnitude_match_is_machine_precision(self):
+        assert magnitude_match_error(dtcwt_banks().qshift) < 1e-12
+
+    def test_pr_identity_is_machine_precision(self):
+        assert pr_identity_error(dtcwt_banks().level1) < 1e-12
+
+    def test_characterize_paper_hardware_banks(self):
+        summary = characterize(dtcwt_banks(qshift_length=12))
+        assert summary.qshift_length == 12
+        assert abs(abs(summary.qshift_delay_difference) - 0.5) < 0.05

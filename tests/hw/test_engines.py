@@ -1,0 +1,143 @@
+"""ARM / NEON / FPGA engine timing models against the paper's structure."""
+
+import numpy as np
+import pytest
+
+from repro.hw.arm import ArmEngine
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.fpga import FpgaEngine
+from repro.hw.neon import NeonEngine
+from repro.types import PAPER_FRAME_SIZES, FrameShape
+
+
+class TestArmEngine:
+    def test_time_scales_with_area(self, arm_engine):
+        t_small = arm_engine.forward_time(FrameShape(44, 36)).total_s
+        t_large = arm_engine.forward_time(FrameShape(88, 72)).total_s
+        assert 3.5 < t_large / t_small < 4.5
+
+    def test_monotonic_in_paper_sizes(self, arm_engine):
+        times = [arm_engine.forward_stage_time(s) for s in PAPER_FRAME_SIZES]
+        assert times == sorted(times)
+
+    def test_inverse_slower_than_forward_per_image(self, arm_engine, full_frame):
+        assert (arm_engine.inverse_time(full_frame).total_s
+                > arm_engine.forward_time(full_frame).total_s)
+
+    def test_breakdown_components(self, arm_engine, full_frame):
+        breakdown = arm_engine.forward_time(full_frame)
+        assert breakdown.compute_s > 0
+        assert breakdown.overhead_s > 0
+        assert breakdown.transfer_s == 0  # no PL transfers on the CPU
+        assert breakdown.command_s == 0
+
+    def test_fusion_time_independent_of_engine(self, arm_engine, fpga_engine,
+                                               full_frame):
+        """The fusion rule always runs on the ARM."""
+        assert np.isclose(arm_engine.fusion_time(full_frame).total_s,
+                          fpga_engine.fusion_time(full_frame).total_s)
+
+    def test_frame_time_composition(self, arm_engine, full_frame):
+        total = arm_engine.frame_time(full_frame).total_s
+        parts = (2 * arm_engine.forward_time(full_frame).total_s
+                 + arm_engine.fusion_time(full_frame).total_s
+                 + arm_engine.inverse_time(full_frame).total_s)
+        assert np.isclose(total, parts)
+
+
+class TestNeonEngine:
+    def test_faster_than_arm_everywhere(self, arm_engine, neon_engine):
+        for shape in PAPER_FRAME_SIZES:
+            assert (neon_engine.forward_stage_time(shape)
+                    < arm_engine.forward_stage_time(shape))
+            assert (neon_engine.inverse_stage_time(shape)
+                    < arm_engine.inverse_stage_time(shape))
+
+    def test_full_frame_gains_match_paper(self, arm_engine, neon_engine,
+                                          full_frame):
+        """Paper: NEON saves ~10 % forward, ~16 % inverse at 88x72."""
+        fwd_gain = 1 - (neon_engine.forward_stage_time(full_frame)
+                        / arm_engine.forward_stage_time(full_frame))
+        inv_gain = 1 - (neon_engine.inverse_stage_time(full_frame)
+                        / arm_engine.inverse_stage_time(full_frame))
+        assert abs(fwd_gain - 0.10) < 0.02
+        assert abs(inv_gain - 0.16) < 0.02
+
+    def test_lane_epilogue_penalty(self, neon_engine, arm_engine):
+        """Rows that are not lane multiples (35x35) gain less from NEON
+        than aligned rows (Section IV's multiple-of-4 requirement)."""
+        aligned = FrameShape(36, 36)
+        odd = FrameShape(35, 35)
+        gain_aligned = (arm_engine.forward_stage_time(aligned)
+                        / neon_engine.forward_stage_time(aligned))
+        gain_odd = (arm_engine.forward_stage_time(odd)
+                    / neon_engine.forward_stage_time(odd))
+        assert gain_aligned > gain_odd
+
+    def test_speedup_helper(self, neon_engine, full_frame):
+        assert neon_engine.speedup_vs_arm(full_frame, direction="forward") > 1.0
+        assert neon_engine.speedup_vs_arm(full_frame, direction="inverse") > 1.0
+
+
+class TestFpgaEngine:
+    def test_wins_big_loses_small(self, neon_engine, fpga_engine):
+        """The paper's central observation."""
+        assert (fpga_engine.forward_stage_time(FrameShape(88, 72))
+                < neon_engine.forward_stage_time(FrameShape(88, 72)))
+        assert (fpga_engine.forward_stage_time(FrameShape(32, 24))
+                > neon_engine.forward_stage_time(FrameShape(32, 24)))
+
+    def test_small_frame_worse_than_arm_too(self, arm_engine, fpga_engine):
+        """At 32x24 the FPGA forward takes longer than plain ARM
+        (the command-overhead effect the paper describes)."""
+        small = FrameShape(32, 24)
+        assert (fpga_engine.forward_stage_time(small)
+                > arm_engine.forward_stage_time(small))
+
+    def test_command_cost_dominates_small_frames(self, fpga_engine):
+        breakdown = fpga_engine.forward_time(FrameShape(32, 24))
+        assert breakdown.command_s > breakdown.compute_s
+
+    def test_double_buffering_helps(self):
+        db_on = FpgaEngine(double_buffered=True)
+        db_off = FpgaEngine(double_buffered=False)
+        shape = FrameShape(88, 72)
+        assert (db_on.forward_time(shape).total_s
+                < db_off.forward_time(shape).total_s)
+
+    def test_breakdown_has_all_components(self, fpga_engine, full_frame):
+        breakdown = fpga_engine.forward_time(full_frame)
+        assert breakdown.compute_s > 0
+        assert breakdown.command_s > 0
+        assert breakdown.transfer_s >= 0
+
+    def test_calibration_overrides_flow_through(self):
+        slow_driver = DEFAULT_CALIBRATION.with_overrides(
+            fpga_driver_invocation_s=1e-4)
+        slow = FpgaEngine(calibration=slow_driver)
+        fast = FpgaEngine()
+        shape = FrameShape(64, 48)
+        assert slow.forward_time(shape).total_s > fast.forward_time(shape).total_s
+
+
+class TestCrossovers:
+    """Where the winner flips — the quantitative heart of the paper."""
+
+    def _crossover(self, metric_a, metric_b):
+        for px in range(24, 96):
+            shape = FrameShape(px, px)
+            if metric_a(shape) < metric_b(shape):
+                return px
+        return None
+
+    def test_forward_crossover_in_paper_window(self, neon_engine, fpga_engine):
+        """Paper: between 35x35 and 40x40 pixels."""
+        px = self._crossover(fpga_engine.forward_stage_time,
+                             neon_engine.forward_stage_time)
+        assert 35 < px <= 40
+
+    def test_total_crossover_near_40(self, neon_engine, fpga_engine):
+        px = self._crossover(
+            lambda s: fpga_engine.frame_time(s).total_s,
+            lambda s: neon_engine.frame_time(s).total_s)
+        assert 35 < px <= 42

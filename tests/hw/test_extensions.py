@@ -1,0 +1,178 @@
+"""Design-space exploration, DVFS and vectorization-strategy models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.design_space import (
+    DesignPoint,
+    EvaluatedPoint,
+    explore,
+    frame_seconds,
+    pareto_frontier,
+    resources_for,
+)
+from repro.hw.dvfs import (
+    PS_OPERATING_POINTS,
+    best_operating_point,
+    scaled_calibration,
+    scaled_power_model,
+    sweep_operating_points,
+)
+from repro.hw.vectorization import (
+    AUTO,
+    MANUAL,
+    VectorizationStrategy,
+    compare_strategies,
+    vectorization_report,
+)
+from repro.types import FrameShape
+
+
+class TestDesignSpace:
+    def test_paper_point_is_fully_parallel(self):
+        point = DesignPoint(taps=12, unroll=12)
+        assert point.initiation_interval == 1
+
+    def test_folding_multiplies_ii(self):
+        assert DesignPoint(taps=12, unroll=6).initiation_interval == 2
+        assert DesignPoint(taps=12, unroll=1).initiation_interval == 12
+
+    def test_folding_trades_time_for_area(self):
+        full = DesignPoint(taps=12, unroll=12)
+        folded = DesignPoint(taps=12, unroll=2)
+        shape = FrameShape(88, 72)
+        assert frame_seconds(folded, shape) > frame_seconds(full, shape)
+        assert resources_for(folded).slices < resources_for(full).slices
+
+    def test_unroll_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DesignPoint(taps=12, unroll=13)
+        with pytest.raises(ConfigurationError):
+            DesignPoint(taps=12, unroll=0)
+
+    def test_pareto_frontier_is_nondominated(self):
+        points = explore()
+        frontier = pareto_frontier(points)
+        assert frontier  # never empty
+        for a in frontier:
+            for b in points:
+                dominates = (b.seconds_per_frame < a.seconds_per_frame
+                             and b.slices < a.slices)
+                assert not dominates
+
+    def test_all_default_points_fit_the_7z020(self):
+        assert all(e.fits for e in explore())
+
+    def test_timing_closure_model(self):
+        """High unroll degrades achievable clock (longer adder trees)."""
+        full = DesignPoint(taps=12, unroll=12, pl_clock_hz=200e6)
+        folded = DesignPoint(taps=12, unroll=2, pl_clock_hz=200e6)
+        assert full.achievable_clock_hz < folded.achievable_clock_hz
+
+
+class TestDvfs:
+    def test_scaling_calibration_speeds_up_cpu(self):
+        fast = scaled_calibration(800e6)
+        base = scaled_calibration(533e6)
+        assert fast.arm_mac_rate_fwd > base.arm_mac_rate_fwd
+        assert fast.fpga_driver_invocation_s < base.fpga_driver_invocation_s
+
+    def test_base_point_reproduces_defaults(self):
+        from repro.hw.calibration import DEFAULT_CALIBRATION
+        cal = scaled_calibration(533e6)
+        assert np.isclose(cal.arm_mac_rate_fwd,
+                          DEFAULT_CALIBRATION.arm_mac_rate_fwd)
+
+    def test_power_scales_superlinearly_with_frequency(self):
+        """f V^2 scaling: 800 MHz draws more than 800/533 x the power."""
+        slow = scaled_power_model(533e6)
+        fast = scaled_power_model(800e6)
+        dynamic_slow = slow.power_w("arm") - slow.power_w("idle")
+        dynamic_fast = fast.power_w("arm") - fast.power_w("idle")
+        assert dynamic_fast / dynamic_slow > 800.0 / 533.0
+
+    def test_base_power_model_unchanged(self):
+        model = scaled_power_model(533e6)
+        assert np.isclose(model.power_w("arm"), 0.533, atol=1e-6)
+        assert np.isclose(model.fpga_power_increase_w(), 0.0192, atol=1e-6)
+
+    def test_unknown_operating_point(self):
+        with pytest.raises(ConfigurationError):
+            scaled_power_model(123e6)
+
+    def test_sweep_covers_all_points_and_engines(self):
+        results = sweep_operating_points(FrameShape(64, 48))
+        assert len(results) == len(PS_OPERATING_POINTS) * 3
+        assert {r.engine for r in results} == {"arm", "neon", "fpga"}
+
+    def test_faster_ps_always_faster_frames(self):
+        results = sweep_operating_points(FrameShape(88, 72))
+        arm_times = {r.ps_hz: r.seconds_per_frame
+                     for r in results if r.engine == "arm"}
+        ordered = [arm_times[f] for f in sorted(arm_times)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_best_point_objectives(self):
+        results = sweep_operating_points(FrameShape(88, 72))
+        best_time = best_operating_point(results, "time")
+        best_energy = best_operating_point(results, "energy")
+        assert best_time.seconds_per_frame == min(
+            r.seconds_per_frame for r in results)
+        assert best_energy.millijoules_per_frame == min(
+            r.millijoules_per_frame for r in results)
+        with pytest.raises(ConfigurationError):
+            best_operating_point(results, "vibes")
+
+    def test_fpga_remains_best_engine_at_full_frame_everywhere(self):
+        """The engine ranking at 88x72 is robust across PS frequency."""
+        results = sweep_operating_points(FrameShape(88, 72))
+        for ps_hz in PS_OPERATING_POINTS:
+            at_point = {r.engine: r.millijoules_per_frame
+                        for r in results if r.ps_hz == ps_hz}
+            assert at_point["fpga"] < at_point["neon"] < at_point["arm"]
+
+
+class TestVectorization:
+    def test_both_strategies_beat_scalar(self):
+        times = compare_strategies(FrameShape(88, 72))
+        assert times["manual"] < times["scalar"]
+        assert times["auto"] < times["scalar"]
+
+    def test_manual_and_auto_similar(self):
+        """Paper: 'Both the manual and auto vectorization produced the
+        similar performance enhancement.'"""
+        times = compare_strategies(FrameShape(88, 72))
+        gain_manual = 1 - times["manual"] / times["scalar"]
+        gain_auto = 1 - times["auto"] / times["scalar"]
+        assert abs(gain_manual - gain_auto) < 0.02
+
+    def test_strategy_validation(self):
+        with pytest.raises(ConfigurationError):
+            VectorizationStrategy("bad", coverage=1.5, lane_efficiency=0.8,
+                                  loop_overhead_macs=0)
+        with pytest.raises(ConfigurationError):
+            VectorizationStrategy("bad", coverage=0.5, lane_efficiency=0.0,
+                                  loop_overhead_macs=0)
+
+    def test_report_flags_epilogues_for_odd_sizes(self):
+        report = vectorization_report(FrameShape(35, 35))
+        epilogues = [r for r in report if "epilogue" in r.reason]
+        assert epilogues  # 35 is not a multiple of 4
+
+    def test_report_clean_for_aligned_sizes(self):
+        """64x64 keeps every level's loop length a multiple of 4 —
+        decimation halves 64 -> 32 -> 16 -> 8 without going ragged."""
+        report = vectorization_report(FrameShape(64, 64))
+        assert all("multiple of 4" in r.reason for r in report)
+
+    def test_even_input_can_still_produce_ragged_loops(self):
+        """32x24 is lane-aligned at level 1, but decimation produces
+        length-6 and length-3 loops deeper down — the subtle epilogue
+        cost the Section IV masking trick cannot remove."""
+        report = vectorization_report(FrameShape(32, 24))
+        assert any("epilogue" in r.reason for r in report)
+
+    def test_strategies_exported_with_expected_shape(self):
+        assert MANUAL.coverage >= AUTO.coverage
+        assert MANUAL.loop_overhead_macs > AUTO.loop_overhead_macs

@@ -1,0 +1,105 @@
+"""Power rails and energy accounting against the published numbers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.energy import EnergyMeter, energy_mj
+from repro.hw.power import MODES, PowerModel, PowerRecorder
+
+
+@pytest.fixture
+def model():
+    return PowerModel()
+
+
+class TestPowerModel:
+    def test_arm_equals_neon(self, model):
+        """Paper: 'Fusing using only the ARM processor consumes
+        approximately the same power as using ARM+NEON.'"""
+        assert np.isclose(model.power_w("arm"), model.power_w("neon"))
+
+    def test_fpga_increase_is_19_2_mw(self, model):
+        """Paper: ARM+FPGA consumes 19.2 mW more."""
+        assert np.isclose(model.fpga_power_increase_w(), 0.0192, atol=1e-6)
+
+    def test_fpga_increase_is_3_6_percent(self, model):
+        increase = model.fpga_power_increase_w() / model.power_w("arm")
+        assert abs(increase - 0.036) < 0.001
+
+    def test_idle_below_active(self, model):
+        assert model.power_w("idle") < model.power_w("arm")
+
+    def test_rail_breakdown_sums_to_total(self, model):
+        for mode in MODES:
+            rails = model.rail_breakdown(mode)
+            assert np.isclose(sum(rails.values()), model.power_w(mode))
+
+    def test_fpga_mode_shifts_power_to_pl(self, model):
+        """PS core draws less (offloaded), PL core draws more."""
+        arm = model.rail_breakdown("arm")
+        fpga = model.rail_breakdown("fpga")
+        assert fpga["vccpint"] < arm["vccpint"]
+        assert fpga["vccint"] > arm["vccint"]
+
+    def test_unknown_mode(self, model):
+        with pytest.raises(ConfigurationError):
+            model.power_w("quantum")
+
+    def test_rails_must_cover_all_modes(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(rails={"vccint": {"arm": 0.1}})
+
+
+class TestPowerRecorder:
+    def test_energy_equals_power_times_time(self, model):
+        recorder = PowerRecorder(model, sample_period_s=1e-4)
+        report = recorder.run_stage("arm", 0.05)
+        assert np.isclose(report.joules, model.power_w("arm") * 0.05)
+        assert np.isclose(recorder.total_energy_j(), report.joules,
+                          rtol=0.01)
+
+    def test_average_power_across_modes(self, model):
+        recorder = PowerRecorder(model, sample_period_s=1e-4)
+        recorder.run_stage("arm", 0.01)
+        recorder.run_stage("fpga", 0.01)
+        avg = recorder.average_power_w()
+        assert model.power_w("arm") <= avg <= model.power_w("fpga")
+
+    def test_clock_advances(self, model):
+        recorder = PowerRecorder(model)
+        recorder.run_stage("idle", 0.25)
+        recorder.run_stage("arm", 0.25)
+        assert np.isclose(recorder.elapsed_s, 0.5)
+
+    def test_negative_duration_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            PowerRecorder(model).run_stage("arm", -1.0)
+
+    def test_bad_sample_period(self):
+        with pytest.raises(ConfigurationError):
+            PowerRecorder(sample_period_s=0.0)
+
+
+class TestEnergyMeter:
+    def test_stage_accumulation(self):
+        meter = EnergyMeter(mode="arm")
+        meter.add_stage("forward", 0.1)
+        meter.add_stage("forward", 0.1)
+        meter.add_stage("inverse", 0.05)
+        assert np.isclose(meter.total_seconds, 0.25)
+        assert np.isclose(meter.stages["forward"].seconds, 0.2)
+
+    def test_total_joules(self, model):
+        meter = EnergyMeter(mode="fpga", model=model)
+        meter.add_stage("all", 2.0)
+        assert np.isclose(meter.total_joules, 2.0 * model.power_w("fpga"))
+        assert np.isclose(meter.total_millijoules, meter.total_joules * 1e3)
+
+    def test_energy_mj_helper(self, model):
+        assert np.isclose(energy_mj(1.0, "arm", model),
+                          model.power_w("arm") * 1e3)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyMeter(mode="arm").add_stage("bad", -0.1)

@@ -1,0 +1,132 @@
+"""Resource estimation (Table I), AXI models and platform description."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AxiError, ConfigurationError
+from repro.hw.axi import AcpModel, AxiLiteModel, GpPortModel
+from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hw.platform import DEFAULT_PLATFORM, ZynqPlatform
+from repro.hw.resources import (
+    PAPER_TABLE1,
+    EngineConfig,
+    estimate_resources,
+)
+
+
+class TestTable1:
+    def test_default_config_reproduces_table1(self):
+        """The paper's 12-tap engine on the xc7z020 (Table I)."""
+        estimate = estimate_resources(EngineConfig())
+        assert abs(estimate.registers - PAPER_TABLE1["registers"][0]) <= 200
+        assert abs(estimate.luts - PAPER_TABLE1["luts"][0]) <= 200
+        assert abs(estimate.slices - PAPER_TABLE1["slices"][0]) <= 100
+        assert estimate.bufg == PAPER_TABLE1["bufg"][0]
+
+    def test_utilization_percentages(self):
+        util = estimate_resources().utilization("xc7z020clg484-1")
+        assert abs(util["registers"] - PAPER_TABLE1["registers"][1]) < 1.5
+        assert abs(util["luts"] - PAPER_TABLE1["luts"][1]) < 1.5
+        assert abs(util["slices"] - PAPER_TABLE1["slices"][1]) < 1.5
+        assert abs(util["bufg"] - PAPER_TABLE1["bufg"][1]) < 1.5
+
+    def test_fits_the_7z020(self):
+        assert estimate_resources().fits("xc7z020clg484-1")
+
+    def test_wider_engine_needs_more(self):
+        small = estimate_resources(EngineConfig(taps=12))
+        large = estimate_resources(EngineConfig(taps=20))
+        assert large.luts > small.luts
+        assert large.registers > small.registers
+
+    def test_too_big_for_7z010(self):
+        """The engine is over half the 7z020; it cannot fit the 7z010."""
+        assert not estimate_resources().fits("xc7z010clg400-1")
+
+    def test_unknown_part(self):
+        with pytest.raises(ConfigurationError):
+            estimate_resources().utilization("xc7z099")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(taps=1)
+        with pytest.raises(ConfigurationError):
+            EngineConfig(channels=0)
+
+    def test_bram_accounts_io_buffers(self):
+        estimate = estimate_resources(EngineConfig(buffer_words=4096))
+        assert np.isclose(estimate.bram_kbit, 4096 * 32 * 2 / 1024.0)
+
+
+class TestAxiModels:
+    def test_gp_port_costs_25_cycles_per_word(self):
+        """Section V: 'every transfer requires around 25 clock cycles'."""
+        gp = GpPortModel()
+        one_word = gp.transfer_s(1)
+        assert np.isclose(one_word, 25.0 / DEFAULT_PLATFORM.ps_clock_hz)
+
+    def test_acp_much_faster_than_gp(self):
+        words = 2048
+        acp = AcpModel().transfer_s(words)
+        gp = GpPortModel().transfer_s(words)
+        assert gp / acp > 5.0  # the reason the paper built a DMA engine
+
+    def test_acp_burst_setup_amortized(self):
+        acp = AcpModel()
+        assert acp.transfer_cycles(0) == 0.0
+        small = acp.transfer_cycles(4) / 4
+        large = acp.transfer_cycles(4096) / 4096
+        assert small > large
+
+    def test_axilite_write_cost(self):
+        lite = AxiLiteModel()
+        assert lite.write_s(4) == 4 * lite.write_s(1)
+        assert lite.read_s(2) > 0
+
+    @pytest.mark.parametrize("model_call", [
+        lambda: AxiLiteModel().write_s(-1),
+        lambda: GpPortModel().transfer_s(-5),
+        lambda: AcpModel().transfer_cycles(-1),
+    ])
+    def test_negative_counts_rejected(self, model_call):
+        with pytest.raises(AxiError):
+            model_call()
+
+
+class TestPlatform:
+    def test_defaults_match_paper(self):
+        p = DEFAULT_PLATFORM
+        assert p.ps_clock_hz == 533e6   # "PS works at the default of 533"
+        assert p.pl_clock_hz == 100e6   # "single clock frequency of 100 MHz"
+        assert p.io_buffer_words == 4096
+        assert p.buffer_area_words == 2048
+        assert p.part == "xc7z020clg484-1"
+
+    def test_acp_moves_two_words_per_cycle(self):
+        assert DEFAULT_PLATFORM.acp_words_per_cycle == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZynqPlatform(ps_clock_hz=0)
+        with pytest.raises(ConfigurationError):
+            ZynqPlatform(io_buffer_areas=0)
+
+
+class TestCalibration:
+    def test_defaults_valid(self):
+        DEFAULT_CALIBRATION.validate()
+
+    def test_overrides_return_new_object(self):
+        updated = DEFAULT_CALIBRATION.with_overrides(arm_pass_overhead_s=5e-6)
+        assert updated is not DEFAULT_CALIBRATION
+        assert updated.arm_pass_overhead_s == 5e-6
+        assert DEFAULT_CALIBRATION.arm_pass_overhead_s != 5e-6
+
+    def test_invalid_values_rejected(self):
+        from repro.errors import CalibrationError
+        with pytest.raises(CalibrationError):
+            Calibration(arm_mac_rate_fwd=-1.0).validate()
+        with pytest.raises(CalibrationError):
+            Calibration(neon_vector_fraction_fwd=1.5).validate()
+        with pytest.raises(CalibrationError):
+            DEFAULT_CALIBRATION.with_overrides(neon_lanes=0)

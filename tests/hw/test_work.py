@@ -1,0 +1,103 @@
+"""Analytic work model: counts must match the functional transform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.work import WorkModel, summarize_passes
+from repro.types import FrameShape
+
+
+class TestInvocationCounts:
+    def test_full_frame_forward_count(self):
+        """88x72, 3 levels: W+2H at level 1 plus 4(W_l+H_l) per level."""
+        wm = WorkModel(FrameShape(88, 72), levels=3)
+        expected = (88 + 2 * 72) + 4 * (44 + 36) + 4 * (22 + 18)
+        assert wm.forward_invocations() == expected
+
+    def test_inverse_matches_forward_structure(self):
+        wm = WorkModel(FrameShape(88, 72), levels=3)
+        assert wm.inverse_invocations() == wm.forward_invocations()
+
+    @pytest.mark.parametrize("width,height", [(32, 24), (40, 40), (64, 48)])
+    def test_counts_scale_with_perimeter(self, width, height):
+        wm = WorkModel(FrameShape(width, height), levels=3)
+        small = wm.forward_invocations()
+        wm2 = WorkModel(FrameShape(width * 2, height * 2), levels=3)
+        # invocations grow linearly with the frame side, not the area
+        assert 1.8 < wm2.forward_invocations() / small < 2.2
+
+    def test_odd_sizes_use_ceil_division(self):
+        wm = WorkModel(FrameShape(35, 35), levels=3)
+        # level 2 sees 18x18 (ceil 35/2): 18 column sweeps + 2*ceil(18/2)
+        # row sweeps; level 3 sees 9x9: 9 + 2*ceil(9/2) = 19 per tree
+        expected = (35 + 70) + 4 * (18 + 18) + 4 * (9 + 2 * 5)
+        assert wm.forward_invocations() == expected
+
+
+class TestMacCounts:
+    def test_macs_scale_with_area(self):
+        small = WorkModel(FrameShape(44, 36), levels=3).forward_macs()
+        large = WorkModel(FrameShape(88, 72), levels=3).forward_macs()
+        assert 3.7 < large / small < 4.3
+
+    def test_known_full_frame_total(self):
+        """Pinned regression value: hand-derived in DESIGN.md section 5."""
+        assert WorkModel(FrameShape(88, 72), levels=3).forward_macs() == 525888
+
+    def test_more_levels_more_macs(self):
+        base = WorkModel(FrameShape(64, 64), levels=1).forward_macs()
+        deeper = WorkModel(FrameShape(64, 64), levels=3).forward_macs()
+        assert deeper > base
+
+    def test_level_work_decays_geometrically(self):
+        wm = WorkModel(FrameShape(88, 72), levels=3)
+        per_level = {}
+        for p in wm.forward_passes():
+            per_level[p.level] = per_level.get(p.level, 0) + p.macs
+        assert per_level[2] > per_level[3]
+        # each q-shift level does ~4x less than the previous
+        assert 3.0 < per_level[2] / per_level[3] < 5.0
+
+
+class TestFusionCoefficients:
+    def test_full_frame_count(self):
+        """6 complex bands per level + 4 low-pass trees."""
+        wm = WorkModel(FrameShape(88, 72), levels=3)
+        expected = 6 * (44 * 36) + 6 * (22 * 18) + 6 * (11 * 9) + 4 * (11 * 9)
+        assert wm.fusion_coefficients() == expected
+
+    def test_matches_functional_pyramid(self, rng):
+        """The analytic count equals the real pyramid's size (even-size
+        frames, where no padding happens)."""
+        from repro.dtcwt import Dtcwt2D
+        shape = FrameShape(64, 48)
+        wm = WorkModel(shape, levels=3)
+        pyr = Dtcwt2D(levels=3).forward(rng.standard_normal(shape.array_shape))
+        band_coeffs = sum(h[0].size * 6 // 6 * 6 for h in pyr.highpasses) // 1
+        total = sum(h.size for h in pyr.highpasses) + pyr.lowpass.size
+        assert wm.fusion_coefficients() == total
+
+
+class TestPassRecords:
+    def test_words_are_positive(self):
+        wm = WorkModel(FrameShape(40, 40), levels=2)
+        for p in wm.forward_passes() + wm.inverse_passes():
+            assert p.words_in > 0 and p.words_out > 0
+            assert p.out_len > 0 and p.macs > 0
+
+    def test_directions_labelled(self):
+        wm = WorkModel(FrameShape(40, 40), levels=2)
+        assert {p.direction for p in wm.forward_passes()} == {"forward"}
+        assert {p.direction for p in wm.inverse_passes()} == {"inverse"}
+
+    def test_summary(self):
+        wm = WorkModel(FrameShape(40, 40), levels=2)
+        summary = summarize_passes(wm.forward_passes())
+        assert summary["invocations"] == wm.forward_invocations()
+        assert summary["macs"] == wm.forward_macs()
+        assert summary["levels"] == [1, 2]
+
+    def test_bad_levels(self):
+        with pytest.raises(ConfigurationError):
+            WorkModel(FrameShape(32, 32), levels=0)

@@ -1,0 +1,55 @@
+"""All three engines must compute the same fusion (they differ only in
+where the arithmetic runs — the paper's Figs. 8/9 presume this)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import ImageFusion
+from repro.hw.arm import ArmEngine
+from repro.hw.fpga import FpgaEngine
+from repro.hw.neon import NeonEngine
+
+
+@pytest.fixture(scope="module")
+def frame_pair():
+    rng = np.random.default_rng(99)
+    yy, xx = np.mgrid[0:24, 0:32]
+    visible = 120 + 30 * np.sin(xx / 3.0) + rng.normal(0, 2, (24, 32))
+    thermal = 90 + 110 * np.exp(-((xx - 20) ** 2 + (yy - 12) ** 2) / 30.0)
+    return visible.astype(np.float32), thermal.astype(np.float32)
+
+
+class TestPyramidEquivalence:
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_forward_pyramids_match(self, frame_pair, levels):
+        visible, _ = frame_pair
+        pyramids = {}
+        for engine in (ArmEngine(), NeonEngine(), FpgaEngine()):
+            pyramids[engine.name] = engine.transform(levels).forward(visible)
+        ref = pyramids["arm"]
+        for name in ("neon", "fpga"):
+            other = pyramids[name]
+            for level in range(levels):
+                assert np.allclose(ref.highpasses[level],
+                                   other.highpasses[level], atol=2e-4), \
+                    f"{name} level {level + 1} diverges from arm"
+            assert np.allclose(ref.lowpass, other.lowpass, atol=2e-4)
+
+
+class TestFusedFrameEquivalence:
+    def test_full_fusion_identical_across_engines(self, frame_pair):
+        visible, thermal = frame_pair
+        outputs = {}
+        for engine in (ArmEngine(), NeonEngine(), FpgaEngine()):
+            fusion = ImageFusion(transform=engine.transform(levels=2))
+            outputs[engine.name] = fusion.fuse(visible, thermal).fused
+        assert np.allclose(outputs["arm"], outputs["neon"], atol=1e-4)
+        assert np.allclose(outputs["arm"], outputs["fpga"], atol=2e-3)
+
+    def test_fpga_roundtrip_error_bounded(self, frame_pair):
+        """float32 + HLS datapath: reconstruction stays within sensor
+        noise (the hardware is usable as a drop-in)."""
+        visible, _ = frame_pair
+        transform = FpgaEngine().transform(levels=3)
+        rec = transform.inverse(transform.forward(visible))
+        assert np.max(np.abs(rec - visible)) < 1e-2

@@ -1,0 +1,183 @@
+"""Section VII of the paper, claim by claim, against the model.
+
+Each test quotes the claim it checks.  Tolerances are the reproduction
+bands recorded in EXPERIMENTS.md: headline percentages within a few
+points, crossovers within the windows the paper states.  One deviation
+is expected and documented: the paper puts the *inverse* crossover past
+40x40 while also reporting -60.6 % at 88x72, which no overhead+
+throughput cost model can satisfy simultaneously; we reproduce the
+-60.6 % anchor and the crossover lands at 38-39 px.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.arm import ArmEngine
+from repro.hw.fpga import FpgaEngine
+from repro.hw.neon import NeonEngine
+from repro.hw.power import PowerModel
+from repro.types import FrameShape
+
+FULL = FrameShape(88, 72)
+SMALL = FrameShape(32, 24)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return ArmEngine(), NeonEngine(), FpgaEngine()
+
+
+@pytest.fixture(scope="module")
+def power():
+    return PowerModel()
+
+
+class TestForwardTransform:
+    def test_fpga_saves_55_6_percent_at_full_frame(self, engines):
+        """'a performance enhancement ... of 55.6% when using the FPGA
+        ... to forward transform the full frames (88x72 pixels)'"""
+        arm, _, fpga = engines
+        gain = 1 - fpga.forward_stage_time(FULL) / arm.forward_stage_time(FULL)
+        assert abs(gain - 0.556) < 0.02
+
+    def test_neon_saves_10_percent_at_full_frame(self, engines):
+        """'a performance enhancement of 10% when using the NEON engine'"""
+        arm, neon, _ = engines
+        gain = 1 - neon.forward_stage_time(FULL) / arm.forward_stage_time(FULL)
+        assert abs(gain - 0.10) < 0.02
+
+    def test_fpga_36_4_percent_worse_than_neon_at_32x24(self, engines):
+        """'for smaller extractions ... at 32x24 pixels, execution of the
+        forward DT-CWT by FPGA caused a 36.4% performance degradation
+        compared to ... the NEON engine'"""
+        _, neon, fpga = engines
+        penalty = (fpga.forward_stage_time(SMALL)
+                   / neon.forward_stage_time(SMALL)) - 1.0
+        assert abs(penalty - 0.364) < 0.04
+
+    def test_fpga_slower_than_arm_at_32x24(self, engines):
+        """'The forward transform using FPGA at this point took longer
+        than that using the ARM processor'"""
+        arm, _, fpga = engines
+        assert fpga.forward_stage_time(SMALL) > arm.forward_stage_time(SMALL)
+
+    def test_crossover_between_35_and_40(self, engines):
+        """'the breaking point at frame size between 35x35 and 40x40'"""
+        _, neon, fpga = engines
+        assert (fpga.forward_stage_time(FrameShape(35, 35))
+                > neon.forward_stage_time(FrameShape(35, 35)))
+        assert (fpga.forward_stage_time(FrameShape(40, 40))
+                < neon.forward_stage_time(FrameShape(40, 40)))
+
+
+class TestInverseTransform:
+    def test_fpga_saves_60_6_percent_at_full_frame(self, engines):
+        """'execution using the FPGA ... provided 60.6% performance
+        enhancement' (inverse, 88x72)"""
+        arm, _, fpga = engines
+        gain = 1 - fpga.inverse_stage_time(FULL) / arm.inverse_stage_time(FULL)
+        assert abs(gain - 0.606) < 0.03
+
+    def test_neon_saves_16_percent_at_full_frame(self, engines):
+        arm, neon, _ = engines
+        gain = 1 - neon.inverse_stage_time(FULL) / arm.inverse_stage_time(FULL)
+        assert abs(gain - 0.16) < 0.02
+
+    def test_fpga_loses_at_35x35_and_below(self, engines):
+        """'The FPGA still provided worse performance than the NEON
+        engine at frame size 35x35 and 32x24 pixels'"""
+        _, neon, fpga = engines
+        for shape in (FrameShape(35, 35), FrameShape(32, 24)):
+            assert (fpga.inverse_stage_time(shape)
+                    > neon.inverse_stage_time(shape))
+
+
+class TestTotalTime:
+    def test_fpga_total_gain_near_48_percent(self, engines):
+        """'At full frame size ..., the FPGA provided 48.1% performance
+        enhancement' (total, within the model's consistency band)"""
+        arm, _, fpga = engines
+        gain = 1 - (fpga.frame_time(FULL).total_s
+                    / arm.frame_time(FULL).total_s)
+        assert 0.44 < gain < 0.54
+
+    def test_neon_total_gain_near_8_percent(self, engines):
+        arm, neon, _ = engines
+        gain = 1 - (neon.frame_time(FULL).total_s
+                    / arm.frame_time(FULL).total_s)
+        assert 0.06 < gain < 0.13
+
+    def test_fpga_beats_neon_only_beyond_40(self, engines):
+        """'The ARM+FPGA execution outperformed the ARM+NEON only when
+        the frame size was increased beyond 40x40 pixels' — paper sizes."""
+        _, neon, fpga = engines
+        assert (fpga.frame_time(FrameShape(35, 35)).total_s
+                > neon.frame_time(FrameShape(35, 35)).total_s)
+        assert (fpga.frame_time(FrameShape(64, 48)).total_s
+                < neon.frame_time(FrameShape(64, 48)).total_s)
+
+
+class TestPowerAndEnergy:
+    def test_arm_neon_equal_power(self, power):
+        """'Fusing using only the ARM processor consumes approximately
+        the same power as using ARM+NEON.'"""
+        assert np.isclose(power.power_w("arm"), power.power_w("neon"))
+
+    def test_fpga_power_up_19_2_mw_3_6_percent(self, power):
+        """'fusing using ARM+FPGA consumes 3.6% more power (19.2mW)'"""
+        delta = power.fpga_power_increase_w()
+        assert np.isclose(delta, 0.0192, atol=5e-4)
+        assert abs(delta / power.power_w("arm") - 0.036) < 0.002
+
+    def test_fpga_energy_saving_near_46_percent(self, engines, power):
+        """'ARM+FPGA saves 46.3% of total energy consumption when fusing
+        images with full frame size'"""
+        arm, _, fpga = engines
+        e_arm = arm.frame_time(FULL).total_s * power.power_w("arm")
+        e_fpga = fpga.frame_time(FULL).total_s * power.power_w("fpga")
+        saving = 1 - e_fpga / e_arm
+        assert 0.42 < saving < 0.52
+
+    def test_neon_energy_saving_near_8_percent(self, engines, power):
+        arm, neon, _ = engines
+        e_arm = arm.frame_time(FULL).total_s * power.power_w("arm")
+        e_neon = neon.frame_time(FULL).total_s * power.power_w("neon")
+        assert 0.05 < 1 - e_neon / e_arm < 0.13
+
+    def test_energy_crossover_between_40x40_and_64x48(self, engines, power):
+        """'The breaking point exists at the frame size between 40x40
+        and 64x48 pixels' (energy, ARM+FPGA vs ARM+NEON)"""
+        _, neon, fpga = engines
+
+        def energy(engine, shape):
+            return (engine.frame_time(shape).total_s
+                    * power.power_w(engine.power_mode))
+
+        assert energy(fpga, FrameShape(40, 40)) > energy(neon, FrameShape(40, 40))
+        assert energy(fpga, FrameShape(64, 48)) < energy(neon, FrameShape(64, 48))
+
+    def test_bigger_frames_widen_the_fpga_energy_advantage(self, engines, power):
+        """'starting from the breaking point, the larger the frame size
+        ..., the more energy efficient is the ARM+FPGA processing mode'"""
+        _, neon, fpga = engines
+        ratios = []
+        for shape in (FrameShape(64, 48), FrameShape(88, 72),
+                      FrameShape(128, 96)):
+            e_fpga = fpga.frame_time(shape).total_s * power.power_w("fpga")
+            e_neon = neon.frame_time(shape).total_s * power.power_w("neon")
+            ratios.append(e_fpga / e_neon)
+        assert ratios[0] > ratios[1] > ratios[2]
+
+
+class TestAdaptiveConclusion:
+    def test_adaptive_matches_best_everywhere(self):
+        """'an adaptive system that intelligently selects between the
+        SIMD engine and the FPGA achieves the most energy and performance
+        efficiency point'"""
+        from repro.core.adaptive import CostModelScheduler
+        from repro.types import PAPER_FRAME_SIZES
+        scheduler = CostModelScheduler(objective="time")
+        for shape in PAPER_FRAME_SIZES:
+            decision = scheduler.choose(shape)
+            assert decision.alternatives[decision.engine.name] == min(
+                decision.alternatives.values())

@@ -1,0 +1,86 @@
+"""Property-based tests of the wavelet substrate's invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dtcwt import Dtcwt2D, Dwt2D
+
+_SETTINGS = dict(deadline=None, max_examples=25)
+
+
+def images(min_side=8, max_side=48):
+    sides = st.integers(min_side, max_side)
+    return sides.flatmap(
+        lambda rows: sides.flatmap(
+            lambda cols: hnp.arrays(
+                dtype=np.float64,
+                shape=(rows, cols),
+                elements=st.floats(-1e3, 1e3, allow_nan=False,
+                                   allow_infinity=False, width=64),
+            )
+        )
+    )
+
+
+class TestPerfectReconstruction:
+    @settings(**_SETTINGS)
+    @given(image=images(), levels=st.integers(1, 3))
+    def test_dtcwt_roundtrip_any_content_any_shape(self, image, levels):
+        transform = Dtcwt2D(levels=levels)
+        rec = transform.inverse(transform.forward(image))
+        scale = max(1.0, float(np.max(np.abs(image))))
+        assert np.max(np.abs(rec - image)) < 1e-8 * scale
+
+    @settings(**_SETTINGS)
+    @given(image=images(), levels=st.integers(1, 3))
+    def test_dwt_roundtrip(self, image, levels):
+        transform = Dwt2D(levels=levels)
+        rec = transform.inverse(transform.forward(image))
+        scale = max(1.0, float(np.max(np.abs(image))))
+        assert np.max(np.abs(rec - image)) < 1e-8 * scale
+
+
+class TestLinearity:
+    @settings(**_SETTINGS)
+    @given(
+        image=images(min_side=8, max_side=32),
+        scalar=st.floats(-100, 100, allow_nan=False),
+    )
+    def test_scaling_commutes(self, image, scalar):
+        transform = Dtcwt2D(levels=2)
+        scaled = transform.forward(scalar * image)
+        base = transform.forward(image)
+        for level in range(2):
+            assert np.allclose(scaled.highpasses[level],
+                               scalar * base.highpasses[level],
+                               atol=1e-6 * max(1.0, abs(scalar))
+                               * max(1.0, float(np.max(np.abs(image)))))
+
+
+class TestEnergy:
+    @settings(**_SETTINGS)
+    @given(image=images(min_side=8, max_side=32))
+    def test_dwt_preserves_energy(self, image):
+        """Orthonormal critically-sampled transform: exact Parseval."""
+        pyr = Dwt2D(levels=2).forward(image)
+        if pyr.padded_shape != image.shape:
+            return  # padding changes the energy bookkeeping
+        total = float(np.sum(pyr.lowpass ** 2)) + sum(
+            float(np.sum(d ** 2)) for d in pyr.details)
+        assert np.isclose(total, float(np.sum(image ** 2)), rtol=1e-9,
+                          atol=1e-6)
+
+    @settings(**_SETTINGS)
+    @given(image=images(min_side=8, max_side=32))
+    def test_dtcwt_is_a_tight_frame_up_to_redundancy(self, image):
+        pyr = Dtcwt2D(levels=2).forward(image)
+        if pyr.padded_shape != image.shape:
+            return
+        total = float(np.sum(np.abs(pyr.lowpass) ** 2)) + sum(
+            float(np.sum(np.abs(h) ** 2)) for h in pyr.highpasses)
+        energy = float(np.sum(image ** 2))
+        if energy < 1e-12:
+            assert total < 1e-9
+        else:
+            assert 3.2 < total / energy < 4.8

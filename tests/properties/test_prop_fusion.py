@@ -1,0 +1,75 @@
+"""Property-based tests of fusion rules and the fusion pipeline."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.fusion import fuse_images
+from repro.core.fusion_rules import MaxMagnitudeRule, WeightedRule
+from repro.dtcwt import Dtcwt2D
+
+_SETTINGS = dict(deadline=None, max_examples=20)
+
+
+def small_images(side=24):
+    return hnp.arrays(
+        dtype=np.float64, shape=(side, side),
+        elements=st.floats(-255, 255, allow_nan=False, allow_infinity=False),
+    )
+
+
+class TestMaxMagnitudeProperties:
+    @settings(**_SETTINGS)
+    @given(a=small_images(), b=small_images())
+    def test_selection_closed_over_inputs(self, a, b):
+        """Every fused coefficient comes from one of the two pyramids."""
+        t = Dtcwt2D(levels=2)
+        pa, pb = t.forward(a), t.forward(b)
+        fused = MaxMagnitudeRule().fuse(pa, pb)
+        for level in range(2):
+            from_a = np.isclose(fused.highpasses[level], pa.highpasses[level])
+            from_b = np.isclose(fused.highpasses[level], pb.highpasses[level])
+            assert np.all(from_a | from_b)
+
+    @settings(**_SETTINGS)
+    @given(a=small_images(), b=small_images())
+    def test_idempotent(self, a, b):
+        """fuse(fuse(A,B), fuse(A,B)) == fuse(A,B)."""
+        t = Dtcwt2D(levels=2)
+        rule = MaxMagnitudeRule()
+        once = rule.fuse(t.forward(a), t.forward(b))
+        twice = rule.fuse(once, once)
+        for level in range(2):
+            assert np.array_equal(once.highpasses[level],
+                                  twice.highpasses[level])
+
+    @settings(**_SETTINGS)
+    @given(a=small_images())
+    def test_self_fusion_reconstructs_input(self, a):
+        fused = fuse_images(a, a, levels=2)
+        scale = max(1.0, float(np.max(np.abs(a))))
+        assert np.max(np.abs(fused - a)) < 1e-8 * scale
+
+
+class TestWeightedProperties:
+    @settings(**_SETTINGS)
+    @given(a=small_images(), b=small_images(),
+           alpha=st.floats(0.0, 1.0, allow_nan=False))
+    def test_blend_reconstruction_is_linear_blend(self, a, b, alpha):
+        """Weighted coefficient fusion == pixel-domain blend (the whole
+        transform chain is linear)."""
+        fused = fuse_images(a, b, levels=2, rule=WeightedRule(alpha=alpha))
+        expected = alpha * a + (1 - alpha) * b
+        scale = max(1.0, float(np.max(np.abs(expected))))
+        assert np.max(np.abs(fused - expected)) < 1e-7 * scale
+
+
+class TestOutputBounds:
+    @settings(**_SETTINGS)
+    @given(a=small_images(), b=small_images())
+    def test_fused_output_is_finite(self, a, b):
+        fused = fuse_images(a, b, levels=2)
+        assert np.all(np.isfinite(fused))
+        # output magnitude cannot exceed combined input scale wildly
+        bound = 4.0 * (np.max(np.abs(a)) + np.max(np.abs(b)) + 1.0)
+        assert np.max(np.abs(fused)) < bound

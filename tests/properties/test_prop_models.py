@@ -1,0 +1,145 @@
+"""Property-based tests of the platform models and schedulers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptive import CostModelScheduler
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.driver import PassCost, WaveletDriver
+from repro.hw.fpga import FpgaEngine
+from repro.hw.neon import NeonEngine
+from repro.hw.trace import ScheduleTracer
+from repro.hw.work import WorkModel
+from repro.types import FrameShape
+
+_SETTINGS = dict(deadline=None, max_examples=20)
+
+
+class TestWorkModelProperties:
+    @settings(**_SETTINGS)
+    @given(width=st.integers(16, 128), height=st.integers(16, 128),
+           levels=st.integers(1, 4))
+    def test_counts_positive_and_symmetric(self, width, height, levels):
+        work = WorkModel(FrameShape(width, height), levels=levels)
+        assert work.forward_macs() > 0
+        assert work.forward_invocations() > 0
+        # inverse mirrors forward structurally
+        assert work.inverse_invocations() == work.forward_invocations()
+
+    @settings(**_SETTINGS)
+    @given(width=st.integers(16, 64), height=st.integers(16, 64),
+           levels=st.integers(1, 3))
+    def test_macs_monotone_in_size(self, width, height, levels):
+        small = WorkModel(FrameShape(width, height), levels=levels)
+        large = WorkModel(FrameShape(width + 8, height + 8), levels=levels)
+        assert large.forward_macs() > small.forward_macs()
+        assert large.fusion_coefficients() >= small.fusion_coefficients()
+
+    @settings(**_SETTINGS)
+    @given(width=st.integers(16, 64), height=st.integers(16, 64))
+    def test_deeper_transforms_cost_more(self, width, height):
+        shallow = WorkModel(FrameShape(width, height), levels=1)
+        deep = WorkModel(FrameShape(width, height), levels=3)
+        assert deep.forward_macs() > shallow.forward_macs()
+
+
+class TestTimingModelProperties:
+    @settings(**_SETTINGS)
+    @given(width=st.integers(24, 96), height=st.integers(24, 96))
+    def test_breakdown_components_nonnegative(self, width, height):
+        shape = FrameShape(width, height)
+        for engine in (NeonEngine(), FpgaEngine()):
+            for breakdown in (engine.forward_time(shape),
+                              engine.inverse_time(shape)):
+                assert breakdown.compute_s >= 0
+                assert breakdown.transfer_s >= 0
+                assert breakdown.command_s >= 0
+                assert breakdown.total_s > 0
+
+    @settings(**_SETTINGS)
+    @given(scale=st.floats(0.25, 4.0))
+    def test_driver_cost_scales_fpga_monotonically(self, scale):
+        cal = DEFAULT_CALIBRATION.with_overrides(
+            fpga_driver_invocation_s=(
+                DEFAULT_CALIBRATION.fpga_driver_invocation_s * scale))
+        scaled = FpgaEngine(calibration=cal)
+        base = FpgaEngine()
+        shape = FrameShape(48, 48)
+        if scale > 1.0:
+            assert (scaled.forward_time(shape).total_s
+                    > base.forward_time(shape).total_s)
+        elif scale < 1.0:
+            assert (scaled.forward_time(shape).total_s
+                    < base.forward_time(shape).total_s)
+
+
+class TestSchedulerProperties:
+    @settings(**_SETTINGS)
+    @given(px=st.integers(24, 96), levels=st.integers(1, 4))
+    def test_choice_is_argmin(self, px, levels):
+        scheduler = CostModelScheduler(objective="time")
+        decision = scheduler.choose(FrameShape(px, px), levels)
+        assert decision.alternatives[decision.engine.name] == min(
+            decision.alternatives.values())
+
+    @settings(**_SETTINGS)
+    @given(px=st.integers(24, 96))
+    def test_energy_never_cheaper_than_power_floor(self, px):
+        scheduler = CostModelScheduler(objective="energy")
+        decision = scheduler.choose(FrameShape(px, px))
+        # energy and time predictions must be mutually consistent
+        assert decision.predicted_mj > decision.predicted_s * 0.4 * 1e3
+        assert decision.predicted_mj < decision.predicted_s * 0.7 * 1e3
+
+
+class TestScheduleTraceProperties:
+    @settings(**_SETTINGS)
+    @given(costs=st.lists(
+        st.tuples(st.floats(0, 5e-5), st.floats(0, 5e-5),
+                  st.floats(0, 5e-5), st.floats(0, 5e-5)),
+        min_size=1, max_size=30))
+    def test_trace_always_matches_closed_form(self, costs):
+        passes = [PassCost(*c) for c in costs]
+        for db in (True, False):
+            tracer = ScheduleTracer(double_buffered=db)
+            makespan = tracer.run(passes)
+            closed = WaveletDriver().schedule(passes,
+                                              double_buffered=db).total_s
+            assert np.isclose(makespan, closed, rtol=1e-9, atol=1e-12)
+
+    @settings(**_SETTINGS)
+    @given(costs=st.lists(
+        st.tuples(st.floats(1e-7, 5e-5), st.floats(1e-7, 5e-5),
+                  st.floats(1e-7, 5e-5), st.floats(1e-7, 5e-5)),
+        min_size=2, max_size=25))
+    def test_lane_events_never_overlap(self, costs):
+        passes = [PassCost(*c) for c in costs]
+        tracer = ScheduleTracer(double_buffered=True)
+        tracer.run(passes)
+        for lane in ("ps-user", "pl-engine"):
+            spans = sorted((e.start_s, e.end_s) for e in tracer.events
+                           if e.lane == lane)
+            for (_, end0), (start1, _) in zip(spans, spans[1:]):
+                assert start1 >= end0 - 1e-12
+
+
+class TestMetricProperties:
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(0, 2**16), scale=st.floats(1.0, 200.0))
+    def test_qabf_bounded_and_scale_aware(self, seed, scale):
+        from repro.core.metrics import petrovic_qabf
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(0, scale, (24, 24))
+        b = rng.uniform(0, scale, (24, 24))
+        fused = (a + b) / 2
+        q = petrovic_qabf(a, b, fused)
+        assert 0.0 <= q <= 1.0
+
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(0, 2**16))
+    def test_ssim_symmetric(self, seed):
+        from repro.core.metrics import ssim
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(0, 255, (20, 20))
+        b = rng.uniform(0, 255, (20, 20))
+        assert np.isclose(ssim(a, b), ssim(b, a), atol=1e-9)

@@ -1,0 +1,112 @@
+"""Property-based tests: BT.656 codec, FIFO, driver schedule, HLS engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hw.driver import PassCost, WaveletDriver
+from repro.hw.hls import HlsWaveletEngine
+from repro.video.bt656 import Bt656Config, Bt656Decoder, encode_frame
+from repro.video.fifo import FrameFifo
+
+_SETTINGS = dict(deadline=None, max_examples=25)
+
+
+class TestBt656Roundtrip:
+    @settings(**_SETTINGS)
+    @given(
+        rows=st.integers(4, 24),
+        cols=st.integers(8, 48),
+        data=st.data(),
+    )
+    def test_any_frame_survives_the_codec(self, rows, cols, data):
+        frame = data.draw(hnp.arrays(np.uint8, (rows, cols),
+                                     elements=st.integers(1, 254)))
+        config = Bt656Config(active_width=cols, active_lines=rows,
+                             vblank_lines=2, hblank_samples=4)
+        decoded = Bt656Decoder(config).push_bytes(encode_frame(frame, config))
+        assert len(decoded) == 1
+        assert np.array_equal(decoded[0], frame)
+
+    @settings(**_SETTINGS)
+    @given(chunk=st.integers(1, 97))
+    def test_chunking_never_changes_the_result(self, chunk):
+        rng = np.random.default_rng(5)
+        config = Bt656Config(active_width=32, active_lines=8,
+                             vblank_lines=2, hblank_samples=4)
+        frame = rng.integers(1, 255, (8, 32)).astype(np.uint8)
+        stream = encode_frame(frame, config)
+        decoder = Bt656Decoder(config)
+        out = []
+        for i in range(0, len(stream), chunk):
+            out.extend(decoder.push_bytes(stream[i:i + chunk]))
+        assert len(out) == 1 and np.array_equal(out[0], frame)
+
+
+class TestFifoInvariants:
+    @settings(**_SETTINGS)
+    @given(
+        capacity=st.integers(1, 4),
+        ops=st.lists(st.booleans(), min_size=1, max_size=60),
+    )
+    def test_conservation_and_order(self, capacity, ops):
+        """accepted == popped + occupancy, and pops come out FIFO."""
+        fifo = FrameFifo(capacity=capacity)
+        pushed_ids = []
+        popped_ids = []
+        next_id = 0
+        for is_push in ops:
+            if is_push:
+                if fifo.push(np.full((1, 1), next_id)):
+                    pushed_ids.append(next_id)
+                next_id += 1
+            else:
+                frame = fifo.pop()
+                if frame is not None:
+                    popped_ids.append(int(frame[0, 0]))
+        assert popped_ids == pushed_ids[: len(popped_ids)]
+        assert fifo.stats.accepted == len(popped_ids) + fifo.occupancy
+        assert fifo.occupancy <= capacity
+
+
+class TestDriverSchedule:
+    @settings(**_SETTINGS)
+    @given(
+        costs=st.lists(
+            st.tuples(
+                st.floats(0, 1e-4), st.floats(0, 1e-4),
+                st.floats(0, 1e-4), st.floats(0, 1e-4),
+            ),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_double_buffering_never_slower_and_bounded_below(self, costs):
+        driver = WaveletDriver()
+        passes = [PassCost(ps_in_s=a, ps_out_s=b, hw_s=c, cmd_s=d)
+                  for a, b, c, d in costs]
+        serial = driver.schedule(passes, double_buffered=False).total_s
+        pipelined = driver.schedule(passes, double_buffered=True).total_s
+        assert pipelined <= serial + 1e-12
+        hw_floor = sum(p.hw_s + p.cmd_s for p in passes)
+        assert pipelined >= hw_floor - 1e-12
+
+
+class TestHlsEngineMatchesNumpy:
+    @settings(**_SETTINGS)
+    @given(
+        taps=st.sampled_from([4, 8, 12, 16]),
+        out_len=st.integers(4, 40),
+        seed=st.integers(0, 2**16),
+    )
+    def test_forward_line_is_a_decimated_fir(self, taps, out_len, seed):
+        rng = np.random.default_rng(seed)
+        engine = HlsWaveletEngine()
+        lp = rng.standard_normal(taps).astype(np.float32)
+        hp = rng.standard_normal(taps).astype(np.float32)
+        engine.load_coefficients(lp, hp)
+        x = rng.standard_normal((out_len - 1) * 2 + taps).astype(np.float32)
+        lp_out, hp_out, _ = engine.forward_line(x, out_len, step=2)
+        for m in range(out_len):
+            window = x[2 * m: 2 * m + taps].astype(np.float64)
+            assert np.isclose(lp_out[m], float(window @ lp[::-1]), atol=1e-3)
+            assert np.isclose(hp_out[m], float(window @ hp[::-1]), atol=1e-3)

@@ -1,0 +1,96 @@
+"""Advanced session assembly and SVG figure generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.figures import FIGURES, generate_figures, render_chart
+from repro.system.advanced import AdvancedFusionSession
+from repro.system.runtime import forward_stage_sweep
+from repro.types import FrameShape
+from repro.video.scene import SyntheticScene
+
+
+@pytest.fixture
+def small_session():
+    return AdvancedFusionSession(
+        fusion_shape=FrameShape(48, 40), levels=2,
+        scene=SyntheticScene(width=96, height=80, seed=5),
+        energy_budget_mj=5000,
+    )
+
+
+class TestAdvancedSession:
+    def test_run_produces_report(self, small_session):
+        report = small_session.run(5)
+        assert report.frames == 5
+        assert sum(report.engine_usage.values()) == 5
+        assert sum(report.actions.values()) == 5
+        assert 0.0 <= report.mean_qabf <= 1.0
+        assert report.telemetry["frames"] == 5
+
+    def test_explores_then_exploits(self, small_session):
+        report = small_session.run(8)
+        # all engines probed at least once
+        assert set(report.engine_usage) == {"arm", "neon", "fpga"}
+        # the winner gets the majority of frames
+        assert max(report.engine_usage.values()) >= 5
+
+    def test_aligned_rig_applies_no_shift(self, small_session):
+        report = small_session.run(4)
+        assert report.registered_shift_px < 1.0
+
+    def test_features_can_be_disabled(self):
+        session = AdvancedFusionSession(
+            fusion_shape=FrameShape(48, 40), levels=2,
+            scene=SyntheticScene(width=96, height=80, seed=5),
+            use_registration=False, use_temporal=False, use_monitor=False,
+        )
+        report = session.run(3)
+        assert report.alarms == 0
+        assert report.mean_qabf == 0.0  # monitor off
+        assert report.registered_shift_px == 0.0
+
+    def test_telemetry_energy_budget(self, small_session):
+        small_session.run(4)
+        remaining = small_session.telemetry.frames_remaining()
+        assert remaining is not None and remaining > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdvancedFusionSession(levels=0)
+        session = AdvancedFusionSession(
+            fusion_shape=FrameShape(48, 40), levels=2,
+            scene=SyntheticScene(width=96, height=80, seed=5))
+        with pytest.raises(ConfigurationError):
+            session.run(0)
+
+
+class TestFigures:
+    def test_chart_is_valid_svg(self):
+        svg = render_chart(forward_stage_sweep(), "test chart")
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        for name in ("ARM", "NEON", "FPGA"):
+            assert name in svg
+        assert "polyline" in svg
+
+    def test_generate_all_figures(self, tmp_path):
+        paths = generate_figures(tmp_path)
+        assert len(paths) == len(FIGURES)
+        for path in paths:
+            assert path.exists()
+            assert path.read_text().startswith("<svg")
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            generate_figures(tmp_path, names=("fig99",))
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_chart([], "empty")
+
+    def test_cli_figures_command(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["figures", "--output", str(tmp_path / "figs")]) == 0
+        assert (tmp_path / "figs" / "fig9a.svg").exists()

@@ -1,0 +1,132 @@
+"""Top-level system assembly, sweep runtime, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.fusion_system import VideoFusionSystem, make_engine
+from repro.system.runtime import (
+    energy_sweep,
+    find_crossover,
+    format_rows,
+    forward_stage_sweep,
+    total_time_sweep,
+)
+from repro.types import PAPER_FRAME_SIZES, FrameShape
+from repro.video.scene import SyntheticScene
+
+
+@pytest.fixture
+def small_scene():
+    return SyntheticScene(width=96, height=80, seed=3)
+
+
+class TestVideoFusionSystem:
+    def test_named_engines(self):
+        for name in ("arm", "neon", "fpga"):
+            assert make_engine(name).name == name
+        with pytest.raises(ConfigurationError):
+            make_engine("gpu")
+
+    def test_adaptive_picks_fpga_at_full_frame(self, small_scene):
+        system = VideoFusionSystem(engine="adaptive",
+                                   fusion_shape=FrameShape(88, 72),
+                                   scene=small_scene)
+        assert system.engine.name == "fpga"
+        assert system.decision is not None
+
+    def test_adaptive_picks_neon_at_small_frame(self, small_scene):
+        system = VideoFusionSystem(engine="adaptive",
+                                   fusion_shape=FrameShape(32, 24),
+                                   scene=small_scene)
+        assert system.engine.name == "neon"
+
+    def test_run_reports(self, small_scene):
+        system = VideoFusionSystem(engine="neon",
+                                   fusion_shape=FrameShape(40, 40),
+                                   levels=2, scene=small_scene)
+        report = system.run(2)
+        assert report.frames == 2
+        assert report.engine_used == "neon"
+        assert report.model_fps > 0
+        assert report.millijoules_per_frame > 0
+        assert "qabf" in report.quality
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VideoFusionSystem(engine="abacus")
+
+
+class TestRuntimeSweeps:
+    def test_sweep_covers_paper_sizes(self):
+        rows = forward_stage_sweep()
+        assert [r.shape for r in rows] == list(PAPER_FRAME_SIZES)
+        for row in rows:
+            assert set(row.values) == {"arm", "neon", "fpga"}
+
+    def test_energy_sweep_units(self):
+        rows = energy_sweep(frames=10)
+        full = rows[-1]
+        assert full.shape == FrameShape(88, 72)
+        # hundreds of millijoules for 10 frames (Fig. 10's axis)
+        assert 300 < full.values["arm"] < 1500
+
+    def test_find_crossover(self):
+        """First paper size where FPGA beats NEON on total time: the
+        model places it at 40x40 (the paper's text says 'beyond 40x40';
+        its own -48.1 % anchor pulls the model to the window edge)."""
+        rows = total_time_sweep()
+        crossover = find_crossover(rows, "fpga", "neon")
+        assert crossover in (FrameShape(40, 40), FrameShape(64, 48))
+
+    def test_format_rows_renders_every_size(self):
+        text = format_rows(forward_stage_sweep(), "s", "Fig 9a")
+        for shape in PAPER_FRAME_SIZES:
+            assert str(shape) in text
+        assert "ARM" in text and "NEON" in text and "FPGA" in text
+
+
+class TestCli:
+    def test_schedule_command(self, capsys):
+        from repro.cli import main
+        assert main(["schedule", "--size", "32x24"]) == 0
+        out = capsys.readouterr().out
+        assert "neon" in out and "chosen" in out
+
+    def test_sweep_command(self, capsys):
+        from repro.cli import main
+        assert main(["sweep", "--table", "fig10"]) == 0
+        assert "Fig. 10" in capsys.readouterr().out
+
+    def test_fuse_command_writes_pgms(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "fused"
+        assert main(["fuse", "--size", "40x40", "--levels", "2",
+                     "--output", str(out)]) == 0
+        for name in ("visible.pgm", "thermal.pgm", "fused.pgm"):
+            path = out / name
+            assert path.exists()
+            header = path.read_bytes()[:2]
+            assert header == b"P5"
+
+    def test_demo_command(self, capsys):
+        from repro.cli import main
+        assert main(["demo", "--frames", "1", "--size", "40x40",
+                     "--levels", "2", "--engine", "neon"]) == 0
+        out = capsys.readouterr().out
+        assert "modelled fps" in out
+
+    def test_bad_size_argument(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["demo", "--size", "banana"])
+
+    def test_write_pgm_roundtrip(self, tmp_path, rng):
+        from repro.cli import write_pgm
+        img = rng.integers(0, 255, (10, 12)).astype(np.uint8)
+        path = tmp_path / "x.pgm"
+        write_pgm(path, img)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n12 10\n255\n")
+        data = np.frombuffer(raw.split(b"\n", 3)[3], dtype=np.uint8)
+        assert np.array_equal(data.reshape(10, 12), img)

@@ -1,0 +1,157 @@
+"""Display compositor and fault-injection substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.bt656 import Bt656Config, Bt656Decoder, encode_frame
+from repro.video.display import (
+    histogram_strip,
+    render_text,
+    stamp_text,
+    triptych,
+)
+from repro.video.faults import (
+    DropoutChannel,
+    NoisyByteChannel,
+    StallingCamera,
+    corrupt_stream,
+)
+from repro.video.webcam import WebcamSimulator
+
+
+class TestFont:
+    def test_render_produces_glyph_grid(self):
+        out = render_text("AB")
+        assert out.shape == (7, 11)  # two glyphs + 1 px spacing
+        assert out.max() == 255
+
+    def test_unknown_characters_become_spaces(self):
+        assert np.array_equal(render_text("@"), render_text(" "))
+
+    def test_stamp_overlays_without_resizing(self, rng):
+        frame = rng.integers(0, 200, (40, 80)).astype(np.uint8)
+        stamped = stamp_text(frame, "FUSED")
+        assert stamped.shape == frame.shape
+        assert (stamped != frame).any()
+
+    def test_stamp_rejects_oversized_caption(self):
+        with pytest.raises(VideoError):
+            stamp_text(np.zeros((5, 5), dtype=np.uint8), "TOODEEP", row=10)
+
+
+class TestTriptych:
+    def test_panel_layout(self, rng):
+        frames = [rng.uniform(0, 255, (48, 64)) for _ in range(3)]
+        panel = triptych(*frames, with_histograms=False, separator=4)
+        assert panel.shape == (48, 64 * 3 + 8)
+        assert panel.dtype == np.uint8
+
+    def test_histogram_rows_added(self, rng):
+        frames = [rng.uniform(0, 255, (48, 64)) for _ in range(3)]
+        panel = triptych(*frames, with_histograms=True)
+        assert panel.shape[0] == 48 + 1 + 24
+
+    def test_mismatched_shapes_rejected(self, rng):
+        with pytest.raises(VideoError):
+            triptych(np.zeros((8, 8)), np.zeros((8, 8)), np.zeros((9, 8)))
+
+    def test_caption_count_enforced(self, rng):
+        frames = [rng.uniform(0, 255, (32, 32)) for _ in range(3)]
+        with pytest.raises(VideoError):
+            triptych(*frames, captions=("A", "B"))
+
+    def test_histogram_strip_peaks_track_content(self):
+        dark = np.zeros((16, 16))
+        strip = histogram_strip(dark, height=10, bins=8)
+        assert strip[:, 0].max() > 0      # all mass in the first bin
+        assert strip[:, -1].max() == 0
+
+
+class TestNoisyChannel:
+    def test_zero_rate_is_transparent(self):
+        channel = NoisyByteChannel(bit_error_rate=0.0)
+        data = bytes(range(256))
+        assert channel.transmit(data) == data
+
+    def test_flip_statistics(self):
+        channel = NoisyByteChannel(bit_error_rate=0.01, seed=1)
+        channel.transmit(bytes(10000))
+        # expect ~800 flips out of 80k bits
+        assert 500 < channel.stats.bits_flipped < 1100
+
+    def test_decoder_survives_realistic_noise(self, rng):
+        """1e-5 BER: frames keep decoding; error counters move, crash
+        never happens."""
+        config = Bt656Config(active_width=64, active_lines=32,
+                             vblank_lines=4, hblank_samples=8)
+        channel = NoisyByteChannel(bit_error_rate=1e-5, seed=3)
+        decoder = Bt656Decoder(config)
+        decoded = 0
+        for _ in range(10):
+            frame = rng.integers(1, 255, (32, 64)).astype(np.uint8)
+            stream = corrupt_stream(encode_frame(frame, config), [channel])
+            decoded += len(decoder.push_bytes(stream))
+        assert decoded >= 8  # the occasional frame may resync away
+
+    def test_heavy_noise_degrades_but_never_crashes(self, rng):
+        config = Bt656Config(active_width=64, active_lines=32,
+                             vblank_lines=4, hblank_samples=8)
+        channel = NoisyByteChannel(bit_error_rate=1e-3, seed=4)
+        decoder = Bt656Decoder(config)
+        for _ in range(5):
+            frame = rng.integers(1, 255, (32, 64)).astype(np.uint8)
+            decoder.push_bytes(corrupt_stream(encode_frame(frame, config),
+                                              [channel]))
+        assert (decoder.stats.xy_errors + decoder.stats.corrected_xy
+                + decoder.stats.resyncs) > 0
+
+    def test_rate_validation(self):
+        with pytest.raises(VideoError):
+            NoisyByteChannel(bit_error_rate=1.5)
+
+
+class TestDropoutChannel:
+    def test_drops_accounted(self):
+        channel = DropoutChannel(dropout_rate=0.2, burst_bytes=32, seed=2)
+        data = bytes(4096)
+        out = channel.transmit(data)
+        assert len(out) + channel.stats.bytes_dropped == len(data)
+        assert channel.stats.bursts > 0
+
+    def test_zero_rate_transparent(self):
+        channel = DropoutChannel(dropout_rate=0.0)
+        data = bytes(range(100))
+        assert channel.transmit(data) == data
+
+    def test_decoder_resyncs_after_dropout(self, rng):
+        config = Bt656Config(active_width=64, active_lines=32,
+                             vblank_lines=4, hblank_samples=8)
+        channel = DropoutChannel(dropout_rate=0.02, burst_bytes=128, seed=5)
+        decoder = Bt656Decoder(config)
+        got_after = 0
+        for i in range(8):
+            frame = rng.integers(1, 255, (32, 64)).astype(np.uint8)
+            stream = encode_frame(frame, config)
+            if i < 4:
+                stream = channel.transmit(stream)
+            got_after += len(decoder.push_bytes(stream)) if i >= 4 else 0
+        assert got_after >= 3  # clean frames decode once the fault clears
+
+    def test_validation(self):
+        with pytest.raises(VideoError):
+            DropoutChannel(dropout_rate=2.0)
+        with pytest.raises(VideoError):
+            DropoutChannel(dropout_rate=0.1, burst_bytes=0)
+
+
+class TestStallingCamera:
+    def test_repeats_frames_on_stall(self, scene):
+        camera = StallingCamera(WebcamSimulator(scene), period=3)
+        frames = [camera.capture() for _ in range(6)]
+        assert camera.stalls == 2
+        assert frames[2] is frames[1]  # third capture stalled
+
+    def test_period_validation(self, scene):
+        with pytest.raises(VideoError):
+            StallingCamera(WebcamSimulator(scene), period=1)

@@ -1,0 +1,63 @@
+"""End-to-end capture pipeline behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.hw.neon import NeonEngine
+from repro.types import FrameShape
+from repro.video.pipeline import FusionPipeline
+from repro.video.scene import SyntheticScene
+
+
+@pytest.fixture
+def pipeline(scene):
+    return FusionPipeline(engine=NeonEngine(), fusion_shape=FrameShape(40, 40),
+                          levels=2, scene=scene)
+
+
+class TestPipeline:
+    def test_produces_requested_frames(self, pipeline):
+        report = pipeline.run(2)
+        assert report.frames == 2
+        assert len(report.records) == 2
+
+    def test_fused_frames_are_uint8_at_fusion_shape(self, pipeline):
+        report = pipeline.run(1)
+        frame = report.records[0].frame
+        assert frame.pixels.shape == (40, 40)
+        assert frame.pixels.dtype == np.uint8
+        assert frame.source == "fused"
+
+    def test_model_costs_accumulate(self, pipeline):
+        report = pipeline.run(2)
+        assert report.model_seconds_total > 0
+        assert report.model_millijoules_total > 0
+        assert report.model_fps > 0
+        per_frame = report.records[0].model_seconds
+        assert np.isclose(report.model_seconds_total, 2 * per_frame)
+
+    def test_no_decode_errors_on_clean_stream(self, pipeline):
+        report = pipeline.run(2)
+        assert report.decode_errors == 0
+
+    def test_fused_output_combines_modalities(self, pipeline):
+        record = pipeline.run(1).records[0]
+        fused = record.frame.pixels.astype(float)
+        # correlated with both sources
+        corr_vis = np.corrcoef(fused.ravel(), record.visible.ravel())[0, 1]
+        corr_th = np.corrcoef(fused.ravel(), record.thermal.ravel())[0, 1]
+        assert corr_vis > 0.2
+        assert corr_th > 0.2
+
+    def test_bad_frame_count(self, pipeline):
+        with pytest.raises(VideoError):
+            pipeline.run(0)
+
+    def test_keep_records_off_saves_memory(self, scene):
+        pipe = FusionPipeline(engine=NeonEngine(),
+                              fusion_shape=FrameShape(40, 40),
+                              levels=2, scene=scene, keep_records=False)
+        report = pipe.run(2)
+        assert report.frames == 2
+        assert report.records == []

@@ -1,0 +1,83 @@
+"""Stream recording and playback."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.recorder import PgmSequenceSource, StreamRecorder
+from repro.video.scene import SyntheticScene
+from repro.video.webcam import WebcamSimulator
+
+
+class TestRecorder:
+    def test_record_and_play_back(self, tmp_path, rng):
+        frames = [rng.integers(0, 255, (24, 32)).astype(np.uint8)
+                  for _ in range(4)]
+        with StreamRecorder(tmp_path / "run", fps=25.0) as recorder:
+            for frame in frames:
+                recorder.write(frame)
+        source = PgmSequenceSource(tmp_path / "run")
+        assert len(source) == 4
+        for original in frames:
+            played = source.capture()
+            assert np.array_equal(played.pixels, original)
+
+    def test_timestamps_follow_fps(self, tmp_path, rng):
+        with StreamRecorder(tmp_path / "run", fps=10.0) as recorder:
+            recorder.write(rng.integers(0, 255, (8, 8)).astype(np.uint8))
+            recorder.write(rng.integers(0, 255, (8, 8)).astype(np.uint8))
+        source = PgmSequenceSource(tmp_path / "run")
+        assert source.capture().timestamp_s == 0.0
+        assert np.isclose(source.capture().timestamp_s, 0.1)
+
+    def test_rgb_frames_stored_as_luma(self, tmp_path, scene):
+        camera = WebcamSimulator(scene)
+        with StreamRecorder(tmp_path / "rgb") as recorder:
+            recorder.write(camera.capture())
+        played = PgmSequenceSource(tmp_path / "rgb").capture()
+        assert played.pixels.ndim == 2
+
+    def test_exhaustion_raises_without_loop(self, tmp_path, rng):
+        with StreamRecorder(tmp_path / "one") as recorder:
+            recorder.write(rng.integers(0, 255, (8, 8)).astype(np.uint8))
+        source = PgmSequenceSource(tmp_path / "one")
+        source.capture()
+        with pytest.raises(VideoError):
+            source.capture()
+
+    def test_loop_wraps_around(self, tmp_path, rng):
+        with StreamRecorder(tmp_path / "loop") as recorder:
+            recorder.write(rng.integers(0, 255, (8, 8)).astype(np.uint8))
+        source = PgmSequenceSource(tmp_path / "loop", loop=True)
+        first = source.capture()
+        again = source.capture()
+        assert np.array_equal(first.pixels, again.pixels)
+        assert again.frame_id == 0
+
+    def test_rewind(self, tmp_path, rng):
+        with StreamRecorder(tmp_path / "rw") as recorder:
+            for _ in range(2):
+                recorder.write(rng.integers(0, 255, (8, 8)).astype(np.uint8))
+        source = PgmSequenceSource(tmp_path / "rw")
+        source.capture()
+        source.rewind()
+        assert source.capture().frame_id == 0
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(VideoError):
+            PgmSequenceSource(tmp_path / "empty")
+
+    def test_manifest_frame_count_checked(self, tmp_path, rng):
+        run = tmp_path / "bad"
+        with StreamRecorder(run) as recorder:
+            recorder.write(rng.integers(0, 255, (8, 8)).astype(np.uint8))
+        manifest = run / "manifest.txt"
+        manifest.write_text(manifest.read_text().replace("frames 1",
+                                                         "frames 2"))
+        with pytest.raises(VideoError):
+            PgmSequenceSource(run)
+
+    def test_fps_validation(self, tmp_path):
+        with pytest.raises(VideoError):
+            StreamRecorder(tmp_path / "x", fps=0)

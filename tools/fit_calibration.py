@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Re-derive the fitted constants in ``repro.hw.calibration``.
+
+Fits the FPGA PS-side cost parameters (driver invocation cost and
+user-space memcpy cost per word) to the paper's published anchor
+points, holding the physically-derived parts of the model (PL cycle
+counts, work model) fixed.  Prints the resulting constants and the
+achieved-vs-target table; the maintainer pastes the values into
+``Calibration`` so the library needs no scipy at runtime.
+
+Run:  python tools/fit_calibration.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+from scipy import optimize
+
+from repro.hw.arm import ArmEngine
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.fpga import FpgaEngine
+from repro.hw.neon import NeonEngine
+from repro.types import FrameShape
+
+FULL = FrameShape(88, 72)
+SMALL = FrameShape(32, 24)
+MID = FrameShape(40, 40)
+
+
+def targets():
+    arm = ArmEngine()
+    neon = NeonEngine()
+    t_fwd_full = 0.444 * arm.forward_stage_time(FULL)    # -55.6 %
+    t_inv_full = 0.394 * arm.inverse_stage_time(FULL)    # -60.6 %
+    t_fwd_small = 1.364 * neon.forward_stage_time(SMALL)  # +36.4 % vs NEON
+    # Fig. 9(c): the inverse on FPGA only beats NEON past 40x40, so at
+    # 40x40 it must still be slightly behind
+    t_inv_mid = 1.04 * neon.inverse_stage_time(MID)
+    return t_fwd_full, t_inv_full, t_fwd_small, t_inv_mid
+
+
+def residuals(params: np.ndarray) -> np.ndarray:
+    driver_s, word_s, marshal_s = params
+    if driver_s <= 0 or word_s <= 0 or marshal_s < 0:
+        return np.array([1e3, 1e3, 1e3, 1e3])
+    cal = DEFAULT_CALIBRATION.with_overrides(
+        fpga_driver_invocation_s=float(driver_s),
+        fpga_ps_word_s=float(word_s),
+        fpga_inverse_marshal_s=float(marshal_s),
+    )
+    fpga = FpgaEngine(calibration=cal)
+    t1, t2, t3, t4 = targets()
+    return np.array([
+        fpga.forward_stage_time(FULL) / t1 - 1.0,
+        fpga.inverse_stage_time(FULL) / t2 - 1.0,
+        fpga.forward_stage_time(SMALL) / t3 - 1.0,
+        0.5 * (fpga.inverse_stage_time(MID) / t4 - 1.0),
+    ])
+
+
+def main() -> None:
+    start = np.array([DEFAULT_CALIBRATION.fpga_driver_invocation_s,
+                      DEFAULT_CALIBRATION.fpga_ps_word_s,
+                      DEFAULT_CALIBRATION.fpga_inverse_marshal_s])
+    result = optimize.least_squares(
+        residuals, start,
+        bounds=([1e-6, 1e-9, 0.0], [1e-4, 1e-6, 1e-4]),
+    )
+    driver_s, word_s, marshal_s = result.x
+    print(f"fpga_driver_invocation_s = {driver_s:.4e}")
+    print(f"fpga_ps_word_s           = {word_s:.4e}")
+    print(f"fpga_inverse_marshal_s   = {marshal_s:.4e}")
+    print(f"residuals (relative): {residuals(result.x)}")
+
+    cal = DEFAULT_CALIBRATION.with_overrides(
+        fpga_driver_invocation_s=float(driver_s),
+        fpga_ps_word_s=float(word_s),
+        fpga_inverse_marshal_s=float(marshal_s),
+    )
+    arm, neon, fpga = ArmEngine(), NeonEngine(), FpgaEngine(calibration=cal)
+    print("\nachieved:")
+    print("  FPGA fwd gain @88x72:",
+          1 - fpga.forward_stage_time(FULL) / arm.forward_stage_time(FULL),
+          "(paper 0.556)")
+    print("  FPGA inv gain @88x72:",
+          1 - fpga.inverse_stage_time(FULL) / arm.inverse_stage_time(FULL),
+          "(paper 0.606)")
+    print("  FPGA/NEON fwd @32x24:",
+          fpga.forward_stage_time(SMALL) / neon.forward_stage_time(SMALL),
+          "(paper 1.364)")
+    print("  FPGA total gain @88x72:",
+          1 - fpga.frame_time(FULL).total_s / arm.frame_time(FULL).total_s,
+          "(paper 0.481)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Render the paper's evaluation figures as SVG files.
+
+Thin wrapper over :func:`repro.figures.generate_figures` (also exposed
+as ``repro-fusion figures``) kept for direct script use.
+
+Run:  python tools/plot_svg.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.figures import generate_figures  # noqa: E402
+
+
+def main(out_dir: str = "figures") -> None:
+    for path in generate_figures(out_dir):
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")
