@@ -1,27 +1,32 @@
 #!/usr/bin/env python3
-"""The production session: every extension of this library, assembled.
+"""The production session: every extension of this library, one config.
 
-Runs :class:`repro.system.AdvancedFusionSession` — capture, rig
-calibration (registration), online adaptive engine selection, temporal
-flicker suppression, quality monitoring and telemetry — for a short
-surveillance run, then prints the session report.
+Runs a :class:`repro.FusionSession` with everything switched on —
+capture, rig calibration (registration), online adaptive engine
+selection, temporal flicker suppression, quality monitoring and
+telemetry — for a short surveillance run, then prints the report.
+It also shows the streaming API: the same session fuses a few extra
+frames from a plain :class:`SyntheticSource` afterwards.
 
 Run:  python examples/advanced_session_demo.py
 """
 
-from repro.system import AdvancedFusionSession
-from repro.types import FrameShape
-from repro.video import SyntheticScene
+from repro import FrameShape, FusionConfig, FusionSession, SyntheticSource
 
 
 def main() -> None:
-    session = AdvancedFusionSession(
+    session = FusionSession(FusionConfig(
+        engine="online",              # measurement-driven per-frame choice
         fusion_shape=FrameShape(88, 72),
         levels=3,
-        scene=SyntheticScene(seed=2016),
+        seed=2016,
+        registration=True,
+        temporal=True,
+        monitor=True,
         target_fps=25.0,
-        energy_budget_mj=10_000.0,   # a small battery's worth
-    )
+        energy_budget_mj=10_000.0,    # a small battery's worth
+        quality_metrics=False,
+    ))
     report = session.run(12)
 
     print("=== advanced fusion session ===")
@@ -39,6 +44,12 @@ def main() -> None:
         print(f"  {key:<20} {value:10.2f}")
     remaining = session.telemetry.frames_remaining()
     print(f"battery headroom  : ~{remaining} more frames on this budget")
+
+    # the same session keeps streaming from any other source
+    extra = list(session.stream(SyntheticSource(seed=2016), limit=3))
+    engines = ", ".join(r.engine for r in extra)
+    print(f"\nstreamed 3 more frames from a SyntheticSource on: {engines}")
+    print(f"session lifetime  : {session.report().frames} frames total")
     print()
     print("After the probe frames the scheduler settles on the FPGA (the")
     print("right answer at 88x72) while the monitor keeps the rig honest —")

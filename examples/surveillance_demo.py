@@ -5,17 +5,17 @@ Runs the full capture chain — webcam simulator, thermal camera through
 BT.656 decode + scaling + the handshaked FIFO — and fuses 10 frames at
 the paper's 88x72 geometry on each execution configuration, reporting
 the modelled frame rate and energy (the Fig. 9(b)/Fig. 10 quantities)
-plus measured fusion quality.
+plus measured fusion quality.  Each run is one :class:`FusionSession`
+with a different engine in its config.
 
 Run:  python examples/surveillance_demo.py
 """
 
-from repro import FrameShape
-from repro.system import VideoFusionSystem
-from repro.video import SyntheticScene
+from repro import FrameShape, FusionConfig, FusionSession
 
 FRAMES = 10
 SHAPE = FrameShape(88, 72)
+SEED = 2016
 
 
 def main() -> None:
@@ -26,17 +26,18 @@ def main() -> None:
     print("-" * len(header))
 
     for engine in ("arm", "neon", "fpga", "adaptive"):
-        scene = SyntheticScene(seed=2016)   # identical input for all runs
-        system = VideoFusionSystem(engine=engine, fusion_shape=SHAPE,
-                                   levels=3, scene=scene)
-        report = system.run(FRAMES)
+        session = FusionSession(FusionConfig(
+            engine=engine, fusion_shape=SHAPE, levels=3,
+            seed=SEED,                    # identical input for all runs
+        ))
+        report = session.run(FRAMES)
         label = engine if engine != "adaptive" else \
             f"adaptive({report.engine_used})"
         print(f"{label:<10} {report.model_fps:>10.1f} "
               f"{report.millijoules_per_frame:>10.2f} "
               f"{report.quality['qabf']:>8.4f} "
-              f"{report.pipeline.fifo_dropped:>11} "
-              f"{report.pipeline.decode_errors:>12}")
+              f"{report.fifo_dropped:>11} "
+              f"{report.decode_errors:>12}")
 
     print("\nThe adaptive system matches the best static configuration —")
     print("at 88x72 that is ARM+FPGA, as the paper's Fig. 9/10 show.")

@@ -8,17 +8,29 @@ The package implements the paper's complete system in simulation:
 * :mod:`repro.core` — DT-CWT image/video fusion, fusion-quality metrics
   and the adaptive NEON/FPGA scheduler (the paper's key finding);
 * :mod:`repro.hw` — the modelled ZYNQ platform: ARM, NEON and FPGA
-  engines, AXI interconnect, HLS wavelet datapath, kernel driver,
-  power rails, energy accounting and resource estimation;
+  engines (a shared registry makes them selectable by name), AXI
+  interconnect, HLS wavelet datapath, kernel driver, power rails,
+  energy accounting and resource estimation;
 * :mod:`repro.baselines` — related-work fusion algorithms;
 * :mod:`repro.video` — cameras, BT.656 decode, scaler, FIFO, pipeline;
-* :mod:`repro.system` — the assembled Section VI system and sweeps.
+* :mod:`repro.session` — the public API: one :class:`FusionConfig`,
+  one :class:`FusionSession` facade, pluggable :class:`FrameSource`
+  streams (synthetic worlds, in-memory arrays, camera simulators, the
+  full modelled capture chain);
+* :mod:`repro.system` — parameter sweeps plus deprecated shims for the
+  pre-session entry points.
 
 Quick start::
 
-    from repro import fuse_images, VideoFusionSystem
-    fused = fuse_images(visible, thermal)            # one frame pair
-    VideoFusionSystem(engine="adaptive").run(10)     # whole system
+    from repro import FusionConfig, FusionSession, SyntheticSource
+
+    session = FusionSession(FusionConfig(engine="adaptive", seed=7))
+    report = session.run(10)                    # batch over capture chain
+    for result in session.stream(SyntheticSource(seed=7), limit=5):
+        ...                                     # continuous streaming
+
+    from repro import fuse_images
+    fused = fuse_images(visible, thermal)       # one frame pair
 """
 
 from .core.adaptive import CostModelScheduler, OnlineScheduler, PerLevelScheduler
@@ -27,12 +39,35 @@ from .core.fusion_rules import MaxMagnitudeRule, WeightedRule, WindowActivityRul
 from .core.metrics import fusion_report
 from .dtcwt import Dtcwt2D, DtcwtPyramid, Dwt2D, dtcwt_banks
 from .errors import ReproError
-from .hw import ArmEngine, FpgaEngine, NeonEngine, ZynqPlatform
+from .hw import (
+    ArmEngine,
+    FpgaEngine,
+    NeonEngine,
+    ZynqPlatform,
+    create_engine,
+    engine_names,
+    register_engine,
+)
+# NOTE: the session's pair-stream FrameSource is deliberately not
+# re-exported here — repro.video.FrameSource (the single-camera
+# interface) already owns that name; import the pair protocol as
+# repro.session.FrameSource.
+from .session import (
+    ArraySource,
+    CameraPairSource,
+    CaptureChainSource,
+    FramePair,
+    FusedFrameResult,
+    FusionConfig,
+    FusionReport,
+    FusionSession,
+    SyntheticSource,
+)
 from .system import VideoFusionSystem
 from .types import FULL_FRAME, PAPER_FRAME_SIZES, FrameShape
 from .video import FusionPipeline, SyntheticScene
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CostModelScheduler", "OnlineScheduler", "PerLevelScheduler",
@@ -42,6 +77,10 @@ __all__ = [
     "Dtcwt2D", "DtcwtPyramid", "Dwt2D", "dtcwt_banks",
     "ReproError",
     "ArmEngine", "FpgaEngine", "NeonEngine", "ZynqPlatform",
+    "create_engine", "engine_names", "register_engine",
+    "FusionConfig", "FusionSession", "FusionReport", "FusedFrameResult",
+    "FramePair", "SyntheticSource", "ArraySource",
+    "CameraPairSource", "CaptureChainSource",
     "VideoFusionSystem",
     "FULL_FRAME", "PAPER_FRAME_SIZES", "FrameShape",
     "FusionPipeline", "SyntheticScene",

@@ -3,7 +3,7 @@
 Subcommands
 -----------
 ``demo``
-    Run the complete capture->fuse system for N frames and report
+    Run the complete capture->fuse session for N frames and report
     modelled fps, energy and fusion quality.
 ``fuse``
     Fuse one synthetic frame pair and write PGM images (visible,
@@ -13,6 +13,11 @@ Subcommands
 ``schedule``
     Show the adaptive scheduler's decision for a frame size, including
     the per-level plan.
+``figures``
+    Render the sweep tables as SVG charts.
+
+Every subcommand accepts ``--seed``; ``demo`` and ``fuse`` thread it
+into the synthetic scene so runs are exactly reproducible.
 """
 
 from __future__ import annotations
@@ -24,19 +29,26 @@ from pathlib import Path
 import numpy as np
 
 from .core.adaptive import CostModelScheduler, PerLevelScheduler
-from .errors import ReproError
-from .system.fusion_system import VideoFusionSystem
+from .errors import ConfigurationError, ReproError
+from .hw.registry import engine_names
+from .session import SCHEDULER_NAMES, FusionConfig, FusionSession
 from .types import FrameShape
+
+#: Scene seed used when --seed is not given (the paper's year).
+DEFAULT_SEED = 2016
 
 
 def _parse_shape(text: str) -> FrameShape:
     try:
         width, height = text.lower().split("x")
-        return FrameShape(int(width), int(height))
+        shape = FrameShape(int(width), int(height))
+    except ConfigurationError as exc:  # parsed, but non-positive dims
+        raise argparse.ArgumentTypeError(str(exc)) from exc
     except (ValueError, TypeError) as exc:
         raise argparse.ArgumentTypeError(
             f"frame size must look like 88x72, got {text!r}"
         ) from exc
+    return shape
 
 
 def write_pgm(path: Path, image: np.ndarray) -> None:
@@ -48,10 +60,19 @@ def write_pgm(path: Path, image: np.ndarray) -> None:
         fh.write(data.tobytes())
 
 
+def _session(args: argparse.Namespace, **overrides) -> FusionSession:
+    return FusionSession(FusionConfig(
+        engine=args.engine,
+        fusion_shape=args.size,
+        levels=args.levels,
+        seed=args.seed,
+        **overrides,
+    ))
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
-    system = VideoFusionSystem(engine=args.engine, fusion_shape=args.size,
-                               levels=args.levels)
-    report = system.run(args.frames)
+    session = _session(args)
+    report = session.run(args.frames)
     print(f"engine used      : {report.engine_used}")
     print(f"frames fused     : {report.frames}")
     print(f"modelled fps     : {report.model_fps:.1f}")
@@ -63,15 +84,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_fuse(args: argparse.Namespace) -> int:
-    system = VideoFusionSystem(engine=args.engine, fusion_shape=args.size,
-                               levels=args.levels)
-    report = system.run(1, with_quality=False)
-    record = report.pipeline.records[0]
+    session = _session(args, quality_metrics=False)
+    report = session.run(1)
+    result = report.records[0]
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
-    write_pgm(out / "visible.pgm", record.visible)
-    write_pgm(out / "thermal.pgm", record.thermal)
-    write_pgm(out / "fused.pgm", record.frame.pixels)
+    write_pgm(out / "visible.pgm", result.visible)
+    write_pgm(out / "thermal.pgm", result.thermal)
+    write_pgm(out / "fused.pgm", result.pixels)
     print(f"wrote {out}/visible.pgm, thermal.pgm, fused.pgm "
           f"({args.size} px, engine {report.engine_used})")
     return 0
@@ -129,31 +149,42 @@ def build_parser() -> argparse.ArgumentParser:
         description="Energy-efficient video fusion on a modelled "
                     "CPU-FPGA ZYNQ platform (DATE 2016 reproduction)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    # options shared by every subcommand, so scripts can append --seed
+    # uniformly regardless of which command they drive
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="synthetic-scene seed; makes demo/fuse runs "
+                             "reproducible (accepted but unused by the "
+                             "model-only commands)")
 
-    demo = sub.add_parser("demo", help="run the capture->fuse system")
+    sub = parser.add_subparsers(dest="command", required=True)
+    engines = engine_names() + SCHEDULER_NAMES
+
+    demo = sub.add_parser("demo", parents=[common],
+                          help="run the capture->fuse session")
     demo.add_argument("--frames", type=int, default=10)
-    demo.add_argument("--engine", default="adaptive",
-                      choices=("arm", "neon", "fpga", "adaptive"))
+    demo.add_argument("--engine", default="adaptive", choices=engines)
     demo.add_argument("--size", type=_parse_shape, default=FrameShape(88, 72))
     demo.add_argument("--levels", type=int, default=3)
     demo.set_defaults(func=cmd_demo)
 
-    fuse = sub.add_parser("fuse", help="fuse one frame pair to PGM files")
-    fuse.add_argument("--engine", default="neon",
-                      choices=("arm", "neon", "fpga", "adaptive"))
+    fuse = sub.add_parser("fuse", parents=[common],
+                          help="fuse one frame pair to PGM files")
+    fuse.add_argument("--engine", default="neon", choices=engines)
     fuse.add_argument("--size", type=_parse_shape, default=FrameShape(88, 72))
     fuse.add_argument("--levels", type=int, default=3)
     fuse.add_argument("--output", default="fusion_out")
     fuse.set_defaults(func=cmd_fuse)
 
-    sweep = sub.add_parser("sweep", help="print Fig. 9 / Fig. 10 tables")
+    sweep = sub.add_parser("sweep", parents=[common],
+                           help="print Fig. 9 / Fig. 10 tables")
     sweep.add_argument("--table", default="all",
                        choices=("all", "fig9a", "fig9b", "fig9c", "fig10"))
     sweep.add_argument("--levels", type=int, default=3)
     sweep.set_defaults(func=cmd_sweep)
 
-    schedule = sub.add_parser("schedule", help="adaptive engine choice")
+    schedule = sub.add_parser("schedule", parents=[common],
+                              help="adaptive engine choice")
     schedule.add_argument("--size", type=_parse_shape,
                           default=FrameShape(88, 72))
     schedule.add_argument("--levels", type=int, default=3)
@@ -161,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("time", "energy"))
     schedule.set_defaults(func=cmd_schedule)
 
-    figures = sub.add_parser("figures",
+    figures = sub.add_parser("figures", parents=[common],
                              help="render Fig. 9/Fig. 10 as SVG charts")
     figures.add_argument("--output", default="figures")
     figures.add_argument("--levels", type=int, default=3)

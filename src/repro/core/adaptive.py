@@ -24,18 +24,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from ..hw.arm import ArmEngine
 from ..hw.engine import Engine
-from ..hw.fpga import FpgaEngine
-from ..hw.neon import NeonEngine
 from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
+from ..hw.registry import default_engines
 from ..hw.work import WorkModel
 from ..types import FrameShape
 
-
-def default_engines() -> Tuple[Engine, ...]:
-    """The paper's three configurations."""
-    return (ArmEngine(), NeonEngine(), FpgaEngine())
+__all__ = [
+    "CostModelScheduler", "Decision", "LevelPlan", "OnlineScheduler",
+    "PerLevelScheduler", "default_engines",
+]
 
 
 @dataclass

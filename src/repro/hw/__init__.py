@@ -35,6 +35,12 @@ from .hls import HlsWaveletEngine, shift_register_dual_fir
 from .neon import NeonEngine
 from .platform import DEFAULT_PLATFORM, ZynqPlatform
 from .power import DEFAULT_POWER_MODEL, MODES, PowerModel, PowerRecorder
+from .registry import (
+    create_engine,
+    default_engines,
+    engine_names,
+    register_engine,
+)
 from .resources import (
     PAPER_TABLE1,
     ZYNQ_PARTS,
@@ -54,6 +60,7 @@ from .work import FilterPass, WorkModel, summarize_passes
 
 __all__ = [
     "ArmEngine", "NeonEngine", "FpgaEngine", "Engine",
+    "create_engine", "default_engines", "engine_names", "register_engine",
     "HlsBackend", "pad_filter_pair",
     "HlsWaveletEngine", "shift_register_dual_fir",
     "AcpModel", "AxiLiteModel", "GpPortModel",

@@ -1,0 +1,67 @@
+"""Single engine registry shared by every layer of the system.
+
+Before this module existed the package built engines in three places
+(`system.fusion_system.make_engine`, `core.adaptive.default_engines`
+and ad-hoc dictionaries in the advanced session) with three slightly
+different spellings.  The registry makes the set of execution
+configurations a single extensible table: the session facade, the CLI
+and the schedulers all resolve engine names here, and an out-of-tree
+backend can call :func:`register_engine` to become selectable by name
+everywhere at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..errors import ConfigurationError
+from .arm import ArmEngine
+from .engine import Engine
+from .fpga import FpgaEngine
+from .neon import NeonEngine
+
+#: Name -> zero-argument factory.  Insertion order is meaningful: it is
+#: the paper's presentation order (ARM scalar, NEON SIMD, FPGA) and the
+#: order :func:`default_engines` returns, which schedulers rely on
+#: (e.g. the per-level scheduler runs the fusion stage on entry 0).
+_REGISTRY: Dict[str, Callable[[], Engine]] = {}
+
+
+def register_engine(name: str, factory: Callable[[], Engine],
+                    replace: bool = False) -> None:
+    """Make ``factory`` selectable as ``name`` throughout the package."""
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"engine name must be a non-empty string, "
+                                 f"got {name!r}")
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"engine {name!r} is already registered; pass replace=True "
+            f"to override it"
+        )
+    _REGISTRY[name] = factory
+
+
+def engine_names() -> Tuple[str, ...]:
+    """Registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def create_engine(name: str) -> Engine:
+    """Instantiate the engine registered as ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def default_engines() -> Tuple[Engine, ...]:
+    """One instance of every registered engine (the paper's three)."""
+    return tuple(factory() for factory in _REGISTRY.values())
+
+
+register_engine("arm", ArmEngine)
+register_engine("neon", NeonEngine)
+register_engine("fpga", FpgaEngine)

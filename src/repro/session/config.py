@@ -1,0 +1,162 @@
+"""Declarative configuration of a fusion session.
+
+:class:`FusionConfig` is the single place a user describes *what* to
+run — engine/scheduler, frame geometry, fusion algorithm, the optional
+production features (registration, temporal fusion, quality
+monitoring) and the accounting models.  The :class:`~repro.session.FusionSession`
+facade turns one config into a running system; every field is validated
+eagerly so a misconfiguration fails at construction, not mid-stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Optional
+
+from ..core.fusion_rules import (
+    FusionRule,
+    MaxMagnitudeRule,
+    WeightedRule,
+    WindowActivityRule,
+)
+from ..errors import ConfigurationError
+from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
+from ..hw.registry import engine_names
+from ..types import FULL_FRAME, FrameShape
+from ..video.scene import SyntheticScene
+
+#: Engine field values that select a scheduler instead of a fixed engine.
+SCHEDULER_NAMES = ("adaptive", "online")
+
+#: Fusion-rule names resolvable by :meth:`FusionConfig.make_rule`.
+FUSION_RULES = {
+    "max-magnitude": MaxMagnitudeRule,
+    "weighted": WeightedRule,
+    "window-activity": WindowActivityRule,
+}
+
+
+@dataclass
+class FusionConfig:
+    """Everything a :class:`~repro.session.FusionSession` needs to run.
+
+    Parameters
+    ----------
+    engine:
+        A registered engine name (``"arm"``, ``"neon"``, ``"fpga"``, or
+        anything added via :func:`repro.hw.register_engine`), or a
+        scheduler: ``"adaptive"`` picks the cost-model optimum once at
+        construction (the paper's conclusion), ``"online"`` selects
+        per-frame from live measurements (probe, exploit, re-probe).
+    fusion_shape:
+        Geometry frames are fused at (the paper's 88x72 by default).
+        A ``(width, height)`` tuple is accepted for convenience.
+    levels:
+        DT-CWT decomposition depth.
+    fusion_rule:
+        Coefficient-combination rule name (see :data:`FUSION_RULES`).
+    objective:
+        ``"energy"`` or ``"time"`` — what the adaptive scheduler
+        minimises.
+    registration:
+        Calibrate the thermal camera onto the visible rig and apply the
+        consensus shift.
+    temporal:
+        Flicker-suppressing temporal fusion instead of independent
+        per-frame fusion.
+    monitor:
+        Runtime quality monitoring with sensor-failure detection.
+    quality_metrics:
+        Score every fused frame with the no-reference metric suite and
+        report the mean (costs a few ms per frame).
+    keep_records:
+        Retain per-frame results on :meth:`FusionSession.run` reports.
+        Streaming never retains results — :meth:`FusionSession.stream`
+        yields each one to the consumer — so unbounded streams stay
+        bounded in memory either way.
+    target_fps / energy_budget_mj:
+        Telemetry parameters: deadline for jitter/miss accounting and
+        an optional mission energy budget.
+    probe_frames / reprobe_every:
+        Online-scheduler exploration parameters.
+    power_model:
+        Rail model used to turn modelled seconds into millijoules.
+    seed:
+        Seed for the default :class:`SyntheticScene` built when no
+        ``scene`` is supplied — fixing it makes runs reproducible.
+    scene:
+        Optional explicit scene shared by the default frame sources.
+    """
+
+    engine: str = "adaptive"
+    fusion_shape: FrameShape = FULL_FRAME
+    levels: int = 3
+    fusion_rule: str = "max-magnitude"
+    objective: str = "energy"
+    registration: bool = False
+    temporal: bool = False
+    monitor: bool = False
+    quality_metrics: bool = True
+    keep_records: bool = True
+    target_fps: float = 25.0
+    energy_budget_mj: Optional[float] = None
+    probe_frames: int = 1
+    reprobe_every: int = 20
+    power_model: PowerModel = field(default_factory=lambda: DEFAULT_POWER_MODEL)
+    seed: int = 2016
+    scene: Optional[SyntheticScene] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.fusion_shape, tuple):
+            self.fusion_shape = FrameShape(*self.fusion_shape)
+        if not isinstance(self.fusion_shape, FrameShape):
+            raise ConfigurationError(
+                f"fusion_shape must be a FrameShape or (width, height) "
+                f"tuple, got {self.fusion_shape!r}"
+            )
+        known = engine_names() + SCHEDULER_NAMES
+        if self.engine not in known:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{sorted(known)}"
+            )
+        if self.levels < 1:
+            raise ConfigurationError(f"levels must be >= 1, got {self.levels}")
+        if self.fusion_rule not in FUSION_RULES:
+            raise ConfigurationError(
+                f"unknown fusion rule {self.fusion_rule!r}; expected one "
+                f"of {sorted(FUSION_RULES)}"
+            )
+        if self.objective not in ("time", "energy"):
+            raise ConfigurationError(
+                f"objective must be 'time' or 'energy', got {self.objective!r}"
+            )
+        if self.target_fps <= 0:
+            raise ConfigurationError(
+                f"target_fps must be positive, got {self.target_fps}"
+            )
+        if self.energy_budget_mj is not None and self.energy_budget_mj <= 0:
+            raise ConfigurationError("energy budget must be positive")
+        if self.probe_frames < 1:
+            raise ConfigurationError("probe_frames must be >= 1")
+        if self.reprobe_every < 2:
+            raise ConfigurationError("reprobe_every must be >= 2")
+
+    # ------------------------------------------------------------------
+    def make_rule(self) -> FusionRule:
+        """Instantiate the configured fusion rule."""
+        return FUSION_RULES[self.fusion_rule]()
+
+    def make_scene(self) -> SyntheticScene:
+        """The configured scene, or a seeded default one."""
+        return self.scene if self.scene is not None \
+            else SyntheticScene(seed=self.seed)
+
+    def with_overrides(self, **changes) -> "FusionConfig":
+        """A copy of this config with ``changes`` applied (validated)."""
+        bad = set(changes) - {f.name for f in fields(self)}
+        if bad:
+            raise ConfigurationError(
+                f"unknown config field(s): {sorted(bad)}"
+            )
+        return replace(self, **changes)

@@ -1,0 +1,388 @@
+"""The fusion session facade: one object, every way to run the system.
+
+:class:`FusionSession` subsumes the old ``VideoFusionSystem`` (batch
+runs over the modelled capture chain) and ``AdvancedFusionSession``
+(online scheduling, registration, temporal fusion, monitoring,
+telemetry) behind one configured object with three entry points:
+
+* :meth:`process` — fuse one (visible, thermal) pair;
+* :meth:`stream` — iterate any :class:`FrameSource`, yielding a
+  :class:`FusedFrameResult` per frame (the continuous loop the paper's
+  system runs);
+* :meth:`run` — fuse ``n`` frames from the built-in capture chain and
+  return an aggregate :class:`FusionReport`.
+
+Everything optional — registration, temporal fusion, quality
+monitoring, per-frame metrics — is switched by the
+:class:`FusionConfig`, so ablations change a flag, not a class.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.adaptive import CostModelScheduler, Decision, OnlineScheduler
+from ..core.fusion import ImageFusion
+from ..core.metrics import fusion_report
+from ..core.quality_monitor import ACTION_FUSE, QualityMonitor
+from ..core.registration import DtcwtRegistration
+from ..core.video_fusion import TemporalFusion
+from ..errors import ConfigurationError
+from ..hw.engine import Engine
+from ..hw.registry import create_engine, default_engines
+from ..video.frames import VideoFrame
+from ..video.scaler import resize_to
+from .config import FusionConfig
+from .report import FusedFrameResult, FusionReport
+from .sources import CaptureChainSource, FramePair, FrameSource, as_frame_source
+from .telemetry import FrameTelemetry
+
+
+class _RigCalibrator:
+    """Static-rig calibration: apply the median shift once it is stable.
+
+    A co-located camera pair has one fixed offset; per-frame estimates
+    that saturate the search bound or disagree with the consensus are
+    measurement noise, not motion, and applying them would misalign a
+    well-aligned rig.
+    """
+
+    def __init__(self, levels: int):
+        self.registration = DtcwtRegistration(levels=max(2, levels),
+                                              max_shift=6)
+        self._estimates: List[Tuple[float, float]] = []
+
+    def offset(self, visible: np.ndarray,
+               thermal: np.ndarray) -> Optional[Tuple[int, int]]:
+        result = self.registration.estimate(visible, thermal)
+        bound = self.registration.max_shift
+        if abs(result.dy) < bound and abs(result.dx) < bound:
+            self._estimates.append((result.dy, result.dx))
+        if len(self._estimates) < 3:
+            return None
+        recent = self._estimates[-5:]
+        dy = float(np.median([e[0] for e in recent]))
+        dx = float(np.median([e[1] for e in recent]))
+        spread = max(abs(e[0] - dy) + abs(e[1] - dx) for e in recent)
+        if spread > 2.0:
+            return None  # estimates disagree: no confident calibration
+        if round(dy) == 0 and round(dx) == 0:
+            return None  # rig already aligned
+        return int(round(dy)), int(round(dx))
+
+
+class FusionSession:
+    """A configured capture->register->fuse->monitor loop.
+
+    Parameters
+    ----------
+    config:
+        The session description; defaults to ``FusionConfig()``.
+    **overrides:
+        Convenience: field overrides applied on top of ``config`` (so
+        ``FusionSession(engine="fpga")`` works without building a
+        config by hand).
+    """
+
+    def __init__(self, config: Optional[FusionConfig] = None, **overrides):
+        if config is None:
+            config = FusionConfig(**overrides)
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+
+        shape = config.fusion_shape
+        self.decision: Optional[Decision] = None
+        self.scheduler: Optional[OnlineScheduler] = None
+        if config.engine == "online":
+            engines = default_engines()
+            self.scheduler = OnlineScheduler(
+                engines, probe_frames=config.probe_frames,
+                reprobe_every=config.reprobe_every)
+            self._engine = engines[0]
+        elif config.engine == "adaptive":
+            chooser = CostModelScheduler(objective=config.objective,
+                                         power_model=config.power_model)
+            self.decision = chooser.choose(shape, config.levels)
+            self._engine = self.decision.engine
+            engines = (self._engine,)
+        else:
+            self._engine = create_engine(config.engine)
+            engines = (self._engine,)
+
+        rule = config.make_rule()
+        self._fusers: Dict[str, ImageFusion] = {
+            engine.name: ImageFusion(transform=engine.transform(config.levels),
+                                     rule=rule)
+            for engine in engines
+        }
+
+        self.calibrator = (_RigCalibrator(config.levels)
+                           if config.registration else None)
+        self.temporal = (TemporalFusion(fusion=self._fusers[self._engine.name])
+                         if config.temporal else None)
+        self.monitor = QualityMonitor() if config.monitor else None
+        self.telemetry = FrameTelemetry(
+            target_fps=config.target_fps,
+            energy_budget_mj=config.energy_budget_mj)
+
+        self._default_source: Optional[CaptureChainSource] = None
+        self._frames = 0
+        self._engine_usage: Dict[str, int] = {}
+        self._actions: Dict[str, int] = {}
+        self._seconds_total = 0.0
+        self._millijoules_total = 0.0
+        self._shift_total = 0.0
+        self._quality_sums: Dict[str, float] = {}
+        self._quality_frames = 0
+        self._fifo_dropped = 0
+        self._decode_errors = 0
+        self._batch_records: Optional[List[FusedFrameResult]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        """The engine in use (most recently selected, if scheduled)."""
+        return self._engine
+
+    @property
+    def frames_processed(self) -> int:
+        return self._frames
+
+    def capture_source(self) -> CaptureChainSource:
+        """The built-in capture chain :meth:`run` consumes (created
+        lazily, persisted so repeated runs continue the same stream)."""
+        if self._default_source is None:
+            self._default_source = CaptureChainSource(
+                scene=self.config.make_scene())
+        return self._default_source
+
+    # ------------------------------------------------------------------
+    def _normalize(self, image: np.ndarray) -> np.ndarray:
+        """Register one modality onto the fusion geometry."""
+        data = np.asarray(image, dtype=np.float64)
+        if data.ndim != 2:
+            raise ConfigurationError(
+                f"session input frames must be 2-D grayscale, got shape "
+                f"{data.shape}"
+            )
+        target = self.config.fusion_shape.array_shape
+        if data.shape != target:
+            data = resize_to(data, target)
+        return data
+
+    def _select_engine(self) -> Engine:
+        if self.scheduler is not None:
+            self._engine = self.scheduler.next_engine()
+        return self._engine
+
+    def process(self, visible: np.ndarray, thermal: np.ndarray,
+                timestamp_s: float = 0.0,
+                index: Optional[int] = None) -> FusedFrameResult:
+        """Fuse one frame pair under the configured policies."""
+        vis = self._normalize(visible)
+        th = self._normalize(thermal)
+
+        applied_shift = None
+        if self.calibrator is not None:
+            offset = self.calibrator.offset(vis, th)
+            if offset is not None:
+                th = np.roll(np.roll(th, offset[0], axis=0),
+                             offset[1], axis=1)
+                self._shift_total += float(np.hypot(*offset))
+                applied_shift = offset
+
+        engine = self._select_engine()
+        fuser = self._fusers[engine.name]
+        if self.temporal is not None:
+            self.temporal.fusion = fuser
+            fused = self.temporal.fuse(vis, th)
+        else:
+            fused = fuser.fuse(vis, th).fused
+
+        action = ACTION_FUSE
+        if self.monitor is not None:
+            action = self.monitor.observe(vis, th, fused).action
+
+        seconds = engine.frame_time(self.config.fusion_shape,
+                                    self.config.levels).total_s
+        if self.scheduler is not None:
+            self.scheduler.observe(engine, seconds)
+        mj = seconds * self.config.power_model.power_w(engine.power_mode) * 1e3
+        self.telemetry.record(seconds, mj)
+
+        quality: Dict[str, float] = {}
+        if self.config.quality_metrics:
+            quality = fusion_report(vis, th, fused)
+            for key, value in quality.items():
+                self._quality_sums[key] = \
+                    self._quality_sums.get(key, 0.0) + value
+            self._quality_frames += 1
+
+        frame_index = self._frames if index is None else index
+        result = FusedFrameResult(
+            frame=VideoFrame(
+                pixels=np.clip(np.round(fused), 0, 255).astype(np.uint8),
+                timestamp_s=timestamp_s,
+                frame_id=frame_index,
+                source="fused",
+                metadata={"engine": engine.name, "action": action},
+            ),
+            visible=vis,
+            thermal=th,
+            engine=engine.name,
+            action=action,
+            model_seconds=seconds,
+            model_millijoules=mj,
+            index=frame_index,
+            timestamp_s=timestamp_s,
+            applied_shift=applied_shift,
+            quality=quality,
+        )
+
+        self._frames += 1
+        self._engine_usage[engine.name] = \
+            self._engine_usage.get(engine.name, 0) + 1
+        self._actions[action] = self._actions.get(action, 0) + 1
+        self._seconds_total += seconds
+        self._millijoules_total += mj
+        # records are retained only for the run() batch in flight:
+        # stream() already hands each result to the caller, and a
+        # session-lifetime list would grow without bound
+        if self._batch_records is not None:
+            self._batch_records.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def stream(self, source, limit: Optional[int] = None
+               ) -> Iterator[FusedFrameResult]:
+        """Fuse every pair ``source`` yields, as a lazy stream.
+
+        ``source`` may be any :class:`FrameSource` or a plain iterable
+        of ``(visible, thermal)`` pairs; ``limit`` stops after that
+        many fused frames (needed for infinite sources).
+        """
+        if limit is not None and limit < 1:
+            raise ConfigurationError(
+                f"limit must be >= 1 or None, got {limit}"
+            )
+        src = as_frame_source(source)
+        fifo_start = getattr(src, "fifo_dropped", None)
+        decode_start = getattr(src, "decode_errors", None)
+        produced = 0
+        try:
+            for pair in src:
+                yield self.process(pair.visible, pair.thermal,
+                                   timestamp_s=pair.timestamp_s)
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+        finally:
+            # fold the transport health of whichever source fed this
+            # stream into the session's counters
+            if fifo_start is not None:
+                self._fifo_dropped += src.fifo_dropped - fifo_start
+            if decode_start is not None:
+                self._decode_errors += src.decode_errors - decode_start
+
+    def run(self, n_frames: int = 10,
+            source: Optional[FrameSource] = None) -> FusionReport:
+        """Fuse ``n_frames`` from ``source`` (default: the built-in
+        capture chain) and report aggregates for exactly that batch.
+
+        A finite ``source`` may be exhausted before ``n_frames`` are
+        fused; the report's ``frames`` then tells the truth and a
+        :class:`RuntimeWarning` flags the shortfall.
+        """
+        if n_frames < 1:
+            raise ConfigurationError(
+                f"n_frames must be >= 1, got {n_frames}"
+            )
+        mark = self._snapshot()
+        stream_source = source if source is not None else self.capture_source()
+        self._batch_records = [] if self.config.keep_records else None
+        try:
+            for _ in self.stream(stream_source, limit=n_frames):
+                pass
+            report = self._report_since(mark)
+            report.records = self._batch_records or []
+        finally:
+            self._batch_records = None
+        if report.frames < n_frames:
+            warnings.warn(
+                f"source exhausted after {report.frames} of the "
+                f"{n_frames} requested frames",
+                RuntimeWarning, stacklevel=2,
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> Dict[str, object]:
+        return {
+            "frames": self._frames,
+            "engine_usage": dict(self._engine_usage),
+            "actions": dict(self._actions),
+            "seconds": self._seconds_total,
+            "millijoules": self._millijoules_total,
+            "shift": self._shift_total,
+            "quality_sums": dict(self._quality_sums),
+            "quality_frames": self._quality_frames,
+            "fifo": self._fifo_dropped,
+            "decode": self._decode_errors,
+        }
+
+    def _report_since(self, mark: Dict[str, object]) -> FusionReport:
+        frames = self._frames - mark["frames"]
+        usage = {
+            name: count - mark["engine_usage"].get(name, 0)
+            for name, count in self._engine_usage.items()
+            if count - mark["engine_usage"].get(name, 0) > 0
+        }
+        actions = {
+            name: count - mark["actions"].get(name, 0)
+            for name, count in self._actions.items()
+            if count - mark["actions"].get(name, 0) > 0
+        }
+        quality_frames = self._quality_frames - mark["quality_frames"]
+        quality: Dict[str, float] = {}
+        if quality_frames:
+            quality = {
+                key: (total - mark["quality_sums"].get(key, 0.0))
+                / quality_frames
+                for key, total in self._quality_sums.items()
+            }
+        return FusionReport(
+            frames=frames,
+            engine_usage=usage,
+            actions=actions,
+            model_seconds_total=self._seconds_total - mark["seconds"],
+            model_millijoules_total=(self._millijoules_total
+                                     - mark["millijoules"]),
+            quality=quality,
+            alarms=self.monitor.alarms if self.monitor else 0,
+            mean_qabf=(self.monitor.mean_qabf()
+                       if self.monitor and self.monitor.history else 0.0),
+            telemetry=(self.telemetry.summary().as_dict()
+                       if self.telemetry.frames else {}),
+            registered_shift_px=((self._shift_total - mark["shift"]) / frames
+                                 if frames else 0.0),
+            fifo_dropped=self._fifo_dropped - mark["fifo"],
+            decode_errors=self._decode_errors - mark["decode"],
+        )
+
+    def report(self) -> FusionReport:
+        """Aggregate report over every frame this session has fused.
+
+        Per-frame records live on each :meth:`run` report (and with
+        the consumer of each :meth:`stream`), not here — a lifetime
+        list would grow without bound on long-running sessions.
+        """
+        return self._report_since({
+            "frames": 0, "engine_usage": {}, "actions": {},
+            "seconds": 0.0, "millijoules": 0.0, "shift": 0.0,
+            "quality_sums": {}, "quality_frames": 0,
+            "fifo": 0, "decode": 0,
+        })

@@ -1,0 +1,267 @@
+"""Pluggable frame-pair sources for the fusion session.
+
+The session fuses *pairs* of co-registered frames; where those pairs
+come from is a :class:`FrameSource`.  New scenarios are new sources —
+not new system classes:
+
+* :class:`SyntheticSource` — renders the shared synthetic world
+  directly in both modalities (fast; no capture modelling);
+* :class:`ArraySource` — replays in-memory arrays (recorded footage,
+  test fixtures, frames fetched from elsewhere);
+* :class:`CameraPairSource` — the webcam + thermal camera simulators,
+  with sensor behaviour (auto-exposure, NETD noise, native geometries)
+  but without the BT.656 transport;
+* :class:`CaptureChainSource` — the paper's full Fig. 7 capture chain:
+  webcam over USB, thermal as BT.656 bytes through the PL decoder
+  model, scaler and handshaked FIFO.  This is what
+  :meth:`FusionSession.run` uses, so batch runs exercise the same data
+  path the hardware would.
+
+Sources yield frames at whatever geometry they natively produce; the
+session registers both modalities onto the configured fusion shape.
+
+Naming note: :class:`repro.video.frames.FrameSource` is the older
+*single-camera* interface (``capture()`` yields one
+:class:`VideoFrame`); this module's :class:`FrameSource` streams
+co-captured *pairs*.  A single camera becomes session input by pairing
+it with its counterpart — that is what :class:`CameraPairSource` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..errors import VideoError
+from ..video.capture import CaptureChain
+from ..video.frames import center_crop
+from ..video.scene import SyntheticScene
+from ..video.thermal import ThermalCameraSimulator
+from ..video.webcam import WebcamSimulator
+
+
+@dataclass
+class FramePair:
+    """One co-captured (visible, thermal) pair, as float arrays."""
+
+    visible: np.ndarray
+    thermal: np.ndarray
+    timestamp_s: float = 0.0
+    index: int = 0
+
+
+class FrameSource:
+    """Stream interface the session consumes: an iterator of pairs.
+
+    Subclasses implement :meth:`frames`; it may be infinite (live
+    cameras) or finite (recorded arrays).  Iterating the source object
+    itself delegates to :meth:`frames`.
+    """
+
+    def frames(self) -> Iterator[FramePair]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[FramePair]:
+        return self.frames()
+
+
+class SyntheticSource(FrameSource):
+    """Render the shared scene straight into both modalities.
+
+    The cheapest source: no camera model, no transport — just the
+    world sampled at ``fps``.  ``limit`` bounds the stream (``None``
+    streams forever).
+    """
+
+    def __init__(self, scene: Optional[SyntheticScene] = None,
+                 seed: int = 2016, fps: float = 25.0,
+                 limit: Optional[int] = None):
+        if fps <= 0:
+            raise VideoError(f"fps must be positive, got {fps}")
+        if limit is not None and limit < 1:
+            raise VideoError(f"limit must be >= 1 or None, got {limit}")
+        self.scene = scene if scene is not None else SyntheticScene(seed=seed)
+        self.fps = fps
+        self.limit = limit
+
+    def frames(self) -> Iterator[FramePair]:
+        index = 0
+        while self.limit is None or index < self.limit:
+            t_s = index / self.fps
+            yield FramePair(
+                visible=self.scene.render_visible(t_s),
+                thermal=self.scene.render_thermal(t_s),
+                timestamp_s=t_s,
+                index=index,
+            )
+            index += 1
+
+
+class ArraySource(FrameSource):
+    """Replay in-memory (visible, thermal) arrays as a stream."""
+
+    def __init__(self, visible: Sequence[np.ndarray],
+                 thermal: Sequence[np.ndarray],
+                 fps: float = 25.0, loop: bool = False):
+        visible = [np.asarray(v, dtype=np.float64) for v in visible]
+        thermal = [np.asarray(t, dtype=np.float64) for t in thermal]
+        if not visible:
+            raise VideoError("ArraySource needs at least one frame pair")
+        if len(visible) != len(thermal):
+            raise VideoError(
+                f"visible/thermal counts differ: {len(visible)} vs "
+                f"{len(thermal)}"
+            )
+        for v, t in zip(visible, thermal):
+            if v.ndim != 2 or t.ndim != 2:
+                raise VideoError("array frames must be 2-D grayscale")
+        if fps <= 0:
+            raise VideoError(f"fps must be positive, got {fps}")
+        self.visible = visible
+        self.thermal = thermal
+        self.fps = fps
+        self.loop = loop
+
+    def __len__(self) -> int:
+        return len(self.visible)
+
+    def frames(self) -> Iterator[FramePair]:
+        index = 0
+        while True:
+            slot = index % len(self.visible)
+            if not self.loop and index >= len(self.visible):
+                return
+            yield FramePair(
+                visible=self.visible[slot],
+                thermal=self.thermal[slot],
+                timestamp_s=index / self.fps,
+                index=index,
+            )
+            index += 1
+
+
+class CameraPairSource(FrameSource):
+    """Webcam + thermal camera simulators, without the BT.656 link.
+
+    Frames carry each sensor's native behaviour (auto-exposure,
+    Bayer-ish chroma then BT.601 luma, microbolometer geometry and NETD
+    noise); the BT.656 transport, decode and scaling are skipped — use
+    :class:`CaptureChainSource` for the full Fig. 7 chain.
+    """
+
+    def __init__(self, scene: Optional[SyntheticScene] = None,
+                 seed: int = 2016, thermal_profile: str = "microcam-384",
+                 limit: Optional[int] = None):
+        if limit is not None and limit < 1:
+            raise VideoError(f"limit must be >= 1 or None, got {limit}")
+        self.scene = scene if scene is not None else SyntheticScene(seed=seed)
+        self.webcam = WebcamSimulator(self.scene)
+        self.thermal = ThermalCameraSimulator(self.scene,
+                                              profile=thermal_profile)
+        self.limit = limit
+
+    def frames(self) -> Iterator[FramePair]:
+        index = 0
+        while self.limit is None or index < self.limit:
+            visible = self.webcam.capture_gray()
+            thermal = self.thermal.capture()
+            yield FramePair(
+                visible=visible.as_float(),
+                thermal=thermal.as_float(),
+                timestamp_s=visible.timestamp_s,
+                index=index,
+            )
+            index += 1
+
+
+class CaptureChainSource(FrameSource):
+    """The paper's complete capture substrate as a frame source.
+
+    Visible frames arrive from the USB webcam simulator and are
+    grayscaled on the PS; thermal frames are rendered, encoded as
+    BT.656 bytes, decoded by the PL decoder model, scaled 720x243 ->
+    640x480 and buffered through the handshaked output FIFO.  The
+    wiring itself is the shared :class:`repro.video.CaptureChain` (the
+    same object :class:`repro.video.FusionPipeline` drives), and its
+    decoder/FIFO statistics are exposed so reports can include
+    transport health.
+    """
+
+    def __init__(self, scene: Optional[SyntheticScene] = None,
+                 seed: int = 2016, fifo_capacity: int = 1):
+        if scene is None:
+            scene = SyntheticScene(seed=seed)
+        self.chain = CaptureChain(scene=scene, fifo_capacity=fifo_capacity)
+        self.scene = self.chain.scene
+
+    # ------------------------------------------------------------------
+    @property
+    def fifo_dropped(self) -> int:
+        return self.chain.fifo_dropped
+
+    @property
+    def decode_errors(self) -> int:
+        return self.chain.decode_errors
+
+    def frames(self) -> Iterator[FramePair]:
+        index = 0
+        while True:
+            captured = self.chain.capture_pair()
+            if captured is None:
+                continue  # FIFO starved this field; capture the next
+            visible, thermal_scaled = captured
+            crop = center_crop(thermal_scaled, 480, 640)
+            yield FramePair(
+                visible=visible.to_gray().as_float(),
+                thermal=crop.astype(np.float64),
+                timestamp_s=visible.timestamp_s,
+                index=index,
+            )
+            index += 1
+
+
+def as_frame_source(source) -> FrameSource:
+    """Coerce plain iterables of ``(visible, thermal)`` into a source.
+
+    Accepts a :class:`FrameSource` (or anything with a ``frames()``
+    method) unchanged, or any iterable yielding :class:`FramePair`
+    objects or 2-tuples of arrays — so callers can stream generator
+    expressions without wrapping them themselves.
+    """
+    if isinstance(source, FrameSource):
+        return source
+    if callable(getattr(source, "frames", None)):
+        return _IterableSource(source.frames())  # structural match
+    if callable(getattr(source, "capture", None)):
+        raise VideoError(
+            f"{type(source).__name__} looks like a single-camera "
+            f"repro.video source; the session fuses pairs — wrap the "
+            f"rig in a pair source such as CameraPairSource"
+        )
+    if isinstance(source, Iterable):
+        return _IterableSource(source)
+    raise VideoError(
+        f"cannot stream from {type(source).__name__}; expected a "
+        f"FrameSource or an iterable of (visible, thermal) pairs"
+    )
+
+
+class _IterableSource(FrameSource):
+    """Adapter wrapping a plain iterable of pairs."""
+
+    def __init__(self, iterable: Iterable):
+        self._iterable = iterable
+
+    def frames(self) -> Iterator[FramePair]:
+        for index, item in enumerate(self._iterable):
+            if isinstance(item, FramePair):
+                yield item
+            else:
+                visible, thermal = item
+                yield FramePair(
+                    visible=np.asarray(visible, dtype=np.float64),
+                    thermal=np.asarray(thermal, dtype=np.float64),
+                    index=index,
+                )

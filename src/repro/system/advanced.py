@@ -1,41 +1,31 @@
-"""The production fusion session: every extension, assembled.
+"""Deprecated "everything on" session (superseded by :mod:`repro.session`).
 
-:class:`AdvancedFusionSession` is the "future work, implemented"
-configuration: the paper's capture+fusion pipeline combined with
+:class:`AdvancedFusionSession` assembled online adaptive engine
+selection, registration, temporal fusion, quality monitoring and
+telemetry.  All of that now lives behind the unified
+:class:`repro.session.FusionSession` facade — this module is a thin
+shim that maps the old constructor and report onto it::
 
-* **online adaptive engine selection** (measurement-driven, no model),
-* **registration** of the thermal view onto the visible view,
-* **temporal fusion** for flicker suppression,
-* **quality monitoring** with automatic passthrough fallback,
-* **telemetry** (latency percentiles, deadline misses, energy budget).
-
-Each feature is individually optional so ablations can switch them off
-— the corresponding benchmark measures what each contributes.
+    from repro.session import FusionConfig, FusionSession
+    FusionSession(FusionConfig(engine="online", registration=True,
+                               temporal=True, monitor=True)).run(10)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-import numpy as np
-
-from ..core.adaptive import OnlineScheduler, default_engines
-from ..core.fusion import ImageFusion
-from ..core.quality_monitor import ACTION_FUSE, QualityMonitor
-from ..core.registration import DtcwtRegistration
-from ..core.video_fusion import TemporalFusion
-from ..errors import ConfigurationError
 from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
+from ..session import FusionConfig, FusionSession
 from ..types import FrameShape
-from ..video.pipeline import FusionPipeline
 from ..video.scene import SyntheticScene
-from .telemetry import FrameTelemetry
 
 
 @dataclass
 class SessionReport:
-    """Outcome of an advanced session run."""
+    """Legacy report shape of an advanced session run."""
 
     frames: int
     engine_usage: Dict[str, int]
@@ -47,7 +37,7 @@ class SessionReport:
 
 
 class AdvancedFusionSession:
-    """Capture -> register -> fuse(temporal) -> monitor, adaptively."""
+    """Deprecated: use :class:`repro.session.FusionSession`."""
 
     def __init__(self, fusion_shape: FrameShape = FrameShape(88, 72),
                  levels: int = 3,
@@ -58,115 +48,51 @@ class AdvancedFusionSession:
                  target_fps: float = 25.0,
                  energy_budget_mj: Optional[float] = None,
                  power_model: PowerModel = DEFAULT_POWER_MODEL):
-        if levels < 1:
-            raise ConfigurationError("levels must be >= 1")
+        warnings.warn(
+            "AdvancedFusionSession is deprecated; use "
+            "repro.session.FusionSession(FusionConfig(engine='online', ...)) "
+            "instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        self.session = FusionSession(FusionConfig(
+            engine="online",
+            fusion_shape=fusion_shape,
+            levels=levels,
+            scene=scene,
+            registration=use_registration,
+            temporal=use_temporal,
+            monitor=use_monitor,
+            target_fps=target_fps,
+            energy_budget_mj=energy_budget_mj,
+            power_model=power_model,
+            quality_metrics=False,
+            keep_records=False,
+        ))
         self.fusion_shape = fusion_shape
         self.levels = levels
-        self.scene = scene if scene is not None else SyntheticScene()
+        self.scene = self.session.capture_source().scene
         self.power_model = power_model
 
-        self.engines = {e.name: e for e in default_engines()}
-        self.scheduler = OnlineScheduler(tuple(self.engines.values()),
-                                         probe_frames=1, reprobe_every=20)
-        self.registration = (DtcwtRegistration(levels=max(2, levels),
-                                               max_shift=6)
-                             if use_registration else None)
-        self._rig_estimates: List[tuple] = []
-        self.temporal = TemporalFusion(
-            fusion=ImageFusion(levels=levels)) if use_temporal else None
-        self.monitor = QualityMonitor() if use_monitor else None
-        self.telemetry = FrameTelemetry(target_fps=target_fps,
-                                        energy_budget_mj=energy_budget_mj)
+    @property
+    def scheduler(self):
+        return self.session.scheduler
 
-        # one capture pipeline reused across engines (the cameras do not
-        # care which engine fuses); fusion is re-run per chosen engine
-        self._pipeline = FusionPipeline(
-            engine=self.engines["neon"], fusion_shape=fusion_shape,
-            levels=levels, scene=self.scene, power_model=power_model,
-        )
-        self._fusers = {
-            name: ImageFusion(transform=engine.transform(levels))
-            for name, engine in self.engines.items()
-        }
+    @property
+    def monitor(self):
+        return self.session.monitor
 
-    # ------------------------------------------------------------------
-    def _acquire(self):
-        record = None
-        while record is None:
-            record = self._pipeline.step()
-        return record.visible, record.thermal
-
-    def _calibrate_rig(self, visible, thermal):
-        """Static-rig calibration: collect per-frame estimates, apply the
-        median only once it is stable and consistent.
-
-        A co-located camera pair has one fixed offset; per-frame
-        estimates that saturate the search bound or disagree with the
-        consensus are measurement noise, not motion, and applying them
-        would misalign a well-aligned rig.
-        """
-        result = self.registration.estimate(visible, thermal)
-        bound = self.registration.max_shift
-        if abs(result.dy) < bound and abs(result.dx) < bound:
-            self._rig_estimates.append((result.dy, result.dx))
-        if len(self._rig_estimates) < 3:
-            return None
-        recent = self._rig_estimates[-5:]
-        dy = float(np.median([e[0] for e in recent]))
-        dx = float(np.median([e[1] for e in recent]))
-        spread = max(abs(e[0] - dy) + abs(e[1] - dx) for e in recent)
-        if spread > 2.0:
-            return None  # estimates disagree: no confident calibration
-        if round(dy) == 0 and round(dx) == 0:
-            return None  # rig already aligned
-        return int(round(dy)), int(round(dx))
+    @property
+    def telemetry(self):
+        return self.session.telemetry
 
     def run(self, n_frames: int = 10) -> SessionReport:
-        if n_frames < 1:
-            raise ConfigurationError("n_frames must be >= 1")
-        engine_usage: Dict[str, int] = {}
-        actions: Dict[str, int] = {}
-        shift_total = 0.0
-
-        for _ in range(n_frames):
-            visible, thermal = self._acquire()
-
-            if self.registration is not None:
-                offset = self._calibrate_rig(visible, thermal)
-                if offset is not None:
-                    thermal = np.roll(np.roll(thermal, offset[0], axis=0),
-                                      offset[1], axis=1)
-                    shift_total += float(np.hypot(*offset))
-
-            engine = self.scheduler.next_engine()
-            engine_usage[engine.name] = engine_usage.get(engine.name, 0) + 1
-
-            if self.temporal is not None:
-                self.temporal.fusion = self._fusers[engine.name]
-                fused = self.temporal.fuse(visible, thermal)
-            else:
-                fused = self._fusers[engine.name].fuse(visible,
-                                                       thermal).fused
-
-            action = ACTION_FUSE
-            if self.monitor is not None:
-                reading = self.monitor.observe(visible, thermal, fused)
-                action = reading.action
-            actions[action] = actions.get(action, 0) + 1
-
-            seconds = engine.frame_time(self.fusion_shape,
-                                        self.levels).total_s
-            self.scheduler.observe(engine, seconds)
-            mj = seconds * self.power_model.power_w(engine.power_mode) * 1e3
-            self.telemetry.record(seconds, mj)
-
-        summary = self.telemetry.summary()
+        report = self.session.run(n_frames)
         return SessionReport(
-            frames=n_frames,
-            engine_usage=engine_usage,
-            actions=actions,
-            alarms=self.monitor.alarms if self.monitor else 0,
-            mean_qabf=self.monitor.mean_qabf() if self.monitor else 0.0,
-            telemetry=summary.as_dict(),
-            registered_shift_px=shift_total / n_frames,
+            frames=report.frames,
+            engine_usage=report.engine_usage,
+            actions=report.actions,
+            alarms=report.alarms,
+            mean_qabf=report.mean_qabf,
+            telemetry=report.telemetry,
+            registered_shift_px=report.registered_shift_px,
         )

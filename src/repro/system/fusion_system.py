@@ -1,37 +1,44 @@
-"""The complete video fusion system (paper Section VI).
+"""Deprecated batch entry point (superseded by :mod:`repro.session`).
 
-:class:`VideoFusionSystem` is the top-level object a user of this
-library instantiates: cameras + capture substrate + fusion engine +
-power accounting, with the engine either fixed ("arm", "neon", "fpga")
-or chosen at run time by the adaptive scheduler — the configuration the
-paper's conclusion recommends.
+:class:`VideoFusionSystem` was the original top-level object: cameras +
+capture substrate + fusion engine + power accounting with a fixed or
+cost-model-selected engine.  It is now a thin shim over
+:class:`repro.session.FusionSession`, kept so existing code keeps
+working; new code should build a :class:`repro.session.FusionConfig`
+instead::
+
+    from repro.session import FusionConfig, FusionSession
+    FusionSession(FusionConfig(engine="adaptive")).run(10)
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-import numpy as np
-
-from ..core.adaptive import CostModelScheduler
-from ..core.metrics import fusion_report
 from ..errors import ConfigurationError
-from ..hw.arm import ArmEngine
-from ..hw.engine import Engine
-from ..hw.fpga import FpgaEngine
-from ..hw.neon import NeonEngine
 from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
+from ..hw.registry import create_engine, engine_names
+from ..session import FusionConfig, FusionReport, FusionSession
 from ..types import FrameShape
-from ..video.pipeline import FusionPipeline, PipelineReport
+from ..video.pipeline import FusedFrameRecord, PipelineReport
 from ..video.scene import SyntheticScene
 
-ENGINE_NAMES = ("arm", "neon", "fpga", "adaptive")
+#: Engine names the legacy constructor accepts: the registry's engines
+#: plus the cost-model scheduler.  (A snapshot at import time; the
+#: constructor validates against the live registry, so engines
+#: registered later are also accepted.  The session-only "online"
+#: scheduler is rejected here, as the original class rejected it.)
+ENGINE_NAMES = engine_names() + ("adaptive",)
+
+#: Legacy alias for the registry factory (same validation, same error).
+make_engine = create_engine
 
 
 @dataclass
 class SystemReport:
-    """What a system run produced and what it would have cost."""
+    """Legacy report shape: what a run produced and what it would cost."""
 
     engine_used: str
     pipeline: PipelineReport
@@ -50,18 +57,29 @@ class SystemReport:
         return self.pipeline.millijoules_per_frame
 
 
-def make_engine(name: str) -> Engine:
-    """Engine factory used by the CLI and the examples."""
-    engines = {"arm": ArmEngine, "neon": NeonEngine, "fpga": FpgaEngine}
-    if name not in engines:
-        raise ConfigurationError(
-            f"unknown engine {name!r}; expected one of {sorted(engines)}"
-        )
-    return engines[name]()
+def _as_pipeline_report(report: FusionReport) -> PipelineReport:
+    """Downgrade a unified report to the legacy pipeline shape."""
+    return PipelineReport(
+        frames=report.frames,
+        model_seconds_total=report.model_seconds_total,
+        model_millijoules_total=report.model_millijoules_total,
+        fifo_dropped=report.fifo_dropped,
+        decode_errors=report.decode_errors,
+        records=[
+            FusedFrameRecord(
+                frame=result.frame,
+                visible=result.visible,
+                thermal=result.thermal,
+                model_seconds=result.model_seconds,
+                model_millijoules=result.model_millijoules,
+            )
+            for result in report.records
+        ],
+    )
 
 
 class VideoFusionSystem:
-    """Cameras + capture + DT-CWT fusion on a selectable engine."""
+    """Deprecated: use :class:`repro.session.FusionSession`."""
 
     def __init__(self, engine: str = "adaptive",
                  fusion_shape: FrameShape = FrameShape(88, 72),
@@ -69,47 +87,54 @@ class VideoFusionSystem:
                  scene: Optional[SyntheticScene] = None,
                  power_model: PowerModel = DEFAULT_POWER_MODEL,
                  objective: str = "energy"):
-        if engine not in ENGINE_NAMES:
+        warnings.warn(
+            "VideoFusionSystem is deprecated; use "
+            "repro.session.FusionSession(FusionConfig(...)) instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        accepted = engine_names() + ("adaptive",)
+        if engine not in accepted:
+            # the session also knows "online"; the legacy class did not
             raise ConfigurationError(
-                f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+                f"unknown engine {engine!r}; expected one of {accepted}"
             )
+        self.session = FusionSession(FusionConfig(
+            engine=engine,
+            fusion_shape=fusion_shape,
+            levels=levels,
+            scene=scene,
+            power_model=power_model,
+            objective=objective,
+        ))
         self.requested_engine = engine
         self.fusion_shape = fusion_shape
         self.levels = levels
-        self.scene = scene if scene is not None else SyntheticScene()
+        self.scene = self.session.capture_source().scene
         self.power_model = power_model
+        self.decision = self.session.decision
 
-        if engine == "adaptive":
-            scheduler = CostModelScheduler(objective=objective,
-                                           power_model=power_model)
-            decision = scheduler.choose(fusion_shape, levels)
-            self.engine: Engine = decision.engine
-            self.decision = decision
-        else:
-            self.engine = make_engine(engine)
-            self.decision = None
+    @property
+    def engine(self):
+        return self.session.engine
 
-        self.pipeline = FusionPipeline(
-            engine=self.engine,
-            fusion_shape=fusion_shape,
-            levels=levels,
-            scene=self.scene,
-            power_model=power_model,
+    @property
+    def pipeline(self):
+        raise AttributeError(
+            "VideoFusionSystem.pipeline was removed with the session "
+            "refactor; per-frame records live on run() reports and the "
+            "capture chain is session.capture_source()"
         )
 
     def run(self, n_frames: int = 10, with_quality: bool = True) -> SystemReport:
         """Fuse ``n_frames`` pairs; optionally score fusion quality."""
-        report = self.pipeline.run(n_frames)
-        quality: Dict[str, float] = {}
-        if with_quality and report.records:
-            metrics: List[Dict[str, float]] = []
-            for record in report.records:
-                metrics.append(fusion_report(record.visible, record.thermal,
-                                             record.frame.pixels.astype(float)))
-            quality = {key: float(np.mean([m[key] for m in metrics]))
-                       for key in metrics[0]}
+        previous = self.session.config.quality_metrics
+        self.session.config.quality_metrics = with_quality
+        try:
+            report = self.session.run(n_frames)
+        finally:
+            self.session.config.quality_metrics = previous
         return SystemReport(
-            engine_used=self.engine.name,
-            pipeline=report,
-            quality=quality,
+            engine_used=report.engine_used,
+            pipeline=_as_pipeline_report(report),
+            quality=report.quality,
         )

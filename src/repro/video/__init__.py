@@ -1,6 +1,7 @@
 """Capture substrate: synthetic scene, cameras, BT.656, scaler, FIFO."""
 
 from .bt656 import Bt656Config, Bt656Decoder, DecoderStats, encode_frame
+from .capture import CaptureChain
 from .display import histogram_strip, render_text, stamp_text, triptych
 from .faults import (
     DropoutChannel,
@@ -20,6 +21,7 @@ from .webcam import WebcamSimulator
 
 __all__ = [
     "Bt656Config", "Bt656Decoder", "DecoderStats", "encode_frame",
+    "CaptureChain",
     "FifoStats", "FrameFifo",
     "FrameSource", "VideoFrame", "center_crop",
     "FusedFrameRecord", "FusionPipeline", "PipelineReport",

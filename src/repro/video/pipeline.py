@@ -28,13 +28,10 @@ from ..errors import VideoError
 from ..hw.engine import Engine
 from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
 from ..types import FrameShape
-from .bt656 import Bt656Decoder
-from .fifo import FrameFifo
+from .capture import CaptureChain
 from .frames import VideoFrame, center_crop
-from .scaler import VideoScaler, resize_to
+from .scaler import resize_to
 from .scene import SyntheticScene
-from .thermal import ThermalCameraSimulator
-from .webcam import WebcamSimulator
 
 
 @dataclass
@@ -91,27 +88,18 @@ class FusionPipeline:
         self.power_model = power_model
         self.keep_records = keep_records
 
-        self.webcam = WebcamSimulator(self.scene)
-        self.thermal = ThermalCameraSimulator(self.scene)
-        self.decoder = Bt656Decoder(self.thermal.bt656_config)
-        self.scaler = VideoScaler(
-            in_shape=(self.thermal.bt656_config.active_lines,
-                      self.thermal.bt656_config.active_width),
-            out_shape=(480, 640),
-        )
-        self.fifo = FrameFifo(capacity=fifo_capacity)
+        self.capture = CaptureChain(scene=self.scene,
+                                    fifo_capacity=fifo_capacity)
+        # the chain's parts stay addressable the way they always were
+        self.webcam = self.capture.webcam
+        self.thermal = self.capture.thermal
+        self.decoder = self.capture.decoder
+        self.scaler = self.capture.scaler
+        self.fifo = self.capture.fifo
         self.fusion = ImageFusion(transform=engine.transform(levels))
         self._fused_count = 0
 
     # ------------------------------------------------------------------
-    def _acquire_thermal(self) -> Optional[np.ndarray]:
-        """One camera field through decode -> scale -> FIFO."""
-        stream = self.thermal.capture_bt656()
-        for decoded in self.decoder.push_bytes(stream):
-            scaled = self.scaler.scale(decoded)
-            self.fifo.push(scaled)
-        return self.fifo.pop()
-
     def _register(self, visible: VideoFrame,
                   thermal_scaled: np.ndarray) -> tuple:
         """Map both modalities onto the fusion geometry."""
@@ -124,10 +112,10 @@ class FusionPipeline:
 
     def step(self) -> Optional[FusedFrameRecord]:
         """Produce one fused frame (or None if the FIFO starved)."""
-        visible = self.webcam.capture()
-        thermal_scaled = self._acquire_thermal()
-        if thermal_scaled is None:
+        captured = self.capture.capture_pair()
+        if captured is None:
             return None
+        visible, thermal_scaled = captured
         vis, th = self._register(visible, thermal_scaled)
         result = self.fusion.fuse(vis, th)
 

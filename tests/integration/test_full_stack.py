@@ -91,32 +91,30 @@ class TestRecordReplay:
         assert total > 0  # looped twice without exhausting
 
 
-class TestAdvancedSessionIntegration:
+class TestSessionIntegration:
     def test_session_handles_monitor_fallback(self):
         """If the scene's thermal channel dies mid-session the monitor
         flips the action; the session keeps producing frames."""
-        from repro.core.quality_monitor import QualityMonitor
-        from repro.system.advanced import AdvancedFusionSession
+        from repro.session import FusionConfig, FusionSession
 
-        session = AdvancedFusionSession(
-            fusion_shape=FrameShape(48, 40), levels=2,
+        session = FusionSession(FusionConfig(
+            engine="online", fusion_shape=FrameShape(48, 40), levels=2,
             scene=SyntheticScene(width=96, height=80, seed=5),
-            use_registration=False, use_temporal=False,
-        )
+            monitor=True, quality_metrics=False,
+        ))
         report = session.run(4)
         assert report.frames == 4
         assert report.actions.get("fuse", 0) >= 3
 
     def test_session_is_deterministic_given_seed(self):
-        from repro.system.advanced import AdvancedFusionSession
+        from repro.session import FusionConfig, FusionSession
 
         def run():
-            session = AdvancedFusionSession(
-                fusion_shape=FrameShape(48, 40), levels=2,
+            session = FusionSession(FusionConfig(
+                engine="online", fusion_shape=FrameShape(48, 40), levels=2,
                 scene=SyntheticScene(width=96, height=80, seed=21),
-                use_registration=False, use_temporal=False,
-                use_monitor=False,
-            )
+                quality_metrics=False,
+            ))
             return session.run(4)
 
         first = run()

@@ -1,6 +1,11 @@
-"""Advanced session assembly and SVG figure generation."""
+"""Deprecated advanced-session shim and SVG figure generation.
 
-import numpy as np
+The behaviour the old ``AdvancedFusionSession`` provided (online
+scheduling, registration, temporal fusion, monitoring, telemetry) is
+tested against the new API in ``test_session.py``; here we only verify
+the shim still exposes it faithfully.
+"""
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -13,14 +18,15 @@ from repro.video.scene import SyntheticScene
 
 @pytest.fixture
 def small_session():
-    return AdvancedFusionSession(
-        fusion_shape=FrameShape(48, 40), levels=2,
-        scene=SyntheticScene(width=96, height=80, seed=5),
-        energy_budget_mj=5000,
-    )
+    with pytest.warns(DeprecationWarning, match="FusionSession"):
+        return AdvancedFusionSession(
+            fusion_shape=FrameShape(48, 40), levels=2,
+            scene=SyntheticScene(width=96, height=80, seed=5),
+            energy_budget_mj=5000,
+        )
 
 
-class TestAdvancedSession:
+class TestDeprecatedAdvancedSession:
     def test_run_produces_report(self, small_session):
         report = small_session.run(5)
         assert report.frames == 5
@@ -41,11 +47,13 @@ class TestAdvancedSession:
         assert report.registered_shift_px < 1.0
 
     def test_features_can_be_disabled(self):
-        session = AdvancedFusionSession(
-            fusion_shape=FrameShape(48, 40), levels=2,
-            scene=SyntheticScene(width=96, height=80, seed=5),
-            use_registration=False, use_temporal=False, use_monitor=False,
-        )
+        with pytest.warns(DeprecationWarning):
+            session = AdvancedFusionSession(
+                fusion_shape=FrameShape(48, 40), levels=2,
+                scene=SyntheticScene(width=96, height=80, seed=5),
+                use_registration=False, use_temporal=False,
+                use_monitor=False,
+            )
         report = session.run(3)
         assert report.alarms == 0
         assert report.mean_qabf == 0.0  # monitor off
@@ -56,14 +64,12 @@ class TestAdvancedSession:
         remaining = small_session.telemetry.frames_remaining()
         assert remaining is not None and remaining > 0
 
-    def test_validation(self):
+    def test_validation(self, small_session):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                AdvancedFusionSession(levels=0)
         with pytest.raises(ConfigurationError):
-            AdvancedFusionSession(levels=0)
-        session = AdvancedFusionSession(
-            fusion_shape=FrameShape(48, 40), levels=2,
-            scene=SyntheticScene(width=96, height=80, seed=5))
-        with pytest.raises(ConfigurationError):
-            session.run(0)
+            small_session.run(0)
 
 
 class TestFigures:

@@ -1,0 +1,294 @@
+"""The unified session API: config validation, streaming, sources."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, VideoError
+from repro.hw.registry import create_engine, engine_names, register_engine
+from repro.session import (
+    ArraySource,
+    CameraPairSource,
+    CaptureChainSource,
+    FramePair,
+    FusionConfig,
+    FusionSession,
+    SyntheticSource,
+    as_frame_source,
+)
+from repro.types import FrameShape
+from repro.video.scene import SyntheticScene
+
+SMALL = FrameShape(40, 40)
+
+
+def small_config(**overrides):
+    defaults = dict(engine="neon", fusion_shape=SMALL, levels=2,
+                    scene=SyntheticScene(width=96, height=80, seed=5))
+    defaults.update(overrides)
+    return FusionConfig(**defaults)
+
+
+class TestEngineRegistry:
+    def test_names_and_creation(self):
+        assert set(engine_names()) >= {"arm", "neon", "fpga"}
+        for name in ("arm", "neon", "fpga"):
+            assert create_engine(name).name == name
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_engine("gpu")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_engine("arm", lambda: None)
+
+
+class TestFusionConfig:
+    def test_defaults_are_valid(self):
+        config = FusionConfig()
+        assert config.engine == "adaptive"
+        assert config.fusion_shape == FrameShape(88, 72)
+
+    def test_tuple_shape_coerced(self):
+        config = FusionConfig(fusion_shape=(40, 32))
+        assert config.fusion_shape == FrameShape(40, 32)
+
+    @pytest.mark.parametrize("bad", [
+        dict(engine="abacus"),
+        dict(levels=0),
+        dict(fusion_rule="median"),
+        dict(objective="joules"),
+        dict(target_fps=0.0),
+        dict(energy_budget_mj=-1.0),
+        dict(probe_frames=0),
+        dict(reprobe_every=1),
+        dict(fusion_shape="88x72"),
+    ])
+    def test_invalid_fields_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            FusionConfig(**bad)
+
+    def test_with_overrides_validates(self):
+        config = FusionConfig().with_overrides(engine="fpga", levels=2)
+        assert config.engine == "fpga"
+        with pytest.raises(ConfigurationError):
+            FusionConfig().with_overrides(engines="fpga")
+        with pytest.raises(ConfigurationError):
+            FusionConfig().with_overrides(levels=0)
+
+    def test_seed_controls_default_scene(self):
+        assert FusionConfig(seed=7).make_scene().seed == 7
+
+
+class TestFusionSession:
+    def test_run_reports(self):
+        report = FusionSession(small_config()).run(2)
+        assert report.frames == 2
+        assert report.engine_used == "neon"
+        assert report.model_fps > 0
+        assert report.millijoules_per_frame > 0
+        assert "qabf" in report.quality
+
+    def test_kwarg_construction(self):
+        session = FusionSession(engine="arm", fusion_shape=SMALL, levels=2)
+        assert session.engine.name == "arm"
+
+    def test_adaptive_decision_at_init(self):
+        full = FusionSession(FusionConfig(engine="adaptive"))
+        assert full.engine.name == "fpga"
+        assert full.decision is not None
+        small = FusionSession(FusionConfig(engine="adaptive",
+                                           fusion_shape=(32, 24)))
+        assert small.engine.name == "neon"
+
+    def test_online_explores_then_exploits(self):
+        report = FusionSession(small_config(engine="online")).run(8)
+        assert set(report.engine_usage) == {"arm", "neon", "fpga"}
+        assert max(report.engine_usage.values()) >= 5
+
+    def test_process_single_pair(self, structured_pair):
+        visible, thermal = structured_pair
+        session = FusionSession(small_config())
+        result = session.process(visible, thermal)
+        assert result.pixels.shape == SMALL.array_shape
+        assert result.engine == "neon"
+        assert result.model_seconds > 0
+        assert session.frames_processed == 1
+
+    def test_process_rejects_color_frames(self):
+        session = FusionSession(small_config())
+        rgb = np.zeros((40, 40, 3))
+        with pytest.raises(ConfigurationError):
+            session.process(rgb, rgb)
+
+    def test_run_validates_count(self):
+        with pytest.raises(ConfigurationError):
+            FusionSession(small_config()).run(0)
+
+    def test_stream_validates_limit(self):
+        session = FusionSession(small_config())
+        with pytest.raises(ConfigurationError):
+            list(session.stream(SyntheticSource(seed=1), limit=0))
+
+    def test_streaming_does_not_retain_records(self):
+        """stream() hands results to the consumer; only run() batches
+        retain them, so infinite streams stay bounded in memory."""
+        session = FusionSession(small_config())
+        streamed = list(session.stream(SyntheticSource(seed=1), limit=2))
+        assert len(streamed) == 2
+        assert session.report().records == []
+        assert session.report().frames == 2
+        assert "qabf" in session.report().quality  # aggregates still kept
+        assert "qabf" in streamed[0].quality       # per-frame on the result
+        batch = session.run(2)
+        assert len(batch.records) == 2
+
+    def test_run_reports_stats_of_the_source_it_used(self):
+        """Transport health comes from whichever source fed the run,
+        not from the built-in capture chain."""
+        session = FusionSession(small_config())
+        custom = CaptureChainSource(scene=SyntheticScene(width=96,
+                                                         height=80, seed=7))
+        report = session.run(2, source=custom)
+        assert report.fifo_dropped == custom.fifo_dropped
+        assert report.decode_errors == custom.decode_errors
+        # a source with no transport counters contributes none
+        synthetic = FusionSession(small_config()).run(
+            2, source=SyntheticSource(seed=7))
+        assert synthetic.fifo_dropped == 0
+        assert synthetic.decode_errors == 0
+
+    def test_report_accumulates_across_runs(self):
+        session = FusionSession(small_config())
+        first = session.run(2)
+        second = session.run(3)
+        assert first.frames == 2 and second.frames == 3
+        assert session.report().frames == 5
+
+    def test_full_feature_stack_runs(self):
+        config = small_config(engine="online", fusion_shape=FrameShape(48, 40),
+                              registration=True, temporal=True, monitor=True,
+                              energy_budget_mj=5000.0)
+        session = FusionSession(config)
+        report = session.run(5)
+        assert report.frames == 5
+        assert sum(report.actions.values()) == 5
+        assert report.telemetry["frames"] == 5
+        assert 0.0 <= report.mean_qabf <= 1.0
+        assert report.registered_shift_px < 1.0  # aligned rig
+        assert session.telemetry.frames_remaining() is not None
+
+
+class TestStreamRunEquivalence:
+    def test_stream_matches_run_on_fixed_seed(self):
+        """run(n) is exactly stream(capture chain, n) — same frames,
+        same modelled costs — when the scene seed matches."""
+        batch = FusionSession(small_config(scene=None, seed=11))
+        batch_report = batch.run(3)
+
+        streamed = FusionSession(small_config(scene=None, seed=11))
+        source = CaptureChainSource(scene=SyntheticScene(seed=11))
+        results = list(streamed.stream(source, limit=3))
+
+        assert len(results) == batch_report.frames == 3
+        for result, record in zip(results, batch_report.records):
+            assert np.array_equal(result.pixels, record.pixels)
+        assert np.isclose(
+            sum(r.model_millijoules for r in results),
+            batch_report.model_millijoules_total,
+        )
+
+    def test_deterministic_given_seed(self):
+        def totals():
+            report = FusionSession(small_config(engine="online")).run(4)
+            return report.engine_usage, report.model_millijoules_total
+
+        first, second = totals(), totals()
+        assert first[0] == second[0]
+        assert np.isclose(first[1], second[1])
+
+
+class TestFrameSources:
+    def test_synthetic_source_limit_and_timestamps(self):
+        pairs = list(SyntheticSource(seed=3, fps=10.0, limit=3))
+        assert len(pairs) == 3
+        assert pairs[1].timestamp_s == pytest.approx(0.1)
+        assert pairs[0].visible.shape == pairs[0].thermal.shape
+
+    def test_array_source_replays_and_loops(self):
+        vis = [np.full((8, 8), float(i)) for i in range(2)]
+        th = [np.full((8, 8), 10.0 + i) for i in range(2)]
+        assert len(list(ArraySource(vis, th))) == 2
+        looped = ArraySource(vis, th, loop=True)
+        taken = [pair for pair, _ in zip(looped, range(5))]
+        assert len(taken) == 5
+        assert np.array_equal(taken[4].visible, vis[0])
+
+    def test_array_source_validation(self):
+        good = [np.zeros((8, 8))]
+        with pytest.raises(VideoError):
+            ArraySource([], [])
+        with pytest.raises(VideoError):
+            ArraySource(good, good * 2)
+        with pytest.raises(VideoError):
+            ArraySource([np.zeros((8, 8, 3))], good)
+
+    def test_camera_pair_source_native_geometries(self):
+        scene = SyntheticScene(width=96, height=80, seed=5)
+        pair = next(iter(CameraPairSource(scene=scene, limit=1)))
+        assert pair.visible.shape == (80, 96)   # webcam at scene size
+        assert pair.thermal.shape == (288, 384)  # microbolometer native
+
+    def test_capture_chain_source_stats(self):
+        source = CaptureChainSource(scene=SyntheticScene(width=96, height=80,
+                                                         seed=5))
+        pairs = [pair for pair, _ in zip(source, range(2))]
+        assert pairs[0].visible.shape == (80, 96)
+        assert pairs[0].thermal.shape == (480, 640)
+        assert source.fifo_dropped >= 0 and source.decode_errors >= 0
+
+    def test_plain_iterables_are_coerced(self):
+        pairs = [(np.zeros((8, 8)), np.ones((8, 8)))] * 2
+        source = as_frame_source(iter(pairs))
+        out = list(source)
+        assert len(out) == 2 and isinstance(out[0], FramePair)
+        with pytest.raises(VideoError):
+            as_frame_source(42)
+
+    def test_duck_typed_sources_accepted(self):
+        class Pairs:  # not a FrameSource subclass, but walks like one
+            def frames(self):
+                yield FramePair(np.zeros((8, 8)), np.ones((8, 8)))
+
+        assert len(list(as_frame_source(Pairs()))) == 1
+
+    def test_single_camera_source_gets_a_guided_error(self):
+        from repro.video import WebcamSimulator
+        camera = WebcamSimulator(SyntheticScene(width=96, height=80, seed=1))
+        with pytest.raises(VideoError, match="CameraPairSource"):
+            as_frame_source(camera)
+
+    def test_run_warns_when_finite_source_exhausts(self):
+        vis = [np.zeros((8, 8))] * 2
+        th = [np.ones((8, 8))] * 2
+        session = FusionSession(small_config())
+        with pytest.warns(RuntimeWarning, match="2 of the 10"):
+            report = session.run(10, source=ArraySource(vis, th))
+        assert report.frames == 2  # the report tells the truth
+
+    def test_session_streams_every_source_kind(self, structured_pair):
+        """The acceptance matrix: synthetic, arrays, camera sims."""
+        visible, thermal = structured_pair
+        sources = (
+            SyntheticSource(seed=2),
+            ArraySource([visible] * 2, [thermal] * 2),
+            CameraPairSource(scene=SyntheticScene(width=96, height=80,
+                                                  seed=2)),
+        )
+        for source in sources:
+            session = FusionSession(small_config())
+            results = list(session.stream(source, limit=2))
+            assert len(results) == 2
+            for result in results:
+                assert result.pixels.shape == SMALL.array_shape
+                assert result.pixels.dtype == np.uint8

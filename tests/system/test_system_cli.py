@@ -1,10 +1,17 @@
-"""Top-level system assembly, sweep runtime, and the CLI."""
+"""Sweep runtime, the CLI, and the deprecated system shims."""
+
+import warnings
 
 import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.system.fusion_system import VideoFusionSystem, make_engine
+from repro.session import FusionConfig, FusionSession
+from repro.system.fusion_system import (
+    ENGINE_NAMES,
+    VideoFusionSystem,
+    make_engine,
+)
 from repro.system.runtime import (
     energy_sweep,
     find_crossover,
@@ -21,30 +28,40 @@ def small_scene():
     return SyntheticScene(width=96, height=80, seed=3)
 
 
-class TestVideoFusionSystem:
+class TestDeprecatedVideoFusionSystem:
+    """The legacy entry point still works, via the session facade."""
+
     def test_named_engines(self):
         for name in ("arm", "neon", "fpga"):
             assert make_engine(name).name == name
+        assert set(ENGINE_NAMES) == {"arm", "neon", "fpga", "adaptive"}
         with pytest.raises(ConfigurationError):
             make_engine("gpu")
 
+    def test_construction_warns(self, small_scene):
+        with pytest.warns(DeprecationWarning, match="FusionSession"):
+            VideoFusionSystem(engine="neon", scene=small_scene)
+
     def test_adaptive_picks_fpga_at_full_frame(self, small_scene):
-        system = VideoFusionSystem(engine="adaptive",
-                                   fusion_shape=FrameShape(88, 72),
-                                   scene=small_scene)
+        with pytest.warns(DeprecationWarning):
+            system = VideoFusionSystem(engine="adaptive",
+                                       fusion_shape=FrameShape(88, 72),
+                                       scene=small_scene)
         assert system.engine.name == "fpga"
         assert system.decision is not None
 
     def test_adaptive_picks_neon_at_small_frame(self, small_scene):
-        system = VideoFusionSystem(engine="adaptive",
-                                   fusion_shape=FrameShape(32, 24),
-                                   scene=small_scene)
+        with pytest.warns(DeprecationWarning):
+            system = VideoFusionSystem(engine="adaptive",
+                                       fusion_shape=FrameShape(32, 24),
+                                       scene=small_scene)
         assert system.engine.name == "neon"
 
     def test_run_reports(self, small_scene):
-        system = VideoFusionSystem(engine="neon",
-                                   fusion_shape=FrameShape(40, 40),
-                                   levels=2, scene=small_scene)
+        with pytest.warns(DeprecationWarning):
+            system = VideoFusionSystem(engine="neon",
+                                       fusion_shape=FrameShape(40, 40),
+                                       levels=2, scene=small_scene)
         report = system.run(2)
         assert report.frames == 2
         assert report.engine_used == "neon"
@@ -53,8 +70,50 @@ class TestVideoFusionSystem:
         assert "qabf" in report.quality
 
     def test_unknown_engine_rejected(self):
-        with pytest.raises(ConfigurationError):
-            VideoFusionSystem(engine="abacus")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ConfigurationError):
+                VideoFusionSystem(engine="abacus")
+            # the session-only "online" scheduler was never a legal
+            # value for the legacy class; the shim keeps rejecting it
+            with pytest.raises(ConfigurationError):
+                VideoFusionSystem(engine="online")
+
+    def test_removed_pipeline_attribute_guides(self, small_scene):
+        with pytest.warns(DeprecationWarning):
+            system = VideoFusionSystem(engine="neon", scene=small_scene)
+        with pytest.raises(AttributeError, match="capture_source"):
+            system.pipeline
+
+    def test_repeated_runs_do_not_accumulate_records(self, small_scene):
+        with pytest.warns(DeprecationWarning):
+            system = VideoFusionSystem(engine="neon",
+                                       fusion_shape=FrameShape(40, 40),
+                                       levels=2, scene=small_scene)
+        first = system.run(2)
+        second = system.run(2)
+        # each report carries exactly its own batch, like the original
+        assert len(first.pipeline.records) == 2
+        assert len(second.pipeline.records) == 2
+
+    def test_shim_matches_session_exactly(self):
+        """The shim is a facade, not a fork: identical numbers."""
+        with pytest.warns(DeprecationWarning):
+            system = VideoFusionSystem(engine="neon",
+                                       fusion_shape=FrameShape(40, 40),
+                                       levels=2,
+                                       scene=SyntheticScene(width=96,
+                                                            height=80,
+                                                            seed=9))
+        old = system.run(2)
+        session = FusionSession(FusionConfig(
+            engine="neon", fusion_shape=FrameShape(40, 40), levels=2,
+            scene=SyntheticScene(width=96, height=80, seed=9)))
+        new = session.run(2)
+        assert np.isclose(old.millijoules_per_frame,
+                          new.millijoules_per_frame)
+        assert np.array_equal(old.pipeline.records[0].frame.pixels,
+                              new.records[0].pixels)
 
 
 class TestRuntimeSweeps:
@@ -116,10 +175,43 @@ class TestCli:
         out = capsys.readouterr().out
         assert "modelled fps" in out
 
+    def test_demo_online_engine(self, capsys):
+        from repro.cli import main
+        assert main(["demo", "--frames", "3", "--size", "32x24",
+                     "--levels", "2", "--engine", "online"]) == 0
+        assert "engine used" in capsys.readouterr().out
+
+    def test_seed_makes_runs_reproducible(self, tmp_path):
+        from repro.cli import main
+        outputs = []
+        for attempt in ("a", "b"):
+            out = tmp_path / attempt
+            assert main(["fuse", "--size", "40x40", "--levels", "2",
+                         "--seed", "99", "--output", str(out)]) == 0
+            outputs.append((out / "fused.pgm").read_bytes())
+        assert outputs[0] == outputs[1]
+
+    def test_seed_changes_the_scene(self, tmp_path):
+        from repro.cli import main
+        outputs = []
+        for seed in ("99", "100"):
+            out = tmp_path / seed
+            assert main(["fuse", "--size", "40x40", "--levels", "2",
+                         "--seed", seed, "--output", str(out)]) == 0
+            outputs.append((out / "fused.pgm").read_bytes())
+        assert outputs[0] != outputs[1]
+
     def test_bad_size_argument(self):
         from repro.cli import main
         with pytest.raises(SystemExit):
             main(["demo", "--size", "banana"])
+
+    @pytest.mark.parametrize("size", ["0x24", "-4x24", "32x0", "32x-8"])
+    def test_non_positive_size_rejected(self, size, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["demo", f"--size={size}"])
+        assert "positive" in capsys.readouterr().err
 
     def test_write_pgm_roundtrip(self, tmp_path, rng):
         from repro.cli import write_pgm
