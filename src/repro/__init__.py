@@ -12,6 +12,9 @@ The package implements the paper's complete system in simulation:
   interconnect, HLS wavelet datapath, kernel driver, power rails,
   energy accounting and resource estimation;
 * :mod:`repro.baselines` — related-work fusion algorithms;
+* :mod:`repro.exec` — the pluggable execution layer: serial, pipelined
+  (double-buffered) and heterogeneous co-scheduled frame executors,
+  selectable via ``FusionConfig(executor=...)``;
 * :mod:`repro.video` — cameras, BT.656 decode, scaler, FIFO, pipeline;
 * :mod:`repro.session` — the public API: one :class:`FusionConfig`,
   one :class:`FusionSession` facade, pluggable :class:`FrameSource`
@@ -35,6 +38,14 @@ Quick start::
 
 from .core.adaptive import CostModelScheduler, OnlineScheduler, PerLevelScheduler
 from .core.fusion import FusionResult, ImageFusion, fuse_images
+from .exec import (
+    ExecStats,
+    HeterogeneousExecutor,
+    PipelineExecutor,
+    SerialExecutor,
+    executor_names,
+    register_executor,
+)
 from .core.fusion_rules import MaxMagnitudeRule, WeightedRule, WindowActivityRule
 from .core.metrics import fusion_report
 from .dtcwt import Dtcwt2D, DtcwtPyramid, Dwt2D, dtcwt_banks
@@ -78,6 +89,8 @@ __all__ = [
     "ReproError",
     "ArmEngine", "FpgaEngine", "NeonEngine", "ZynqPlatform",
     "create_engine", "engine_names", "register_engine",
+    "ExecStats", "SerialExecutor", "PipelineExecutor",
+    "HeterogeneousExecutor", "executor_names", "register_executor",
     "FusionConfig", "FusionSession", "FusionReport", "FusedFrameResult",
     "FramePair", "SyntheticSource", "ArraySource",
     "CameraPairSource", "CaptureChainSource",

@@ -17,12 +17,16 @@ Subcommands
     Render the sweep tables as SVG charts.
 
 Every subcommand accepts ``--seed``; ``demo`` and ``fuse`` thread it
-into the synthetic scene so runs are exactly reproducible.
+into the synthetic scene so runs are exactly reproducible.  ``demo``
+and ``fuse`` also accept ``--executor serial|pipeline|hetero`` (with
+``--workers``/``--queue-depth``) to pick the execution strategy, and
+``--json`` to emit the full report machine-readably.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -30,6 +34,7 @@ import numpy as np
 
 from .core.adaptive import CostModelScheduler, PerLevelScheduler
 from .errors import ConfigurationError, ReproError
+from .exec import executor_names
 from .hw.registry import engine_names
 from .session import SCHEDULER_NAMES, FusionConfig, FusionSession
 from .types import FrameShape
@@ -63,6 +68,9 @@ def write_pgm(path: Path, image: np.ndarray) -> None:
 def _session(args: argparse.Namespace, **overrides) -> FusionSession:
     return FusionSession(FusionConfig(
         engine=args.engine,
+        executor=args.executor,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
         fusion_shape=args.size,
         levels=args.levels,
         seed=args.seed,
@@ -70,12 +78,23 @@ def _session(args: argparse.Namespace, **overrides) -> FusionSession:
     ))
 
 
+def _emit_json(report) -> None:
+    """Machine-readable FusionReport (throughput fields included)."""
+    print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
-    session = _session(args)
-    report = session.run(args.frames)
+    with _session(args) as session:
+        report = session.run(args.frames)
+    if args.json:
+        _emit_json(report)
+        return 0
     print(f"engine used      : {report.engine_used}")
     print(f"frames fused     : {report.frames}")
+    print(f"executor         : {args.executor}")
     print(f"modelled fps     : {report.model_fps:.1f}")
+    if report.wall_fps:
+        print(f"wall-clock fps   : {report.wall_fps:.1f}")
     print(f"energy per frame : {report.millijoules_per_frame:.2f} mJ")
     if report.quality:
         print("fusion quality   : "
@@ -84,14 +103,17 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_fuse(args: argparse.Namespace) -> int:
-    session = _session(args, quality_metrics=False)
-    report = session.run(1)
+    with _session(args, quality_metrics=False) as session:
+        report = session.run(1)
     result = report.records[0]
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
     write_pgm(out / "visible.pgm", result.visible)
     write_pgm(out / "thermal.pgm", result.thermal)
     write_pgm(out / "fused.pgm", result.pixels)
+    if args.json:
+        _emit_json(report)
+        return 0
     print(f"wrote {out}/visible.pgm, thermal.pgm, fused.pgm "
           f"({args.size} px, engine {report.engine_used})")
     return 0
@@ -157,10 +179,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "reproducible (accepted but unused by the "
                              "model-only commands)")
 
+    # options shared by the subcommands that actually execute frames:
+    # executor selection and machine-readable output
+    execution = argparse.ArgumentParser(add_help=False)
+    execution.add_argument("--executor", default="serial",
+                           choices=executor_names(),
+                           help="how frames are driven: serial loop, "
+                                "double-buffered thread pipeline, or "
+                                "heterogeneous engine co-scheduling")
+    execution.add_argument("--workers", type=int, default=2,
+                           help="concurrent stage workers / engine team "
+                                "size (pipeline, hetero)")
+    execution.add_argument("--queue-depth", type=int, default=4,
+                           help="bound on frames in flight between stages")
+    execution.add_argument("--json", action="store_true",
+                           help="emit the FusionReport as JSON on stdout")
+
     sub = parser.add_subparsers(dest="command", required=True)
     engines = engine_names() + SCHEDULER_NAMES
 
-    demo = sub.add_parser("demo", parents=[common],
+    demo = sub.add_parser("demo", parents=[common, execution],
                           help="run the capture->fuse session")
     demo.add_argument("--frames", type=int, default=10)
     demo.add_argument("--engine", default="adaptive", choices=engines)
@@ -168,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--levels", type=int, default=3)
     demo.set_defaults(func=cmd_demo)
 
-    fuse = sub.add_parser("fuse", parents=[common],
+    fuse = sub.add_parser("fuse", parents=[common, execution],
                           help="fuse one frame pair to PGM files")
     fuse.add_argument("--engine", default="neon", choices=engines)
     fuse.add_argument("--size", type=_parse_shape, default=FrameShape(88, 72))

@@ -1,0 +1,100 @@
+"""Pluggable frame-execution layer: how the fusion dataflow is driven.
+
+The paper's energy and throughput wins come from *overlap* — double
+buffering hides AXI transfers under compute (Section IV, Fig. 5), and
+the heterogeneous platform can keep the CPU's SIMD pipeline and the
+FPGA fabric busy at the same time (Section VII's adaptive conclusion,
+pushed further by Nunez-Yanez et al.'s CPU+FPGA co-execution).  This
+package makes that overlap a first-class, swappable layer: the fixed
+capture → forward ×2 → fuse → inverse → report dataflow is described
+once (:class:`FrameProcessor`) and driven by an :class:`Executor`.
+
+Executor ↔ paper map
+--------------------
+
+``serial`` — :class:`SerialExecutor`
+    The unoverlapped baseline: one frame at a time, every stage on one
+    thread.  This is the single-engine measurement loop behind the
+    paper's Fig. 9/Fig. 10 numbers, extracted from the old session
+    loop unchanged.
+
+``pipeline`` — :class:`PipelineExecutor`
+    Stage-parallel streaming through bounded queues: capture, forward
+    transforms, fusion/inverse and reporting overlap across frames,
+    and the two forward transforms of each pair run concurrently.
+    This is the software analogue of Section IV's double-buffered
+    driver, where memcpys into one kernel buffer area overlap the
+    hardware crunching the other.
+
+``hetero`` — :class:`HeterogeneousExecutor`
+    Co-scheduled execution across a *team* of engine instances — the
+    same kernel running on several engines at once, each frame's work
+    split across them, with deterministic assignment and a
+    work-stealing fallback when one engine's queue runs dry.  This is
+    the "CPU and FPGA working together" regime of Section VII's
+    future-work discussion and of "Parallelizing Workload Execution in
+    Embedded and High-Performance Heterogeneous Systems".
+
+All three drive identical arithmetic: with a fixed seed (and default
+teams) they produce bitwise-identical fused frames and identical
+modelled time/energy; only the *wall-clock* schedule (reported in
+:class:`ExecStats`) differs.  The one intentional exception is an
+explicit mixed engine team, which attributes each stage's modelled
+cost to its assigned engine.  Out-of-tree strategies register with
+:func:`register_executor` and become selectable by name everywhere —
+``FusionConfig(executor=...)``, the CLI's ``--executor``, benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..errors import ConfigurationError
+from .base import ExecStats, Executor, FrameProcessor
+from .hetero import HeterogeneousExecutor
+from .pipelined import PipelineExecutor
+from .serial import SerialExecutor
+
+#: Name -> factory taking the shared tuning keywords (workers,
+#: queue_depth, and for team executors: engines, co_schedule, affinity).
+_REGISTRY: Dict[str, Callable[..., Executor]] = {}
+
+
+def register_executor(name: str, factory: Callable[..., Executor],
+                      replace: bool = False) -> None:
+    """Make ``factory`` selectable as ``name`` throughout the package."""
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"executor name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"executor {name!r} is already registered; pass replace=True "
+            f"to override it")
+    _REGISTRY[name] = factory
+
+
+def executor_names() -> Tuple[str, ...]:
+    """Registered executor names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def make_executor(name: str, **kwargs) -> Executor:
+    """Instantiate the executor registered as ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown executor {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+register_executor("serial", SerialExecutor)
+register_executor("pipeline", PipelineExecutor)
+register_executor("hetero", HeterogeneousExecutor)
+
+__all__ = [
+    "ExecStats", "Executor", "FrameProcessor",
+    "SerialExecutor", "PipelineExecutor", "HeterogeneousExecutor",
+    "executor_names", "make_executor", "register_executor",
+]

@@ -1,0 +1,214 @@
+"""Execution-layer contracts: the stage protocol and executor interface.
+
+The paper's system is a fixed four-stage dataflow per fused frame —
+capture, two forward DT-CWTs, coefficient fusion, inverse DT-CWT —
+followed by reporting.  This module names those stages once, as the
+:class:`FrameProcessor` contract, so *how* they are driven (serially,
+pipelined across threads, co-scheduled across engines) becomes a
+swappable :class:`Executor` instead of a loop baked into the session.
+
+Determinism is a design invariant, not an accident: every stage's
+arithmetic is bound to the frame's *assigned* engine, never to the
+thread that happens to execute it, so a pipelined or work-stealing
+schedule produces bitwise-identical frames to the serial loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class ExecStats:
+    """Wall-clock throughput of one executor drive.
+
+    These are *measured* quantities — they live alongside, and never
+    replace, the modelled time/energy the session accounts per frame.
+    ``stage_busy_s`` maps stage (or worker) names to seconds spent
+    executing work; occupancy is that busy time as a fraction of the
+    wall interval, the direct analogue of the paper's overlapped
+    transfer/compute utilisation.
+    """
+
+    executor: str = "serial"
+    frames: int = 0
+    wall_seconds: float = 0.0
+    stage_busy_s: Dict[str, float] = field(default_factory=dict)
+    queue_peak: Dict[str, int] = field(default_factory=dict)
+    steals: int = 0
+    worker_frames: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def wall_fps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.frames / self.wall_seconds
+
+    def occupancy(self) -> Dict[str, float]:
+        """Busy fraction of the wall interval, per stage/worker."""
+        if self.wall_seconds <= 0:
+            return {name: 0.0 for name in self.stage_busy_s}
+        return {name: busy / self.wall_seconds
+                for name, busy in self.stage_busy_s.items()}
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "executor": self.executor,
+            "frames": self.frames,
+            "wall_seconds": self.wall_seconds,
+            "wall_fps": self.wall_fps,
+            "stage_busy_s": dict(self.stage_busy_s),
+            "stage_occupancy": self.occupancy(),
+            "queue_peak": dict(self.queue_peak),
+            "steals": self.steals,
+            "worker_frames": dict(self.worker_frames),
+        }
+
+
+class FrameProcessor(ABC):
+    """The staged work of fusing one frame, independent of scheduling.
+
+    An executor calls the stages in dataflow order for every frame:
+    ``ingest`` (ordered, stateful: normalisation, rig calibration,
+    engine selection), ``forward_visible`` / ``forward_thermal``
+    (pure; may run concurrently, also with other frames' forwards),
+    ``fuse`` (coefficient fusion + inverse transform; ordered when
+    :attr:`sequential_fuse` is set), and ``finalize`` (ordered,
+    stateful: monitoring, telemetry, aggregation).
+
+    ``ctx`` arguments are opaque worker contexts from
+    :meth:`make_contexts`; a context is only ever used by one thread
+    at a time, so processors can keep non-thread-safe compute state
+    (e.g. the FPGA driver's buffers) per context.
+    """
+
+    @property
+    def sequential_fuse(self) -> bool:
+        """True when the fuse stage is stateful across frames (e.g.
+        temporal fusion) and must run in frame order on one thread."""
+        return False
+
+    def make_contexts(self, n: int,
+                      engines: Optional[Iterable[object]] = None
+                      ) -> List[Optional[object]]:
+        """``n`` opaque per-worker contexts (default: none needed).
+
+        ``engines`` optionally names the engine instance each worker
+        owns (the heterogeneous executor passes its team) so the
+        processor can bind per-worker compute state to it.
+        """
+        return [None] * n
+
+    @abstractmethod
+    def ingest(self, pair: Any, index: int) -> Any:
+        """Turn a raw frame pair into a task (ordered, stateful)."""
+
+    @abstractmethod
+    def forward_visible(self, task: Any, ctx: Optional[object] = None) -> None:
+        """Forward DT-CWT of the visible frame."""
+
+    @abstractmethod
+    def forward_thermal(self, task: Any, ctx: Optional[object] = None) -> None:
+        """Forward DT-CWT of the thermal frame."""
+
+    @abstractmethod
+    def fuse(self, task: Any, ctx: Optional[object] = None) -> None:
+        """Coefficient fusion + inverse DT-CWT."""
+
+    @abstractmethod
+    def finalize(self, task: Any) -> Any:
+        """Account the frame and build its result (ordered, stateful)."""
+
+
+class Executor(ABC):
+    """One strategy for driving :class:`FrameProcessor` stages.
+
+    ``run`` is a generator: it consumes raw pairs, routes them through
+    the processor's stages, and yields results *in frame order*.
+    Implementations own whatever threads/queues they need and must
+    release them when the generator is closed early, when a stage
+    raises, or when :meth:`close` is called.
+
+    Executors are **one-shot**: an instance drives exactly one stream
+    (its stats describe exactly that drive).  A second :meth:`run`
+    raises immediately — build a fresh instance per stream, as
+    :meth:`FusionSession.stream` does.
+    """
+
+    #: registry name ("serial", "pipeline", "hetero", ...)
+    name: str = "executor"
+    #: True when run() drives stages on worker threads (the session
+    #: forbids re-entrant process() calls while a concurrent drive is
+    #: mutating its ordered state from another thread)
+    concurrent: bool = True
+
+    #: seconds between stop-flag checks while blocked on a queue/wait
+    TICK_S = 0.05
+    #: seconds close() waits for each worker thread to join
+    JOIN_TIMEOUT_S = 10.0
+
+    def __init__(self) -> None:
+        self.stats = ExecStats(executor=self.name)
+        self._used = False
+        self._stop = _Flag()
+        self._error: Optional[BaseException] = None
+        self._error_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+
+    def _claim(self) -> None:
+        """Mark the one permitted drive as taken (called by run())."""
+        if self._used:
+            raise ConfigurationError(
+                f"{type(self).__name__} instances drive exactly one "
+                f"stream; create a new executor for the next one")
+        self._used = True
+
+    def _fail(self, exc: BaseException) -> None:
+        """First-wins error latch: record ``exc`` and begin shutdown.
+
+        Worker threads call this for any exception; the consumer
+        re-raises the recorded error once the drive unwinds.
+        """
+        with self._error_lock:
+            if self._error is None:
+                self._error = exc
+        self._stop.set()
+
+    def _join_all(self) -> None:
+        """Stop and join every worker thread (idempotent)."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=self.JOIN_TIMEOUT_S)
+        self._threads = []
+
+    @abstractmethod
+    def run(self, processor: FrameProcessor, pairs: Iterator[Any],
+            limit: Optional[int] = None) -> Iterator[Any]:
+        """Drive ``pairs`` through the stages; yield ordered results."""
+
+    def close(self) -> None:
+        """Join worker threads and release queues (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _Flag:
+    """A set-once boolean shared between executor threads."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def set(self) -> None:
+        self._event.set()
+
+    def __bool__(self) -> bool:
+        return self._event.is_set()

@@ -1,0 +1,306 @@
+"""The heterogeneous executor: CPU+FPGA co-scheduling with work stealing.
+
+Models the headroom Nunez-Yanez et al. identify beyond single-engine
+acceleration: several compute engines execute *the same kernel at the
+same time*, each frame's work split across them — the visible forward
+transform on one engine while the thermal forward runs on another,
+with the fusion/inverse stage placed by an affinity policy (e.g. the
+per-level plan of :class:`repro.core.adaptive.PerLevelScheduler`).
+
+Every engine in the team owns a worker thread and a job deque.  Jobs
+are *assigned* to engines deterministically at dispatch time (round
+robin over the team, overridable per stage through ``affinity``); when
+a worker's deque runs dry it steals from the back of the busiest
+teammate's deque.  Crucially, stealing moves only the *execution
+thread*, never the arithmetic: each job computes with the engine it
+was assigned, through the stealer's private context, so schedules are
+timing-independent and results are bitwise reproducible — with the
+default homogeneous team (several instances of the session's engine)
+they are bitwise identical to :class:`~repro.exec.SerialExecutor`.
+
+``co_schedule=True`` (used with an explicitly mixed team) additionally
+attributes each stage's *modelled* time and energy to its assigned
+engine, turning the executor into an executable version of the paper's
+"what if both fabrics run concurrently" question.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .base import Executor, FrameProcessor
+
+#: Stage keys jobs are dispatched under (and ``affinity`` may name).
+STAGES = ("visible", "thermal", "fuse")
+
+
+class _HeteroTask:
+    """Book-keeping wrapper for one frame crossing the worker team."""
+
+    __slots__ = ("task", "index", "_remaining", "_lock")
+
+    def __init__(self, task: Any, index: int, forwards: int):
+        self.task = task
+        self.index = index
+        self._remaining = forwards
+        self._lock = threading.Lock()
+
+    def forward_completed(self) -> bool:
+        """True when this completion was the last outstanding forward."""
+        with self._lock:
+            self._remaining -= 1
+            return self._remaining == 0
+
+
+class _Worker:
+    """One engine instance, its job deque and its executing thread."""
+
+    def __init__(self, slot: int, engine: object, ctx: Optional[object]):
+        self.slot = slot
+        self.engine = engine
+        self.ctx = ctx
+        name = getattr(engine, "name", None) or "worker"
+        self.name = f"{name}[{slot}]"
+        self.jobs: deque = deque()
+        self.thread: Optional[threading.Thread] = None
+
+
+class HeterogeneousExecutor(Executor):
+    """Co-schedule frame stages across a team of engine workers."""
+
+    name = "hetero"
+
+    def __init__(self, engines: Optional[Sequence[object]] = None,
+                 workers: int = 2, queue_depth: int = 4,
+                 co_schedule: bool = False,
+                 affinity: Optional[Dict[str, str]] = None, **_ignored):
+        super().__init__()
+        if queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {queue_depth}")
+        if engines is None:
+            engines = [None] * max(1, workers)
+        if not engines:
+            raise ConfigurationError(
+                "HeterogeneousExecutor needs at least one engine")
+        if affinity is not None:
+            bad = set(affinity) - set(STAGES)
+            if bad:
+                raise ConfigurationError(
+                    f"affinity keys must be among {STAGES}, got {sorted(bad)}")
+        self.engines = list(engines)
+        self.queue_depth = queue_depth
+        self.co_schedule = co_schedule
+        self.affinity = dict(affinity or {})
+        self._work = threading.Condition()
+        self._done = threading.Condition()
+        self._done_tasks: Dict[int, Any] = {}
+        self._expected: Optional[int] = None
+        self._in_flight = threading.Semaphore(queue_depth)
+        self._workers: List[_Worker] = []
+
+    # ------------------------------------------------------------------
+    def _fail(self, exc: BaseException) -> None:
+        super()._fail(exc)
+        with self._work:
+            self._work.notify_all()
+        with self._done:
+            self._done.notify_all()
+
+    # -- dispatch -------------------------------------------------------
+    def _pick_worker(self, stage: str, counter: int) -> _Worker:
+        """Deterministic assignment: affinity match first, else round
+        robin over the team."""
+        preferred = self.affinity.get(stage)
+        if preferred is not None:
+            matches = [w for w in self._workers
+                       if getattr(w.engine, "name", None) == preferred]
+            if matches:
+                return matches[counter % len(matches)]
+        return self._workers[counter % len(self._workers)]
+
+    def _dispatch(self, worker: _Worker, stage: str, htask: _HeteroTask,
+                  processor: FrameProcessor) -> None:
+        if self.co_schedule and worker.engine is not None:
+            assign = getattr(processor, "assign", None)
+            if assign is not None:
+                assign(htask.task, stage, worker.engine)
+        with self._work:
+            worker.jobs.append((stage, htask))
+            depth = sum(len(w.jobs) for w in self._workers)
+            peak = self.stats.queue_peak
+            peak["jobs"] = max(peak.get("jobs", 0), depth)
+            self._work.notify_all()
+
+    def _take_job(self, worker: _Worker):
+        """Own deque first (FIFO); then steal from the back of the
+        longest teammate queue; else wait for work."""
+        with self._work:
+            if worker.jobs:
+                return worker.jobs.popleft()
+            victims = sorted((w for w in self._workers
+                              if w is not worker and w.jobs),
+                             key=lambda w: len(w.jobs), reverse=True)
+            if victims:
+                self.stats.steals += 1
+                return victims[0].jobs.pop()
+            self._work.wait(timeout=self.TICK_S)
+            return None
+
+    # -- worker loop ----------------------------------------------------
+    def _worker_loop(self, worker: _Worker,
+                     processor: FrameProcessor) -> None:
+        busy = self.stats.stage_busy_s
+        frames = self.stats.worker_frames
+        try:
+            while not self._stop:
+                # poll until shutdown: even after capture ends, an
+                # in-flight forward elsewhere may still hand this
+                # worker a fuse job
+                job = self._take_job(worker)
+                if job is None:
+                    continue
+                stage, htask = job
+                t0 = time.perf_counter()
+                if stage == "visible":
+                    processor.forward_visible(htask.task, worker.ctx)
+                elif stage == "thermal":
+                    processor.forward_thermal(htask.task, worker.ctx)
+                else:
+                    processor.fuse(htask.task, worker.ctx)
+                busy[worker.name] = busy.get(worker.name, 0.0) \
+                    + (time.perf_counter() - t0)
+                frames[worker.name] = frames.get(worker.name, 0) + 1
+
+                if stage in ("visible", "thermal"):
+                    if htask.forward_completed():
+                        fuse_worker = self._pick_worker("fuse", htask.index)
+                        self._dispatch(fuse_worker, "fuse", htask, processor)
+                else:
+                    with self._done:
+                        self._done_tasks[htask.index] = htask.task
+                        self._done.notify_all()
+        except BaseException as exc:  # noqa: BLE001 - crosses threads
+            self._fail(exc)
+
+    # ------------------------------------------------------------------
+    def run(self, processor: FrameProcessor, pairs: Iterator[Any],
+            limit: Optional[int] = None) -> Iterator[Any]:
+        self._claim()
+        return self._drive(processor, pairs, limit)
+
+    def _drive(self, processor: FrameProcessor, pairs: Iterator[Any],
+               limit: Optional[int]) -> Iterator[Any]:
+        stats = self.stats
+        busy = stats.stage_busy_s
+        started = time.perf_counter()
+
+        contexts = processor.make_contexts(len(self.engines),
+                                           engines=self.engines)
+        self._workers = [_Worker(i, engine, ctx)
+                         for i, (engine, ctx)
+                         in enumerate(zip(self.engines, contexts))]
+        sequential = processor.sequential_fuse
+
+        def capture() -> None:
+            produced = 0
+            iterator = iter(pairs)
+            try:
+                # limit check before the pull: a bounded drive leaves a
+                # shared source exactly where the serial loop would
+                while not self._stop and (limit is None or produced < limit):
+                    try:
+                        pair = next(iterator)
+                    except StopIteration:
+                        break
+                    index = produced
+                    while not self._in_flight.acquire(timeout=self.TICK_S):
+                        if self._stop:
+                            return
+                    t0 = time.perf_counter()
+                    task = processor.ingest(pair, index)
+                    busy["ingest"] = busy.get("ingest", 0.0) \
+                        + (time.perf_counter() - t0)
+                    if sequential:
+                        # stateful fuse: the consumer thread fuses in
+                        # frame order; the team only sees no work
+                        with self._done:
+                            self._done_tasks[index] = task
+                            self._done.notify_all()
+                    else:
+                        htask = _HeteroTask(task, index, forwards=2)
+                        vis_worker = self._pick_worker("visible", 2 * index)
+                        th_worker = self._pick_worker("thermal", 2 * index + 1)
+                        self._dispatch(vis_worker, "visible", htask, processor)
+                        self._dispatch(th_worker, "thermal", htask, processor)
+                    produced += 1
+            except BaseException as exc:  # noqa: BLE001
+                self._fail(exc)
+            finally:
+                with self._done:
+                    self._expected = produced
+                    self._done.notify_all()
+
+        capture_thread = threading.Thread(target=capture, name="exec-capture",
+                                          daemon=True)
+        worker_threads = []
+        if not sequential:
+            for worker in self._workers:
+                thread = threading.Thread(
+                    target=self._worker_loop, args=(worker, processor),
+                    name=f"exec-{worker.name}", daemon=True)
+                worker.thread = thread
+                worker_threads.append(thread)
+        self._threads = [capture_thread] + worker_threads
+        for thread in self._threads:
+            thread.start()
+
+        try:
+            next_index = 0
+            while True:
+                with self._done:
+                    while (next_index not in self._done_tasks
+                           and not self._stop
+                           and not (self._expected is not None
+                                    and next_index >= self._expected)):
+                        self._done.wait(timeout=self.TICK_S)
+                    if self._stop and next_index not in self._done_tasks:
+                        break
+                    if (self._expected is not None
+                            and next_index >= self._expected):
+                        break
+                    task = self._done_tasks.pop(next_index)
+                if sequential:
+                    t0 = time.perf_counter()
+                    processor.fuse(task, None)
+                    busy["fuse"] = busy.get("fuse", 0.0) \
+                        + (time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                result = processor.finalize(task)
+                busy["finalize"] = busy.get("finalize", 0.0) \
+                    + (time.perf_counter() - t0)
+                self._in_flight.release()
+                stats.frames += 1
+                next_index += 1
+                yield result
+                if limit is not None and stats.frames >= limit:
+                    break
+            if self._error is not None:
+                raise self._error
+        finally:
+            stats.wall_seconds = time.perf_counter() - started
+            self.close()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._stop.set()
+        with self._work:
+            self._work.notify_all()
+        with self._done:
+            self._done.notify_all()
+        self._join_all()
+        self._workers = []

@@ -1,0 +1,229 @@
+"""The pipelined executor: bounded-queue, multi-stage thread pipeline.
+
+Mirrors the paper's double-buffered execution (Fig. 5): while frame
+``i`` is being fused, frame ``i+1``'s forward transforms are already
+running and frame ``i+2`` is being captured, exactly like the driver's
+two kernel-buffer areas let user-space memcpys overlap hardware
+processing.  The two forward transforms of each pair — the stage the
+paper accelerates — run concurrently on a small worker pool, so the
+visible and thermal decompositions of one frame overlap too.
+
+Stage topology (every queue bounded by ``queue_depth``)::
+
+    capture/ingest ──> [forward pool: workers] ──> fuse ──> finalize
+         (ordered)        (unordered, pure)     (ordered)   (ordered,
+                                                             caller
+                                                             thread)
+
+Ordering and determinism: ingest, fuse and finalize each run on a
+single thread and see frames in capture order, so all stateful
+policies (rig calibration, temporal fusion, monitoring, telemetry)
+behave exactly as in the serial loop; the forward stages are pure and
+bound to the frame's engine, so results are bitwise identical no
+matter how the pool interleaves them.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Iterator, Optional
+
+from ..errors import ConfigurationError
+from .base import Executor, FrameProcessor
+
+_DONE = object()  # end-of-stream sentinel
+
+
+class _Envelope:
+    """Executor-side wrapper tracking one task through the stages."""
+
+    __slots__ = ("task", "index", "forwards_done", "_remaining", "_lock")
+
+    def __init__(self, task: Any, index: int, forwards: int = 2):
+        self.task = task
+        self.index = index
+        self.forwards_done = threading.Event()
+        self._remaining = forwards
+        self._lock = threading.Lock()
+        if forwards == 0:
+            self.forwards_done.set()
+
+    def forward_completed(self) -> None:
+        with self._lock:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.forwards_done.set()
+
+
+class PipelineExecutor(Executor):
+    """Capture, forward, fuse and finalize as overlapped stages."""
+
+    name = "pipeline"
+
+    def __init__(self, workers: int = 2, queue_depth: int = 4, **_ignored):
+        super().__init__()
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {queue_depth}")
+        self.workers = workers
+        self.queue_depth = queue_depth
+
+    # ------------------------------------------------------------------
+    def _put(self, q: "queue.Queue", item: Any, name: str) -> bool:
+        """Stop-aware bounded put; records the queue's depth peak."""
+        while not self._stop:
+            try:
+                q.put(item, timeout=self.TICK_S)
+            except queue.Full:
+                continue
+            peak = self.stats.queue_peak
+            peak[name] = max(peak.get(name, 0), q.qsize())
+            return True
+        return False
+
+    def _get(self, q: "queue.Queue") -> Any:
+        while not self._stop:
+            try:
+                return q.get(timeout=self.TICK_S)
+            except queue.Empty:
+                continue
+        return _DONE
+
+    # ------------------------------------------------------------------
+    def run(self, processor: FrameProcessor, pairs: Iterator[Any],
+            limit: Optional[int] = None) -> Iterator[Any]:
+        self._claim()
+        return self._drive(processor, pairs, limit)
+
+    def _drive(self, processor: FrameProcessor, pairs: Iterator[Any],
+               limit: Optional[int]) -> Iterator[Any]:
+        stats = self.stats
+        busy = stats.stage_busy_s
+        started = time.perf_counter()
+
+        q_order: "queue.Queue" = queue.Queue(maxsize=self.queue_depth)
+        q_forward: "queue.Queue" = queue.Queue()
+        q_done: "queue.Queue" = queue.Queue(maxsize=self.queue_depth)
+        skip_forwards = processor.sequential_fuse
+        # a sequential fuse stage owns the whole transform: no forward
+        # jobs will exist, so no pool threads or contexts are built
+        pool_size = 0 if skip_forwards else self.workers
+        contexts = processor.make_contexts(pool_size + 1)
+        fuse_ctx, pool_ctxs = contexts[0], contexts[1:]
+
+        def capture() -> None:
+            produced = 0
+            iterator = iter(pairs)
+            try:
+                # the limit check precedes the pull so a bounded drive
+                # never reads the source past its last frame (shared
+                # sources must stay exactly where the serial loop
+                # would leave them)
+                while not self._stop and (limit is None or produced < limit):
+                    try:
+                        pair = next(iterator)
+                    except StopIteration:
+                        break
+                    index = produced
+                    t0 = time.perf_counter()
+                    task = processor.ingest(pair, index)
+                    busy["ingest"] = busy.get("ingest", 0.0) \
+                        + (time.perf_counter() - t0)
+                    # with a stateful fuse stage (temporal fusion) the
+                    # whole transform runs there; no forward jobs exist
+                    env = _Envelope(task, index,
+                                    forwards=0 if skip_forwards else 2)
+                    if not self._put(q_order, env, "order"):
+                        break
+                    if not skip_forwards:
+                        q_forward.put(("visible", env))
+                        q_forward.put(("thermal", env))
+                        peak = stats.queue_peak
+                        peak["forward"] = max(peak.get("forward", 0),
+                                              q_forward.qsize())
+                    produced += 1
+            except BaseException as exc:  # noqa: BLE001 - crosses threads
+                self._fail(exc)
+            finally:
+                self._put(q_order, _DONE, "order")
+                for _ in range(pool_size):
+                    q_forward.put(_DONE)
+
+        def forward_worker(slot: int) -> None:
+            ctx = pool_ctxs[slot]
+            name = f"forward[{slot}]"
+            try:
+                while not self._stop:
+                    job = self._get(q_forward)
+                    if job is _DONE:
+                        return
+                    kind, env = job
+                    t0 = time.perf_counter()
+                    if kind == "visible":
+                        processor.forward_visible(env.task, ctx)
+                    else:
+                        processor.forward_thermal(env.task, ctx)
+                    busy[name] = busy.get(name, 0.0) \
+                        + (time.perf_counter() - t0)
+                    stats.worker_frames[name] = \
+                        stats.worker_frames.get(name, 0) + 1
+                    env.forward_completed()
+            except BaseException as exc:  # noqa: BLE001
+                self._fail(exc)
+
+        def fuse_stage() -> None:
+            try:
+                while not self._stop:
+                    env = self._get(q_order)
+                    if env is _DONE:
+                        break
+                    while not env.forwards_done.wait(timeout=self.TICK_S):
+                        if self._stop:
+                            return
+                    t0 = time.perf_counter()
+                    processor.fuse(env.task, fuse_ctx)
+                    busy["fuse"] = busy.get("fuse", 0.0) \
+                        + (time.perf_counter() - t0)
+                    if not self._put(q_done, env, "done"):
+                        return
+                self._put(q_done, _DONE, "done")
+            except BaseException as exc:  # noqa: BLE001
+                self._fail(exc)
+
+        threads = [threading.Thread(target=capture, name="exec-capture",
+                                    daemon=True),
+                   threading.Thread(target=fuse_stage, name="exec-fuse",
+                                    daemon=True)]
+        threads += [threading.Thread(target=forward_worker, args=(i,),
+                                     name=f"exec-forward-{i}", daemon=True)
+                    for i in range(pool_size)]
+        self._threads = threads
+        for thread in threads:
+            thread.start()
+
+        try:
+            while True:
+                env = self._get(q_done)
+                if env is _DONE:
+                    break
+                t0 = time.perf_counter()
+                result = processor.finalize(env.task)
+                busy["finalize"] = busy.get("finalize", 0.0) \
+                    + (time.perf_counter() - t0)
+                stats.frames += 1
+                yield result
+                if limit is not None and stats.frames >= limit:
+                    break
+            if self._error is not None:
+                raise self._error
+        finally:
+            stats.wall_seconds = time.perf_counter() - started
+            self.close()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._join_all()

@@ -1,0 +1,60 @@
+"""The serial executor: the original one-frame-at-a-time loop.
+
+This is the behaviour :class:`repro.session.FusionSession` had before
+the execution layer existed, extracted verbatim: every stage of frame
+``i`` completes before frame ``i+1`` starts, on the caller's thread.
+It is the reference the concurrent executors are tested against, and
+the right choice for single-core hosts or when reproducing the paper's
+unoverlapped baseline numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, Optional
+
+from .base import Executor, FrameProcessor
+
+
+class SerialExecutor(Executor):
+    """Drive every stage inline, in frame order, on one thread."""
+
+    name = "serial"
+    concurrent = False
+
+    def __init__(self, workers: int = 1, queue_depth: int = 1, **_ignored):
+        super().__init__()
+
+    def run(self, processor: FrameProcessor, pairs: Iterator[Any],
+            limit: Optional[int] = None) -> Iterator[Any]:
+        self._claim()
+        return self._drive(processor, pairs, limit)
+
+    def _drive(self, processor: FrameProcessor, pairs: Iterator[Any],
+               limit: Optional[int]) -> Iterator[Any]:
+        stats = self.stats
+        busy = stats.stage_busy_s
+        started = time.perf_counter()
+        try:
+            for index, pair in enumerate(pairs):
+                t0 = time.perf_counter()
+                task = processor.ingest(pair, index)
+                t1 = time.perf_counter()
+                processor.forward_visible(task)
+                processor.forward_thermal(task)
+                t2 = time.perf_counter()
+                processor.fuse(task)
+                t3 = time.perf_counter()
+                result = processor.finalize(task)
+                t4 = time.perf_counter()
+
+                busy["ingest"] = busy.get("ingest", 0.0) + (t1 - t0)
+                busy["forward"] = busy.get("forward", 0.0) + (t2 - t1)
+                busy["fuse"] = busy.get("fuse", 0.0) + (t3 - t2)
+                busy["finalize"] = busy.get("finalize", 0.0) + (t4 - t3)
+                stats.frames += 1
+                yield result
+                if limit is not None and stats.frames >= limit:
+                    return
+        finally:
+            stats.wall_seconds = time.perf_counter() - started

@@ -37,6 +37,7 @@ from .platform import DEFAULT_PLATFORM, ZynqPlatform
 from .power import DEFAULT_POWER_MODEL, MODES, PowerModel, PowerRecorder
 from .registry import (
     create_engine,
+    create_engine_pool,
     default_engines,
     engine_names,
     register_engine,
@@ -60,7 +61,8 @@ from .work import FilterPass, WorkModel, summarize_passes
 
 __all__ = [
     "ArmEngine", "NeonEngine", "FpgaEngine", "Engine",
-    "create_engine", "default_engines", "engine_names", "register_engine",
+    "create_engine", "create_engine_pool", "default_engines",
+    "engine_names", "register_engine",
     "HlsBackend", "pad_filter_pair",
     "HlsWaveletEngine", "shift_register_dual_fir",
     "AcpModel", "AxiLiteModel", "GpPortModel",

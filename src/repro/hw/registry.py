@@ -57,6 +57,23 @@ def create_engine(name: str) -> Engine:
     return factory()
 
 
+def create_engine_pool(name: str, count: int) -> Tuple[Engine, ...]:
+    """``count`` independent instances of the engine registered as
+    ``name``.
+
+    A co-scheduling executor owns one instance per worker: each worker
+    computes and reports under its own engine object (per-thread
+    compute state comes from the instance's ``transform()`` building a
+    fresh backend per lane).  Pool members come from the same registry
+    factory — same filter banks, same arithmetic — so work is freely
+    movable between them without changing results.
+    """
+    if count < 1:
+        raise ConfigurationError(f"engine pool size must be >= 1, "
+                                 f"got {count}")
+    return tuple(create_engine(name) for _ in range(count))
+
+
 def default_engines() -> Tuple[Engine, ...]:
     """One instance of every registered engine (the paper's three)."""
     return tuple(factory() for factory in _REGISTRY.values())

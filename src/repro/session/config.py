@@ -11,7 +11,7 @@ eagerly so a misconfiguration fails at construction, not mid-stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..core.fusion_rules import (
     FusionRule,
@@ -20,6 +20,7 @@ from ..core.fusion_rules import (
     WindowActivityRule,
 )
 from ..errors import ConfigurationError
+from ..exec import executor_names
 from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
 from ..hw.registry import engine_names
 from ..types import FULL_FRAME, FrameShape
@@ -48,6 +49,28 @@ class FusionConfig:
         scheduler: ``"adaptive"`` picks the cost-model optimum once at
         construction (the paper's conclusion), ``"online"`` selects
         per-frame from live measurements (probe, exploit, re-probe).
+    executor:
+        How frame execution is driven (see :mod:`repro.exec`):
+        ``"serial"`` fuses one frame at a time (the paper's baseline
+        loop), ``"pipeline"`` overlaps capture/transform/fuse/report
+        across threads with bounded queues (the double-buffering
+        idea), ``"hetero"`` co-schedules a team of engine instances
+        with work stealing.  All executors produce bitwise-identical
+        frames and identical modelled costs for a fixed seed.
+    workers:
+        Concurrent stage workers (``"pipeline"``: forward-transform
+        pool size; ``"hetero"``: team size when ``engine_team`` is not
+        given).
+    queue_depth:
+        Bound on frames in flight between stages — the analogue of the
+        driver's buffer-area count.
+    engine_team:
+        Optional explicit engine names for the ``"hetero"`` executor
+        (e.g. ``("fpga", "neon")``).  A mixed team enables
+        co-scheduled modelled accounting: each stage's time/energy is
+        attributed to the engine it was assigned.  Default: ``workers``
+        instances of the session's engine, which keeps results
+        bitwise-identical to the serial executor.
     fusion_shape:
         Geometry frames are fused at (the paper's 88x72 by default).
         A ``(width, height)`` tuple is accepted for convenience.
@@ -89,6 +112,10 @@ class FusionConfig:
     """
 
     engine: str = "adaptive"
+    executor: str = "serial"
+    workers: int = 2
+    queue_depth: int = 4
+    engine_team: Optional[Tuple[str, ...]] = None
     fusion_shape: FrameShape = FULL_FRAME
     levels: int = 3
     fusion_rule: str = "max-magnitude"
@@ -120,6 +147,41 @@ class FusionConfig:
                 f"unknown engine {self.engine!r}; expected one of "
                 f"{sorted(known)}"
             )
+        if self.executor not in executor_names():
+            raise ConfigurationError(
+                f"unknown executor {self.executor!r}; expected one of "
+                f"{sorted(executor_names())}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.engine_team is not None:
+            if isinstance(self.engine_team, (list, tuple)):
+                self.engine_team = tuple(self.engine_team)
+            else:
+                raise ConfigurationError(
+                    f"engine_team must be a tuple of engine names, got "
+                    f"{self.engine_team!r}")
+            if not self.engine_team:
+                raise ConfigurationError("engine_team cannot be empty")
+            unknown = [n for n in self.engine_team
+                       if n not in engine_names()]
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown engine(s) in engine_team: {unknown}; "
+                    f"expected names from {sorted(engine_names())}")
+            if self.executor != "hetero":
+                raise ConfigurationError(
+                    "engine_team is only meaningful with "
+                    "executor='hetero'")
+            if self.temporal:
+                raise ConfigurationError(
+                    "engine_team cannot be combined with temporal "
+                    "fusion: the temporal fuse stage is sequential and "
+                    "would silently bypass the co-scheduled team")
         if self.levels < 1:
             raise ConfigurationError(f"levels must be >= 1, got {self.levels}")
         if self.fusion_rule not in FUSION_RULES:

@@ -60,6 +60,12 @@ class FusionReport:
     registered_shift_px: float = 0.0
     fifo_dropped: int = 0
     decode_errors: int = 0
+    #: measured executor throughput (wall fps, per-stage occupancy,
+    #: queue depth peaks, steals) — see :class:`repro.exec.ExecStats`.
+    #: Scope: the most recent stream drive (batch-scoped on run()
+    #: reports), unlike ``telemetry`` which is session-cumulative;
+    #: empty when the frames were fused via :meth:`FusionSession.process`
+    throughput: Dict[str, object] = field(default_factory=dict)
     records: List[FusedFrameResult] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -82,6 +88,12 @@ class FusionReport:
             return 0.0
         return self.model_millijoules_total / self.frames
 
+    @property
+    def wall_fps(self) -> float:
+        """Measured end-to-end frames per wall-clock second (0.0 when
+        no executor drove the batch)."""
+        return float(self.throughput.get("wall_fps", 0.0))
+
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly summary (records omitted)."""
         return {
@@ -98,4 +110,5 @@ class FusionReport:
             "registered_shift_px": self.registered_shift_px,
             "fifo_dropped": self.fifo_dropped,
             "decode_errors": self.decode_errors,
+            "throughput": dict(self.throughput),
         }

@@ -15,24 +15,39 @@ telemetry) behind one configured object with three entry points:
 Everything optional — registration, temporal fusion, quality
 monitoring, per-frame metrics — is switched by the
 :class:`FusionConfig`, so ablations change a flag, not a class.
+
+*How* frames are driven is equally pluggable: :meth:`stream` and
+:meth:`run` route every frame through the :mod:`repro.exec` executor
+the config names — the serial reference loop, the double-buffered
+thread pipeline, or heterogeneous engine co-scheduling — via the
+staged :class:`_SessionProcessor` below.  The stateful stages (ingest:
+calibration + engine selection; finalize: monitoring + telemetry)
+always run in frame order on one thread, so every executor yields
+bitwise-identical results for a fixed seed (for bounded or fully
+consumed drives; see :meth:`FusionSession.stream` on the read-ahead
+of abandoned concurrent streams).
 """
 
 from __future__ import annotations
 
+import time
 import warnings
+from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.adaptive import CostModelScheduler, Decision, OnlineScheduler
+from ..core.adaptive import (CostModelScheduler, Decision, OnlineScheduler,
+                             PerLevelScheduler)
 from ..core.fusion import ImageFusion
 from ..core.metrics import fusion_report
 from ..core.quality_monitor import ACTION_FUSE, QualityMonitor
 from ..core.registration import DtcwtRegistration
 from ..core.video_fusion import TemporalFusion
 from ..errors import ConfigurationError
+from ..exec import Executor, FrameProcessor, make_executor
 from ..hw.engine import Engine
-from ..hw.registry import create_engine, default_engines
+from ..hw.registry import create_engine, create_engine_pool, default_engines
 from ..video.frames import VideoFrame
 from ..video.scaler import resize_to
 from .config import FusionConfig
@@ -74,6 +89,244 @@ class _RigCalibrator:
         return int(round(dy)), int(round(dx))
 
 
+@dataclass
+class _FrameTask:
+    """One frame in flight between the processor's stages."""
+
+    index: int
+    timestamp_s: float
+    visible: np.ndarray
+    thermal: np.ndarray
+    engine: Engine
+    model_seconds: float
+    applied_shift: Optional[Tuple[int, int]] = None
+    started: float = 0.0
+    pyr_visible: object = None
+    pyr_thermal: object = None
+    fused: Optional[np.ndarray] = None
+    #: stage -> engine assigned by a co-scheduling executor
+    stage_engines: Dict[str, Engine] = dataclass_field(default_factory=dict)
+
+
+class _WorkerContext:
+    """Per-worker compute state handed to concurrent stage calls.
+
+    Engines carry non-thread-safe backend state (the FPGA driver's
+    buffers, coefficient caches), so each concurrent worker gets its
+    own :class:`ImageFusion` lane per engine *name*, built from that
+    engine's own transform factory.  Lanes are functionally identical
+    to the session's serial fusers, which is what keeps concurrent
+    schedules bitwise-equal to the serial loop.
+    """
+
+    def __init__(self, session: "FusionSession",
+                 engine: Optional[Engine] = None,
+                 co_schedule: bool = False):
+        self._session = session
+        self.engine = engine
+        self.co_schedule = co_schedule
+        self._lanes: Dict[str, ImageFusion] = {}
+
+    def lane(self, engine: Engine) -> ImageFusion:
+        fuser = self._lanes.get(engine.name)
+        if fuser is None:
+            config = self._session.config
+            fuser = ImageFusion(transform=engine.transform(config.levels),
+                                rule=config.make_rule())
+            self._lanes[engine.name] = fuser
+        return fuser
+
+
+class _SessionProcessor(FrameProcessor):
+    """The session's fusion dataflow, expressed as executor stages."""
+
+    def __init__(self, session: "FusionSession"):
+        self._session = session
+
+    # -- scheduling hints ----------------------------------------------
+    @property
+    def sequential_fuse(self) -> bool:
+        # temporal fusion carries state (smoothed masks) across frames
+        # and decomposes internally: the whole transform must run in
+        # frame order on a single thread
+        return self._session.temporal is not None
+
+    def make_contexts(self, n, engines=None):
+        session = self._session
+        if engines is None:
+            return [_WorkerContext(session) for _ in range(n)]
+        co = session.config.engine_team is not None
+        return [_WorkerContext(session, engine=engine, co_schedule=co)
+                for engine in engines]
+
+    def assign(self, task: _FrameTask, stage: str, engine: Engine) -> None:
+        """Dispatch-time hook: a co-scheduling executor pins ``stage``
+        of ``task`` to ``engine`` (deterministically, in frame order)."""
+        task.stage_engines[stage] = engine
+
+    # -- stages ---------------------------------------------------------
+    def ingest(self, pair: FramePair, index: int) -> _FrameTask:
+        session = self._session
+        vis = session._normalize(pair.visible)
+        th = session._normalize(pair.thermal)
+
+        applied_shift = None
+        if session.calibrator is not None:
+            offset = session.calibrator.offset(vis, th)
+            if offset is not None:
+                th = np.roll(np.roll(th, offset[0], axis=0),
+                             offset[1], axis=1)
+                session._shift_total += float(np.hypot(*offset))
+                applied_shift = offset
+
+        engine = session._select_engine()
+        seconds = engine.frame_time(session.config.fusion_shape,
+                                    session.config.levels).total_s
+        if session.scheduler is not None:
+            # the observation is the modelled cost, known at selection
+            # time; feeding it here keeps the probe/exploit sequence
+            # identical no matter how far an executor reads ahead
+            session.scheduler.observe(engine, seconds)
+
+        task = _FrameTask(
+            index=session._next_index,
+            timestamp_s=pair.timestamp_s,
+            visible=vis,
+            thermal=th,
+            engine=engine,
+            model_seconds=seconds,
+            applied_shift=applied_shift,
+            started=time.perf_counter(),
+        )
+        session._next_index += 1
+        return task
+
+    def _lane_for(self, task: _FrameTask, stage: str,
+                  ctx: Optional[_WorkerContext]
+                  ) -> Tuple[ImageFusion, Engine]:
+        if ctx is None:
+            return self._session._fusers[task.engine.name], task.engine
+        engine = task.stage_engines.get(stage) if ctx.co_schedule else None
+        if engine is None:
+            engine = task.engine
+            if ctx.engine is not None and ctx.engine.name == engine.name:
+                # a homogeneous team member computes on its own pool
+                # instance (same registry factory, same arithmetic)
+                engine = ctx.engine
+        return ctx.lane(engine), engine
+
+    def forward_visible(self, task: _FrameTask,
+                        ctx: Optional[_WorkerContext] = None) -> None:
+        fuser, _ = self._lane_for(task, "visible", ctx)
+        task.pyr_visible = fuser.decompose(task.visible)
+
+    def forward_thermal(self, task: _FrameTask,
+                        ctx: Optional[_WorkerContext] = None) -> None:
+        fuser, _ = self._lane_for(task, "thermal", ctx)
+        task.pyr_thermal = fuser.decompose(task.thermal)
+
+    def fuse(self, task: _FrameTask,
+             ctx: Optional[_WorkerContext] = None) -> None:
+        session = self._session
+        if session.temporal is not None:
+            fuser = session._fusers[task.engine.name]
+            session.temporal.fusion = fuser
+            task.fused = session.temporal.fuse(task.visible, task.thermal)
+            return
+        fuser, _ = self._lane_for(task, "fuse", ctx)
+        pyramid = fuser.combine(task.pyr_visible, task.pyr_thermal)
+        task.fused = fuser.reconstruct(pyramid)
+
+    # -- accounting -----------------------------------------------------
+    def _frame_cost(self, task: _FrameTask) -> Tuple[float, float, str]:
+        """(modelled seconds, millijoules, engine label) of one frame.
+
+        Default: the selected engine's whole-frame model — exactly the
+        serial session accounting.  Under a co-scheduling executor
+        (explicit mixed ``engine_team``) each stage is billed to its
+        assigned engine instead.
+        """
+        session = self._session
+        power = session.config.power_model
+        shape = session.config.fusion_shape
+        levels = session.config.levels
+        if len(task.stage_engines) < 3:
+            seconds = task.model_seconds
+            mj = seconds * power.power_w(task.engine.power_mode) * 1e3
+            return seconds, mj, task.engine.name
+
+        seconds = 0.0
+        mj = 0.0
+        for stage, engine in task.stage_engines.items():
+            if stage == "fuse":
+                stage_s = (engine.fusion_time(shape, levels).total_s
+                           + engine.inverse_time(shape, levels).total_s)
+            else:
+                stage_s = engine.forward_time(shape, levels).total_s
+            seconds += stage_s
+            mj += stage_s * power.power_w(engine.power_mode) * 1e3
+        label = task.stage_engines["fuse"].name
+        return seconds, mj, label
+
+    def finalize(self, task: _FrameTask) -> FusedFrameResult:
+        session = self._session
+        fused = task.fused
+
+        action = ACTION_FUSE
+        if session.monitor is not None:
+            action = session.monitor.observe(task.visible, task.thermal,
+                                             fused).action
+
+        seconds, mj, engine_label = self._frame_cost(task)
+        wall = time.perf_counter() - task.started if task.started else None
+        session.telemetry.record(seconds, mj, wall_seconds=wall)
+
+        quality: Dict[str, float] = {}
+        if session.config.quality_metrics:
+            quality = fusion_report(task.visible, task.thermal, fused)
+            for key, value in quality.items():
+                session._quality_sums[key] = \
+                    session._quality_sums.get(key, 0.0) + value
+            session._quality_frames += 1
+
+        metadata = {"engine": engine_label, "action": action}
+        if len(task.stage_engines) >= 3:
+            metadata["stages"] = {stage: eng.name for stage, eng
+                                  in task.stage_engines.items()}
+        result = FusedFrameResult(
+            frame=VideoFrame(
+                pixels=np.clip(np.round(fused), 0, 255).astype(np.uint8),
+                timestamp_s=task.timestamp_s,
+                frame_id=task.index,
+                source="fused",
+                metadata=metadata,
+            ),
+            visible=task.visible,
+            thermal=task.thermal,
+            engine=engine_label,
+            action=action,
+            model_seconds=seconds,
+            model_millijoules=mj,
+            index=task.index,
+            timestamp_s=task.timestamp_s,
+            applied_shift=task.applied_shift,
+            quality=quality,
+        )
+
+        session._frames += 1
+        session._engine_usage[engine_label] = \
+            session._engine_usage.get(engine_label, 0) + 1
+        session._actions[action] = session._actions.get(action, 0) + 1
+        session._seconds_total += seconds
+        session._millijoules_total += mj
+        # records are retained only for the run() batch in flight:
+        # stream() already hands each result to the caller, and a
+        # session-lifetime list would grow without bound
+        if session._batch_records is not None:
+            session._batch_records.append(result)
+        return result
+
+
 class FusionSession:
     """A configured capture->register->fuse->monitor loop.
 
@@ -85,6 +338,11 @@ class FusionSession:
         Convenience: field overrides applied on top of ``config`` (so
         ``FusionSession(engine="fpga")`` works without building a
         config by hand).
+
+    The session is a context manager: ``with FusionSession(...) as s``
+    guarantees :meth:`close` runs, releasing the built-in capture
+    source.  Executor worker threads never outlive a single
+    :meth:`stream`/:meth:`run` call either way.
     """
 
     def __init__(self, config: Optional[FusionConfig] = None, **overrides):
@@ -129,8 +387,10 @@ class FusionSession:
             target_fps=config.target_fps,
             energy_budget_mj=config.energy_budget_mj)
 
+        self._processor = _SessionProcessor(self)
         self._default_source: Optional[CaptureChainSource] = None
         self._frames = 0
+        self._next_index = 0
         self._engine_usage: Dict[str, int] = {}
         self._actions: Dict[str, int] = {}
         self._seconds_total = 0.0
@@ -141,6 +401,9 @@ class FusionSession:
         self._fifo_dropped = 0
         self._decode_errors = 0
         self._batch_records: Optional[List[FusedFrameResult]] = None
+        self._last_throughput: Dict[str, object] = {}
+        self._concurrent_drive = False
+        self._closed = False
 
     # ------------------------------------------------------------------
     @property
@@ -161,6 +424,25 @@ class FusionSession:
         return self._default_source
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release session-owned resources (idempotent).
+
+        Executor workers are joined at the end of each stream; this
+        closes what outlives streams — the persistent capture source.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._default_source is not None:
+            self._default_source.close()
+
+    def __enter__(self) -> "FusionSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     def _normalize(self, image: np.ndarray) -> np.ndarray:
         """Register one modality onto the fusion geometry."""
         data = np.asarray(image, dtype=np.float64)
@@ -179,91 +461,108 @@ class FusionSession:
             self._engine = self.scheduler.next_engine()
         return self._engine
 
+    def _make_executor(self, name: Optional[str] = None) -> Executor:
+        """Build the configured executor for one stream drive.
+
+        ``name`` overrides the config's executor for this drive only
+        (the config's ``workers``/``queue_depth`` tuning still applies;
+        a configured ``engine_team`` only applies when this drive is
+        heterogeneous).
+        """
+        if name is None:
+            config = self.config
+        else:
+            overrides = {"executor": name}
+            if name != "hetero":
+                overrides["engine_team"] = None
+            config = self.config.with_overrides(**overrides)
+        if config.executor == "hetero":
+            if config.engine_team is not None:
+                team = tuple(create_engine(name)
+                             for name in config.engine_team)
+                return make_executor("hetero", engines=team,
+                                     queue_depth=config.queue_depth,
+                                     co_schedule=True,
+                                     affinity=self._plan_affinity(team))
+            team = create_engine_pool(self._engine.name, config.workers)
+            return make_executor("hetero", engines=team,
+                                 queue_depth=config.queue_depth)
+        return make_executor(config.executor, workers=config.workers,
+                             queue_depth=config.queue_depth)
+
+    def _plan_affinity(self, team: Tuple[Engine, ...]
+                       ) -> Optional[Dict[str, str]]:
+        """Pin the fuse/inverse stage where the per-level plan puts the
+        bulk of the inverse transform; forwards stay round-robin so
+        the two decompositions of a pair land on different engines."""
+        try:
+            plan = PerLevelScheduler(engines=team).plan(
+                self.config.fusion_shape, self.config.levels)
+        except ConfigurationError:
+            return None  # team contains engines the planner cannot cost
+        counts: Dict[str, int] = {}
+        for name in plan.inverse_assignment:
+            counts[name] = counts.get(name, 0) + 1
+        return {"fuse": max(counts.items(), key=lambda kv: kv[1])[0]}
+
     def process(self, visible: np.ndarray, thermal: np.ndarray,
                 timestamp_s: float = 0.0,
                 index: Optional[int] = None) -> FusedFrameResult:
-        """Fuse one frame pair under the configured policies."""
-        vis = self._normalize(visible)
-        th = self._normalize(thermal)
+        """Fuse one frame pair under the configured policies.
 
-        applied_shift = None
-        if self.calibrator is not None:
-            offset = self.calibrator.offset(vis, th)
-            if offset is not None:
-                th = np.roll(np.roll(th, offset[0], axis=0),
-                             offset[1], axis=1)
-                self._shift_total += float(np.hypot(*offset))
-                applied_shift = offset
-
-        engine = self._select_engine()
-        fuser = self._fusers[engine.name]
-        if self.temporal is not None:
-            self.temporal.fusion = fuser
-            fused = self.temporal.fuse(vis, th)
-        else:
-            fused = fuser.fuse(vis, th).fused
-
-        action = ACTION_FUSE
-        if self.monitor is not None:
-            action = self.monitor.observe(vis, th, fused).action
-
-        seconds = engine.frame_time(self.config.fusion_shape,
-                                    self.config.levels).total_s
-        if self.scheduler is not None:
-            self.scheduler.observe(engine, seconds)
-        mj = seconds * self.config.power_model.power_w(engine.power_mode) * 1e3
-        self.telemetry.record(seconds, mj)
-
-        quality: Dict[str, float] = {}
-        if self.config.quality_metrics:
-            quality = fusion_report(vis, th, fused)
-            for key, value in quality.items():
-                self._quality_sums[key] = \
-                    self._quality_sums.get(key, 0.0) + value
-            self._quality_frames += 1
-
-        frame_index = self._frames if index is None else index
-        result = FusedFrameResult(
-            frame=VideoFrame(
-                pixels=np.clip(np.round(fused), 0, 255).astype(np.uint8),
-                timestamp_s=timestamp_s,
-                frame_id=frame_index,
-                source="fused",
-                metadata={"engine": engine.name, "action": action},
-            ),
-            visible=vis,
-            thermal=th,
-            engine=engine.name,
-            action=action,
-            model_seconds=seconds,
-            model_millijoules=mj,
-            index=frame_index,
-            timestamp_s=timestamp_s,
-            applied_shift=applied_shift,
-            quality=quality,
-        )
-
-        self._frames += 1
-        self._engine_usage[engine.name] = \
-            self._engine_usage.get(engine.name, 0) + 1
-        self._actions[action] = self._actions.get(action, 0) + 1
-        self._seconds_total += seconds
-        self._millijoules_total += mj
-        # records are retained only for the run() batch in flight:
-        # stream() already hands each result to the caller, and a
-        # session-lifetime list would grow without bound
-        if self._batch_records is not None:
-            self._batch_records.append(result)
-        return result
+        Always executes inline on the calling thread (the serial
+        path), whatever executor the config names for streams.  It
+        cannot run while a *concurrent* stream is driving this
+        session: the executor's capture thread mutates the same
+        ordered state (frame indices, scheduler, calibration), so the
+        call is rejected rather than racing it.
+        """
+        if self._concurrent_drive:
+            raise ConfigurationError(
+                "process() cannot run while a concurrent executor is "
+                "driving a stream on this session; finish or abandon "
+                "the stream first"
+            )
+        pair = FramePair(visible=visible, thermal=thermal,
+                         timestamp_s=timestamp_s)
+        task = self._processor.ingest(pair, index=0)
+        if index is not None:
+            task.index = index
+        self._processor.forward_visible(task)
+        self._processor.forward_thermal(task)
+        self._processor.fuse(task)
+        return self._processor.finalize(task)
 
     # ------------------------------------------------------------------
-    def stream(self, source, limit: Optional[int] = None
+    def stream(self, source, limit: Optional[int] = None,
+               executor: Optional[str] = None
                ) -> Iterator[FusedFrameResult]:
         """Fuse every pair ``source`` yields, as a lazy stream.
 
         ``source`` may be any :class:`FrameSource` or a plain iterable
         of ``(visible, thermal)`` pairs; ``limit`` stops after that
-        many fused frames (needed for infinite sources).
+        many fused frames (needed for infinite sources).  Frames are
+        driven by the configured executor (or the ``executor`` named
+        here, for this stream only); results arrive in frame order
+        regardless of executor.  The source and any executor worker
+        threads are released when the stream ends — normally, on
+        error, or when the caller abandons the iterator.
+
+        The stream owns its source for cleanup: ``source.close()``
+        runs when the stream ends.  :class:`FrameSource` objects
+        default to a no-op close, so the built-in sources (synthetic,
+        cameras, capture chain) stay reusable across streams; a plain
+        generator passed directly is *closed with the stream* — wrap
+        it in a :class:`FrameSource` whose ``close`` you control to
+        keep it alive for a later stream.
+
+        A concurrent executor also reads ahead: abandoning its stream
+        mid-way (without ``limit``) leaves the source and the
+        session's ordered policies (frame indices, scheduler
+        observations, calibration) advanced by up to ``queue_depth``
+        ingested-but-undelivered frames.  Pass ``limit`` when the
+        session continues afterwards — a bounded drive never reads
+        past its last delivered frame.
         """
         if limit is not None and limit < 1:
             raise ConfigurationError(
@@ -272,30 +571,38 @@ class FusionSession:
         src = as_frame_source(source)
         fifo_start = getattr(src, "fifo_dropped", None)
         decode_start = getattr(src, "decode_errors", None)
-        produced = 0
+        driver: Optional[Executor] = None
         try:
-            for pair in src:
-                yield self.process(pair.visible, pair.thermal,
-                                   timestamp_s=pair.timestamp_s)
-                produced += 1
-                if limit is not None and produced >= limit:
-                    return
+            driver = self._make_executor(executor)
+            self._concurrent_drive = driver.concurrent
+            yield from driver.run(self._processor, iter(src), limit=limit)
         finally:
+            self._concurrent_drive = False
+            if driver is not None:
+                driver.close()
+                # every drive overwrites the block, a zero-frame drive
+                # included — a batch report must never carry the
+                # previous batch's wall-clock numbers
+                self._last_throughput = driver.stats.as_dict()
             # fold the transport health of whichever source fed this
             # stream into the session's counters
             if fifo_start is not None:
                 self._fifo_dropped += src.fifo_dropped - fifo_start
             if decode_start is not None:
                 self._decode_errors += src.decode_errors - decode_start
+            src.close()
 
     def run(self, n_frames: int = 10,
-            source: Optional[FrameSource] = None) -> FusionReport:
+            source: Optional[FrameSource] = None,
+            executor: Optional[str] = None) -> FusionReport:
         """Fuse ``n_frames`` from ``source`` (default: the built-in
         capture chain) and report aggregates for exactly that batch.
 
-        A finite ``source`` may be exhausted before ``n_frames`` are
-        fused; the report's ``frames`` then tells the truth and a
-        :class:`RuntimeWarning` flags the shortfall.
+        ``executor`` names an execution strategy for this batch only
+        (e.g. ``run(64, executor="pipeline")``), otherwise the config's
+        executor drives.  A finite ``source`` may be exhausted before
+        ``n_frames`` are fused; the report's ``frames`` then tells the
+        truth and a :class:`RuntimeWarning` flags the shortfall.
         """
         if n_frames < 1:
             raise ConfigurationError(
@@ -305,7 +612,8 @@ class FusionSession:
         stream_source = source if source is not None else self.capture_source()
         self._batch_records = [] if self.config.keep_records else None
         try:
-            for _ in self.stream(stream_source, limit=n_frames):
+            for _ in self.stream(stream_source, limit=n_frames,
+                                 executor=executor):
                 pass
             report = self._report_since(mark)
             report.records = self._batch_records or []
@@ -371,6 +679,9 @@ class FusionSession:
                                  if frames else 0.0),
             fifo_dropped=self._fifo_dropped - mark["fifo"],
             decode_errors=self._decode_errors - mark["decode"],
+            # wall-clock stats describe the most recent executor drive
+            # (they are measured, not additive across intervals)
+            throughput=dict(self._last_throughput),
         )
 
     def report(self) -> FusionReport:

@@ -63,8 +63,22 @@ class FrameSource:
     def frames(self) -> Iterator[FramePair]:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release whatever the source holds (files, devices, wrapped
+        iterators).  Called by :meth:`FusionSession.stream` when a
+        stream ends — normally, on error, or at an early ``limit``
+        exit.  The default is a no-op so purely synthetic sources stay
+        reusable across streams; stateful subclasses override it.
+        """
+
     def __iter__(self) -> Iterator[FramePair]:
         return self.frames()
+
+    def __enter__(self) -> "FrameSource":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class SyntheticSource(FrameSource):
@@ -253,6 +267,13 @@ class _IterableSource(FrameSource):
 
     def __init__(self, iterable: Iterable):
         self._iterable = iterable
+
+    def close(self) -> None:
+        """Close the wrapped iterator (a half-consumed generator's
+        ``finally`` blocks run now, not at interpreter exit)."""
+        closer = getattr(self._iterable, "close", None)
+        if callable(closer):
+            closer()
 
     def frames(self) -> Iterator[FramePair]:
         for index, item in enumerate(self._iterable):

@@ -28,6 +28,10 @@ class TelemetrySummary:
     jitter_rms_s: float
     deadline_misses: int
     millijoules_total: float
+    #: measured wall-clock per-frame latency (ingest -> report), where
+    #: observed; 0.0 when the caller never supplied wall timings
+    wall_latency_mean_s: float = 0.0
+    wall_latency_p95_s: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -40,6 +44,8 @@ class TelemetrySummary:
             "jitter_rms_ms": self.jitter_rms_s * 1e3,
             "deadline_misses": self.deadline_misses,
             "millijoules_total": self.millijoules_total,
+            "wall_latency_mean_ms": self.wall_latency_mean_s * 1e3,
+            "wall_latency_p95_ms": self.wall_latency_p95_s * 1e3,
         }
 
 
@@ -66,13 +72,22 @@ class FrameTelemetry:
         self.energy_budget_mj = energy_budget_mj
         self._latencies: List[float] = []
         self._millijoules: List[float] = []
+        self._wall: List[float] = []
 
     # ------------------------------------------------------------------
-    def record(self, seconds: float, millijoules: float = 0.0) -> None:
+    def record(self, seconds: float, millijoules: float = 0.0,
+               wall_seconds: Optional[float] = None) -> None:
+        """Record one frame: modelled seconds/energy, and optionally
+        the *measured* wall-clock latency the frame spent in flight
+        (capture to report) under the active executor."""
         if seconds < 0 or millijoules < 0:
+            raise ConfigurationError("observations cannot be negative")
+        if wall_seconds is not None and wall_seconds < 0:
             raise ConfigurationError("observations cannot be negative")
         self._latencies.append(seconds)
         self._millijoules.append(millijoules)
+        if wall_seconds is not None:
+            self._wall.append(wall_seconds)
 
     @property
     def frames(self) -> int:
@@ -114,6 +129,7 @@ class FrameTelemetry:
         total = sum(lat)
         period = 1.0 / self.target_fps
         jitter_sq = [(v - period) ** 2 for v in lat]
+        wall = self._wall
         return TelemetrySummary(
             frames=len(lat),
             fps=len(lat) / total if total > 0 else 0.0,
@@ -124,4 +140,6 @@ class FrameTelemetry:
             jitter_rms_s=math.sqrt(sum(jitter_sq) / len(jitter_sq)),
             deadline_misses=sum(1 for v in lat if v > period),
             millijoules_total=self.millijoules_total,
+            wall_latency_mean_s=(sum(wall) / len(wall)) if wall else 0.0,
+            wall_latency_p95_s=self._percentile(wall, 0.95) if wall else 0.0,
         )

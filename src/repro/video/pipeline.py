@@ -19,12 +19,13 @@ would cost on the chosen hardware configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
 from ..core.fusion import ImageFusion
 from ..errors import VideoError
+from ..exec import FrameProcessor, make_executor
 from ..hw.engine import Engine
 from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
 from ..types import FrameShape
@@ -69,8 +70,88 @@ class PipelineReport:
         return self.model_millijoules_total / self.frames
 
 
+@dataclass
+class _PipelineTask:
+    """One frame in flight between the legacy pipeline's stages."""
+
+    visible: np.ndarray
+    thermal: np.ndarray
+    timestamp_s: float
+    index: int
+    pyr_visible: object = None
+    pyr_thermal: object = None
+    fused: Optional[np.ndarray] = None
+
+
+class _PipelineProcessor(FrameProcessor):
+    """The legacy pipeline's dataflow, expressed as executor stages.
+
+    Concurrent workers get independent :class:`ImageFusion` lanes over
+    the same engine (fresh backend state each), so any executor
+    produces output numerically identical to the serial reference
+    :meth:`FusionPipeline.step` loop.
+    """
+
+    def __init__(self, pipeline: "FusionPipeline"):
+        self._pipeline = pipeline
+
+    def make_contexts(self, n, engines=None):
+        p = self._pipeline
+        return [ImageFusion(transform=p.engine.transform(p.levels),
+                            rule=p.fusion.rule)
+                for _ in range(n)]
+
+    def ingest(self, captured, index: int) -> _PipelineTask:
+        p = self._pipeline
+        visible, thermal_scaled = captured
+        vis, th = p._register(visible, thermal_scaled)
+        task = _PipelineTask(visible=vis, thermal=th,
+                             timestamp_s=visible.timestamp_s,
+                             index=p._fused_count)
+        p._fused_count += 1
+        return task
+
+    def forward_visible(self, task, ctx=None):
+        fuser = ctx if ctx is not None else self._pipeline.fusion
+        task.pyr_visible = fuser.decompose(task.visible)
+
+    def forward_thermal(self, task, ctx=None):
+        fuser = ctx if ctx is not None else self._pipeline.fusion
+        task.pyr_thermal = fuser.decompose(task.thermal)
+
+    def fuse(self, task, ctx=None):
+        fuser = ctx if ctx is not None else self._pipeline.fusion
+        pyramid = fuser.combine(task.pyr_visible, task.pyr_thermal)
+        task.fused = fuser.reconstruct(pyramid)
+
+    def finalize(self, task) -> FusedFrameRecord:
+        p = self._pipeline
+        seconds = p.engine.frame_time(p.fusion_shape, p.levels).total_s
+        mj = seconds * p.power_model.power_w(p.engine.power_mode) * 1e3
+        fused_frame = VideoFrame(
+            pixels=np.clip(np.round(task.fused), 0, 255).astype(np.uint8),
+            timestamp_s=task.timestamp_s,
+            frame_id=task.index,
+            source="fused",
+            metadata={"engine": p.engine.name},
+        )
+        return FusedFrameRecord(
+            frame=fused_frame,
+            visible=task.visible,
+            thermal=task.thermal,
+            model_seconds=seconds,
+            model_millijoules=mj,
+        )
+
+
 class FusionPipeline:
-    """End-to-end capture -> decode -> scale -> fuse pipeline."""
+    """End-to-end capture -> decode -> scale -> fuse pipeline.
+
+    ``executor`` selects how :meth:`run` drives the frames (see
+    :mod:`repro.exec`); the default serial executor reproduces the
+    historical loop exactly, and every executor produces numerically
+    identical records.
+    """
 
     def __init__(self, engine: Engine,
                  fusion_shape: FrameShape = FrameShape(88, 72),
@@ -78,10 +159,16 @@ class FusionPipeline:
                  scene: Optional[SyntheticScene] = None,
                  power_model: PowerModel = DEFAULT_POWER_MODEL,
                  fifo_capacity: int = 1,
-                 keep_records: bool = True):
+                 keep_records: bool = True,
+                 executor: str = "serial",
+                 workers: int = 2,
+                 queue_depth: int = 4):
         if levels < 1:
             raise VideoError(f"levels must be >= 1, got {levels}")
         self.engine = engine
+        self.executor = executor
+        self.workers = workers
+        self.queue_depth = queue_depth
         self.fusion_shape = fusion_shape
         self.levels = levels
         self.scene = scene if scene is not None else SyntheticScene()
@@ -137,20 +224,37 @@ class FusionPipeline:
             model_millijoules=mj,
         )
 
+    def _captured_pairs(self) -> Iterator[tuple]:
+        """Captures from the chain, skipping FIFO-starved fields."""
+        while True:
+            captured = self.capture.capture_pair()
+            if captured is None:
+                continue
+            yield captured
+
     def run(self, n_frames: int) -> PipelineReport:
-        """Fuse ``n_frames`` frame pairs and aggregate statistics."""
+        """Fuse ``n_frames`` frame pairs and aggregate statistics.
+
+        Frames are driven by the configured :mod:`repro.exec` executor
+        rather than a private loop; :meth:`step` remains the manual
+        single-frame path.
+        """
         if n_frames < 1:
             raise VideoError(f"n_frames must be >= 1, got {n_frames}")
         report = PipelineReport()
-        while report.frames < n_frames:
-            record = self.step()
-            if record is None:
-                continue
-            report.frames += 1
-            report.model_seconds_total += record.model_seconds
-            report.model_millijoules_total += record.model_millijoules
-            if self.keep_records:
-                report.records.append(record)
+        executor = make_executor(self.executor, workers=self.workers,
+                                 queue_depth=self.queue_depth)
+        processor = _PipelineProcessor(self)
+        try:
+            for record in executor.run(processor, self._captured_pairs(),
+                                       limit=n_frames):
+                report.frames += 1
+                report.model_seconds_total += record.model_seconds
+                report.model_millijoules_total += record.model_millijoules
+                if self.keep_records:
+                    report.records.append(record)
+        finally:
+            executor.close()
         report.fifo_dropped = self.fifo.stats.dropped
         report.decode_errors = (self.decoder.stats.xy_errors
                                 + self.decoder.stats.resyncs)

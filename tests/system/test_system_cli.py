@@ -115,6 +115,28 @@ class TestDeprecatedVideoFusionSystem:
         assert np.array_equal(old.pipeline.records[0].frame.pixels,
                               new.records[0].pixels)
 
+    def test_shim_matches_concurrent_executors(self):
+        """The legacy path (now routed through the executor layer)
+        agrees bitwise with an explicitly concurrent session."""
+        with pytest.warns(DeprecationWarning):
+            system = VideoFusionSystem(engine="neon",
+                                       fusion_shape=FrameShape(40, 40),
+                                       levels=2,
+                                       scene=SyntheticScene(width=96,
+                                                            height=80,
+                                                            seed=9))
+        old = system.run(2)
+        for executor in ("pipeline", "hetero"):
+            session = FusionSession(FusionConfig(
+                engine="neon", executor=executor,
+                fusion_shape=FrameShape(40, 40), levels=2,
+                scene=SyntheticScene(width=96, height=80, seed=9)))
+            with session:
+                new = session.run(2)
+            for ref, got in zip(old.pipeline.records, new.records):
+                assert np.array_equal(ref.frame.pixels, got.pixels)
+                assert ref.model_millijoules == got.model_millijoules
+
 
 class TestRuntimeSweeps:
     def test_sweep_covers_paper_sizes(self):
@@ -174,6 +196,39 @@ class TestCli:
                      "--levels", "2", "--engine", "neon"]) == 0
         out = capsys.readouterr().out
         assert "modelled fps" in out
+
+    @pytest.mark.parametrize("executor", ["pipeline", "hetero"])
+    def test_demo_executor_flag(self, executor, capsys):
+        from repro.cli import main
+        assert main(["demo", "--frames", "2", "--size", "40x40",
+                     "--levels", "2", "--engine", "neon",
+                     "--executor", executor, "--workers", "2",
+                     "--queue-depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert f"executor         : {executor}" in out
+        assert "wall-clock fps" in out
+
+    def test_demo_json_output(self, capsys):
+        import json
+        from repro.cli import main
+        assert main(["demo", "--frames", "2", "--size", "40x40",
+                     "--levels", "2", "--engine", "neon", "--seed", "7",
+                     "--executor", "pipeline", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["frames"] == 2
+        assert payload["engine_used"] == "neon"
+        assert payload["throughput"]["executor"] == "pipeline"
+        assert payload["throughput"]["wall_fps"] > 0
+
+    def test_fuse_json_output(self, tmp_path, capsys):
+        import json
+        from repro.cli import main
+        out = tmp_path / "fused"
+        assert main(["fuse", "--size", "40x40", "--levels", "2",
+                     "--output", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["frames"] == 1
+        assert (out / "fused.pgm").exists()
 
     def test_demo_online_engine(self, capsys):
         from repro.cli import main

@@ -61,3 +61,38 @@ class TestPipeline:
         report = pipe.run(2)
         assert report.frames == 2
         assert report.records == []
+
+
+class TestPipelineExecutorParity:
+    """run() now routes through the repro.exec layer; it must stay
+    numerically identical to the manual step() loop it replaced, for
+    every executor."""
+
+    @staticmethod
+    def _make(executor):
+        from repro.video.scene import SyntheticScene
+        return FusionPipeline(engine=NeonEngine(),
+                              fusion_shape=FrameShape(40, 40), levels=2,
+                              scene=SyntheticScene(width=96, height=80,
+                                                   seed=11),
+                              executor=executor)
+
+    @pytest.fixture(scope="class")
+    def stepped_records(self):
+        pipeline = self._make("serial")
+        records = []
+        while len(records) < 3:
+            record = pipeline.step()
+            if record is not None:
+                records.append(record)
+        return records
+
+    @pytest.mark.parametrize("executor", ["serial", "pipeline", "hetero"])
+    def test_run_matches_manual_step_loop(self, executor, stepped_records):
+        report = self._make(executor).run(3)
+        assert report.frames == 3
+        for ref, got in zip(stepped_records, report.records):
+            assert np.array_equal(ref.frame.pixels, got.frame.pixels)
+            assert ref.model_seconds == got.model_seconds
+            assert ref.model_millijoules == got.model_millijoules
+            assert ref.frame.frame_id == got.frame.frame_id
