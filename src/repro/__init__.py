@@ -39,6 +39,7 @@ Quick start::
 from .core.adaptive import CostModelScheduler, OnlineScheduler, PerLevelScheduler
 from .core.fusion import FusionResult, ImageFusion, fuse_images
 from .exec import (
+    BatchExecutor,
     ExecStats,
     HeterogeneousExecutor,
     PipelineExecutor,
@@ -90,7 +91,8 @@ __all__ = [
     "ArmEngine", "FpgaEngine", "NeonEngine", "ZynqPlatform",
     "create_engine", "engine_names", "register_engine",
     "ExecStats", "SerialExecutor", "PipelineExecutor",
-    "HeterogeneousExecutor", "executor_names", "register_executor",
+    "HeterogeneousExecutor", "BatchExecutor",
+    "executor_names", "register_executor",
     "FusionConfig", "FusionSession", "FusionReport", "FusedFrameResult",
     "FramePair", "SyntheticSource", "ArraySource",
     "CameraPairSource", "CaptureChainSource",

@@ -1,0 +1,16 @@
+"""``python -m repro`` — the CLI without the console-script install.
+
+Delegates straight to :func:`repro.cli.main`, so every subcommand and
+flag documented there works identically::
+
+    PYTHONPATH=src python -m repro demo --frames 10 --executor batch
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,9 +18,14 @@ Subcommands
 
 Every subcommand accepts ``--seed``; ``demo`` and ``fuse`` thread it
 into the synthetic scene so runs are exactly reproducible.  ``demo``
-and ``fuse`` also accept ``--executor serial|pipeline|hetero`` (with
-``--workers``/``--queue-depth``) to pick the execution strategy, and
-``--json`` to emit the full report machine-readably.
+and ``fuse`` also accept ``--executor serial|pipeline|hetero|batch``
+(with ``--workers``/``--queue-depth``/``--batch-size``) to pick the
+execution strategy, and ``--json`` to emit the full report
+machine-readably.
+
+The CLI is reachable without the console-script install as
+``python -m repro`` (see :mod:`repro.__main__`) or
+``python -m repro.cli``.
 """
 
 from __future__ import annotations
@@ -71,6 +76,7 @@ def _session(args: argparse.Namespace, **overrides) -> FusionSession:
         executor=args.executor,
         workers=args.workers,
         queue_depth=args.queue_depth,
+        batch_size=args.batch_size,
         fusion_shape=args.size,
         levels=args.levels,
         seed=args.seed,
@@ -185,13 +191,17 @@ def build_parser() -> argparse.ArgumentParser:
     execution.add_argument("--executor", default="serial",
                            choices=executor_names(),
                            help="how frames are driven: serial loop, "
-                                "double-buffered thread pipeline, or "
-                                "heterogeneous engine co-scheduling")
+                                "double-buffered thread pipeline, "
+                                "heterogeneous engine co-scheduling, or "
+                                "micro-batched NumPy vectorization")
     execution.add_argument("--workers", type=int, default=2,
                            help="concurrent stage workers / engine team "
                                 "size (pipeline, hetero)")
     execution.add_argument("--queue-depth", type=int, default=4,
                            help="bound on frames in flight between stages")
+    execution.add_argument("--batch-size", type=int, default=8,
+                           help="frame pairs per stacked transform "
+                                "invocation (batch executor only)")
     execution.add_argument("--json", action="store_true",
                            help="emit the FusionReport as JSON on stdout")
 

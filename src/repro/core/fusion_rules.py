@@ -13,6 +13,16 @@ Nikolov/Hill (its reference [2]):
 Additional rules implemented here (window activity with consistency
 checking, weighted blending) are standard variants used to study fusion
 quality; they share the same interface so the pipeline can swap them.
+
+All built-in rules are **vectorized ufunc-style operations**: the
+per-level combination methods only ever address the trailing ``(H, W)``
+axes (elementwise selects/blends, rolls along ``axis=-2``/``-1``), so
+the very same code fuses one pyramid pair or a whole stacked batch —
+:meth:`FusionRule.fuse_stack` hands them ``(6, N, H, W)`` operands and
+every frame comes out bitwise-identical to a per-frame
+:meth:`FusionRule.fuse`.  Custom subclasses keep batch support for free
+as long as their ``fuse_highpass``/``fuse_lowpass`` follow the same
+trailing-axes discipline (or override :meth:`fuse_stack`).
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 import numpy as np
 
-from ..dtcwt.transform2d import DtcwtPyramid
+from ..dtcwt.transform2d import DtcwtPyramid, DtcwtPyramidStack
 from ..errors import FusionError
 
 
@@ -45,9 +55,40 @@ class FusionRule(ABC):
             levels=a.levels,
         )
 
+    def fuse_stack(self, a: DtcwtPyramidStack, b: DtcwtPyramidStack
+                   ) -> DtcwtPyramidStack:
+        """Fuse ``N`` pyramid pairs in single vectorized calls.
+
+        Frame ``i`` of the result is bitwise-identical to
+        ``fuse(a[i], b[i])``; the whole batch costs the same number of
+        NumPy calls as one pair.
+        """
+        _check_compatible(a, b)
+        if a.count != b.count:
+            raise FusionError(
+                f"pyramid stacks disagree on frame count: {a.count} vs "
+                f"{b.count}"
+            )
+        highpasses = tuple(
+            self.fuse_highpass(ha, hb)
+            for ha, hb in zip(a.highpasses, b.highpasses)
+        )
+        lowpass = self.fuse_lowpass(a.lowpass, b.lowpass)
+        return DtcwtPyramidStack(
+            lowpass=lowpass,
+            highpasses=highpasses,
+            original_shape=a.original_shape,
+            padded_shape=a.padded_shape,
+            levels=a.levels,
+        )
+
     @abstractmethod
     def fuse_highpass(self, band_a: np.ndarray, band_b: np.ndarray) -> np.ndarray:
-        """Combine one level's complex subband stack ``(6, H, W)``."""
+        """Combine one level's complex subbands ``(6, ..., H, W)``.
+
+        Implementations must only address the trailing two axes so
+        stacked batches fuse identically to single frames.
+        """
 
     def fuse_lowpass(self, low_a: np.ndarray, low_b: np.ndarray) -> np.ndarray:
         """Default low-pass handling: average the two modalities."""
@@ -130,7 +171,8 @@ def _box_sum(stack: np.ndarray, window: int) -> np.ndarray:
     return out
 
 
-def _check_compatible(a: DtcwtPyramid, b: DtcwtPyramid) -> None:
+def _check_compatible(a, b) -> None:
+    """Shared structural check for pyramid pairs and stack pairs."""
     if a.levels != b.levels:
         raise FusionError(
             f"pyramids disagree on levels: {a.levels} vs {b.levels}"

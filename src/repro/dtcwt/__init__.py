@@ -39,6 +39,7 @@ from .transform2d import (
     ORIENTATIONS,
     Dtcwt2D,
     DtcwtPyramid,
+    DtcwtPyramidStack,
     c2q,
     forward,
     inverse,
@@ -71,6 +72,7 @@ __all__ = [
     "ORIENTATIONS",
     "Dtcwt2D",
     "DtcwtPyramid",
+    "DtcwtPyramidStack",
     "c2q",
     "q2c",
     "forward",

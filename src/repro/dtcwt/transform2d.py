@@ -18,25 +18,50 @@ the dual-filter identity ``H0 G0 + H1 G1 = 2``, and ``q2c``/``c2q`` are
 exact inverses.  All filtering is circular; inputs whose sides do not
 divide ``2**levels`` are edge-padded and cropped back (see
 :func:`repro.dtcwt.util.pad_to_multiple`).
+
+Batch-first numerics
+--------------------
+
+Every step below is **shape-polymorphic over leading axes**: the
+filtering primitives, polyphase splits and ``q2c``/``c2q`` maps all
+operate on the trailing ``(H, W)`` axes of an arbitrarily stacked
+array.  :meth:`Dtcwt2D.forward_batch` exploits that to decompose a
+whole frame stack ``(N, H, W)`` with exactly the same number of NumPy
+calls as one frame — the software analogue of streaming many lines
+through one hardware datapath invocation — and
+:meth:`Dtcwt2D.inverse_batch` reconstructs a stack the same way.
+Because the per-element arithmetic (operation order, dtypes,
+accumulation sequence) is identical either way, batched results are
+bitwise-equal to per-frame results; the tests pin that invariant.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import TransformError
 from .backend import DEFAULT_BACKEND, KernelBackend
 from .coeffs import DtcwtBanks, dtcwt_banks
-from .util import as_float_image, crop_to, pad_to_multiple
+from .util import as_float_image, as_float_stack, crop_to, pad_to_multiple
 
 _SQRT2 = math.sqrt(2.0)
 
 #: Approximate orientation (degrees) of each of the six subbands.
 ORIENTATIONS = (15, 45, 75, 105, 135, 165)
+
+
+class _StackIndexError(TransformError, IndexError):
+    """Out-of-range frame index on a pyramid stack.
+
+    Doubly derived so both contracts hold: library callers catching
+    :class:`TransformError` see it, and Python's sequence-iteration
+    protocol (``for pyramid in stack``), which probes ``__getitem__``
+    until :class:`IndexError`, terminates cleanly.
+    """
 
 
 def q2c(y_aa: np.ndarray, y_ab: np.ndarray,
@@ -101,6 +126,103 @@ class DtcwtPyramid:
         return self.lowpass.size + sum(h.size for h in self.highpasses)
 
 
+@dataclass
+class DtcwtPyramidStack:
+    """Forward DT-CWTs of ``N`` same-shape frames as stacked arrays.
+
+    The frame axis sits *after* the tree/band axes — exactly where the
+    batch transform produces it — so per-level arrays are single
+    contiguous operands for vectorized fusion rules:
+
+    * ``lowpass``: ``(2, 2, N, H/2^L, W/2^L)``;
+    * ``highpasses[l]``: complex ``(6, N, H/2^l, W/2^l)``.
+
+    ``stack[i]`` gives frame ``i`` as an ordinary
+    :class:`DtcwtPyramid` of *views* into the stacked arrays (no copy);
+    :meth:`slice` carves out a contiguous frame range as another stack,
+    which is how :meth:`repro.core.fusion.ImageFusion.fuse_batch`
+    splits one doubled transform back into its two sources.
+    """
+
+    lowpass: np.ndarray
+    highpasses: Tuple[np.ndarray, ...]
+    original_shape: Tuple[int, int]
+    padded_shape: Tuple[int, int]
+    levels: int
+
+    @property
+    def count(self) -> int:
+        """Number of stacked frames."""
+        return self.lowpass.shape[2]
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index: int) -> DtcwtPyramid:
+        """Frame ``index`` as a view-backed :class:`DtcwtPyramid`."""
+        if not -self.count <= index < self.count:
+            raise _StackIndexError(
+                f"frame index {index} out of range for a stack of "
+                f"{self.count}"
+            )
+        return DtcwtPyramid(
+            lowpass=self.lowpass[:, :, index],
+            highpasses=tuple(h[:, index] for h in self.highpasses),
+            original_shape=self.original_shape,
+            padded_shape=self.padded_shape,
+            levels=self.levels,
+        )
+
+    def slice(self, start: int, stop: int) -> "DtcwtPyramidStack":
+        """Frames ``[start, stop)`` as a view-backed sub-stack."""
+        return DtcwtPyramidStack(
+            lowpass=self.lowpass[:, :, start:stop],
+            highpasses=tuple(h[:, start:stop] for h in self.highpasses),
+            original_shape=self.original_shape,
+            padded_shape=self.padded_shape,
+            levels=self.levels,
+        )
+
+    def copy(self) -> "DtcwtPyramidStack":
+        return DtcwtPyramidStack(
+            lowpass=self.lowpass.copy(),
+            highpasses=tuple(h.copy() for h in self.highpasses),
+            original_shape=self.original_shape,
+            padded_shape=self.padded_shape,
+            levels=self.levels,
+        )
+
+    @classmethod
+    def from_pyramids(cls, pyramids: Sequence[DtcwtPyramid]
+                      ) -> "DtcwtPyramidStack":
+        """Stack per-frame pyramids (all levels/shapes must agree)."""
+        if not pyramids:
+            raise TransformError("cannot stack zero pyramids")
+        first = pyramids[0]
+        for pyr in pyramids[1:]:
+            if (pyr.levels != first.levels
+                    or pyr.padded_shape != first.padded_shape
+                    or pyr.original_shape != first.original_shape):
+                raise TransformError(
+                    "pyramids disagree on levels/shape and cannot be "
+                    "stacked"
+                )
+        return cls(
+            lowpass=np.stack([p.lowpass for p in pyramids], axis=2),
+            highpasses=tuple(
+                np.stack([p.highpasses[l] for p in pyramids], axis=1)
+                for l in range(first.levels)
+            ),
+            original_shape=first.original_shape,
+            padded_shape=first.padded_shape,
+            levels=first.levels,
+        )
+
+    @property
+    def total_coefficients(self) -> int:
+        return self.lowpass.size + sum(h.size for h in self.highpasses)
+
+
 class Dtcwt2D:
     """Forward/inverse 2-D DT-CWT with a pluggable compute backend.
 
@@ -127,20 +249,49 @@ class Dtcwt2D:
     # forward
     # ------------------------------------------------------------------
     def forward(self, image: np.ndarray) -> DtcwtPyramid:
-        """Decompose ``image`` into a :class:`DtcwtPyramid`."""
+        """Decompose one 2-D ``image`` into a :class:`DtcwtPyramid`."""
+        img = as_float_image(image, dtype=self.backend.dtype)
+        lowpass, highpasses, original, padded = self._forward_arrays(img)
+        return DtcwtPyramid(
+            lowpass=lowpass,
+            highpasses=highpasses,
+            original_shape=original,
+            padded_shape=padded,
+            levels=self.levels,
+        )
+
+    def forward_batch(self, frames: np.ndarray) -> DtcwtPyramidStack:
+        """Decompose a frame stack ``(N, H, W)`` in one pass.
+
+        All ``N`` transforms execute inside the same NumPy (or
+        hardware-backend) primitive calls, amortizing per-call
+        overhead; each frame's coefficients are bitwise-identical to
+        what :meth:`forward` produces for it alone.
+        """
+        stack = as_float_stack(frames, dtype=self.backend.dtype)
+        lowpass, highpasses, original, padded = self._forward_arrays(stack)
+        return DtcwtPyramidStack(
+            lowpass=lowpass,
+            highpasses=highpasses,
+            original_shape=original,
+            padded_shape=padded,
+            levels=self.levels,
+        )
+
+    def _forward_arrays(self, img: np.ndarray):
+        """Shared decomposition over the trailing ``(H, W)`` axes."""
         be = self.backend
-        img = as_float_image(image, dtype=be.dtype)
         img, original_shape = pad_to_multiple(img, 2 ** self.levels)
-        padded_shape = img.shape
+        padded_shape = img.shape[-2:]
 
         bank = self.banks.level1
         # Level 1: undecimated separable filtering, then polyphase split.
         lo_col, hi_col = be.analysis_u(img, bank.h0, bank.c_h0,
-                                       bank.h1, bank.c_h1, axis=0)
+                                       bank.h1, bank.c_h1, axis=-2)
         u_ll, u_lh = be.analysis_u(lo_col, bank.h0, bank.c_h0,
-                                   bank.h1, bank.c_h1, axis=1)
+                                   bank.h1, bank.c_h1, axis=-1)
         u_hl, u_hh = be.analysis_u(hi_col, bank.h0, bank.c_h0,
-                                   bank.h1, bank.c_h1, axis=1)
+                                   bank.h1, bank.c_h1, axis=-1)
 
         low_trees = _polyphase_split(u_ll)
         highpasses: List[np.ndarray] = [
@@ -161,17 +312,18 @@ class Dtcwt2D:
         h0 = (qs.h0b, qs.h0a)
         h1 = (qs.h1b, qs.h1a)
         for _ in range(2, self.levels + 1):
-            lh_trees = np.empty_like(low_trees[:, :, : low_trees.shape[2] // 2,
-                                               : low_trees.shape[3] // 2])
+            half_shape = low_trees.shape[:-2] + (low_trees.shape[-2] // 2,
+                                                 low_trees.shape[-1] // 2)
+            lh_trees = np.empty(half_shape, dtype=low_trees.dtype)
             hl_trees = np.empty_like(lh_trees)
             hh_trees = np.empty_like(lh_trees)
             new_low = np.empty_like(lh_trees)
             for tv in (0, 1):
                 for th in (0, 1):
                     x = low_trees[tv, th]
-                    lo_v, hi_v = be.analysis_d(x, h0[tv], h1[tv], axis=0)
-                    ll, lh = be.analysis_d(lo_v, h0[th], h1[th], axis=1)
-                    hl, hh = be.analysis_d(hi_v, h0[th], h1[th], axis=1)
+                    lo_v, hi_v = be.analysis_d(x, h0[tv], h1[tv], axis=-2)
+                    ll, lh = be.analysis_d(lo_v, h0[th], h1[th], axis=-1)
+                    hl, hh = be.analysis_d(hi_v, h0[th], h1[th], axis=-1)
                     new_low[tv, th] = ll
                     lh_trees[tv, th] = lh
                     hl_trees[tv, th] = hl
@@ -179,13 +331,7 @@ class Dtcwt2D:
             low_trees = new_low
             highpasses.append(_bands_from_tree_quads(lh_trees, hl_trees, hh_trees))
 
-        return DtcwtPyramid(
-            lowpass=low_trees,
-            highpasses=tuple(highpasses),
-            original_shape=original_shape,
-            padded_shape=padded_shape,
-            levels=self.levels,
-        )
+        return low_trees, tuple(highpasses), original_shape, padded_shape
 
     # ------------------------------------------------------------------
     # inverse
@@ -196,36 +342,54 @@ class Dtcwt2D:
             raise TransformError(
                 f"pyramid has {pyramid.levels} levels, transform expects {self.levels}"
             )
+        return self._inverse_arrays(pyramid.lowpass, pyramid.highpasses,
+                                    pyramid.original_shape)
+
+    def inverse_batch(self, stack: DtcwtPyramidStack) -> np.ndarray:
+        """Reconstruct every frame of a pyramid stack; returns
+        ``(N, H, W)``, each frame bitwise-equal to :meth:`inverse` of
+        its per-frame pyramid."""
+        if stack.levels != self.levels:
+            raise TransformError(
+                f"pyramid stack has {stack.levels} levels, transform "
+                f"expects {self.levels}"
+            )
+        return self._inverse_arrays(stack.lowpass, stack.highpasses,
+                                    stack.original_shape)
+
+    def _inverse_arrays(self, lowpass: np.ndarray,
+                        highpasses: Tuple[np.ndarray, ...],
+                        original_shape: Tuple[int, int]) -> np.ndarray:
+        """Shared reconstruction over the trailing ``(H, W)`` axes."""
         be = self.backend
         qs = self.banks.qshift
         # mirror the tree assignment used by forward()
         h0 = (qs.h0b, qs.h0a)
         h1 = (qs.h1b, qs.h1a)
 
-        low_trees = pyramid.lowpass.astype(be.dtype, copy=True)
+        low_trees = lowpass.astype(be.dtype, copy=True)
         for level in range(self.levels, 1, -1):
             lh_trees, hl_trees, hh_trees = _tree_quads_from_bands(
-                pyramid.highpasses[level - 1], be.dtype
+                highpasses[level - 1], be.dtype
             )
-            rows = low_trees.shape[2] * 2
-            cols = low_trees.shape[3] * 2
-            new_low = np.empty(
-                (2, 2, rows, cols), dtype=be.dtype
-            )
+            rows = low_trees.shape[-2] * 2
+            cols = low_trees.shape[-1] * 2
+            new_low = np.empty(low_trees.shape[:-2] + (rows, cols),
+                               dtype=be.dtype)
             for tv in (0, 1):
                 for th in (0, 1):
                     lo_v = be.synthesis_d(low_trees[tv, th],
                                           lh_trees[tv, th], h0[th], h1[th],
-                                          axis=1)
+                                          axis=-1)
                     hi_v = be.synthesis_d(hl_trees[tv, th],
                                           hh_trees[tv, th], h0[th], h1[th],
-                                          axis=1)
+                                          axis=-1)
                     new_low[tv, th] = be.synthesis_d(lo_v, hi_v,
-                                                     h0[tv], h1[tv], axis=0)
+                                                     h0[tv], h1[tv], axis=-2)
             low_trees = new_low
 
         lh_trees, hl_trees, hh_trees = _tree_quads_from_bands(
-            pyramid.highpasses[0], be.dtype
+            highpasses[0], be.dtype
         )
         u_ll = _polyphase_merge(low_trees)
         u_lh = _polyphase_merge(lh_trees)
@@ -234,12 +398,12 @@ class Dtcwt2D:
 
         bank = self.banks.level1
         lo_col = be.synthesis_u(u_ll, u_lh, bank.g0, bank.c_g0,
-                                bank.g1, bank.c_g1, axis=1)
+                                bank.g1, bank.c_g1, axis=-1)
         hi_col = be.synthesis_u(u_hl, u_hh, bank.g0, bank.c_g0,
-                                bank.g1, bank.c_g1, axis=1)
+                                bank.g1, bank.c_g1, axis=-1)
         image = be.synthesis_u(lo_col, hi_col, bank.g0, bank.c_g0,
-                               bank.g1, bank.c_g1, axis=0) / 4.0
-        return crop_to(image, pyramid.original_shape)
+                               bank.g1, bank.c_g1, axis=-2) / 4.0
+        return crop_to(image, original_shape)
 
 
 # ----------------------------------------------------------------------
@@ -249,26 +413,29 @@ class Dtcwt2D:
 def _polyphase_split(u: np.ndarray) -> np.ndarray:
     """Split an undecimated level-1 output into its four tree polyphases.
 
-    Returns shape ``(2, 2, H/2, W/2)`` indexed ``[vertical_tree,
+    Shape-polymorphic over leading axes: input ``(..., H, W)`` returns
+    ``(2, 2, ..., H/2, W/2)`` indexed ``[vertical_tree,
     horizontal_tree]`` (tree A = even samples, tree B = odd samples).
     """
-    rows, cols = u.shape
+    rows, cols = u.shape[-2:]
     if rows % 2 or cols % 2:
         raise TransformError(f"level-1 output must have even sides, got {u.shape}")
-    out = np.empty((2, 2, rows // 2, cols // 2), dtype=u.dtype)
+    out = np.empty((2, 2) + u.shape[:-2] + (rows // 2, cols // 2),
+                   dtype=u.dtype)
     for tv in (0, 1):
         for th in (0, 1):
-            out[tv, th] = u[tv::2, th::2]
+            out[tv, th] = u[..., tv::2, th::2]
     return out
 
 
 def _polyphase_merge(trees: np.ndarray) -> np.ndarray:
     """Inverse of :func:`_polyphase_split`."""
-    _, _, half_rows, half_cols = trees.shape
-    out = np.empty((half_rows * 2, half_cols * 2), dtype=trees.dtype)
+    half_rows, half_cols = trees.shape[-2:]
+    out = np.empty(trees.shape[2:-2] + (half_rows * 2, half_cols * 2),
+                   dtype=trees.dtype)
     for tv in (0, 1):
         for th in (0, 1):
-            out[tv::2, th::2] = trees[tv, th]
+            out[..., tv::2, th::2] = trees[tv, th]
     return out
 
 
@@ -276,8 +443,9 @@ def _bands_from_tree_quads(lh: np.ndarray, hl: np.ndarray,
                            hh: np.ndarray) -> np.ndarray:
     """Stack the six complex subbands from per-tree high-pass quads.
 
-    Input arrays have shape ``(2, 2, H, W)``; the output is complex with
-    shape ``(6, H, W)`` ordered as :data:`ORIENTATIONS`.
+    Input arrays have shape ``(2, 2, ..., H, W)``; the output is
+    complex with shape ``(6, ..., H, W)`` ordered as
+    :data:`ORIENTATIONS`.
     """
     bands = np.empty((6,) + lh.shape[2:], dtype=np.complex128)
     # horizontal-ish edges come from the vertical high-pass (hl), etc.

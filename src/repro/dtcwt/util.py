@@ -28,6 +28,26 @@ def as_float_image(image: np.ndarray, dtype: np.dtype = np.float64) -> np.ndarra
     return arr.astype(dtype, copy=False)
 
 
+def as_float_stack(frames: np.ndarray, dtype: np.dtype = np.float64
+                   ) -> np.ndarray:
+    """Validate and convert a frame stack ``(N, H, W)`` to float.
+
+    Accepts anything :func:`numpy.stack` would turn into a 3-D array
+    (a list of same-shape 2-D frames included).  The batch transforms
+    process all ``N`` frames in single NumPy calls, so the stack must
+    be rectangular.
+    """
+    arr = np.asarray(frames)
+    if arr.ndim != 3:
+        raise TransformError(
+            f"expected a frame stack of shape (N, H, W), got shape "
+            f"{arr.shape}"
+        )
+    if arr.shape[0] == 0 or arr.size == 0:
+        raise TransformError("cannot transform an empty frame stack")
+    return arr.astype(dtype, copy=False)
+
+
 def cconv(x: np.ndarray, taps: np.ndarray, center: int, axis: int = 0) -> np.ndarray:
     """Centered circular convolution along ``axis``.
 
@@ -97,26 +117,31 @@ def upsample2(x: np.ndarray, phase: int, axis: int = 0) -> np.ndarray:
 def pad_to_multiple(
     image: np.ndarray, multiple: int
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Edge-replicate pad a 2-D image so both dimensions divide ``multiple``.
+    """Edge-replicate pad so the two trailing dimensions divide ``multiple``.
 
-    Returns the padded image and the original ``(rows, cols)`` so the
+    Shape-polymorphic: a single image ``(H, W)`` or any stack
+    ``(..., H, W)`` — every leading frame is padded identically, which
+    is what keeps batched transforms bitwise-equal to per-frame ones.
+    Returns the padded array and the original ``(rows, cols)`` so the
     caller can crop after an inverse transform.  The paper's odd 35x35
     sweep point is handled this way by the functional transform path
     (the analytic timing model keeps using the true size; see DESIGN.md).
     """
-    rows, cols = image.shape
+    rows, cols = image.shape[-2:]
     pad_r = (-rows) % multiple
     pad_c = (-cols) % multiple
     if pad_r == 0 and pad_c == 0:
         return image, (rows, cols)
-    padded = np.pad(image, ((0, pad_r), (0, pad_c)), mode="edge")
+    pad = ((0, 0),) * (image.ndim - 2) + ((0, pad_r), (0, pad_c))
+    padded = np.pad(image, pad, mode="edge")
     return padded, (rows, cols)
 
 
 def crop_to(image: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
-    """Crop a 2-D image back to ``shape`` (inverse of :func:`pad_to_multiple`)."""
+    """Crop the trailing two axes back to ``shape`` (inverse of
+    :func:`pad_to_multiple`); leading (batch) axes pass through."""
     rows, cols = shape
-    return image[:rows, :cols]
+    return image[..., :rows, :cols]
 
 
 def group_delay(taps: np.ndarray, omegas: np.ndarray) -> np.ndarray:

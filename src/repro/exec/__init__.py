@@ -26,6 +26,16 @@ Executor ↔ paper map
     driver, where memcpys into one kernel buffer area overlap the
     hardware crunching the other.
 
+``batch`` — :class:`BatchExecutor`
+    Micro-batched NumPy vectorization on one thread: every
+    ``batch_size`` frame pairs are stacked through *one* forward
+    transform (both modalities in the same stack), fused with
+    vectorized rules and reconstructed by one stacked inverse, while
+    ingest/finalize stay per-frame and ordered.  This is the paper's
+    many-lines-per-invocation amortization applied at frame
+    granularity — the right choice on single-core hosts where the
+    thread executors cannot overlap.
+
 ``hetero`` — :class:`HeterogeneousExecutor`
     Co-scheduled execution across a *team* of engine instances — the
     same kernel running on several engines at once, each frame's work
@@ -35,7 +45,7 @@ Executor ↔ paper map
     future-work discussion and of "Parallelizing Workload Execution in
     Embedded and High-Performance Heterogeneous Systems".
 
-All three drive identical arithmetic: with a fixed seed (and default
+Every executor drives identical arithmetic: with a fixed seed (and default
 teams) they produce bitwise-identical fused frames and identical
 modelled time/energy; only the *wall-clock* schedule (reported in
 :class:`ExecStats`) differs.  The one intentional exception is an
@@ -51,6 +61,7 @@ from typing import Callable, Dict, Tuple
 
 from ..errors import ConfigurationError
 from .base import ExecStats, Executor, FrameProcessor
+from .batch import BatchExecutor
 from .hetero import HeterogeneousExecutor
 from .pipelined import PipelineExecutor
 from .serial import SerialExecutor
@@ -92,9 +103,11 @@ def make_executor(name: str, **kwargs) -> Executor:
 register_executor("serial", SerialExecutor)
 register_executor("pipeline", PipelineExecutor)
 register_executor("hetero", HeterogeneousExecutor)
+register_executor("batch", BatchExecutor)
 
 __all__ = [
     "ExecStats", "Executor", "FrameProcessor",
     "SerialExecutor", "PipelineExecutor", "HeterogeneousExecutor",
+    "BatchExecutor",
     "executor_names", "make_executor", "register_executor",
 ]

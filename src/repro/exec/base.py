@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 
@@ -119,6 +119,22 @@ class FrameProcessor(ABC):
     @abstractmethod
     def fuse(self, task: Any, ctx: Optional[object] = None) -> None:
         """Coefficient fusion + inverse DT-CWT."""
+
+    def process_batch(self, tasks: Sequence[Any]) -> None:
+        """Compute a micro-batch of ingested tasks (forward x2, fuse).
+
+        The batch executor's hook: a processor that can stack frames
+        through one transform invocation overrides this to amortize
+        per-call overhead.  The default simply drives the per-frame
+        stages in frame order, so any processor is batch-drivable.
+        Implementations must leave each task exactly as the per-frame
+        stages would (bitwise), and must keep stateful fuse stages
+        (:attr:`sequential_fuse`) in frame order.
+        """
+        for task in tasks:
+            self.forward_visible(task)
+            self.forward_thermal(task)
+            self.fuse(task)
 
     @abstractmethod
     def finalize(self, task: Any) -> Any:

@@ -74,15 +74,44 @@ class HlsBackend(KernelBackend):
             self._loaded_key = key
 
     # -- line plumbing ----------------------------------------------------
+    #
+    # The engine is strictly line-oriented, so every primitive first
+    # collapses its input to a ``(n_lines, line_len)`` sheet with the
+    # filtered axis last.  Shape-polymorphic: a batched ``(N, H, W)``
+    # input simply contributes ``N`` frames' worth of lines to the same
+    # sheet — each line still makes one engine invocation, so the cycle
+    # and transfer accounting of a batched call is exactly the sum of
+    # the per-frame calls.
     @staticmethod
     def _lines(x: np.ndarray, axis: int) -> np.ndarray:
-        """View with the filtered dimension last (lines = rows)."""
+        """Collapse ``x`` to 2-D with the filtered dimension last."""
         x = np.asarray(x, dtype=np.float32)
-        return x.T if axis == 0 else x
+        axis = axis % x.ndim if x.ndim else 0
+        if x.ndim >= 2 and axis == x.ndim - 2:
+            x = np.swapaxes(x, -1, -2)
+        elif axis != x.ndim - 1:
+            raise EngineError(
+                f"the line engine filters one of the two trailing axes; "
+                f"got axis {axis} for ndim {x.ndim}"
+            )
+        return x.reshape(-1, x.shape[-1]) if x.ndim != 2 else x
 
     @staticmethod
-    def _unlines(lines: np.ndarray, axis: int) -> np.ndarray:
-        return lines.T if axis == 0 else lines
+    def _unlines(lines: np.ndarray, shaped: np.ndarray, axis: int
+                 ) -> np.ndarray:
+        """Expand a processed line sheet back to ``shaped``'s layout.
+
+        ``shaped`` is the original input whose leading axes are
+        restored; the line length may have changed (decimation /
+        zero-stuffing), only the filtered axis is resized.
+        """
+        axis = axis % shaped.ndim if shaped.ndim else 0
+        swapped = shaped.ndim >= 2 and axis == shaped.ndim - 2
+        lead = shaped.shape[:-1]
+        if swapped:
+            lead = shaped.shape[:-2] + (shaped.shape[-1],)
+        out = lines.reshape(lead + (lines.shape[-1],))
+        return np.swapaxes(out, -1, -2) if swapped else out
 
     def _check_width(self, n: int) -> None:
         if n > self.driver.area_words:
@@ -93,6 +122,7 @@ class HlsBackend(KernelBackend):
 
     # -- primitives --------------------------------------------------------
     def analysis_u(self, x, h0, c0, h1, c1, axis):
+        x = np.asarray(x, dtype=np.float32)
         lines = self._lines(x, axis)
         n = lines.shape[1]
         self._check_width(n)
@@ -105,9 +135,10 @@ class HlsBackend(KernelBackend):
         hi = np.empty_like(lines)
         for i, line in enumerate(lines):
             lo[i], hi[i], _ = self.engine.forward_line(line[ext_idx], n, step=1)
-        return self._unlines(lo, axis), self._unlines(hi, axis)
+        return self._unlines(lo, x, axis), self._unlines(hi, x, axis)
 
     def analysis_d(self, x, h0, h1, axis):
+        x = np.asarray(x, dtype=np.float32)
         lines = self._lines(x, axis)
         n = lines.shape[1]
         self._check_width(n)
@@ -122,9 +153,10 @@ class HlsBackend(KernelBackend):
         for i, line in enumerate(lines):
             lo[i], hi[i], _ = self.engine.forward_line(line[ext_idx], out_len,
                                                        step=2)
-        return self._unlines(lo, axis), self._unlines(hi, axis)
+        return self._unlines(lo, x, axis), self._unlines(hi, x, axis)
 
     def synthesis_d(self, lo, hi, h0, h1, axis):
+        lo = np.asarray(lo, dtype=np.float32)
         lo_l = self._lines(lo, axis)
         hi_l = self._lines(hi, axis)
         half = lo_l.shape[1]
@@ -143,9 +175,10 @@ class HlsBackend(KernelBackend):
             up_hi[0::2] = hi_l[i]
             out[i], _ = self.engine.inverse_line(up_lo[ext_idx],
                                                  up_hi[ext_idx], n)
-        return self._unlines(out, axis)
+        return self._unlines(out, lo, axis)
 
     def synthesis_u(self, u0, u1, g0, c0, g1, c1, axis):
+        u0 = np.asarray(u0, dtype=np.float32)
         u0_l = self._lines(u0, axis)
         u1_l = self._lines(u1, axis)
         n = u0_l.shape[1]
@@ -161,7 +194,7 @@ class HlsBackend(KernelBackend):
         for i in range(u0_l.shape[0]):
             out[i], _ = self.engine.inverse_line(u0_l[i][ext_idx],
                                                  u1_l[i][ext_idx], n)
-        return self._unlines(out, axis)
+        return self._unlines(out, u0, axis)
 
 
 class FpgaEngine(Engine):

@@ -55,8 +55,10 @@ class FusionConfig:
         loop), ``"pipeline"`` overlaps capture/transform/fuse/report
         across threads with bounded queues (the double-buffering
         idea), ``"hetero"`` co-schedules a team of engine instances
-        with work stealing.  All executors produce bitwise-identical
-        frames and identical modelled costs for a fixed seed.
+        with work stealing, ``"batch"`` stacks ``batch_size`` frame
+        pairs through single NumPy transform calls on one thread.
+        All executors produce bitwise-identical frames and identical
+        modelled costs for a fixed seed.
     workers:
         Concurrent stage workers (``"pipeline"``: forward-transform
         pool size; ``"hetero"``: team size when ``engine_team`` is not
@@ -64,6 +66,14 @@ class FusionConfig:
     queue_depth:
         Bound on frames in flight between stages — the analogue of the
         driver's buffer-area count.
+    batch_size:
+        Micro-batch size for the ``"batch"`` executor: how many frame
+        pairs ride one stacked transform invocation (both modalities
+        share the stack, so the transform sees ``2 x batch_size``
+        frames).  Larger batches amortize more per-call overhead but
+        add latency — the first frame of a batch is not reported until
+        the whole batch has computed — and a bounded run's last batch
+        is simply smaller.  Ignored by the other executors.
     engine_team:
         Optional explicit engine names for the ``"hetero"`` executor
         (e.g. ``("fpga", "neon")``).  A mixed team enables
@@ -115,6 +125,7 @@ class FusionConfig:
     executor: str = "serial"
     workers: int = 2
     queue_depth: int = 4
+    batch_size: int = 8
     engine_team: Optional[Tuple[str, ...]] = None
     fusion_shape: FrameShape = FULL_FRAME
     levels: int = 3
@@ -158,6 +169,9 @@ class FusionConfig:
         if self.queue_depth < 1:
             raise ConfigurationError(
                 f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}")
         if self.engine_team is not None:
             if isinstance(self.engine_team, (list, tuple)):
                 self.engine_team = tuple(self.engine_team)

@@ -19,8 +19,9 @@ monitoring, per-frame metrics — is switched by the
 *How* frames are driven is equally pluggable: :meth:`stream` and
 :meth:`run` route every frame through the :mod:`repro.exec` executor
 the config names — the serial reference loop, the double-buffered
-thread pipeline, or heterogeneous engine co-scheduling — via the
-staged :class:`_SessionProcessor` below.  The stateful stages (ingest:
+thread pipeline, heterogeneous engine co-scheduling, or micro-batched
+NumPy vectorization — via the staged :class:`_SessionProcessor`
+below.  The stateful stages (ingest:
 calibration + engine selection; finalize: monitoring + telemetry)
 always run in frame order on one thread, so every executor yields
 bitwise-identical results for a fixed seed (for bounded or fully
@@ -236,6 +237,40 @@ class _SessionProcessor(FrameProcessor):
         fuser, _ = self._lane_for(task, "fuse", ctx)
         pyramid = fuser.combine(task.pyr_visible, task.pyr_thermal)
         task.fused = fuser.reconstruct(pyramid)
+
+    def process_batch(self, tasks) -> None:
+        """Batch-executor hook: stacked transforms per assigned engine.
+
+        Temporal fusion is stateful across frames and decomposes
+        internally, so it keeps the strict per-frame order (exactly
+        the serial fuse stage).  Otherwise each engine's tasks — in
+        frame order within the group, so a mixed schedule from the
+        online scheduler stays deterministic — ride one
+        :meth:`ImageFusion.fuse_batch` call: all of the group's
+        visible *and* thermal frames through a single stacked forward,
+        vectorized coefficient fusion, one stacked inverse.  Per-frame
+        arithmetic is bound to the frame's assigned engine either way,
+        which keeps batched results bitwise-identical to the serial
+        loop.
+        """
+        session = self._session
+        if session.temporal is not None:
+            for task in tasks:
+                self.fuse(task)
+            return
+        groups: Dict[str, List[_FrameTask]] = {}
+        for task in tasks:
+            groups.setdefault(task.engine.name, []).append(task)
+        for name, group in groups.items():
+            fuser = session._fusers[name]
+            batch = fuser.fuse_batch(
+                np.stack([t.visible for t in group]),
+                np.stack([t.thermal for t in group]),
+            )
+            for i, task in enumerate(group):
+                task.pyr_visible = batch.pyramids_a[i]
+                task.pyr_thermal = batch.pyramids_b[i]
+                task.fused = batch.fused[i]
 
     # -- accounting -----------------------------------------------------
     def _frame_cost(self, task: _FrameTask) -> Tuple[float, float, str]:
@@ -488,7 +523,8 @@ class FusionSession:
             return make_executor("hetero", engines=team,
                                  queue_depth=config.queue_depth)
         return make_executor(config.executor, workers=config.workers,
-                             queue_depth=config.queue_depth)
+                             queue_depth=config.queue_depth,
+                             batch_size=config.batch_size)
 
     def _plan_affinity(self, team: Tuple[Engine, ...]
                        ) -> Optional[Dict[str, str]]:

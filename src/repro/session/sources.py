@@ -34,7 +34,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
-from ..errors import VideoError
+from ..errors import FusionError, VideoError
 from ..video.capture import CaptureChain
 from ..video.frames import center_crop
 from ..video.scene import SyntheticScene
@@ -114,23 +114,40 @@ class SyntheticSource(FrameSource):
 
 
 class ArraySource(FrameSource):
-    """Replay in-memory (visible, thermal) arrays as a stream."""
+    """Replay in-memory (visible, thermal) arrays as a stream.
+
+    Malformed *frames* (non-2-D data, empty lists, bad fps) raise
+    :class:`VideoError` like every other source; malformed *pairings*
+    — unequal sequence lengths, or a pair whose two frames disagree on
+    shape — are fusion-contract violations and raise a
+    :class:`FusionError` naming the offending index.  (The live camera
+    sources legitimately yield differing native geometries that the
+    session rescales; recorded arrays are expected to be co-registered
+    already, so a shape mismatch here is a data bug, not a rig.)
+    """
 
     def __init__(self, visible: Sequence[np.ndarray],
                  thermal: Sequence[np.ndarray],
                  fps: float = 25.0, loop: bool = False):
         visible = [np.asarray(v, dtype=np.float64) for v in visible]
         thermal = [np.asarray(t, dtype=np.float64) for t in thermal]
-        if not visible:
+        if not visible and not thermal:
             raise VideoError("ArraySource needs at least one frame pair")
         if len(visible) != len(thermal):
-            raise VideoError(
-                f"visible/thermal counts differ: {len(visible)} vs "
-                f"{len(thermal)}"
+            raise FusionError(
+                f"ArraySource pairs visible with thermal frames "
+                f"one-to-one, but the counts differ: {len(visible)} "
+                f"visible vs {len(thermal)} thermal"
             )
-        for v, t in zip(visible, thermal):
+        for index, (v, t) in enumerate(zip(visible, thermal)):
             if v.ndim != 2 or t.ndim != 2:
                 raise VideoError("array frames must be 2-D grayscale")
+            if v.shape != t.shape:
+                raise FusionError(
+                    f"frame pair {index} mismatched: visible {v.shape} "
+                    f"vs thermal {t.shape} — recorded arrays must be "
+                    f"co-registered to a shared geometry"
+                )
         if fps <= 0:
             raise VideoError(f"fps must be positive, got {fps}")
         self.visible = visible

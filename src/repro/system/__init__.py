@@ -2,7 +2,10 @@
 
 from .fusion_system import ENGINE_NAMES, SystemReport, VideoFusionSystem, make_engine
 from .advanced import AdvancedFusionSession, SessionReport
-from .telemetry import FrameTelemetry, TelemetrySummary
+# imported from the one real implementation, not the .telemetry shim,
+# so `import repro.system` stays warning-free; only explicit use of
+# the deprecated module path triggers its DeprecationWarning
+from ..session.telemetry import FrameTelemetry, TelemetrySummary
 from .runtime import (
     SweepRow,
     energy_sweep,

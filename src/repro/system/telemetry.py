@@ -1,10 +1,34 @@
-"""Compatibility re-export; the telemetry now lives with the session.
+"""Deprecated alias; the telemetry lives with the session.
 
 :class:`FrameTelemetry` and :class:`TelemetrySummary` moved to
 :mod:`repro.session.telemetry` when the unified :class:`FusionSession`
-facade subsumed the system classes.  Import from there in new code.
+facade subsumed the system classes.  This module keeps old imports
+working — the attributes *are* the session classes, there is exactly
+one implementation — but, like the other :mod:`repro.system` shims, it
+warns: import from :mod:`repro.session` (or
+:mod:`repro.session.telemetry`) in new code.
 """
 
-from ..session.telemetry import FrameTelemetry, TelemetrySummary
+from __future__ import annotations
+
+import warnings
+
+from ..session import telemetry as _telemetry
 
 __all__ = ["FrameTelemetry", "TelemetrySummary"]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        warnings.warn(
+            f"repro.system.telemetry.{name} is deprecated; import it "
+            f"from repro.session.telemetry",
+            DeprecationWarning, stacklevel=2,
+        )
+        return getattr(_telemetry, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.fusion import FusionResult, ImageFusion, fuse_images
+from repro.core.fusion import (
+    BatchFusionResult,
+    FusionResult,
+    ImageFusion,
+    fuse_images,
+)
 from repro.core.fusion_rules import WeightedRule
 from repro.errors import FusionError
 
@@ -66,3 +71,60 @@ class TestStagedApi:
 
     def test_levels_property(self):
         assert ImageFusion(levels=4).levels == 4
+
+
+class TestFuseBatch:
+    def test_bitwise_identical_to_per_pair_fuse(self, rng):
+        vis = rng.standard_normal((4, 40, 40)) * 40 + 110
+        th = rng.standard_normal((4, 40, 40)) * 40 + 90
+        fusion = ImageFusion(levels=2)
+        batch = fusion.fuse_batch(vis, th)
+        assert isinstance(batch, BatchFusionResult)
+        assert len(batch) == 4
+        for i in range(4):
+            assert np.array_equal(batch.fused[i],
+                                  fusion.fuse(vis[i], th[i]).fused)
+
+    def test_getitem_adapts_to_fusion_result(self, rng):
+        vis = rng.standard_normal((2, 32, 32))
+        th = rng.standard_normal((2, 32, 32))
+        result = ImageFusion(levels=2).fuse_batch(vis, th)[1]
+        assert isinstance(result, FusionResult)
+        assert result.pyramid_a.levels == 2
+        assert result.fused.shape == (32, 32)
+
+    def test_staged_batch_api_composes(self, rng):
+        vis = rng.standard_normal((3, 32, 32))
+        th = rng.standard_normal((3, 32, 32))
+        fusion = ImageFusion(levels=2)
+        stack_a = fusion.decompose_batch(vis)
+        stack_b = fusion.decompose_batch(th)
+        fused = fusion.reconstruct_batch(
+            fusion.combine_stack(stack_a, stack_b))
+        assert np.array_equal(fused, fusion.fuse_batch(vis, th).fused)
+
+    def test_accepts_frame_lists(self, rng):
+        vis = [rng.standard_normal((16, 16)) for _ in range(2)]
+        th = [rng.standard_normal((16, 16)) for _ in range(2)]
+        assert ImageFusion(levels=1).fuse_batch(vis, th).fused.shape \
+            == (2, 16, 16)
+
+    def test_rejects_2d_inputs_and_shape_mismatch(self, rng):
+        fusion = ImageFusion(levels=2)
+        with pytest.raises(FusionError, match="fuse_batch expects"):
+            fusion.fuse_batch(rng.standard_normal((16, 16)),
+                              rng.standard_normal((16, 16)))
+        with pytest.raises(FusionError, match="share a shape"):
+            fusion.fuse_batch(rng.standard_normal((2, 16, 16)),
+                              rng.standard_normal((3, 16, 16)))
+        with pytest.raises(FusionError):
+            fusion.fuse_batch(rng.standard_normal((2, 2, 16, 16)),
+                              rng.standard_normal((2, 2, 16, 16)))
+        with pytest.raises(FusionError, match="empty"):
+            fusion.fuse_batch(np.empty((0, 16, 16)), np.empty((0, 16, 16)))
+
+    def test_odd_sizes_supported(self, rng):
+        vis = rng.standard_normal((2, 35, 35))
+        th = rng.standard_normal((2, 35, 35))
+        assert ImageFusion(levels=3).fuse_batch(vis, th).fused.shape \
+            == (2, 35, 35)

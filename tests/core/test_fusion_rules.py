@@ -9,7 +9,7 @@ from repro.core.fusion_rules import (
     WindowActivityRule,
     rule_by_name,
 )
-from repro.dtcwt import Dtcwt2D
+from repro.dtcwt import Dtcwt2D, DtcwtPyramidStack
 from repro.errors import FusionError
 
 
@@ -127,6 +127,44 @@ class TestCompatibility:
         b = Dtcwt2D(levels=1).forward(rng.standard_normal((32, 32)))
         with pytest.raises(FusionError):
             MaxMagnitudeRule().fuse(a, b)
+
+
+class TestFuseStack:
+    """Every built-in rule is a vectorized ufunc-style operation: one
+    stacked call fuses N pyramid pairs bitwise-identically to N
+    per-pair calls."""
+
+    @pytest.mark.parametrize("rule", [
+        MaxMagnitudeRule(),
+        WeightedRule(alpha=0.3),
+        WindowActivityRule(window=3, consistency=True),
+        WindowActivityRule(window=3, consistency=False),
+    ])
+    def test_stack_matches_per_pair(self, rng, rule):
+        t = Dtcwt2D(levels=2)
+        frames_a = rng.standard_normal((3, 32, 32))
+        frames_b = rng.standard_normal((3, 32, 32))
+        stack = rule.fuse_stack(t.forward_batch(frames_a),
+                                t.forward_batch(frames_b))
+        assert isinstance(stack, DtcwtPyramidStack)
+        for i in range(3):
+            pair = rule.fuse(t.forward(frames_a[i]), t.forward(frames_b[i]))
+            assert np.array_equal(stack[i].lowpass, pair.lowpass)
+            for got, ref in zip(stack[i].highpasses, pair.highpasses):
+                assert np.array_equal(got, ref)
+
+    def test_count_mismatch_rejected(self, rng):
+        t = Dtcwt2D(levels=1)
+        a = t.forward_batch(rng.standard_normal((2, 16, 16)))
+        b = t.forward_batch(rng.standard_normal((3, 16, 16)))
+        with pytest.raises(FusionError, match="frame count"):
+            MaxMagnitudeRule().fuse_stack(a, b)
+
+    def test_structure_mismatch_rejected(self, rng):
+        a = Dtcwt2D(levels=1).forward_batch(rng.standard_normal((2, 16, 16)))
+        b = Dtcwt2D(levels=2).forward_batch(rng.standard_normal((2, 16, 16)))
+        with pytest.raises(FusionError):
+            MaxMagnitudeRule().fuse_stack(a, b)
 
 
 class TestFactory:

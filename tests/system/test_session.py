@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, VideoError
+from repro.errors import ConfigurationError, FusionError, VideoError
 from repro.hw.registry import create_engine, engine_names, register_engine
 from repro.session import (
     ArraySource,
@@ -228,10 +228,28 @@ class TestFrameSources:
         good = [np.zeros((8, 8))]
         with pytest.raises(VideoError):
             ArraySource([], [])
-        with pytest.raises(VideoError):
+        with pytest.raises(FusionError, match="counts differ"):
             ArraySource(good, good * 2)
         with pytest.raises(VideoError):
             ArraySource([np.zeros((8, 8, 3))], good)
+        with pytest.raises(FusionError, match="pair 0 mismatched"):
+            ArraySource([np.zeros((8, 8))], [np.zeros((8, 10))])
+
+    def test_close_is_idempotent_across_all_sources(self):
+        """The streaming layer may close a source more than once
+        (stream teardown + context manager); every built-in source
+        must tolerate it."""
+        vis = [np.zeros((8, 8))]
+        sources = [
+            SyntheticSource(seed=3, limit=1),
+            ArraySource(vis, vis),
+            CameraPairSource(seed=3, limit=1),
+            CaptureChainSource(seed=3),
+        ]
+        for source in sources:
+            next(iter(source))
+            source.close()
+            source.close()  # second close must be a no-op, not an error
 
     def test_camera_pair_source_native_geometries(self):
         scene = SyntheticScene(width=96, height=80, seed=5)
