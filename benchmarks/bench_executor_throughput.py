@@ -21,17 +21,27 @@ Runs two ways:
 the pipeline executor misses the bar) for multi-core CI runners.  The
 default is report-only: on a single-core host the GIL-bound stages
 cannot overlap, and an honest 1.0x is the expected result there.
+
+Since the declarative plan API, every stream is lowered through the
+:class:`repro.graph.Planner` before it runs; ``--quick`` therefore
+also guards the *planning overhead* — building the canonical graph and
+lowering it must add less than ``--max-plan-overhead`` (default 5%) of
+one serial stream's wall time, so the IR stays free in practice.
+``--json-out`` writes the machine-readable rows (plus the overhead
+measurement) for CI artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 from typing import Dict, List
 
 from repro.exec import executor_names
+from repro.graph import FusionGraph, Planner
 from repro.session import FusionConfig, FusionSession, SyntheticSource
 from repro.types import FrameShape
 
@@ -82,6 +92,19 @@ def run_bench(frames: int, size: FrameShape, levels: int, workers: int,
     return "\n".join(lines), rows, base
 
 
+def measure_planning(size: FrameShape, levels: int, reps: int = 25) -> float:
+    """Mean seconds to build the canonical graph and lower it — the
+    once-per-stream cost the plan API added."""
+    config = FusionConfig(engine="neon", fusion_shape=size, levels=levels,
+                          quality_metrics=False, keep_records=False)
+    planner = Planner()
+    planner.lower(FusionGraph.canonical(), config)  # warm any caches
+    start = time.perf_counter()
+    for _ in range(reps):
+        planner.lower(FusionGraph.canonical(), config)
+    return (time.perf_counter() - start) / reps
+
+
 def test_executor_throughput(report):
     """Pytest entry: quick pass over all executors, with the output
     parity spot-checked on the side by tests/exec."""
@@ -109,14 +132,63 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless pipeline fps >= this multiple "
                              "of serial fps (use on multi-core runners)")
+    parser.add_argument("--max-plan-overhead", type=float, default=None,
+                        help="fail if planning (graph build + lowering) "
+                             "exceeds this fraction of one serial "
+                             "stream's wall time; --quick defaults it "
+                             "to 0.05")
+    parser.add_argument("--json-out", default=None,
+                        help="write the per-executor rows and the "
+                             "plan-overhead measurement as JSON")
     args = parser.parse_args(argv)
 
     frames = 16 if args.quick else args.frames
     width, height = (int(v) for v in args.size.lower().split("x"))
-    text, rows, base = run_bench(frames, FrameShape(width, height),
-                                 args.levels, args.workers,
+    size = FrameShape(width, height)
+    text, rows, base = run_bench(frames, size, args.levels, args.workers,
                                  args.queue_depth, args.executors)
     print(text)
+
+    max_overhead = args.max_plan_overhead
+    if max_overhead is None and args.quick:
+        max_overhead = 0.05
+    plan_s = measure_planning(size, args.levels)
+    # the bound is defined against one *serial* stream; other rows are
+    # faster and would inflate the fraction
+    serial = next((r for r in rows if r["executor"] == "serial"), None)
+    plan_fraction = (plan_s / serial["elapsed_s"]
+                     if serial and serial["elapsed_s"] > 0 else None)
+    if plan_fraction is None:
+        if args.max_plan_overhead is not None:
+            # an explicitly requested guard must never pass vacuously
+            print("FAIL: --max-plan-overhead needs the serial executor "
+                  "in --executors to measure its baseline",
+                  file=sys.stderr)
+            return 1
+        print(f"  planning overhead: {plan_s * 1e3:.3f} ms per stream "
+              f"(no serial run measured; overhead guard skipped)")
+    else:
+        print(f"  planning overhead: {plan_s * 1e3:.3f} ms per stream "
+              f"({plan_fraction:.2%} of one serial drive)")
+
+    if args.json_out:
+        payload = {
+            "frames": frames,
+            "size": str(size),
+            "levels": args.levels,
+            "rows": rows,
+            "plan_seconds": plan_s,
+            "plan_overhead_fraction": plan_fraction,
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"  wrote {args.json_out}")
+
+    if (max_overhead is not None and plan_fraction is not None
+            and plan_fraction > max_overhead):
+        print(f"FAIL: planning adds {plan_fraction:.2%} of serial wall "
+              f"time (> {max_overhead:.0%})", file=sys.stderr)
+        return 1
 
     if args.min_speedup is not None:
         pipe = next((r for r in rows if r["executor"] == "pipeline"), None)

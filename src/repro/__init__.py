@@ -12,9 +12,14 @@ The package implements the paper's complete system in simulation:
   interconnect, HLS wavelet datapath, kernel driver, power rails,
   energy accounting and resource estimation;
 * :mod:`repro.baselines` — related-work fusion algorithms;
+* :mod:`repro.graph` — the declarative plan API: frame processing as
+  a dataflow IR (:class:`Stage`/:class:`FusionGraph`) lowered by a
+  :class:`Planner` into the :class:`FusionPlan` every executor
+  interprets;
 * :mod:`repro.exec` — the pluggable execution layer: serial, pipelined
-  (double-buffered) and heterogeneous co-scheduled frame executors,
-  selectable via ``FusionConfig(executor=...)``;
+  (double-buffered), heterogeneous co-scheduled and micro-batched
+  frame executors — all interpreters of the lowered plan, selectable
+  via ``FusionConfig(executor=...)``;
 * :mod:`repro.video` — cameras, BT.656 decode, scaler, FIFO, pipeline;
 * :mod:`repro.session` — the public API: one :class:`FusionConfig`,
   one :class:`FusionSession` facade, pluggable :class:`FrameSource`
@@ -64,6 +69,7 @@ from .hw import (
 # re-exported here — repro.video.FrameSource (the single-camera
 # interface) already owns that name; import the pair protocol as
 # repro.session.FrameSource.
+from .graph import FusionGraph, FusionPlan, Planner, Stage
 from .session import (
     ArraySource,
     CameraPairSource,
@@ -75,11 +81,10 @@ from .session import (
     FusionSession,
     SyntheticSource,
 )
-from .system import VideoFusionSystem
 from .types import FULL_FRAME, PAPER_FRAME_SIZES, FrameShape
 from .video import FusionPipeline, SyntheticScene
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CostModelScheduler", "OnlineScheduler", "PerLevelScheduler",
@@ -96,8 +101,18 @@ __all__ = [
     "FusionConfig", "FusionSession", "FusionReport", "FusedFrameResult",
     "FramePair", "SyntheticSource", "ArraySource",
     "CameraPairSource", "CaptureChainSource",
-    "VideoFusionSystem",
+    "Stage", "FusionGraph", "FusionPlan", "Planner",
     "FULL_FRAME", "PAPER_FRAME_SIZES", "FrameShape",
     "FusionPipeline", "SyntheticScene",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # the deprecated system entry points are resolved lazily so that
+    # `import repro` stays warning-free; touching them warns once via
+    # the repro.system shim modules
+    if name in ("VideoFusionSystem", "AdvancedFusionSession"):
+        from . import system
+        return getattr(system, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

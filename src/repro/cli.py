@@ -13,6 +13,11 @@ Subcommands
 ``schedule``
     Show the adaptive scheduler's decision for a frame size, including
     the per-level plan.
+``plan``
+    Lower the session's declarative :class:`~repro.graph.FusionGraph`
+    through the planner and print the resulting
+    :class:`~repro.graph.FusionPlan` — stage schedule, placements,
+    batch groups and modelled per-stage cost — without fusing a frame.
 ``figures``
     Render the sweep tables as SVG charts.
 
@@ -164,6 +169,31 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    config = FusionConfig(
+        engine=args.engine,
+        executor=args.executor,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        batch_size=args.batch_size,
+        engine_team=(tuple(args.engine_team) if args.engine_team else None),
+        fusion_shape=args.size,
+        levels=args.levels,
+        registration=args.registration,
+        temporal=args.temporal,
+        seed=args.seed,
+    )
+    with FusionSession(config) as session:
+        plan = session.plan
+        if args.json:
+            print(json.dumps(plan.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(session.graph.describe())
+            print()
+            print(plan.describe())
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from .figures import generate_figures
     for path in generate_figures(args.output, levels=args.levels):
@@ -230,6 +260,23 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("all", "fig9a", "fig9b", "fig9c", "fig10"))
     sweep.add_argument("--levels", type=int, default=3)
     sweep.set_defaults(func=cmd_sweep)
+
+    plan = sub.add_parser("plan", parents=[common, execution],
+                          help="print the lowered FusionPlan (stages, "
+                               "placements, batch groups, modelled cost)")
+    plan.add_argument("--engine", default="adaptive", choices=engines)
+    plan.add_argument("--size", type=_parse_shape, default=FrameShape(88, 72))
+    plan.add_argument("--levels", type=int, default=3)
+    plan.add_argument("--registration", action="store_true",
+                      help="include the rig-calibration stage")
+    plan.add_argument("--temporal", action="store_true",
+                      help="plan the stateful temporal-fusion pipeline")
+    plan.add_argument("--engine-team", nargs="+", default=None,
+                      metavar="ENGINE",
+                      help="explicit hetero engine team, e.g. fpga neon "
+                           "(requires --executor hetero); shows the "
+                           "planned fuse affinity")
+    plan.set_defaults(func=cmd_plan)
 
     schedule = sub.add_parser("schedule", parents=[common],
                               help="adaptive engine choice")

@@ -5,9 +5,13 @@ buffering hides AXI transfers under compute (Section IV, Fig. 5), and
 the heterogeneous platform can keep the CPU's SIMD pipeline and the
 FPGA fabric busy at the same time (Section VII's adaptive conclusion,
 pushed further by Nunez-Yanez et al.'s CPU+FPGA co-execution).  This
-package makes that overlap a first-class, swappable layer: the fixed
+package makes that overlap a first-class, swappable layer: the
 capture → forward ×2 → fuse → inverse → report dataflow is described
-once (:class:`FrameProcessor`) and driven by an :class:`Executor`.
+once — declaratively, as a :class:`repro.graph.FusionGraph` lowered to
+a :class:`repro.graph.FusionPlan` that the :class:`FrameProcessor`
+carries — and driven by an :class:`Executor`, each of which is an
+*interpreter* of that plan (custom stages included) rather than a
+hard-coded stage order.
 
 Executor ↔ paper map
 --------------------

@@ -1,11 +1,23 @@
 """Execution-layer contracts: the stage protocol and executor interface.
 
-The paper's system is a fixed four-stage dataflow per fused frame —
-capture, two forward DT-CWTs, coefficient fusion, inverse DT-CWT —
-followed by reporting.  This module names those stages once, as the
-:class:`FrameProcessor` contract, so *how* they are driven (serially,
+The paper's system is a dataflow per fused frame — capture, two
+forward DT-CWTs, coefficient fusion, inverse DT-CWT — followed by
+reporting.  This module names that work once, as the
+:class:`FrameProcessor` contract, so *how* it is driven (serially,
 pipelined across threads, co-scheduled across engines) becomes a
 swappable :class:`Executor` instead of a loop baked into the session.
+
+Executors are **plan interpreters**: they never hard-code a stage
+order.  A processor advertises, per drive, the stage names of its
+lowered :class:`~repro.graph.FusionPlan` — an ordered ingest, a
+*parallel wave* (:meth:`FrameProcessor.parallel_stages`, stateless
+stages an executor may run concurrently), a *mid chain*
+(:meth:`FrameProcessor.mid_stages`, run after the wave in dependency
+order), and an ordered finalize — and executors drive those names
+through :meth:`FrameProcessor.run_stage`.  The default hooks describe
+the paper's canonical pipeline (``visible``/``thermal`` forwards, then
+``fuse``), so a plain processor that only implements the abstract
+stage methods behaves exactly as before the plan API existed.
 
 Determinism is a design invariant, not an accident: every stage's
 arithmetic is bound to the frame's *assigned* engine, never to the
@@ -18,7 +30,8 @@ from __future__ import annotations
 import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 from ..errors import ConfigurationError
 
@@ -93,6 +106,43 @@ class FrameProcessor(ABC):
         temporal fusion) and must run in frame order on one thread."""
         return False
 
+    @property
+    def sequential_mid(self) -> bool:
+        """True when the whole mid chain must run in frame order on a
+        single ordered lane (a stateful stage sits in it).  Defaults
+        to :attr:`sequential_fuse`, the pre-plan spelling."""
+        return self.sequential_fuse
+
+    def parallel_stages(self) -> Tuple[str, ...]:
+        """Stage names of the parallel wave, dispatchable concurrently
+        (with each other and across frames).  Empty when the mid chain
+        is sequential — the ordered lane then owns all compute."""
+        return () if self.sequential_mid else ("visible", "thermal")
+
+    def mid_stages(self) -> Tuple[str, ...]:
+        """Stage names run after the parallel wave, in this order."""
+        return ("fuse",)
+
+    def stage_bucket(self, name: str) -> str:
+        """Stats key a stage's busy time is accounted under (the two
+        canonical forwards share one ``forward`` bucket)."""
+        return {"visible": "forward", "thermal": "forward"}.get(name, name)
+
+    def run_stage(self, name: str, task: Any,
+                  ctx: Optional[object] = None) -> None:
+        """Execute the named stage on ``task`` — the one entry point
+        executors use for every stage between ingest and finalize."""
+        if name == "visible":
+            self.forward_visible(task, ctx)
+        elif name == "thermal":
+            self.forward_thermal(task, ctx)
+        elif name == "fuse":
+            self.fuse(task, ctx)
+        else:
+            raise ConfigurationError(
+                f"{type(self).__name__} does not know stage {name!r}; "
+                f"plan-driven processors must override run_stage()")
+
     def make_contexts(self, n: int,
                       engines: Optional[Iterable[object]] = None
                       ) -> List[Optional[object]]:
@@ -128,13 +178,14 @@ class FrameProcessor(ABC):
         per-call overhead.  The default simply drives the per-frame
         stages in frame order, so any processor is batch-drivable.
         Implementations must leave each task exactly as the per-frame
-        stages would (bitwise), and must keep stateful fuse stages
-        (:attr:`sequential_fuse`) in frame order.
+        stages would (bitwise), and must keep stateful stages
+        (:attr:`sequential_mid`) in frame order — which the default
+        does by driving the full per-frame chain frame-major.
         """
+        names = (*self.parallel_stages(), *self.mid_stages())
         for task in tasks:
-            self.forward_visible(task)
-            self.forward_thermal(task)
-            self.fuse(task)
+            for name in names:
+                self.run_stage(name, task)
 
     @abstractmethod
     def finalize(self, task: Any) -> Any:

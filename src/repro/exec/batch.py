@@ -6,9 +6,12 @@ streaming many *frames* through one NumPy primitive call.
 :class:`BatchExecutor` drains the source in micro-batches of
 ``batch_size`` frame pairs and hands each batch to
 :meth:`~repro.exec.base.FrameProcessor.process_batch`, which a
-batch-aware processor (the session's) implements as stacked transforms
-— all forwards of the batch (both modalities!) in one call, vectorized
-coefficient fusion, one stacked inverse.
+batch-aware processor (the session's) implements from its lowered
+plan's batch groups: the canonical ``visible+thermal+fuse`` core rides
+stacked transforms — all forwards of the batch (both modalities!) in
+one call, vectorized coefficient fusion, one stacked inverse — and any
+custom stage in the plan runs per frame around the core, in schedule
+order.
 
 Everything else stays per-frame: ingest runs in frame order *before*
 the batch computes (so scheduler observations, calibration and frame

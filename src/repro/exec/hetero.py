@@ -7,16 +7,22 @@ transform on one engine while the thermal forward runs on another,
 with the fusion/inverse stage placed by an affinity policy (e.g. the
 per-level plan of :class:`repro.core.adaptive.PerLevelScheduler`).
 
-Every engine in the team owns a worker thread and a job deque.  Jobs
-are *assigned* to engines deterministically at dispatch time (round
-robin over the team, overridable per stage through ``affinity``); when
-a worker's deque runs dry it steals from the back of the busiest
-teammate's deque.  Crucially, stealing moves only the *execution
-thread*, never the arithmetic: each job computes with the engine it
-was assigned, through the stealer's private context, so schedules are
-timing-independent and results are bitwise reproducible — with the
-default homogeneous team (several instances of the session's engine)
-they are bitwise identical to :class:`~repro.exec.SerialExecutor`.
+Every engine in the team owns a worker thread and a job deque.  The
+work itself comes from the processor's lowered plan: each stage of the
+*parallel wave* (canonically the two forwards) is dispatched as one
+job when the frame is captured, and when the wave completes the *mid
+chain* (canonically fuse+inverse, plus any custom downstream stage) is
+dispatched stage by stage, each link chained off the previous one's
+completion.  Jobs are *assigned* to engines deterministically at
+dispatch time (round robin over the team, overridable per stage
+through ``affinity``); when a worker's deque runs dry it steals from
+the back of the busiest teammate's deque.  Crucially, stealing moves
+only the *execution thread*, never the arithmetic: each job computes
+with the engine it was assigned, through the stealer's private
+context, so schedules are timing-independent and results are bitwise
+reproducible — with the default homogeneous team (several instances
+of the session's engine) they are bitwise identical to
+:class:`~repro.exec.SerialExecutor`.
 
 ``co_schedule=True`` (used with an explicitly mixed team) additionally
 attributes each stage's *modelled* time and energy to its assigned
@@ -34,7 +40,9 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 from ..errors import ConfigurationError
 from .base import Executor, FrameProcessor
 
-#: Stage keys jobs are dispatched under (and ``affinity`` may name).
+#: Default stage keys jobs are dispatched under (and ``affinity`` may
+#: name) when the processor carries no explicit plan; a plan-driven
+#: drive validates affinity against its own stage names instead.
 STAGES = ("visible", "thermal", "fuse")
 
 
@@ -77,7 +85,8 @@ class HeterogeneousExecutor(Executor):
     def __init__(self, engines: Optional[Sequence[object]] = None,
                  workers: int = 2, queue_depth: int = 4,
                  co_schedule: bool = False,
-                 affinity: Optional[Dict[str, str]] = None, **_ignored):
+                 affinity: Optional[Dict[str, str]] = None,
+                 stages: Optional[Sequence[str]] = None, **_ignored):
         super().__init__()
         if queue_depth < 1:
             raise ConfigurationError(
@@ -87,11 +96,12 @@ class HeterogeneousExecutor(Executor):
         if not engines:
             raise ConfigurationError(
                 "HeterogeneousExecutor needs at least one engine")
+        known = tuple(stages) if stages is not None else STAGES
         if affinity is not None:
-            bad = set(affinity) - set(STAGES)
+            bad = set(affinity) - set(known)
             if bad:
                 raise ConfigurationError(
-                    f"affinity keys must be among {STAGES}, got {sorted(bad)}")
+                    f"affinity keys must be among {known}, got {sorted(bad)}")
         self.engines = list(engines)
         self.queue_depth = queue_depth
         self.co_schedule = co_schedule
@@ -102,6 +112,9 @@ class HeterogeneousExecutor(Executor):
         self._expected: Optional[int] = None
         self._in_flight = threading.Semaphore(queue_depth)
         self._workers: List[_Worker] = []
+        # stage topology; overwritten from the processor's plan at run()
+        self._wave_set: frozenset = frozenset(STAGES[:2])
+        self._mid: Sequence[str] = STAGES[2:]
 
     # ------------------------------------------------------------------
     def _fail(self, exc: BaseException) -> None:
@@ -151,6 +164,21 @@ class HeterogeneousExecutor(Executor):
             self._work.wait(timeout=self.TICK_S)
             return None
 
+    def _advance(self, htask: "_HeteroTask", stage: Optional[str],
+                 processor: FrameProcessor) -> None:
+        """Dispatch the mid-chain link after ``stage`` (the first link
+        when ``stage`` is None, i.e. the wave just completed), or mark
+        the frame done when the chain is exhausted."""
+        mid = self._mid
+        next_i = 0 if stage is None else mid.index(stage) + 1
+        if next_i < len(mid):
+            worker = self._pick_worker(mid[next_i], htask.index)
+            self._dispatch(worker, mid[next_i], htask, processor)
+            return
+        with self._done:
+            self._done_tasks[htask.index] = htask.task
+            self._done.notify_all()
+
     # -- worker loop ----------------------------------------------------
     def _worker_loop(self, worker: _Worker,
                      processor: FrameProcessor) -> None:
@@ -159,31 +187,23 @@ class HeterogeneousExecutor(Executor):
         try:
             while not self._stop:
                 # poll until shutdown: even after capture ends, an
-                # in-flight forward elsewhere may still hand this
-                # worker a fuse job
+                # in-flight wave stage elsewhere may still hand this
+                # worker a mid-chain job
                 job = self._take_job(worker)
                 if job is None:
                     continue
                 stage, htask = job
                 t0 = time.perf_counter()
-                if stage == "visible":
-                    processor.forward_visible(htask.task, worker.ctx)
-                elif stage == "thermal":
-                    processor.forward_thermal(htask.task, worker.ctx)
-                else:
-                    processor.fuse(htask.task, worker.ctx)
+                processor.run_stage(stage, htask.task, worker.ctx)
                 busy[worker.name] = busy.get(worker.name, 0.0) \
                     + (time.perf_counter() - t0)
                 frames[worker.name] = frames.get(worker.name, 0) + 1
 
-                if stage in ("visible", "thermal"):
+                if stage in self._wave_set:
                     if htask.forward_completed():
-                        fuse_worker = self._pick_worker("fuse", htask.index)
-                        self._dispatch(fuse_worker, "fuse", htask, processor)
+                        self._advance(htask, None, processor)
                 else:
-                    with self._done:
-                        self._done_tasks[htask.index] = htask.task
-                        self._done.notify_all()
+                    self._advance(htask, stage, processor)
         except BaseException as exc:  # noqa: BLE001 - crosses threads
             self._fail(exc)
 
@@ -204,7 +224,10 @@ class HeterogeneousExecutor(Executor):
         self._workers = [_Worker(i, engine, ctx)
                          for i, (engine, ctx)
                          in enumerate(zip(self.engines, contexts))]
-        sequential = processor.sequential_fuse
+        sequential = processor.sequential_mid
+        wave = tuple(processor.parallel_stages())
+        self._wave_set = frozenset(wave)
+        self._mid = tuple(processor.mid_stages())
 
         def capture() -> None:
             produced = 0
@@ -226,17 +249,23 @@ class HeterogeneousExecutor(Executor):
                     busy["ingest"] = busy.get("ingest", 0.0) \
                         + (time.perf_counter() - t0)
                     if sequential:
-                        # stateful fuse: the consumer thread fuses in
-                        # frame order; the team only sees no work
+                        # stateful mid chain: the consumer thread runs
+                        # it in frame order; the team only sees no work
                         with self._done:
                             self._done_tasks[index] = task
                             self._done.notify_all()
                     else:
-                        htask = _HeteroTask(task, index, forwards=2)
-                        vis_worker = self._pick_worker("visible", 2 * index)
-                        th_worker = self._pick_worker("thermal", 2 * index + 1)
-                        self._dispatch(vis_worker, "visible", htask, processor)
-                        self._dispatch(th_worker, "thermal", htask, processor)
+                        htask = _HeteroTask(task, index,
+                                            forwards=len(wave))
+                        if wave:
+                            for k, stage in enumerate(wave):
+                                worker = self._pick_worker(
+                                    stage, len(wave) * index + k)
+                                self._dispatch(worker, stage, htask,
+                                               processor)
+                        else:
+                            # no wave at all: start the mid chain
+                            self._advance(htask, None, processor)
                     produced += 1
             except BaseException as exc:  # noqa: BLE001
                 self._fail(exc)
@@ -275,10 +304,12 @@ class HeterogeneousExecutor(Executor):
                         break
                     task = self._done_tasks.pop(next_index)
                 if sequential:
-                    t0 = time.perf_counter()
-                    processor.fuse(task, None)
-                    busy["fuse"] = busy.get("fuse", 0.0) \
-                        + (time.perf_counter() - t0)
+                    for stage in self._mid:
+                        t0 = time.perf_counter()
+                        processor.run_stage(stage, task, None)
+                        bucket = processor.stage_bucket(stage)
+                        busy[bucket] = busy.get(bucket, 0.0) \
+                            + (time.perf_counter() - t0)
                 t0 = time.perf_counter()
                 result = processor.finalize(task)
                 busy["finalize"] = busy.get("finalize", 0.0) \

@@ -10,17 +10,25 @@ visible and thermal decompositions of one frame overlap too.
 
 Stage topology (every queue bounded by ``queue_depth``)::
 
-    capture/ingest ──> [forward pool: workers] ──> fuse ──> finalize
-         (ordered)        (unordered, pure)     (ordered)   (ordered,
-                                                             caller
-                                                             thread)
+    capture/ingest ──> [wave pool: workers] ──> mid chain ──> finalize
+         (ordered)       (unordered, pure)      (ordered)    (ordered,
+                                                              caller
+                                                              thread)
 
-Ordering and determinism: ingest, fuse and finalize each run on a
-single thread and see frames in capture order, so all stateful
+The slots are filled from the processor's lowered plan: the *parallel
+wave* (:meth:`FrameProcessor.parallel_stages` — canonically the two
+forward transforms, plus any custom stateless stage that only needs
+the ingested frame) rides the pool; the *mid chain*
+(:meth:`FrameProcessor.mid_stages` — canonically fuse+inverse, plus
+any custom stage downstream of it) runs on the dedicated mid thread,
+which sees frames in capture order.
+
+Ordering and determinism: ingest, the mid chain and finalize each run
+on a single thread and see frames in capture order, so all stateful
 policies (rig calibration, temporal fusion, monitoring, telemetry)
-behave exactly as in the serial loop; the forward stages are pure and
-bound to the frame's engine, so results are bitwise identical no
-matter how the pool interleaves them.
+behave exactly as in the serial loop; wave stages are pure and bound
+to the frame's engine, so results are bitwise identical no matter how
+the pool interleaves them.
 """
 
 from __future__ import annotations
@@ -108,10 +116,12 @@ class PipelineExecutor(Executor):
         q_order: "queue.Queue" = queue.Queue(maxsize=self.queue_depth)
         q_forward: "queue.Queue" = queue.Queue()
         q_done: "queue.Queue" = queue.Queue(maxsize=self.queue_depth)
-        skip_forwards = processor.sequential_fuse
-        # a sequential fuse stage owns the whole transform: no forward
-        # jobs will exist, so no pool threads or contexts are built
-        pool_size = 0 if skip_forwards else self.workers
+        wave = tuple(processor.parallel_stages())
+        mid = tuple(processor.mid_stages())
+        # an empty wave (sequential mid chain, e.g. temporal fusion)
+        # means no pool jobs will exist, so no pool threads or
+        # contexts are built
+        pool_size = 0 if not wave else self.workers
         contexts = processor.make_contexts(pool_size + 1)
         fuse_ctx, pool_ctxs = contexts[0], contexts[1:]
 
@@ -133,15 +143,14 @@ class PipelineExecutor(Executor):
                     task = processor.ingest(pair, index)
                     busy["ingest"] = busy.get("ingest", 0.0) \
                         + (time.perf_counter() - t0)
-                    # with a stateful fuse stage (temporal fusion) the
-                    # whole transform runs there; no forward jobs exist
-                    env = _Envelope(task, index,
-                                    forwards=0 if skip_forwards else 2)
+                    # with a sequential mid chain (temporal fusion) the
+                    # whole transform runs there; no wave jobs exist
+                    env = _Envelope(task, index, forwards=len(wave))
                     if not self._put(q_order, env, "order"):
                         break
-                    if not skip_forwards:
-                        q_forward.put(("visible", env))
-                        q_forward.put(("thermal", env))
+                    for stage in wave:
+                        q_forward.put((stage, env))
+                    if wave:
                         peak = stats.queue_peak
                         peak["forward"] = max(peak.get("forward", 0),
                                               q_forward.qsize())
@@ -161,12 +170,9 @@ class PipelineExecutor(Executor):
                     job = self._get(q_forward)
                     if job is _DONE:
                         return
-                    kind, env = job
+                    stage, env = job
                     t0 = time.perf_counter()
-                    if kind == "visible":
-                        processor.forward_visible(env.task, ctx)
-                    else:
-                        processor.forward_thermal(env.task, ctx)
+                    processor.run_stage(stage, env.task, ctx)
                     busy[name] = busy.get(name, 0.0) \
                         + (time.perf_counter() - t0)
                     stats.worker_frames[name] = \
@@ -184,10 +190,12 @@ class PipelineExecutor(Executor):
                     while not env.forwards_done.wait(timeout=self.TICK_S):
                         if self._stop:
                             return
-                    t0 = time.perf_counter()
-                    processor.fuse(env.task, fuse_ctx)
-                    busy["fuse"] = busy.get("fuse", 0.0) \
-                        + (time.perf_counter() - t0)
+                    for stage in mid:
+                        t0 = time.perf_counter()
+                        processor.run_stage(stage, env.task, fuse_ctx)
+                        bucket = processor.stage_bucket(stage)
+                        busy[bucket] = busy.get(bucket, 0.0) \
+                            + (time.perf_counter() - t0)
                     if not self._put(q_done, env, "done"):
                         return
                 self._put(q_done, _DONE, "done")

@@ -1,11 +1,13 @@
 """The serial executor: the original one-frame-at-a-time loop.
 
 This is the behaviour :class:`repro.session.FusionSession` had before
-the execution layer existed, extracted verbatim: every stage of frame
-``i`` completes before frame ``i+1`` starts, on the caller's thread.
-It is the reference the concurrent executors are tested against, and
-the right choice for single-core hosts or when reproducing the paper's
-unoverlapped baseline numbers.
+the execution layer existed: every stage of frame ``i`` completes
+before frame ``i+1`` starts, on the caller's thread.  It interprets
+the processor's lowered plan in the simplest possible way — ingest,
+then the parallel wave and the mid chain in schedule order, then
+finalize — and is the reference every concurrent executor is tested
+against, as well as the right choice for single-core hosts or when
+reproducing the paper's unoverlapped baseline numbers.
 """
 
 from __future__ import annotations
@@ -34,24 +36,25 @@ class SerialExecutor(Executor):
                limit: Optional[int]) -> Iterator[Any]:
         stats = self.stats
         busy = stats.stage_busy_s
+        # the plan's stage lists are fixed for one drive
+        compute = (*processor.parallel_stages(), *processor.mid_stages())
         started = time.perf_counter()
         try:
             for index, pair in enumerate(pairs):
                 t0 = time.perf_counter()
                 task = processor.ingest(pair, index)
                 t1 = time.perf_counter()
-                processor.forward_visible(task)
-                processor.forward_thermal(task)
-                t2 = time.perf_counter()
-                processor.fuse(task)
+                busy["ingest"] = busy.get("ingest", 0.0) + (t1 - t0)
+                for name in compute:
+                    t2 = time.perf_counter()
+                    processor.run_stage(name, task)
+                    bucket = processor.stage_bucket(name)
+                    busy[bucket] = busy.get(bucket, 0.0) \
+                        + (time.perf_counter() - t2)
                 t3 = time.perf_counter()
                 result = processor.finalize(task)
-                t4 = time.perf_counter()
-
-                busy["ingest"] = busy.get("ingest", 0.0) + (t1 - t0)
-                busy["forward"] = busy.get("forward", 0.0) + (t2 - t1)
-                busy["fuse"] = busy.get("fuse", 0.0) + (t3 - t2)
-                busy["finalize"] = busy.get("finalize", 0.0) + (t4 - t3)
+                busy["finalize"] = busy.get("finalize", 0.0) \
+                    + (time.perf_counter() - t3)
                 stats.frames += 1
                 yield result
                 if limit is not None and stats.frames >= limit:

@@ -1,0 +1,481 @@
+"""Lowering: a :class:`FusionGraph` + session config -> executable plan.
+
+The planner is the seam between *describing* the dataflow and
+*driving* it.  It validates a graph against a
+:class:`~repro.session.FusionConfig`-shaped object, then emits a
+:class:`FusionPlan` that every executor interprets:
+
+* a deterministic **schedule** (topological order, insertion-order
+  tie-break);
+* a partition into the **head** (ordered stages run on the capture
+  thread, frame by frame), the **parallel wave** (stateless stages an
+  executor may run concurrently), the **mid chain** (stages run after
+  the wave, in dependency order) and the **tail** (the ordered
+  finalize);
+* **placement** per stage — ``auto`` resolved through the same cost
+  models the session schedules with (fixed engine, the cost-model
+  optimum for ``adaptive``, dynamic per-frame for ``online``), forced
+  placements passed through, and, for an explicit mixed engine team,
+  the fuse-stage affinity derived from the
+  :class:`~repro.core.adaptive.PerLevelScheduler` plan;
+* **batch groups** — runs of batchable stages a micro-batching
+  executor may drive stack-major, with the canonical
+  ``visible+thermal+fuse`` core flagged when it is eligible for the
+  single-invocation stacked transform
+  (:meth:`repro.core.fusion.ImageFusion.fuse_batch`);
+* a modelled **per-stage cost** so ``repro-fusion plan`` can show
+  where the frame time goes before anything runs.
+
+If any stage between head and tail is ordered, the whole compute
+region degrades to a sequential mid chain (``sequential_mid``):
+every executor then runs those stages in frame order on its ordered
+lane, which is exactly how stateful temporal fusion has always been
+driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..hw.registry import create_engine, engine_names
+from .graph import FusionGraph
+from .stage import AUTO, Stage
+
+#: Canonical names the session's built-in stage kinds must keep, so
+#: co-scheduling attribution, affinity keys and reports stay stable.
+CANONICAL_NAMES = {
+    "ingest": "ingest",
+    "register": "register",
+    "fuse": "fuse",
+    "temporal": "temporal",
+    "finalize": "finalize",
+}
+
+#: Placement label for host-side (unmodelled, CPU-ordered) stages.
+HOST = "host"
+
+
+@dataclass(frozen=True)
+class PlannedStage:
+    """One stage with everything the executors and reports need."""
+
+    stage: Stage
+    role: str            # "head" | "parallel" | "mid" | "tail"
+    engine: str          # resolved placement (engine name or "host")
+    model_seconds: float  # modelled compute cost on that engine
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.stage.name,
+            "kind": self.stage.kind,
+            "state": self.stage.state,
+            "after": list(self.stage.after),
+            "batchable": self.stage.batchable,
+            "role": self.role,
+            "placement": self.engine,
+            "forced": self.stage.placement != AUTO,
+            "model_seconds": self.model_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """A lowered, executable description of one session's dataflow."""
+
+    graph: FusionGraph
+    schedule: Tuple[str, ...]
+    head: Tuple[str, ...]
+    parallel: Tuple[str, ...]
+    mid: Tuple[str, ...]
+    tail: Tuple[str, ...]
+    compute: Tuple[str, ...]          # parallel+mid in schedule order
+    sequential_mid: bool
+    nodes: Dict[str, PlannedStage] = field(repr=False)
+    #: batchable stage groups (the stacked core first, if eligible)
+    batch_groups: Tuple[Tuple[str, ...], ...] = ()
+    #: complete micro-batch execution order: (stage names, mode) with
+    #: mode "core" (single stacked fuse_batch invocation), "stacked"
+    #: (stage-major) or "frame" (frame-major run) — what the batch
+    #: executor interprets, verbatim
+    batch_schedule: Tuple[Tuple[Tuple[str, ...], str], ...] = ()
+    fusable_core: bool = False
+    dynamic_engine: bool = False
+    affinity: Optional[Dict[str, str]] = None
+    executor: str = "serial"
+    engine: str = "adaptive"
+    shape: str = ""
+    levels: int = 3
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    def node(self, name: str) -> PlannedStage:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"plan has no stage named {name!r}") from None
+
+    def stage(self, name: str) -> Stage:
+        return self.node(name).stage
+
+    @property
+    def model_seconds_per_frame(self) -> float:
+        return sum(node.model_seconds for node in self.nodes.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "executor": self.executor,
+            "engine": self.engine,
+            "shape": self.shape,
+            "levels": self.levels,
+            "schedule": list(self.schedule),
+            "head": list(self.head),
+            "parallel": list(self.parallel),
+            "mid": list(self.mid),
+            "tail": list(self.tail),
+            "sequential_mid": self.sequential_mid,
+            "dynamic_engine": self.dynamic_engine,
+            "batch_groups": [list(group) for group in self.batch_groups],
+            "batch_schedule": [[list(names), mode]
+                               for names, mode in self.batch_schedule],
+            "fusable_core": self.fusable_core,
+            "affinity": dict(self.affinity) if self.affinity else None,
+            "stages": [self.nodes[name].as_dict()
+                       for name in self.schedule],
+            "model_seconds_per_frame": self.model_seconds_per_frame,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"FusionPlan: executor={self.executor} engine={self.engine} "
+            f"({self.shape}, levels={self.levels})",
+            f"  {'stage':<12} {'role':<9} {'placement':<10} "
+            f"{'state':<10} {'cost/frame':>12}",
+        ]
+        for name in self.schedule:
+            node = self.nodes[name]
+            cost = (f"{node.model_seconds * 1e3:.3f} ms"
+                    if node.model_seconds else "-")
+            placement = node.engine
+            if (node.stage.placement == AUTO and self.dynamic_engine
+                    and node.role in ("parallel", "mid")):
+                placement = f"{node.engine}*"
+            lines.append(f"  {name:<12} {node.role:<9} {placement:<10} "
+                         f"{node.stage.state:<10} {cost:>12}")
+        if self.dynamic_engine:
+            lines.append("  (* online scheduler: engine re-selected "
+                         "per frame; cost shown for the probe engine)")
+        groups = (", ".join("+".join(g) for g in self.batch_groups)
+                  or "none")
+        lines.append(f"  batch groups : {groups}"
+                     + (" (stacked-transform core)"
+                        if self.fusable_core else ""))
+        lines.append(f"  mid chain    : "
+                     f"{'sequential (ordered stage present)' if self.sequential_mid else 'concurrent-eligible'}")
+        if self.affinity:
+            lines.append(f"  affinity     : {self.affinity}")
+        lines.append(f"  modelled cost: "
+                     f"{self.model_seconds_per_frame * 1e3:.3f} ms/frame")
+        return "\n".join(lines)
+
+
+class Planner:
+    """Lower a :class:`FusionGraph` against a session configuration."""
+
+    #: Stage kinds allowed to ride the capture thread with ingest.
+    _HEAD_KINDS = ("ingest", "register", "map")
+
+    def lower(self, graph: FusionGraph, config) -> FusionPlan:
+        graph.validate()
+        self._check_consistency(graph, config)
+        order = graph.topo_order()
+
+        head: List[str] = []
+        for name in order[:-1]:  # finalize (the topo sink) never joins
+            stage = graph.stage(name)
+            if (stage.ordered and stage.kind in self._HEAD_KINDS
+                    and set(stage.after) <= set(head)):
+                head.append(name)
+            else:
+                break
+        tail = (order[-1],)
+        compute = tuple(n for n in order if n not in head and n not in tail)
+
+        sequential_mid = any(graph.stage(n).ordered for n in compute)
+        head_set = set(head)
+        if sequential_mid:
+            parallel: Tuple[str, ...] = ()
+            mid = compute
+        else:
+            parallel = tuple(
+                n for n in compute
+                if set(graph.stage(n).after) <= head_set
+                and graph.stage(n).kind not in ("fuse", "temporal"))
+            mid = tuple(n for n in compute if n not in parallel)
+        if not mid:
+            raise ConfigurationError(
+                "lowered plan has an empty mid chain; the fuse or "
+                "temporal stage must depend on the transform stages")
+
+        engine_label, dynamic = self._resolve_default_engine(config)
+        affinity = self._affinity(graph, config)
+        placements = self._resolve_placements(graph, order, head_set,
+                                              tail[0], engine_label,
+                                              config, affinity)
+        costs = self._model_costs(graph, order, placements, config)
+        batch_schedule, fusable_core = self._batch_schedule(
+            graph, compute, head_set, sequential_mid)
+        batch_groups = tuple(names for names, mode in batch_schedule
+                             if mode in ("core", "stacked"))
+
+        nodes = {}
+        for name in order:
+            role = ("head" if name in head_set
+                    else "tail" if name in tail
+                    else "parallel" if name in parallel
+                    else "mid")
+            nodes[name] = PlannedStage(stage=graph.stage(name), role=role,
+                                       engine=placements[name],
+                                       model_seconds=costs[name])
+        return FusionPlan(
+            graph=graph, schedule=order, head=tuple(head),
+            parallel=parallel, mid=mid, tail=tail, compute=compute,
+            sequential_mid=sequential_mid, nodes=nodes,
+            batch_groups=batch_groups, batch_schedule=batch_schedule,
+            fusable_core=fusable_core,
+            dynamic_engine=dynamic, affinity=affinity,
+            executor=config.executor, engine=config.engine,
+            shape=str(config.fusion_shape), levels=config.levels,
+        )
+
+    # ------------------------------------------------------------------
+    def _check_consistency(self, graph: FusionGraph, config) -> None:
+        fuse_like = [s for s in graph.stages()
+                     if s.kind in ("fuse", "temporal")]
+        if len(fuse_like) != 1:
+            raise ConfigurationError(
+                f"graph needs exactly one fuse or temporal stage, found "
+                f"{[s.name for s in fuse_like] or 'none'}")
+        if "fuse" in graph:
+            # the fuse stage consumes both pyramids; a graph missing a
+            # forward (or not feeding it into fuse) must fail here,
+            # not as an AttributeError deep inside an executor thread
+            missing = [n for n in ("visible", "thermal")
+                       if n not in graph]
+            if missing:
+                raise ConfigurationError(
+                    f"the fuse stage needs both forward stages; "
+                    f"{missing} are missing from the graph (use a "
+                    f"temporal stage instead to fuse without explicit "
+                    f"forwards)")
+            unfed = {"visible", "thermal"} - graph.ancestors("fuse")
+            if unfed:
+                raise ConfigurationError(
+                    f"the fuse stage must (transitively) depend on "
+                    f"both forward stages; {sorted(unfed)} never reach "
+                    f"it")
+        for stage in graph.stages():
+            want = CANONICAL_NAMES.get(stage.kind)
+            if want is not None and stage.name != want:
+                raise ConfigurationError(
+                    f"built-in stage kind {stage.kind!r} must keep its "
+                    f"canonical name {want!r}, got {stage.name!r} "
+                    f"(affinity keys and reports depend on it)")
+            if stage.kind == "forward" and stage.name not in ("visible",
+                                                              "thermal"):
+                raise ConfigurationError(
+                    f"forward stages are named 'visible' or 'thermal', "
+                    f"got {stage.name!r}")
+            if stage.placement != AUTO:
+                if stage.placement not in engine_names():
+                    raise ConfigurationError(
+                        f"stage {stage.name!r} placement "
+                        f"{stage.placement!r} is not a registered "
+                        f"engine; expected one of "
+                        f"{sorted(engine_names())} or 'auto'")
+                if stage.kind not in ("forward", "fuse"):
+                    raise ConfigurationError(
+                        f"stage {stage.name!r} (kind {stage.kind!r}) "
+                        f"cannot be placed on an engine; only the "
+                        f"forward and fuse stages compute through "
+                        f"engine arithmetic (custom map stages run "
+                        f"host-side NumPy)")
+        if "temporal" in graph and not config.temporal:
+            raise ConfigurationError(
+                "graph contains a temporal stage but the config has "
+                "temporal=False; enable FusionConfig(temporal=True)")
+        if config.temporal and "temporal" not in graph:
+            raise ConfigurationError(
+                "config has temporal=True but the graph has no temporal "
+                "stage; build it with FusionGraph.canonical(temporal=True)")
+        if "register" in graph and not config.registration:
+            raise ConfigurationError(
+                "graph contains a register stage but the config has "
+                "registration=False; enable FusionConfig(registration=True)")
+        if (config.registration and "register" not in graph
+                and "register" not in graph.dropped):
+            raise ConfigurationError(
+                "config has registration=True but the graph has no "
+                "register stage; build it with "
+                "FusionGraph.canonical(registration=True), or remove "
+                "the stage explicitly with FusionGraph.drop('register') "
+                "/ graph_overrides={'drop': ('register',)} to run this "
+                "session without rig calibration")
+
+    def _resolve_default_engine(self, config) -> Tuple[str, bool]:
+        """Engine label ``auto`` placements resolve to, and whether the
+        binding is re-decided per frame (the online scheduler)."""
+        from ..core.adaptive import CostModelScheduler, default_engines
+        if config.engine == "adaptive":
+            decision = CostModelScheduler(
+                objective=config.objective,
+                power_model=config.power_model,
+            ).choose(config.fusion_shape, config.levels)
+            return decision.engine.name, False
+        if config.engine == "online":
+            return default_engines()[0].name, True
+        return config.engine, False
+
+    def _resolve_placements(self, graph, order, head_set, tail_name,
+                            engine_label, config,
+                            affinity: Optional[Dict[str, str]]
+                            ) -> Dict[str, str]:
+        affinity = affinity or {}
+        placements: Dict[str, str] = {}
+        for name in order:
+            stage = graph.stage(name)
+            if (name in head_set or name == tail_name
+                    or stage.kind == "map"):
+                # host-side work: ordered session state and custom
+                # NumPy stages never touch engine arithmetic
+                placements[name] = HOST
+            elif stage.placement != AUTO:
+                placements[name] = stage.placement
+            elif name in affinity:
+                # a co-scheduled team pins this stage; the plan shows
+                # (and costs) the engine the drive actually uses
+                placements[name] = affinity[name]
+            elif config.engine_team is not None:
+                # remaining team stages are dispatched round-robin
+                # across the team, frame by frame
+                placements[name] = f"team({','.join(config.engine_team)})"
+            else:
+                placements[name] = engine_label
+        return placements
+
+    def _model_costs(self, graph, order, placements,
+                     config) -> Dict[str, float]:
+        shape, levels = config.fusion_shape, config.levels
+        engines: Dict[str, object] = {}
+
+        def engine_for(name: str):
+            if name not in engines:
+                engines[name] = create_engine(name)
+            return engines[name]
+
+        costs: Dict[str, float] = {}
+        for name in order:
+            stage = graph.stage(name)
+            if placements[name] == HOST or stage.kind == "map":
+                costs[name] = 0.0
+                continue
+            placement = placements[name]
+            if placement.startswith("team("):
+                # round-robin dispatch: the expected per-frame cost is
+                # the mean over the team's engines
+                team = [engine_for(n)
+                        for n in placement[5:-1].split(",")]
+                costs[name] = sum(self._stage_seconds(stage, e, shape,
+                                                      levels)
+                                  for e in team) / len(team)
+            else:
+                costs[name] = self._stage_seconds(
+                    stage, engine_for(placement), shape, levels)
+        return costs
+
+    @staticmethod
+    def _stage_seconds(stage, engine, shape, levels) -> float:
+        if stage.kind == "forward":
+            return engine.forward_time(shape, levels).total_s
+        if stage.kind == "fuse":
+            return (engine.fusion_time(shape, levels).total_s
+                    + engine.inverse_time(shape, levels).total_s)
+        if stage.kind == "temporal":
+            # temporal fusion decomposes both modalities internally
+            return engine.frame_time(shape, levels).total_s
+        return 0.0
+
+    def _batch_schedule(self, graph, compute, head_set, sequential_mid
+                        ) -> Tuple[Tuple[Tuple[Tuple[str, ...], str], ...],
+                                   bool]:
+        """The batch executor's execution order over one micro-batch.
+
+        The canonical forward×2+fuse core (when eligible) runs first as
+        one stacked invocation; the remaining compute stages follow in
+        schedule order, grouped into stage-major runs of batchable
+        stages and frame-major runs of non-batchable ones (so a
+        ``batchable=False`` sink keeps per-frame cadence).
+        """
+        if sequential_mid:
+            return (), False
+        core: Tuple[str, ...] = ()
+        if all(name in graph for name in ("visible", "thermal", "fuse")):
+            vis, th, fuse = (graph.stage(n)
+                             for n in ("visible", "thermal", "fuse"))
+            core_ok = (
+                vis.kind == "forward" and th.kind == "forward"
+                and fuse.kind == "fuse"
+                and all(s.batchable and s.placement == AUTO
+                        for s in (vis, th, fuse))
+                and set(vis.after) <= head_set
+                and set(th.after) <= head_set
+                and set(fuse.after) <= {"visible", "thermal"} | head_set
+            )
+            if core_ok:
+                core = ("visible", "thermal", "fuse")
+        schedule: List[Tuple[Tuple[str, ...], str]] = []
+        if core:
+            schedule.append((core, "core"))
+        run: List[str] = []
+        run_mode: Optional[str] = None
+        for name in compute:
+            if name in core:
+                continue
+            mode = ("stacked" if graph.stage(name).batchable else "frame")
+            if mode != run_mode and run:
+                schedule.append((tuple(run), run_mode))
+                run = []
+            run.append(name)
+            run_mode = mode
+        if run:
+            schedule.append((tuple(run), run_mode))
+        return tuple(schedule), bool(core)
+
+    def _affinity(self, graph, config) -> Optional[Dict[str, str]]:
+        """Stage-affinity map for a co-scheduling engine team: forced
+        placements pass through; an auto-placed fuse stage is pinned
+        where the per-level plan puts the bulk of the inverse transform
+        (forwards stay round-robin so a pair's two decompositions land
+        on different engines)."""
+        if config.engine_team is None:
+            return None
+        affinity = {name: stage.placement for name, stage in
+                    ((s.name, s) for s in graph.stages())
+                    if stage.placement != AUTO
+                    and stage.placement in config.engine_team}
+        if "fuse" in graph and "fuse" not in affinity:
+            from ..core.adaptive import PerLevelScheduler
+            team = tuple(create_engine(name) for name in config.engine_team)
+            try:
+                plan = PerLevelScheduler(engines=team).plan(
+                    config.fusion_shape, config.levels)
+            except ConfigurationError:
+                return affinity or None
+            counts: Dict[str, int] = {}
+            for name in plan.inverse_assignment:
+                counts[name] = counts.get(name, 0) + 1
+            affinity["fuse"] = max(counts.items(), key=lambda kv: kv[1])[0]
+        return affinity or None

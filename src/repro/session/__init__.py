@@ -15,6 +15,13 @@ Quick start::
     for result in session.stream(SyntheticSource(seed=7), limit=10):
         print(result.engine, result.model_millijoules)
     print(session.report().as_dict())
+
+The frame dataflow itself is declarative: the session builds its
+pipeline as a :class:`repro.graph.FusionGraph`, lowers it through the
+:class:`repro.graph.Planner`, and every executor interprets the
+resulting plan.  ``session.plan.describe()`` shows the schedule and
+placements; ``session.canonical_graph()`` returns a copy to extend
+with custom stages for ``run(..., graph=...)``.
 """
 
 from .config import FUSION_RULES, SCHEDULER_NAMES, FusionConfig

@@ -21,6 +21,7 @@ from ..core.fusion_rules import (
 )
 from ..errors import ConfigurationError
 from ..exec import executor_names
+from ..graph import Stage
 from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
 from ..hw.registry import engine_names
 from ..types import FULL_FRAME, FrameShape
@@ -119,6 +120,17 @@ class FusionConfig:
         ``scene`` is supplied — fixing it makes runs reproducible.
     scene:
         Optional explicit scene shared by the default frame sources.
+    graph_overrides:
+        Declarative edits applied to the session's canonical
+        :class:`~repro.graph.FusionGraph` before lowering.  A dict
+        with any of three keys: ``"drop"`` (tuple of stage names to
+        remove, e.g. ``("register",)``), ``"place"`` (stage name ->
+        engine name, forcing that stage's arithmetic and scheduling
+        affinity onto one engine), and ``"insert_after"`` (anchor
+        stage name -> a :class:`~repro.graph.Stage` or tuple of
+        stages spliced in after it).  Equivalent to customizing
+        :meth:`FusionSession.canonical_graph` by hand, but carried by
+        the config so every drive of the session uses it.
     """
 
     engine: str = "adaptive"
@@ -143,6 +155,7 @@ class FusionConfig:
     power_model: PowerModel = field(default_factory=lambda: DEFAULT_POWER_MODEL)
     seed: int = 2016
     scene: Optional[SyntheticScene] = None
+    graph_overrides: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.fusion_shape, tuple):
@@ -217,6 +230,50 @@ class FusionConfig:
             raise ConfigurationError("probe_frames must be >= 1")
         if self.reprobe_every < 2:
             raise ConfigurationError("reprobe_every must be >= 2")
+        self._validate_graph_overrides()
+
+    def _validate_graph_overrides(self) -> None:
+        """Structural validation of ``graph_overrides`` (the semantic
+        checks — stage names, engine names, graph shape — happen when
+        the session lowers the graph)."""
+        if self.graph_overrides is None:
+            return
+        if not isinstance(self.graph_overrides, dict):
+            raise ConfigurationError(
+                f"graph_overrides must be a dict, got "
+                f"{self.graph_overrides!r}")
+        known = {"drop", "place", "insert_after"}
+        bad = set(self.graph_overrides) - known
+        if bad:
+            raise ConfigurationError(
+                f"unknown graph_overrides key(s) {sorted(bad)}; "
+                f"expected a subset of {sorted(known)}")
+        drop = self.graph_overrides.get("drop", ())
+        if isinstance(drop, str) or not all(isinstance(n, str)
+                                            for n in drop):
+            raise ConfigurationError(
+                "graph_overrides['drop'] must be an iterable of stage "
+                "names")
+        place = self.graph_overrides.get("place", {})
+        if not isinstance(place, dict) or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in place.items()):
+            raise ConfigurationError(
+                "graph_overrides['place'] must map stage names to "
+                "engine names")
+        inserts = self.graph_overrides.get("insert_after", {})
+        if not isinstance(inserts, dict):
+            raise ConfigurationError(
+                "graph_overrides['insert_after'] must map anchor stage "
+                "names to Stage(s)")
+        for anchor, stages in inserts.items():
+            if isinstance(stages, Stage):
+                continue
+            if not isinstance(stages, (list, tuple)) or not all(
+                    isinstance(s, Stage) for s in stages):
+                raise ConfigurationError(
+                    f"graph_overrides['insert_after'][{anchor!r}] must "
+                    f"be a Stage or a tuple of Stages")
 
     # ------------------------------------------------------------------
     def make_rule(self) -> FusionRule:

@@ -16,21 +16,30 @@ Everything optional — registration, temporal fusion, quality
 monitoring, per-frame metrics — is switched by the
 :class:`FusionConfig`, so ablations change a flag, not a class.
 
-*How* frames are driven is equally pluggable: :meth:`stream` and
-:meth:`run` route every frame through the :mod:`repro.exec` executor
-the config names — the serial reference loop, the double-buffered
-thread pipeline, heterogeneous engine co-scheduling, or micro-batched
-NumPy vectorization — via the staged :class:`_SessionProcessor`
-below.  The stateful stages (ingest:
-calibration + engine selection; finalize: monitoring + telemetry)
-always run in frame order on one thread, so every executor yields
-bitwise-identical results for a fixed seed (for bounded or fully
-consumed drives; see :meth:`FusionSession.stream` on the read-ahead
-of abandoned concurrent streams).
+*How* frames are driven is equally pluggable — and *what* is driven is
+declarative: the session constructs its pipeline as a
+:class:`repro.graph.FusionGraph` (ingest → register → forward ×2 →
+fuse/temporal → finalize), lowers it through the
+:class:`repro.graph.Planner`, and :meth:`stream`/:meth:`run` route
+every frame through the :mod:`repro.exec` executor the config names —
+the serial reference loop, the double-buffered thread pipeline,
+heterogeneous engine co-scheduling, or micro-batched NumPy
+vectorization — each interpreting the same lowered plan via the
+:class:`_SessionProcessor` below.  Users extend the dataflow with
+custom stages (``session.canonical_graph()`` + ``run(graph=...)``, or
+``FusionConfig.graph_overrides``) and inspect it
+(``session.plan.describe()``, the CLI's ``plan`` subcommand).  The
+stateful stages (ingest: engine selection; register: rig calibration;
+finalize: monitoring + telemetry) always run in frame order on one
+thread, so every executor yields bitwise-identical results for a
+fixed seed (for bounded or fully consumed drives; see
+:meth:`FusionSession.stream` on the read-ahead of abandoned
+concurrent streams).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field as dataclass_field
@@ -38,15 +47,15 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.adaptive import (CostModelScheduler, Decision, OnlineScheduler,
-                             PerLevelScheduler)
+from ..core.adaptive import (CostModelScheduler, Decision, OnlineScheduler)
 from ..core.fusion import ImageFusion
 from ..core.metrics import fusion_report
 from ..core.quality_monitor import ACTION_FUSE, QualityMonitor
 from ..core.registration import DtcwtRegistration
 from ..core.video_fusion import TemporalFusion
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, FusionError
 from ..exec import Executor, FrameProcessor, make_executor
+from ..graph import FusionGraph, FusionPlan, Planner, Stage
 from ..hw.engine import Engine
 from ..hw.registry import create_engine, create_engine_pool, default_engines
 from ..video.frames import VideoFrame
@@ -139,18 +148,62 @@ class _WorkerContext:
 
 
 class _SessionProcessor(FrameProcessor):
-    """The session's fusion dataflow, expressed as executor stages."""
+    """The session's fusion dataflow: an interpreter for one lowered
+    :class:`~repro.graph.FusionPlan`.
 
-    def __init__(self, session: "FusionSession"):
+    The processor binds the plan's built-in stage kinds to the
+    session's own implementations (normalisation + scheduling for
+    ``ingest``, rig calibration for ``register``, the DT-CWT forwards,
+    coefficient fusion + inverse, stateful temporal fusion, and
+    monitoring/telemetry for ``finalize``) and calls custom ``map``
+    stages' ``fn(task)`` directly.  Executors never see stage
+    semantics — they drive the plan's stage *names* through
+    :meth:`run_stage`.
+    """
+
+    def __init__(self, session: "FusionSession", plan: "FusionPlan"):
         self._session = session
+        self.plan = plan
+        self._head_rest = plan.head[1:]
+        # ordered stages may never execute concurrently; a violated
+        # guard is an executor bug (or a user driving run_stage by
+        # hand from several threads) and raises instead of corrupting
+        # cross-frame state
+        self._guards: Dict[str, threading.Lock] = {
+            name: threading.Lock() for name in plan.compute
+            if plan.stage(name).ordered
+        }
+        # modelled stages with a forced placement: their time/energy is
+        # billed to the forced engine (matching the lowered plan), not
+        # to the frame's selected engine
+        self._forced_engines: Dict[str, Engine] = {
+            name: session._placement_engine(plan.stage(name).placement)
+            for name in ("visible", "thermal", "fuse")
+            if name in plan and plan.stage(name).placement != "auto"
+        }
 
-    # -- scheduling hints ----------------------------------------------
+    # -- plan hints the executors interpret -----------------------------
     @property
     def sequential_fuse(self) -> bool:
-        # temporal fusion carries state (smoothed masks) across frames
-        # and decomposes internally: the whole transform must run in
-        # frame order on a single thread
-        return self._session.temporal is not None
+        return self.plan.sequential_mid
+
+    @property
+    def sequential_mid(self) -> bool:
+        return self.plan.sequential_mid
+
+    def parallel_stages(self):
+        return self.plan.parallel
+
+    def mid_stages(self):
+        return self.plan.mid
+
+    def stage_bucket(self, name: str) -> str:
+        kind = self.plan.stage(name).kind
+        if kind == "forward":
+            return "forward"
+        if kind == "temporal":
+            return "fuse"  # the stats key the mid lane always used
+        return name
 
     def make_contexts(self, n, engines=None):
         session = self._session
@@ -162,23 +215,31 @@ class _SessionProcessor(FrameProcessor):
 
     def assign(self, task: _FrameTask, stage: str, engine: Engine) -> None:
         """Dispatch-time hook: a co-scheduling executor pins ``stage``
-        of ``task`` to ``engine`` (deterministically, in frame order)."""
+        of ``task`` to ``engine`` (deterministically, in frame order).
+
+        Attribution must agree with the lowered plan: custom map
+        stages run host-side NumPy on whichever worker executes them,
+        so they are never attributed to an engine; and a forced
+        placement overrides the dispatch assignment, because the stage
+        *computes* on the forced engine whatever worker thread runs
+        it.
+        """
+        if stage in self.plan:
+            planned = self.plan.stage(stage)
+            if planned.kind == "map":
+                return
+            if planned.placement != "auto":
+                engine = self._session._placement_engine(planned.placement)
         task.stage_engines[stage] = engine
 
     # -- stages ---------------------------------------------------------
     def ingest(self, pair: FramePair, index: int) -> _FrameTask:
+        """The plan's head: the ingest stage plus every ordered stage
+        glued to it (canonically rig registration), run inline on the
+        capturing thread so frame order is inherent."""
         session = self._session
         vis = session._normalize(pair.visible)
         th = session._normalize(pair.thermal)
-
-        applied_shift = None
-        if session.calibrator is not None:
-            offset = session.calibrator.offset(vis, th)
-            if offset is not None:
-                th = np.roll(np.roll(th, offset[0], axis=0),
-                             offset[1], axis=1)
-                session._shift_total += float(np.hypot(*offset))
-                applied_shift = offset
 
         engine = session._select_engine()
         seconds = engine.frame_time(session.config.fusion_shape,
@@ -196,11 +257,72 @@ class _SessionProcessor(FrameProcessor):
             thermal=th,
             engine=engine,
             model_seconds=seconds,
-            applied_shift=applied_shift,
             started=time.perf_counter(),
         )
         session._next_index += 1
+        for name in self._head_rest:
+            self.run_stage(name, task)
         return task
+
+    def _register(self, task: _FrameTask) -> None:
+        """Apply the rig calibrator's consensus shift to the thermal
+        frame (ordered: the consensus accumulates across frames)."""
+        session = self._session
+        if session.calibrator is None:
+            return
+        offset = session.calibrator.offset(task.visible, task.thermal)
+        if offset is not None:
+            task.thermal = np.roll(np.roll(task.thermal, offset[0], axis=0),
+                                   offset[1], axis=1)
+            session._shift_total += float(np.hypot(*offset))
+            task.applied_shift = offset
+
+    def run_stage(self, name: str, task: _FrameTask,
+                  ctx: Optional[_WorkerContext] = None) -> None:
+        stage = self.plan.stage(name)
+        guard = self._guards.get(name)
+        if guard is not None and not guard.acquire(blocking=False):
+            raise FusionError(
+                f"ordered stage {name!r} was driven from two threads "
+                f"concurrently; ordered stages carry cross-frame state "
+                f"and must run on a single ordered lane")
+        try:
+            kind = stage.kind
+            if kind == "forward":
+                fuser, _ = self._stage_lane(task, stage, ctx)
+                if name == "visible":
+                    task.pyr_visible = fuser.decompose(task.visible)
+                else:
+                    task.pyr_thermal = fuser.decompose(task.thermal)
+            elif kind == "fuse":
+                fuser, _ = self._stage_lane(task, stage, ctx)
+                pyramid = fuser.combine(task.pyr_visible, task.pyr_thermal)
+                task.fused = fuser.reconstruct(pyramid)
+            elif kind == "temporal":
+                session = self._session
+                fuser = session._fusers[task.engine.name]
+                session.temporal.fusion = fuser
+                task.fused = session.temporal.fuse(task.visible,
+                                                   task.thermal)
+            elif kind == "register":
+                self._register(task)
+            else:  # "map": a user stage mutating the in-flight task
+                stage.fn(task)
+        finally:
+            if guard is not None:
+                guard.release()
+
+    def _stage_lane(self, task: _FrameTask, stage, ctx
+                    ) -> Tuple[ImageFusion, Engine]:
+        """The :class:`ImageFusion` lane (and engine) ``stage`` must
+        compute with for ``task`` — forced placement first, then the
+        co-scheduled assignment, then the frame's selected engine."""
+        if stage.placement != "auto":
+            engine = self._session._placement_engine(stage.placement)
+            if ctx is not None:
+                return ctx.lane(engine), engine
+            return self._session._fuser_for(engine), engine
+        return self._lane_for(task, stage.name, ctx)
 
     def _lane_for(self, task: _FrameTask, stage: str,
                   ctx: Optional[_WorkerContext]
@@ -216,48 +338,67 @@ class _SessionProcessor(FrameProcessor):
                 engine = ctx.engine
         return ctx.lane(engine), engine
 
+    # legacy per-stage entry points (the ABC contract); plan-driven
+    # executors go through run_stage with the plan's own names
     def forward_visible(self, task: _FrameTask,
                         ctx: Optional[_WorkerContext] = None) -> None:
-        fuser, _ = self._lane_for(task, "visible", ctx)
-        task.pyr_visible = fuser.decompose(task.visible)
+        self.run_stage("visible", task, ctx)
 
     def forward_thermal(self, task: _FrameTask,
                         ctx: Optional[_WorkerContext] = None) -> None:
-        fuser, _ = self._lane_for(task, "thermal", ctx)
-        task.pyr_thermal = fuser.decompose(task.thermal)
+        self.run_stage("thermal", task, ctx)
 
     def fuse(self, task: _FrameTask,
              ctx: Optional[_WorkerContext] = None) -> None:
-        session = self._session
-        if session.temporal is not None:
-            fuser = session._fusers[task.engine.name]
-            session.temporal.fusion = fuser
-            task.fused = session.temporal.fuse(task.visible, task.thermal)
-            return
-        fuser, _ = self._lane_for(task, "fuse", ctx)
-        pyramid = fuser.combine(task.pyr_visible, task.pyr_thermal)
-        task.fused = fuser.reconstruct(pyramid)
+        name = "temporal" if "temporal" in self.plan else "fuse"
+        self.run_stage(name, task, ctx)
 
     def process_batch(self, tasks) -> None:
-        """Batch-executor hook: stacked transforms per assigned engine.
+        """Batch-executor hook, interpreting the plan's batch groups.
 
-        Temporal fusion is stateful across frames and decomposes
-        internally, so it keeps the strict per-frame order (exactly
-        the serial fuse stage).  Otherwise each engine's tasks — in
-        frame order within the group, so a mixed schedule from the
-        online scheduler stays deterministic — ride one
-        :meth:`ImageFusion.fuse_batch` call: all of the group's
-        visible *and* thermal frames through a single stacked forward,
-        vectorized coefficient fusion, one stacked inverse.  Per-frame
-        arithmetic is bound to the frame's assigned engine either way,
-        which keeps batched results bitwise-identical to the serial
-        loop.
+        A sequential mid chain (stateful temporal fusion, or a custom
+        ordered stage) keeps the strict per-frame order — the whole
+        chain runs frame-major, exactly as the serial loop.  Otherwise
+        the canonical ``visible+thermal+fuse`` core (when the plan
+        flags it fusable) rides one :meth:`ImageFusion.fuse_batch`
+        call per assigned engine — each engine's tasks in frame order,
+        so a mixed schedule from the online scheduler stays
+        deterministic: all of the group's visible *and* thermal frames
+        through a single stacked forward, vectorized coefficient
+        fusion, one stacked inverse.  Every other compute stage runs
+        in schedule order with its declared granularity: *batchable*
+        stages go stage-major (the whole micro-batch through one stage
+        before the next), while contiguous runs of non-batchable
+        stages go frame-major — each frame passes through the whole
+        run before the next frame enters it, so a latency-sensitive
+        sink declared ``batchable=False`` keeps its per-frame cadence.
+        Either way each stage sees frames in index order, per-frame
+        arithmetic is bound to the frame's assigned engine, and
+        batched results stay bitwise-identical to the serial executor.
         """
-        session = self._session
-        if session.temporal is not None:
+        plan = self.plan
+        if plan.sequential_mid:
             for task in tasks:
-                self.fuse(task)
+                for name in plan.compute:
+                    self.run_stage(name, task)
             return
+        # the plan's batch schedule is the single source of truth for
+        # micro-batch execution order — what `repro plan` prints is
+        # exactly what runs here
+        for names, mode in plan.batch_schedule:
+            if mode == "core":
+                self._fuse_batch_core(tasks)
+            elif mode == "stacked":
+                for name in names:
+                    for task in tasks:
+                        self.run_stage(name, task)
+            else:  # "frame": frame-major run of non-batchable stages
+                for task in tasks:
+                    for name in names:
+                        self.run_stage(name, task)
+
+    def _fuse_batch_core(self, tasks) -> None:
+        session = self._session
         groups: Dict[str, List[_FrameTask]] = {}
         for task in tasks:
             groups.setdefault(task.engine.name, []).append(task)
@@ -278,21 +419,31 @@ class _SessionProcessor(FrameProcessor):
 
         Default: the selected engine's whole-frame model — exactly the
         serial session accounting.  Under a co-scheduling executor
-        (explicit mixed ``engine_team``) each stage is billed to its
-        assigned engine instead.
+        (explicit mixed ``engine_team``), or when the plan forces a
+        modelled stage onto a named engine, each stage is billed to
+        the engine that actually computed it — so the run report
+        always agrees with the lowered plan.
         """
         session = self._session
         power = session.config.power_model
         shape = session.config.fusion_shape
         levels = session.config.levels
-        if len(task.stage_engines) < 3:
-            seconds = task.model_seconds
-            mj = seconds * power.power_w(task.engine.power_mode) * 1e3
-            return seconds, mj, task.engine.name
+        # only the canonical modelled stages participate in per-stage
+        # attribution; custom map stages have no hardware model
+        co = {stage: engine for stage, engine in task.stage_engines.items()
+              if stage in ("visible", "thermal", "fuse")}
+        if len(co) < 3:
+            if not self._forced_engines:
+                seconds = task.model_seconds
+                mj = seconds * power.power_w(task.engine.power_mode) * 1e3
+                return seconds, mj, task.engine.name
+            co = {stage: self._forced_engines.get(stage, task.engine)
+                  for stage in ("visible", "thermal", "fuse")
+                  if stage in self.plan}
 
         seconds = 0.0
         mj = 0.0
-        for stage, engine in task.stage_engines.items():
+        for stage, engine in co.items():
             if stage == "fuse":
                 stage_s = (engine.fusion_time(shape, levels).total_s
                            + engine.inverse_time(shape, levels).total_s)
@@ -300,7 +451,7 @@ class _SessionProcessor(FrameProcessor):
                 stage_s = engine.forward_time(shape, levels).total_s
             seconds += stage_s
             mj += stage_s * power.power_w(engine.power_mode) * 1e3
-        label = task.stage_engines["fuse"].name
+        label = co["fuse"].name if "fuse" in co else task.engine.name
         return seconds, mj, label
 
     def finalize(self, task: _FrameTask) -> FusedFrameResult:
@@ -325,7 +476,8 @@ class _SessionProcessor(FrameProcessor):
             session._quality_frames += 1
 
         metadata = {"engine": engine_label, "action": action}
-        if len(task.stage_engines) >= 3:
+        if len([s for s in task.stage_engines
+                if s in ("visible", "thermal", "fuse")]) >= 3:
             metadata["stages"] = {stage: eng.name for stage, eng
                                   in task.stage_engines.items()}
         result = FusedFrameResult(
@@ -412,6 +564,7 @@ class FusionSession:
                                      rule=rule)
             for engine in engines
         }
+        self._placement_engines: Dict[str, Engine] = {}
 
         self.calibrator = (_RigCalibrator(config.levels)
                            if config.registration else None)
@@ -422,7 +575,10 @@ class FusionSession:
             target_fps=config.target_fps,
             energy_budget_mj=config.energy_budget_mj)
 
-        self._processor = _SessionProcessor(self)
+        self._planner = Planner()
+        self._graph = self._build_graph()
+        self.plan = self._planner.lower(self._graph, config)
+        self._processor = _SessionProcessor(self, self.plan)
         self._default_source: Optional[CaptureChainSource] = None
         self._frames = 0
         self._next_index = 0
@@ -440,11 +596,78 @@ class FusionSession:
         self._concurrent_drive = False
         self._closed = False
 
+    # -- the declarative plan ------------------------------------------
+    def _build_graph(self) -> FusionGraph:
+        """The canonical pipeline for this config, with the config's
+        ``graph_overrides`` applied."""
+        graph = FusionGraph.canonical(
+            registration=self.config.registration,
+            temporal=self.config.temporal,
+        )
+        overrides = self.config.graph_overrides or {}
+        for name in overrides.get("drop", ()):
+            graph.drop(name)
+        for name, engine in (overrides.get("place") or {}).items():
+            graph.place(name, engine)
+        for anchor, stages in (overrides.get("insert_after") or {}).items():
+            if isinstance(stages, Stage):
+                stages = (stages,)
+            for stage in stages:
+                graph.insert_after(anchor, stage)
+                anchor = stage.name
+        return graph
+
+    @property
+    def graph(self) -> FusionGraph:
+        """The session's standing dataflow, as a *defensive copy*: the
+        plan was lowered at construction, so edits here would be
+        silently dead — customize via :meth:`canonical_graph` plus
+        ``run(graph=...)``/``stream(graph=...)``, or carry edits in
+        :attr:`FusionConfig.graph_overrides`."""
+        return self._graph.copy()
+
+    def canonical_graph(self) -> FusionGraph:
+        """A fresh copy of this session's graph for customization:
+        extend it (:meth:`FusionGraph.insert_after`,
+        :meth:`FusionGraph.add`), drop or re-place stages, then pass
+        it to :meth:`run`/:meth:`stream` as ``graph=``."""
+        return self._graph.copy()
+
+    def _processor_for(self, graph: Optional[FusionGraph]
+                       ) -> "_SessionProcessor":
+        """The session's standing processor, or a one-drive processor
+        interpreting ``graph`` lowered against this config."""
+        if graph is None:
+            return self._processor
+        return _SessionProcessor(self, self._planner.lower(graph,
+                                                           self.config))
+
     # ------------------------------------------------------------------
     @property
     def engine(self) -> Engine:
         """The engine in use (most recently selected, if scheduled)."""
         return self._engine
+
+    def _placement_engine(self, name: str) -> Engine:
+        """The session-owned engine instance backing a forced stage
+        placement (created once per engine name)."""
+        engine = self._placement_engines.get(name)
+        if engine is None:
+            engine = create_engine(name)
+            self._placement_engines[name] = engine
+        return engine
+
+    def _fuser_for(self, engine: Engine) -> ImageFusion:
+        """The serial-lane fuser for ``engine``, created on first use
+        (forced placements may name engines outside the scheduler's
+        set)."""
+        fuser = self._fusers.get(engine.name)
+        if fuser is None:
+            fuser = ImageFusion(
+                transform=engine.transform(self.config.levels),
+                rule=self.config.make_rule())
+            self._fusers[engine.name] = fuser
+        return fuser
 
     @property
     def frames_processed(self) -> int:
@@ -496,14 +719,55 @@ class FusionSession:
             self._engine = self.scheduler.next_engine()
         return self._engine
 
-    def _make_executor(self, name: Optional[str] = None) -> Executor:
+    @staticmethod
+    def _validate_drive(executor: str, config: FusionConfig,
+                        per_call: bool) -> None:
+        """Reject conflicting executor/tuning combinations loudly.
+
+        Field-level validity is checked eagerly by
+        :class:`FusionConfig`; this guards the *combinations* a drive
+        is about to run with — which a mutated config or a per-call
+        ``executor=`` override can put into conflict — so the failure
+        is a clear :class:`FusionError` here instead of a stack trace
+        deep inside an executor thread.  (``per_call`` overrides away
+        from ``hetero`` deliberately drop a configured ``engine_team``
+        for that drive, so the team/executor conflict only applies to
+        the config's own pairing.)
+        """
+        if executor == "batch" and config.batch_size < 1:
+            raise FusionError(
+                f"executor='batch' conflicts with "
+                f"batch_size={config.batch_size}: the batch executor "
+                f"needs batch_size >= 1")
+        if executor in ("pipeline", "hetero") and config.workers < 1:
+            raise FusionError(
+                f"executor={executor!r} conflicts with "
+                f"workers={config.workers}: concurrent executors need "
+                f"workers >= 1")
+        if executor != "serial" and config.queue_depth < 1:
+            raise FusionError(
+                f"executor={executor!r} conflicts with "
+                f"queue_depth={config.queue_depth}: frames in flight "
+                f"must be bounded by at least 1")
+        if (config.engine_team is not None and executor != "hetero"
+                and not per_call):
+            raise FusionError(
+                f"engine_team={config.engine_team} conflicts with "
+                f"executor={executor!r}: a team only drives the "
+                f"'hetero' executor")
+
+    def _make_executor(self, processor: "_SessionProcessor",
+                       name: Optional[str] = None) -> Executor:
         """Build the configured executor for one stream drive.
 
         ``name`` overrides the config's executor for this drive only
         (the config's ``workers``/``queue_depth`` tuning still applies;
         a configured ``engine_team`` only applies when this drive is
-        heterogeneous).
+        heterogeneous).  The drive's lowered plan supplies the stage
+        names and the fuse affinity of a co-scheduled team.
         """
+        self._validate_drive(name or self.config.executor, self.config,
+                             per_call=name is not None)
         if name is None:
             config = self.config
         else:
@@ -511,35 +775,24 @@ class FusionSession:
             if name != "hetero":
                 overrides["engine_team"] = None
             config = self.config.with_overrides(**overrides)
+        plan = processor.plan
         if config.executor == "hetero":
+            stages = (*plan.parallel, *plan.mid)
             if config.engine_team is not None:
                 team = tuple(create_engine(name)
                              for name in config.engine_team)
                 return make_executor("hetero", engines=team,
                                      queue_depth=config.queue_depth,
                                      co_schedule=True,
-                                     affinity=self._plan_affinity(team))
+                                     affinity=plan.affinity,
+                                     stages=stages)
             team = create_engine_pool(self._engine.name, config.workers)
             return make_executor("hetero", engines=team,
-                                 queue_depth=config.queue_depth)
+                                 queue_depth=config.queue_depth,
+                                 stages=stages)
         return make_executor(config.executor, workers=config.workers,
                              queue_depth=config.queue_depth,
                              batch_size=config.batch_size)
-
-    def _plan_affinity(self, team: Tuple[Engine, ...]
-                       ) -> Optional[Dict[str, str]]:
-        """Pin the fuse/inverse stage where the per-level plan puts the
-        bulk of the inverse transform; forwards stay round-robin so
-        the two decompositions of a pair land on different engines."""
-        try:
-            plan = PerLevelScheduler(engines=team).plan(
-                self.config.fusion_shape, self.config.levels)
-        except ConfigurationError:
-            return None  # team contains engines the planner cannot cost
-        counts: Dict[str, int] = {}
-        for name in plan.inverse_assignment:
-            counts[name] = counts.get(name, 0) + 1
-        return {"fuse": max(counts.items(), key=lambda kv: kv[1])[0]}
 
     def process(self, visible: np.ndarray, thermal: np.ndarray,
                 timestamp_s: float = 0.0,
@@ -561,17 +814,18 @@ class FusionSession:
             )
         pair = FramePair(visible=visible, thermal=thermal,
                          timestamp_s=timestamp_s)
-        task = self._processor.ingest(pair, index=0)
+        processor = self._processor
+        task = processor.ingest(pair, index=0)
         if index is not None:
             task.index = index
-        self._processor.forward_visible(task)
-        self._processor.forward_thermal(task)
-        self._processor.fuse(task)
-        return self._processor.finalize(task)
+        for name in processor.plan.compute:
+            processor.run_stage(name, task)
+        return processor.finalize(task)
 
     # ------------------------------------------------------------------
     def stream(self, source, limit: Optional[int] = None,
-               executor: Optional[str] = None
+               executor: Optional[str] = None,
+               graph: Optional[FusionGraph] = None
                ) -> Iterator[FusedFrameResult]:
         """Fuse every pair ``source`` yields, as a lazy stream.
 
@@ -580,9 +834,13 @@ class FusionSession:
         many fused frames (needed for infinite sources).  Frames are
         driven by the configured executor (or the ``executor`` named
         here, for this stream only); results arrive in frame order
-        regardless of executor.  The source and any executor worker
-        threads are released when the stream ends — normally, on
-        error, or when the caller abandons the iterator.
+        regardless of executor.  ``graph`` swaps in a customized
+        :class:`~repro.graph.FusionGraph` (usually built from
+        :meth:`canonical_graph`) for this stream only — it is lowered
+        through the planner against this session's config, and every
+        executor interprets the same lowered plan.  The source and any
+        executor worker threads are released when the stream ends —
+        normally, on error, or when the caller abandons the iterator.
 
         The stream owns its source for cleanup: ``source.close()``
         runs when the stream ends.  :class:`FrameSource` objects
@@ -609,9 +867,10 @@ class FusionSession:
         decode_start = getattr(src, "decode_errors", None)
         driver: Optional[Executor] = None
         try:
-            driver = self._make_executor(executor)
+            processor = self._processor_for(graph)
+            driver = self._make_executor(processor, executor)
             self._concurrent_drive = driver.concurrent
-            yield from driver.run(self._processor, iter(src), limit=limit)
+            yield from driver.run(processor, iter(src), limit=limit)
         finally:
             self._concurrent_drive = False
             if driver is not None:
@@ -630,15 +889,18 @@ class FusionSession:
 
     def run(self, n_frames: int = 10,
             source: Optional[FrameSource] = None,
-            executor: Optional[str] = None) -> FusionReport:
+            executor: Optional[str] = None,
+            graph: Optional[FusionGraph] = None) -> FusionReport:
         """Fuse ``n_frames`` from ``source`` (default: the built-in
         capture chain) and report aggregates for exactly that batch.
 
         ``executor`` names an execution strategy for this batch only
         (e.g. ``run(64, executor="pipeline")``), otherwise the config's
-        executor drives.  A finite ``source`` may be exhausted before
-        ``n_frames`` are fused; the report's ``frames`` then tells the
-        truth and a :class:`RuntimeWarning` flags the shortfall.
+        executor drives.  ``graph`` swaps in a customized dataflow for
+        this batch (see :meth:`stream`).  A finite ``source`` may be
+        exhausted before ``n_frames`` are fused; the report's
+        ``frames`` then tells the truth and a :class:`RuntimeWarning`
+        flags the shortfall.
         """
         if n_frames < 1:
             raise ConfigurationError(
@@ -649,7 +911,7 @@ class FusionSession:
         self._batch_records = [] if self.config.keep_records else None
         try:
             for _ in self.stream(stream_source, limit=n_frames,
-                                 executor=executor):
+                                 executor=executor, graph=graph):
                 pass
             report = self._report_since(mark)
             report.records = self._batch_records or []

@@ -1,7 +1,12 @@
-"""Top-level system assembly (Section VI) and sweep runtime."""
+"""Top-level system assembly (Section VI) and sweep runtime.
 
-from .fusion_system import ENGINE_NAMES, SystemReport, VideoFusionSystem, make_engine
-from .advanced import AdvancedFusionSession, SessionReport
+The live content of this package is the Fig. 9/Fig. 10 sweep runtime;
+the pre-session entry points (``VideoFusionSystem``,
+``AdvancedFusionSession`` and friends) are deprecated re-export stubs
+resolved lazily, so importing :mod:`repro` or :mod:`repro.system`
+stays warning-free — only *touching* a deprecated name warns.
+"""
+
 # imported from the one real implementation, not the .telemetry shim,
 # so `import repro.system` stays warning-free; only explicit use of
 # the deprecated module path triggers its DeprecationWarning
@@ -17,10 +22,30 @@ from .runtime import (
     total_time_sweep,
 )
 
+#: Deprecated attribute -> shim module that resolves (and warns for) it.
+_DEPRECATED = {
+    "ENGINE_NAMES": "fusion_system",
+    "SystemReport": "fusion_system",
+    "VideoFusionSystem": "fusion_system",
+    "make_engine": "fusion_system",
+    "AdvancedFusionSession": "advanced",
+    "SessionReport": "advanced",
+}
+
 __all__ = [
-    "ENGINE_NAMES", "SystemReport", "VideoFusionSystem", "make_engine",
     "SweepRow", "energy_sweep", "find_crossover", "format_rows",
     "forward_stage_sweep", "inverse_stage_sweep", "sweep", "total_time_sweep",
     "FrameTelemetry", "TelemetrySummary",
-    "AdvancedFusionSession", "SessionReport",
 ]
+
+
+def __getattr__(name: str):
+    module = _DEPRECATED.get(name)
+    if module is not None:
+        from importlib import import_module
+        return getattr(import_module(f".{module}", __package__), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_DEPRECATED))

@@ -1,10 +1,12 @@
-"""Deprecated "everything on" session (superseded by :mod:`repro.session`).
+"""Deprecated module: the "everything on" session lives in
+:mod:`repro.session`.
 
-:class:`AdvancedFusionSession` assembled online adaptive engine
-selection, registration, temporal fusion, quality monitoring and
-telemetry.  All of that now lives behind the unified
-:class:`repro.session.FusionSession` facade — this module is a thin
-shim that maps the old constructor and report onto it::
+``AdvancedFusionSession`` (online adaptive engine selection +
+registration + temporal fusion + quality monitoring + telemetry) was
+first reduced to a wrapper over :class:`repro.session.FusionSession`
+and is now a pure re-export stub: accessing any name here warns and
+hands back the session-layer equivalent.  The legacy wrapper class and
+its ``SessionReport`` shape are gone — port callers to::
 
     from repro.session import FusionConfig, FusionSession
     FusionSession(FusionConfig(engine="online", registration=True,
@@ -14,85 +16,28 @@ shim that maps the old constructor and report onto it::
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
-from typing import Dict, Optional
 
-from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
-from ..session import FusionConfig, FusionSession
-from ..types import FrameShape
-from ..video.scene import SyntheticScene
+__all__ = ["AdvancedFusionSession", "SessionReport"]
 
 
-@dataclass
-class SessionReport:
-    """Legacy report shape of an advanced session run."""
-
-    frames: int
-    engine_usage: Dict[str, int]
-    actions: Dict[str, int]
-    alarms: int
-    mean_qabf: float
-    telemetry: Dict[str, float]
-    registered_shift_px: float
+def _resolve(name: str):
+    from ..session import FusionReport, FusionSession
+    return {
+        "AdvancedFusionSession": FusionSession,
+        "SessionReport": FusionReport,
+    }[name]
 
 
-class AdvancedFusionSession:
-    """Deprecated: use :class:`repro.session.FusionSession`."""
-
-    def __init__(self, fusion_shape: FrameShape = FrameShape(88, 72),
-                 levels: int = 3,
-                 scene: Optional[SyntheticScene] = None,
-                 use_registration: bool = True,
-                 use_temporal: bool = True,
-                 use_monitor: bool = True,
-                 target_fps: float = 25.0,
-                 energy_budget_mj: Optional[float] = None,
-                 power_model: PowerModel = DEFAULT_POWER_MODEL):
+def __getattr__(name: str):
+    if name in __all__:
         warnings.warn(
-            "AdvancedFusionSession is deprecated; use "
-            "repro.session.FusionSession(FusionConfig(engine='online', ...)) "
-            "instead",
+            f"repro.system.advanced.{name} is deprecated; use the "
+            f"repro.session API (FusionSession/FusionConfig) instead",
             DeprecationWarning, stacklevel=2,
         )
-        self.session = FusionSession(FusionConfig(
-            engine="online",
-            fusion_shape=fusion_shape,
-            levels=levels,
-            scene=scene,
-            registration=use_registration,
-            temporal=use_temporal,
-            monitor=use_monitor,
-            target_fps=target_fps,
-            energy_budget_mj=energy_budget_mj,
-            power_model=power_model,
-            quality_metrics=False,
-            keep_records=False,
-        ))
-        self.fusion_shape = fusion_shape
-        self.levels = levels
-        self.scene = self.session.capture_source().scene
-        self.power_model = power_model
+        return _resolve(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    @property
-    def scheduler(self):
-        return self.session.scheduler
 
-    @property
-    def monitor(self):
-        return self.session.monitor
-
-    @property
-    def telemetry(self):
-        return self.session.telemetry
-
-    def run(self, n_frames: int = 10) -> SessionReport:
-        report = self.session.run(n_frames)
-        return SessionReport(
-            frames=report.frames,
-            engine_usage=report.engine_usage,
-            actions=report.actions,
-            alarms=report.alarms,
-            mean_qabf=report.mean_qabf,
-            telemetry=report.telemetry,
-            registered_shift_px=report.registered_shift_px,
-        )
+def __dir__():
+    return sorted(__all__)

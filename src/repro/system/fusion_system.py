@@ -1,140 +1,57 @@
-"""Deprecated batch entry point (superseded by :mod:`repro.session`).
+"""Deprecated module: the batch entry point lives in :mod:`repro.session`.
 
-:class:`VideoFusionSystem` was the original top-level object: cameras +
-capture substrate + fusion engine + power accounting with a fixed or
-cost-model-selected engine.  It is now a thin shim over
-:class:`repro.session.FusionSession`, kept so existing code keeps
-working; new code should build a :class:`repro.session.FusionConfig`
-instead::
+``VideoFusionSystem`` (the original top-level object) was first
+reduced to a wrapper over :class:`repro.session.FusionSession` and is
+now a pure re-export stub: accessing any name here warns and hands
+back the session-layer equivalent.  The legacy wrapper class, its
+``SystemReport`` shape and the constructor-signature translation are
+gone — port callers to::
 
     from repro.session import FusionConfig, FusionSession
     FusionSession(FusionConfig(engine="adaptive")).run(10)
+
+The mapping this stub serves:
+
+==================  =========================================
+legacy name         session-layer equivalent
+==================  =========================================
+VideoFusionSystem   repro.session.FusionSession
+SystemReport        repro.session.FusionReport
+make_engine         repro.hw.registry.create_engine
+ENGINE_NAMES        repro.hw.registry.engine_names() and the
+                    cost-model scheduler name "adaptive"
+==================  =========================================
 """
 
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
-from typing import Dict, Optional
 
-from ..errors import ConfigurationError
-from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
-from ..hw.registry import create_engine, engine_names
-from ..session import FusionConfig, FusionReport, FusionSession
-from ..types import FrameShape
-from ..video.pipeline import FusedFrameRecord, PipelineReport
-from ..video.scene import SyntheticScene
-
-#: Engine names the legacy constructor accepts: the registry's engines
-#: plus the cost-model scheduler.  (A snapshot at import time; the
-#: constructor validates against the live registry, so engines
-#: registered later are also accepted.  The session-only "online"
-#: scheduler is rejected here, as the original class rejected it.)
-ENGINE_NAMES = engine_names() + ("adaptive",)
-
-#: Legacy alias for the registry factory (same validation, same error).
-make_engine = create_engine
+__all__ = ["ENGINE_NAMES", "SystemReport", "VideoFusionSystem",
+           "make_engine"]
 
 
-@dataclass
-class SystemReport:
-    """Legacy report shape: what a run produced and what it would cost."""
-
-    engine_used: str
-    pipeline: PipelineReport
-    quality: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def frames(self) -> int:
-        return self.pipeline.frames
-
-    @property
-    def model_fps(self) -> float:
-        return self.pipeline.model_fps
-
-    @property
-    def millijoules_per_frame(self) -> float:
-        return self.pipeline.millijoules_per_frame
+def _resolve(name: str):
+    from ..hw.registry import create_engine, engine_names
+    from ..session import FusionReport, FusionSession
+    return {
+        "VideoFusionSystem": FusionSession,
+        "SystemReport": FusionReport,
+        "make_engine": create_engine,
+        "ENGINE_NAMES": engine_names() + ("adaptive",),
+    }[name]
 
 
-def _as_pipeline_report(report: FusionReport) -> PipelineReport:
-    """Downgrade a unified report to the legacy pipeline shape."""
-    return PipelineReport(
-        frames=report.frames,
-        model_seconds_total=report.model_seconds_total,
-        model_millijoules_total=report.model_millijoules_total,
-        fifo_dropped=report.fifo_dropped,
-        decode_errors=report.decode_errors,
-        records=[
-            FusedFrameRecord(
-                frame=result.frame,
-                visible=result.visible,
-                thermal=result.thermal,
-                model_seconds=result.model_seconds,
-                model_millijoules=result.model_millijoules,
-            )
-            for result in report.records
-        ],
-    )
-
-
-class VideoFusionSystem:
-    """Deprecated: use :class:`repro.session.FusionSession`."""
-
-    def __init__(self, engine: str = "adaptive",
-                 fusion_shape: FrameShape = FrameShape(88, 72),
-                 levels: int = 3,
-                 scene: Optional[SyntheticScene] = None,
-                 power_model: PowerModel = DEFAULT_POWER_MODEL,
-                 objective: str = "energy"):
+def __getattr__(name: str):
+    if name in __all__:
         warnings.warn(
-            "VideoFusionSystem is deprecated; use "
-            "repro.session.FusionSession(FusionConfig(...)) instead",
+            f"repro.system.fusion_system.{name} is deprecated; use the "
+            f"repro.session API (FusionSession/FusionConfig) instead",
             DeprecationWarning, stacklevel=2,
         )
-        accepted = engine_names() + ("adaptive",)
-        if engine not in accepted:
-            # the session also knows "online"; the legacy class did not
-            raise ConfigurationError(
-                f"unknown engine {engine!r}; expected one of {accepted}"
-            )
-        self.session = FusionSession(FusionConfig(
-            engine=engine,
-            fusion_shape=fusion_shape,
-            levels=levels,
-            scene=scene,
-            power_model=power_model,
-            objective=objective,
-        ))
-        self.requested_engine = engine
-        self.fusion_shape = fusion_shape
-        self.levels = levels
-        self.scene = self.session.capture_source().scene
-        self.power_model = power_model
-        self.decision = self.session.decision
+        return _resolve(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    @property
-    def engine(self):
-        return self.session.engine
 
-    @property
-    def pipeline(self):
-        raise AttributeError(
-            "VideoFusionSystem.pipeline was removed with the session "
-            "refactor; per-frame records live on run() reports and the "
-            "capture chain is session.capture_source()"
-        )
-
-    def run(self, n_frames: int = 10, with_quality: bool = True) -> SystemReport:
-        """Fuse ``n_frames`` pairs; optionally score fusion quality."""
-        previous = self.session.config.quality_metrics
-        self.session.config.quality_metrics = with_quality
-        try:
-            report = self.session.run(n_frames)
-        finally:
-            self.session.config.quality_metrics = previous
-        return SystemReport(
-            engine_used=report.engine_used,
-            pipeline=_as_pipeline_report(report),
-            quality=report.quality,
-        )
+def __dir__():
+    return sorted(__all__)

@@ -107,6 +107,40 @@ class TestConfigValidation:
                               engine_team=["fpga", "neon"])
         assert config.engine_team == ("fpga", "neon")
 
+    def test_mutated_config_conflicts_raise_fusion_error(self):
+        """Field validation runs at construction; combinations a
+        mutated config smuggles past it fail loudly at drive time with
+        a FusionError naming both knobs, not deep in an executor."""
+        from repro.errors import FusionError
+        with FusionSession(small_config(executor="batch")) as s:
+            s.config.batch_size = 0
+            with pytest.raises(FusionError, match="batch_size"):
+                s.run(1)
+        with FusionSession(small_config()) as s:
+            s.config.workers = 0
+            with pytest.raises(FusionError, match="workers"):
+                s.run(1, executor="pipeline")
+            with pytest.raises(FusionError, match="workers"):
+                list(s.stream(SyntheticSource(seed=5), limit=1,
+                              executor="hetero"))
+        with FusionSession(small_config()) as s:
+            s.config.queue_depth = 0
+            with pytest.raises(FusionError, match="queue_depth"):
+                s.run(1, executor="pipeline")
+            # the serial path needs neither knob and still runs
+            assert s.run(1).frames == 1
+
+    def test_per_call_override_conflicts_raise_fusion_error(self):
+        from repro.errors import FusionError
+        config = small_config(executor="hetero",
+                              engine_team=("fpga", "neon"))
+        with FusionSession(config) as s:
+            # with_overrides drops the team for non-hetero overrides,
+            # but a hand-mutated executor field must not slip through
+            s.config.executor = "pipeline"
+            with pytest.raises(FusionError, match="engine_team"):
+                s.run(1)
+
     def test_engine_pool_builds_independent_instances(self):
         pool = create_engine_pool("neon", 3)
         assert len(pool) == 3

@@ -1,75 +1,59 @@
-"""Deprecated advanced-session shim and SVG figure generation.
+"""Deprecated advanced-session stub and SVG figure generation.
 
 The behaviour the old ``AdvancedFusionSession`` provided (online
 scheduling, registration, temporal fusion, monitoring, telemetry) is
-tested against the new API in ``test_session.py``; here we only verify
-the shim still exposes it faithfully.
+tested against the unified API in ``test_session.py``; the class body
+itself is gone.  Here we only verify the re-export stub: touching the
+legacy names warns and hands back the session-layer equivalents.
 """
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.figures import FIGURES, generate_figures, render_chart
-from repro.system.advanced import AdvancedFusionSession
+from repro.session import FusionConfig, FusionReport, FusionSession
 from repro.system.runtime import forward_stage_sweep
 from repro.types import FrameShape
 from repro.video.scene import SyntheticScene
 
 
-@pytest.fixture
-def small_session():
-    with pytest.warns(DeprecationWarning, match="FusionSession"):
-        return AdvancedFusionSession(
-            fusion_shape=FrameShape(48, 40), levels=2,
-            scene=SyntheticScene(width=96, height=80, seed=5),
-            energy_budget_mj=5000,
-        )
+class TestDeprecatedAdvancedStub:
+    def test_names_warn_and_resolve_to_session_api(self):
+        import repro.system.advanced as legacy
+        with pytest.warns(DeprecationWarning, match="FusionSession"):
+            assert legacy.AdvancedFusionSession is FusionSession
+        with pytest.warns(DeprecationWarning, match="FusionSession"):
+            assert legacy.SessionReport is FusionReport
 
+    def test_package_and_top_level_reexports(self):
+        import repro
+        import repro.system as system
+        with pytest.warns(DeprecationWarning):
+            assert system.AdvancedFusionSession is FusionSession
+        with pytest.warns(DeprecationWarning):
+            assert repro.AdvancedFusionSession is FusionSession
 
-class TestDeprecatedAdvancedSession:
-    def test_run_produces_report(self, small_session):
-        report = small_session.run(5)
+    def test_unknown_attribute_still_raises(self):
+        import repro.system.advanced as legacy
+        with pytest.raises(AttributeError):
+            legacy.does_not_exist
+
+    def test_resolved_class_runs_the_advanced_featureset(self):
+        """What the old class assembled is one config away."""
+        import repro.system.advanced as legacy
+        with pytest.warns(DeprecationWarning):
+            cls = legacy.AdvancedFusionSession
+        with cls(FusionConfig(
+                engine="online", fusion_shape=FrameShape(48, 40), levels=2,
+                scene=SyntheticScene(width=96, height=80, seed=5),
+                registration=True, temporal=True, monitor=True,
+                quality_metrics=False, keep_records=False)) as session:
+            report = session.run(5)
         assert report.frames == 5
         assert sum(report.engine_usage.values()) == 5
-        assert sum(report.actions.values()) == 5
-        assert 0.0 <= report.mean_qabf <= 1.0
-        assert report.telemetry["frames"] == 5
-
-    def test_explores_then_exploits(self, small_session):
-        report = small_session.run(8)
-        # all engines probed at least once
-        assert set(report.engine_usage) == {"arm", "neon", "fpga"}
-        # the winner gets the majority of frames
-        assert max(report.engine_usage.values()) >= 5
-
-    def test_aligned_rig_applies_no_shift(self, small_session):
-        report = small_session.run(4)
         assert report.registered_shift_px < 1.0
-
-    def test_features_can_be_disabled(self):
-        with pytest.warns(DeprecationWarning):
-            session = AdvancedFusionSession(
-                fusion_shape=FrameShape(48, 40), levels=2,
-                scene=SyntheticScene(width=96, height=80, seed=5),
-                use_registration=False, use_temporal=False,
-                use_monitor=False,
-            )
-        report = session.run(3)
-        assert report.alarms == 0
-        assert report.mean_qabf == 0.0  # monitor off
-        assert report.registered_shift_px == 0.0
-
-    def test_telemetry_energy_budget(self, small_session):
-        small_session.run(4)
-        remaining = small_session.telemetry.frames_remaining()
-        assert remaining is not None and remaining > 0
-
-    def test_validation(self, small_session):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigurationError):
-                AdvancedFusionSession(levels=0)
         with pytest.raises(ConfigurationError):
-            small_session.run(0)
+            session.run(0)
 
 
 class TestFigures:

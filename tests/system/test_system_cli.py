@@ -1,17 +1,16 @@
-"""Sweep runtime, the CLI, and the deprecated system shims."""
+"""Sweep runtime, the CLI, and the deprecated system stubs."""
 
-import warnings
+import json
+import os
+import subprocess
+import sys
 
 import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.session import FusionConfig, FusionSession
-from repro.system.fusion_system import (
-    ENGINE_NAMES,
-    VideoFusionSystem,
-    make_engine,
-)
+from repro.hw.registry import create_engine
+from repro.session import FusionReport, FusionSession
 from repro.system.runtime import (
     energy_sweep,
     find_crossover,
@@ -28,114 +27,71 @@ def small_scene():
     return SyntheticScene(width=96, height=80, seed=3)
 
 
-class TestDeprecatedVideoFusionSystem:
-    """The legacy entry point still works, via the session facade."""
+class TestDeprecatedSystemStubs:
+    """The legacy entry points are pure re-export stubs: every name
+    warns on access and resolves to its session-layer equivalent."""
 
-    def test_named_engines(self):
+    def test_video_fusion_system_is_the_session(self):
+        import repro.system.fusion_system as legacy
+        with pytest.warns(DeprecationWarning, match="FusionSession"):
+            assert legacy.VideoFusionSystem is FusionSession
+        with pytest.warns(DeprecationWarning):
+            assert legacy.SystemReport is FusionReport
+
+    def test_engine_helpers_resolve_to_registry(self):
+        import repro.system.fusion_system as legacy
+        with pytest.warns(DeprecationWarning):
+            make_engine = legacy.make_engine
+        assert make_engine is create_engine
         for name in ("arm", "neon", "fpga"):
             assert make_engine(name).name == name
-        assert set(ENGINE_NAMES) == {"arm", "neon", "fpga", "adaptive"}
         with pytest.raises(ConfigurationError):
             make_engine("gpu")
-
-    def test_construction_warns(self, small_scene):
-        with pytest.warns(DeprecationWarning, match="FusionSession"):
-            VideoFusionSystem(engine="neon", scene=small_scene)
-
-    def test_adaptive_picks_fpga_at_full_frame(self, small_scene):
         with pytest.warns(DeprecationWarning):
-            system = VideoFusionSystem(engine="adaptive",
-                                       fusion_shape=FrameShape(88, 72),
-                                       scene=small_scene)
-        assert system.engine.name == "fpga"
-        assert system.decision is not None
+            assert set(legacy.ENGINE_NAMES) >= {"arm", "neon", "fpga",
+                                                "adaptive"}
 
-    def test_adaptive_picks_neon_at_small_frame(self, small_scene):
+    def test_top_level_reexport_warns(self):
+        import repro
         with pytest.warns(DeprecationWarning):
-            system = VideoFusionSystem(engine="adaptive",
-                                       fusion_shape=FrameShape(32, 24),
-                                       scene=small_scene)
-        assert system.engine.name == "neon"
+            assert repro.VideoFusionSystem is FusionSession
+        with pytest.raises(AttributeError):
+            repro.NoSuchThing
 
-    def test_run_reports(self, small_scene):
+    def test_resolved_class_runs_the_legacy_workload(self, small_scene):
+        import repro.system.fusion_system as legacy
         with pytest.warns(DeprecationWarning):
-            system = VideoFusionSystem(engine="neon",
-                                       fusion_shape=FrameShape(40, 40),
-                                       levels=2, scene=small_scene)
-        report = system.run(2)
+            cls = legacy.VideoFusionSystem
+        with cls(engine="neon", fusion_shape=FrameShape(40, 40),
+                 levels=2, scene=small_scene) as session:
+            report = session.run(2)
         assert report.frames == 2
         assert report.engine_used == "neon"
         assert report.model_fps > 0
         assert report.millijoules_per_frame > 0
         assert "qabf" in report.quality
 
-    def test_unknown_engine_rejected(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with pytest.raises(ConfigurationError):
-                VideoFusionSystem(engine="abacus")
-            # the session-only "online" scheduler was never a legal
-            # value for the legacy class; the shim keeps rejecting it
-            with pytest.raises(ConfigurationError):
-                VideoFusionSystem(engine="online")
+    def test_unknown_attribute_still_raises(self):
+        import repro.system.fusion_system as legacy
+        with pytest.raises(AttributeError):
+            legacy.pipeline
 
-    def test_removed_pipeline_attribute_guides(self, small_scene):
-        with pytest.warns(DeprecationWarning):
-            system = VideoFusionSystem(engine="neon", scene=small_scene)
-        with pytest.raises(AttributeError, match="capture_source"):
-            system.pipeline
 
-    def test_repeated_runs_do_not_accumulate_records(self, small_scene):
-        with pytest.warns(DeprecationWarning):
-            system = VideoFusionSystem(engine="neon",
-                                       fusion_shape=FrameShape(40, 40),
-                                       levels=2, scene=small_scene)
-        first = system.run(2)
-        second = system.run(2)
-        # each report carries exactly its own batch, like the original
-        assert len(first.pipeline.records) == 2
-        assert len(second.pipeline.records) == 2
-
-    def test_shim_matches_session_exactly(self):
-        """The shim is a facade, not a fork: identical numbers."""
-        with pytest.warns(DeprecationWarning):
-            system = VideoFusionSystem(engine="neon",
-                                       fusion_shape=FrameShape(40, 40),
-                                       levels=2,
-                                       scene=SyntheticScene(width=96,
-                                                            height=80,
-                                                            seed=9))
-        old = system.run(2)
-        session = FusionSession(FusionConfig(
-            engine="neon", fusion_shape=FrameShape(40, 40), levels=2,
-            scene=SyntheticScene(width=96, height=80, seed=9)))
-        new = session.run(2)
-        assert np.isclose(old.millijoules_per_frame,
-                          new.millijoules_per_frame)
-        assert np.array_equal(old.pipeline.records[0].frame.pixels,
-                              new.records[0].pixels)
-
-    def test_shim_matches_concurrent_executors(self):
-        """The legacy path (now routed through the executor layer)
-        agrees bitwise with an explicitly concurrent session."""
-        with pytest.warns(DeprecationWarning):
-            system = VideoFusionSystem(engine="neon",
-                                       fusion_shape=FrameShape(40, 40),
-                                       levels=2,
-                                       scene=SyntheticScene(width=96,
-                                                            height=80,
-                                                            seed=9))
-        old = system.run(2)
-        for executor in ("pipeline", "hetero"):
-            session = FusionSession(FusionConfig(
-                engine="neon", executor=executor,
-                fusion_shape=FrameShape(40, 40), levels=2,
-                scene=SyntheticScene(width=96, height=80, seed=9)))
-            with session:
-                new = session.run(2)
-            for ref, got in zip(old.pipeline.records, new.records):
-                assert np.array_equal(ref.frame.pixels, got.pixels)
-                assert ref.model_millijoules == got.model_millijoules
+class TestWarningFreeImport:
+    def test_importing_repro_raises_no_warnings(self):
+        """DeprecationWarning escalated to an error: a clean
+        interpreter must import the package (and repro.system, whose
+        stubs are lazy) silently."""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        result = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning", "-c",
+             "import repro, repro.system, repro.exec, repro.graph; "
+             "print('clean')"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert result.returncode == 0, result.stderr
+        assert "clean" in result.stdout
 
 
 class TestRuntimeSweeps:
@@ -235,6 +191,45 @@ class TestCli:
         assert main(["demo", "--frames", "3", "--size", "32x24",
                      "--levels", "2", "--engine", "online"]) == 0
         assert "engine used" in capsys.readouterr().out
+
+    def test_plan_command_prints_graph_and_plan(self, capsys):
+        from repro.cli import main
+        assert main(["plan", "--size", "40x40", "--levels", "2",
+                     "--engine", "neon"]) == 0
+        out = capsys.readouterr().out
+        assert "FusionGraph" in out and "FusionPlan" in out
+        for stage in ("ingest", "visible", "thermal", "fuse", "finalize"):
+            assert stage in out
+        assert "batch groups" in out
+
+    def test_plan_json_output(self, capsys):
+        from repro.cli import main
+        assert main(["plan", "--size", "40x40", "--levels", "2",
+                     "--engine", "adaptive", "--executor", "batch",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schedule"] == ["ingest", "visible", "thermal",
+                                       "fuse", "finalize"]
+        assert payload["executor"] == "batch"
+        assert payload["batch_groups"] == [["visible", "thermal", "fuse"]]
+        assert payload["model_seconds_per_frame"] > 0
+        placements = {s["name"]: s["placement"] for s in payload["stages"]}
+        assert placements["fuse"] in ("arm", "neon", "fpga")
+
+    def test_plan_temporal_and_team(self, capsys):
+        from repro.cli import main
+        assert main(["plan", "--temporal", "--registration",
+                     "--engine", "neon", "--size", "40x40",
+                     "--levels", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sequential_mid"] is True
+        assert "register" in payload["head"]
+        assert payload["mid"] == ["temporal"]
+
+        assert main(["plan", "--executor", "hetero", "--engine-team",
+                     "fpga", "neon", "--engine", "neon", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["affinity"] == {"fuse": "fpga"}
 
     def test_seed_makes_runs_reproducible(self, tmp_path):
         from repro.cli import main
