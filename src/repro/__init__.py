@@ -21,6 +21,10 @@ The package implements the paper's complete system in simulation:
   frame executors — all interpreters of the lowered plan, selectable
   via ``FusionConfig(executor=...)``;
 * :mod:`repro.video` — cameras, BT.656 decode, scaler, FIFO, pipeline;
+* :mod:`repro.serve` — multi-stream serving: N concurrent sessions
+  multiplexed over a shared, leasable :class:`EnginePool` with
+  admission control and energy-fair scheduling
+  (:class:`FusionService`);
 * :mod:`repro.session` — the public API: one :class:`FusionConfig`,
   one :class:`FusionSession` facade, pluggable :class:`FrameSource`
   streams (synthetic worlds, in-memory arrays, camera simulators, the
@@ -70,6 +74,7 @@ from .hw import (
 # interface) already owns that name; import the pair protocol as
 # repro.session.FrameSource.
 from .graph import FusionGraph, FusionPlan, Planner, Stage
+from .serve import EngineLease, EnginePool, FusionService, ServiceReport
 from .session import (
     ArraySource,
     CameraPairSource,
@@ -102,6 +107,7 @@ __all__ = [
     "FramePair", "SyntheticSource", "ArraySource",
     "CameraPairSource", "CaptureChainSource",
     "Stage", "FusionGraph", "FusionPlan", "Planner",
+    "EngineLease", "EnginePool", "FusionService", "ServiceReport",
     "FULL_FRAME", "PAPER_FRAME_SIZES", "FrameShape",
     "FusionPipeline", "SyntheticScene",
     "__version__",

@@ -18,6 +18,11 @@ Subcommands
     through the planner and print the resulting
     :class:`~repro.graph.FusionPlan` — stage schedule, placements,
     batch groups and modelled per-stage cost — without fusing a frame.
+``serve``
+    Run many named streams concurrently over one shared engine pool
+    (:class:`repro.serve.FusionService`) from a JSON spec — per-stream
+    configs/sources/priorities, pool inventory, admission bounds — and
+    print the aggregate :class:`~repro.serve.ServiceReport`.
 ``figures``
     Render the sweep tables as SVG charts.
 
@@ -194,6 +199,83 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+#: FusionConfig fields a serve-spec stream block may set directly.
+_SERVE_CONFIG_FIELDS = (
+    "engine", "executor", "batch_size", "levels", "fusion_rule",
+    "objective", "registration", "temporal", "monitor",
+    "quality_metrics", "keep_records", "seed",
+)
+
+#: keys a serve-spec stream block itself may carry.
+_SERVE_STREAM_KEYS = ("name", "config", "seed", "frames", "priority",
+                      "batch_frames")
+
+
+def _serve_stream_config(name: str, block: dict) -> "FusionConfig":
+    """Build one stream's FusionConfig from its spec block."""
+    known = set(_SERVE_CONFIG_FIELDS) | {"size"}
+    bad = set(block) - known
+    if bad:
+        raise ConfigurationError(
+            f"stream {name!r}: unknown config key(s) {sorted(bad)}; "
+            f"expected a subset of {sorted(known)}")
+    fields = {key: block[key] for key in _SERVE_CONFIG_FIELDS
+              if key in block}
+    if "size" in block:
+        fields["fusion_shape"] = _parse_shape(str(block["size"]))
+    return FusionConfig(**fields)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import FusionService
+    from .session import SyntheticSource
+
+    try:
+        spec = json.loads(Path(args.streams).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read stream spec {args.streams!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    streams = spec.get("streams")
+    if not streams:
+        raise ConfigurationError(
+            f"stream spec {args.streams!r} has no 'streams' entries")
+
+    workers = spec.get("workers")
+    service = FusionService(
+        pool=spec.get("pool", {"arm": 1, "neon": 1, "fpga": 1}),
+        max_in_flight=int(spec.get("max_in_flight", 8)),
+        stream_queue_depth=int(spec.get("stream_queue_depth", 4)),
+        workers=int(workers) if workers is not None else None,
+    )
+    for index, block in enumerate(streams):
+        name = block.get("name", f"stream{index}")
+        bad = set(block) - set(_SERVE_STREAM_KEYS)
+        if bad:
+            # a typo'd knob must fail loudly, not silently run with
+            # the default it was meant to override
+            raise ConfigurationError(
+                f"stream {name!r}: unknown key(s) {sorted(bad)}; "
+                f"expected a subset of {sorted(_SERVE_STREAM_KEYS)}")
+        config = _serve_stream_config(name, block.get("config", {}))
+        seed = int(block.get("seed", config.seed))
+        service.add_stream(
+            name,
+            config=config,
+            source=SyntheticSource(seed=seed),
+            frames=int(block.get("frames", args.frames)),
+            priority=float(block.get("priority", 1.0)),
+            batch_frames=block.get("batch_frames"),
+        )
+    with service:
+        report = service.serve()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from .figures import generate_figures
     for path in generate_figures(args.output, levels=args.levels):
@@ -277,6 +359,20 @@ def build_parser() -> argparse.ArgumentParser:
                            "(requires --executor hetero); shows the "
                            "planned fuse affinity")
     plan.set_defaults(func=cmd_plan)
+
+    serve = sub.add_parser("serve", parents=[common],
+                           help="serve many streams concurrently over a "
+                                "shared engine pool from a JSON spec")
+    serve.add_argument("--streams", required=True, metavar="SPEC.json",
+                       help="service spec: pool inventory, admission "
+                            "bounds and per-stream config/seed/frames/"
+                            "priority blocks")
+    serve.add_argument("--frames", type=int, default=16,
+                       help="default frames per stream when a block "
+                            "does not set its own")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the ServiceReport as JSON on stdout")
+    serve.set_defaults(func=cmd_serve)
 
     schedule = sub.add_parser("schedule", parents=[common],
                               help="adaptive engine choice")

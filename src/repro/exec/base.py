@@ -33,7 +33,25 @@ from dataclasses import dataclass, field
 from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
                     Tuple)
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, FusionError
+
+
+def ensure_source_open(pairs: Any) -> None:
+    """Refuse to pull from a source closed mid-drive.
+
+    Sources that really release resources advertise it through a
+    ``closed`` attribute (see :class:`repro.session.FrameSource`);
+    pulling from one would at best replay garbage and at worst block a
+    capture thread forever against the bounded queues, so the drive
+    fails loudly with :class:`FusionError` instead.  Plain iterators
+    (no ``closed``) are unaffected.  Shared by every executor and by
+    the serving layer's capture threads.
+    """
+    if getattr(pairs, "closed", False):
+        raise FusionError(
+            "frame source was closed while a stream was still "
+            "being driven; close the stream (or exhaust it) "
+            "before closing its source")
 
 
 @dataclass
@@ -154,6 +172,18 @@ class FrameProcessor(ABC):
         """
         return [None] * n
 
+    def context_for(self, engine: object) -> Optional[object]:
+        """One worker context bound to an *externally owned* engine.
+
+        The serving layer leases engine instances from a shared
+        :class:`repro.serve.EnginePool` and drives stages under the
+        lease; this hook gives it a context whose compute state (lanes,
+        backend buffers) belongs to exactly that leased instance.  The
+        default delegates to :meth:`make_contexts`, so any processor
+        that supports per-worker engines supports external leases too.
+        """
+        return self.make_contexts(1, engines=[engine])[0]
+
     @abstractmethod
     def ingest(self, pair: Any, index: int) -> Any:
         """Turn a raw frame pair into a task (ordered, stateful)."""
@@ -252,6 +282,10 @@ class Executor(ABC):
         for thread in self._threads:
             thread.join(timeout=self.JOIN_TIMEOUT_S)
         self._threads = []
+
+    #: per-pull guard against a source closed mid-drive (see
+    #: :func:`ensure_source_open`)
+    _ensure_open = staticmethod(ensure_source_open)
 
     @abstractmethod
     def run(self, processor: FrameProcessor, pairs: Iterator[Any],

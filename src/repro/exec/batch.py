@@ -63,13 +63,15 @@ class BatchExecutor(Executor):
         stats = self.stats
         busy = stats.stage_busy_s
         started = time.perf_counter()
+        iterator = iter(pairs)
         try:
             index = 0
             while limit is None or stats.frames < limit:
+                self._ensure_open(pairs)
                 want = self.batch_size
                 if limit is not None:
                     want = min(want, limit - stats.frames)
-                raw = list(itertools.islice(pairs, want))
+                raw = list(itertools.islice(iterator, want))
                 if not raw:
                     return
 

@@ -236,6 +236,7 @@ class HeterogeneousExecutor(Executor):
                 # limit check before the pull: a bounded drive leaves a
                 # shared source exactly where the serial loop would
                 while not self._stop and (limit is None or produced < limit):
+                    self._ensure_open(pairs)
                     try:
                         pair = next(iterator)
                     except StopIteration:

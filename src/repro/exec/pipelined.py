@@ -134,6 +134,7 @@ class PipelineExecutor(Executor):
                 # sources must stay exactly where the serial loop
                 # would leave them)
                 while not self._stop and (limit is None or produced < limit):
+                    self._ensure_open(pairs)
                     try:
                         pair = next(iterator)
                     except StopIteration:

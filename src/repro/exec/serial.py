@@ -12,6 +12,7 @@ reproducing the paper's unoverlapped baseline numbers.
 
 from __future__ import annotations
 
+import itertools
 import time
 from typing import Any, Iterator, Optional
 
@@ -39,8 +40,14 @@ class SerialExecutor(Executor):
         # the plan's stage lists are fixed for one drive
         compute = (*processor.parallel_stages(), *processor.mid_stages())
         started = time.perf_counter()
+        iterator = iter(pairs)
         try:
-            for index, pair in enumerate(pairs):
+            for index in itertools.count():
+                self._ensure_open(pairs)
+                try:
+                    pair = next(iterator)
+                except StopIteration:
+                    return
                 t0 = time.perf_counter()
                 task = processor.ingest(pair, index)
                 t1 = time.perf_counter()

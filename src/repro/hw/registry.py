@@ -12,7 +12,7 @@ everywhere at once.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Mapping, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError
 from .arm import ArmEngine
@@ -72,6 +72,38 @@ def create_engine_pool(name: str, count: int) -> Tuple[Engine, ...]:
         raise ConfigurationError(f"engine pool size must be >= 1, "
                                  f"got {count}")
     return tuple(create_engine(name) for _ in range(count))
+
+
+def create_engines(spec: Union[Mapping[str, int], Sequence[str]]
+                   ) -> Tuple[Engine, ...]:
+    """Instantiate a mixed set of engines from ``spec``.
+
+    ``spec`` is either a mapping of engine name -> instance count
+    (``{"arm": 1, "fpga": 2}``) or a plain sequence of names, repeats
+    allowed (``("arm", "fpga", "fpga")``).  This is the constructor
+    behind :class:`repro.serve.EnginePool`: a serving deployment
+    describes its hardware inventory once, declaratively, and every
+    instance comes from the registry factory for its name — so leased
+    instances of one name are freely interchangeable without changing
+    results.
+    """
+    if isinstance(spec, Mapping):
+        pairs = []
+        for name, count in spec.items():
+            if not isinstance(count, int) or count < 1:
+                raise ConfigurationError(
+                    f"engine count for {name!r} must be a positive "
+                    f"integer, got {count!r}")
+            pairs.extend(name for _ in range(count))
+    elif isinstance(spec, (list, tuple)):
+        pairs = list(spec)
+    else:
+        raise ConfigurationError(
+            f"engine spec must be a name->count mapping or a sequence "
+            f"of engine names, got {spec!r}")
+    if not pairs:
+        raise ConfigurationError("engine spec cannot be empty")
+    return tuple(create_engine(name) for name in pairs)
 
 
 def default_engines() -> Tuple[Engine, ...]:

@@ -1,0 +1,52 @@
+"""Multi-stream serving: concurrent fusion sessions over a shared
+engine pool.
+
+The ROADMAP's north star is a service handling heavy traffic — many
+independent fusion workloads contending for one box's CPU/NEON/FPGA
+inventory.  This package is that serving layer:
+
+* :class:`EnginePool` — the hardware inventory as leasable engine
+  instances, with a strict lease/release protocol and occupancy
+  accounting (:class:`EngineLease`);
+* :class:`AdmissionController` — bounded work-in-progress: a global
+  ``max_in_flight`` frame cap plus bounded per-stream pending queues,
+  so backpressure reaches sources instead of growing buffers;
+* :class:`FusionService` — N named streams (each a full
+  :class:`~repro.session.FusionSession` with its own config, graph and
+  lowered plan), driven concurrently by a worker team under
+  energy-fair scheduling (pool energy split by priority, charged at
+  the planner's modelled J/frame);
+* :class:`ServiceReport` — per-stream :class:`~repro.session.FusionReport`
+  plus the aggregate only the service can see: throughput, per-engine
+  occupancy, the energy bill split by tenant.
+
+Determinism contract: with a fixed seed and any worker count, each
+stream's output frames are bitwise-identical to running that stream
+alone on its leased engines.
+
+Quick start::
+
+    from repro.serve import FusionService
+    from repro.session import FusionConfig, SyntheticSource
+
+    service = FusionService(pool={"neon": 1, "fpga": 2})
+    service.add_stream("a", config=FusionConfig(engine="fpga", seed=1),
+                       source=SyntheticSource(seed=1), frames=32)
+    service.add_stream("b", config=FusionConfig(engine="neon", seed=2),
+                       source=SyntheticSource(seed=2), frames=32,
+                       priority=2.0)
+    report = service.serve()
+    print(report.describe())
+"""
+
+from .admission import AdmissionController
+from .pool import EngineLease, EnginePool
+from .report import ServiceReport
+from .service import FusionService, StreamSpec
+
+__all__ = [
+    "AdmissionController",
+    "EngineLease", "EnginePool",
+    "FusionService", "StreamSpec",
+    "ServiceReport",
+]

@@ -1,0 +1,129 @@
+"""Admission control: bounded work-in-progress for a multi-stream service.
+
+A service that ingests as fast as sources produce would buffer without
+bound the moment demand exceeds the engine pool — exactly the failure
+mode the paper's handshaked capture FIFO guards against in hardware.
+:class:`AdmissionController` is the software analogue, enforcing two
+bounds *before* a frame is ingested:
+
+* ``max_in_flight`` — total frames admitted (ingested but not yet
+  finalized) across every stream, the service-wide work-in-progress
+  cap;
+* ``stream_queue_depth`` — per-stream bound on frames sitting in the
+  stream's pending queue awaiting dispatch, so one stalled stream
+  cannot monopolise the global budget.
+
+The controller shares the service's condition variable: admission
+blocks the stream's capture thread (backpressure propagates to the
+source, like a camera FIFO asserting not-ready) until a worker
+finalizes a frame or drains the stream's queue.  Peaks are recorded so
+tests — and the :class:`~repro.serve.ServiceReport` — can prove the
+bounds held rather than trust that they did.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+from ..errors import ConfigurationError
+
+#: seconds between stop-flag checks while blocked on a full budget
+TICK_S = 0.05
+
+
+class AdmissionController:
+    """Frame-admission bookkeeping under a shared condition variable.
+
+    All mutating methods must be called either under ``cond`` already
+    (``on_dispatch``/``on_done`` from the scheduler's critical section)
+    or acquire it themselves (``admit``); the controller never takes
+    any other lock, so it cannot participate in lock-order cycles.
+    """
+
+    def __init__(self, cond: threading.Condition, max_in_flight: int,
+                 stream_queue_depth: int):
+        if max_in_flight < 1:
+            raise ConfigurationError(
+                f"max_in_flight must be >= 1, got {max_in_flight}")
+        if stream_queue_depth < 1:
+            raise ConfigurationError(
+                f"stream_queue_depth must be >= 1, got "
+                f"{stream_queue_depth}")
+        self._cond = cond
+        self.max_in_flight = max_in_flight
+        self.stream_queue_depth = stream_queue_depth
+        self._in_flight = 0
+        self._peak_in_flight = 0
+        self._queued: Dict[str, int] = {}
+        self._peak_queued: Dict[str, int] = {}
+        self._admitted: Dict[str, int] = {}
+
+    def register(self, stream: str) -> None:
+        if stream in self._queued:
+            raise ConfigurationError(
+                f"stream {stream!r} already registered for admission")
+        self._queued[stream] = 0
+        self._peak_queued[stream] = 0
+        self._admitted[stream] = 0
+
+    # -- the admission gate ----------------------------------------------
+    def admit(self, stream: str, should_stop: Callable[[], bool]) -> bool:
+        """Block until ``stream`` may ingest one more frame.
+
+        Returns False (without admitting) when ``should_stop`` turns
+        true while waiting — the cancellation path out of the
+        backpressure wait.
+        """
+        with self._cond:
+            while True:
+                if should_stop():
+                    return False
+                if (self._in_flight < self.max_in_flight
+                        and self._queued[stream]
+                        < self.stream_queue_depth):
+                    self._in_flight += 1
+                    self._peak_in_flight = max(self._peak_in_flight,
+                                               self._in_flight)
+                    self._queued[stream] += 1
+                    self._peak_queued[stream] = max(
+                        self._peak_queued[stream], self._queued[stream])
+                    self._admitted[stream] += 1
+                    return True
+                self._cond.wait(timeout=TICK_S)
+
+    def retract(self, stream: str) -> None:
+        """Undo one :meth:`admit` ticket that never became a frame
+        (the source ended between admission and the pull).  Caller
+        holds the shared condition."""
+        self._queued[stream] -= 1
+        self._in_flight -= 1
+        self._admitted[stream] -= 1
+        self._cond.notify_all()
+
+    def on_dispatch(self, stream: str, frames: int) -> None:
+        """``frames`` left the stream's pending queue (caller holds
+        the shared condition)."""
+        self._queued[stream] -= frames
+
+    def on_done(self, stream: str, frames: int) -> None:
+        """``frames`` finalized (caller holds the shared condition);
+        wakes capture threads blocked on the global budget."""
+        self._in_flight -= frames
+        self._cond.notify_all()
+
+    # -- observability ----------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "max_in_flight": self.max_in_flight,
+            "stream_queue_depth": self.stream_queue_depth,
+            "in_flight": self._in_flight,
+            "peak_in_flight": self._peak_in_flight,
+            "queued": dict(self._queued),
+            "peak_queued": dict(self._peak_queued),
+            "admitted": dict(self._admitted),
+        }

@@ -1,0 +1,236 @@
+"""The shared engine pool: a lease/release protocol over real instances.
+
+A serving deployment owns a fixed hardware inventory — the paper's
+board has one ARM core, its NEON unit and one FPGA fabric; a bigger
+box has several of each.  :class:`EnginePool` models that inventory as
+instantiated :class:`~repro.hw.engine.Engine` objects (built through
+the single registry, so every instance of a name computes identical
+arithmetic) and hands them out under an explicit *lease*: a stream may
+only compute on an engine while it holds an :class:`EngineLease` for
+it, and must release the lease whether the frame succeeded, raised or
+was cancelled.
+
+The protocol is deliberately small:
+
+* :meth:`EnginePool.lease` — block until an instance of the named
+  engine is idle (optionally bounded by ``timeout``), then take it;
+* :meth:`EnginePool.try_lease` — non-blocking variant for schedulers
+  that already know the instance is idle;
+* :meth:`EngineLease.release` — return the instance (idempotent, and
+  what the lease's context manager does);
+* :meth:`EnginePool.stats` — accounting: leases granted/released,
+  instances outstanding, how often a lease had to wait, and per-
+  instance busy time, from which a service derives engine occupancy.
+
+Accounting is an invariant, not a convenience: ``granted`` equals
+``released`` plus ``outstanding`` at every instant, which is what the
+serve test-suite asserts across success, error and cancellation paths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..errors import ConfigurationError, FusionError
+from ..hw.engine import Engine
+from ..hw.registry import create_engines
+
+#: seconds between stop/timeout checks while blocked on a full pool
+TICK_S = 0.05
+
+
+class EngineLease:
+    """Temporary ownership of one pool instance.
+
+    The lease is a context manager (``with pool.lease("fpga"):``) and
+    :meth:`release` is idempotent, so ``finally`` blocks and explicit
+    releases compose without double-release accounting bugs.
+    """
+
+    __slots__ = ("engine", "name", "label", "_pool", "_acquired_s",
+                 "_released")
+
+    def __init__(self, pool: "EnginePool", engine: Engine, label: str):
+        self._pool = pool
+        self.engine = engine
+        self.name = engine.name
+        #: stable instance label (``fpga[1]``), the occupancy key
+        self.label = label
+        self._acquired_s = time.perf_counter()
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> bool:
+        """Return the instance to the pool; True if this call did it."""
+        if self._released:
+            return False
+        self._released = True
+        self._pool._return(self, time.perf_counter() - self._acquired_s)
+        return True
+
+    def __enter__(self) -> "EngineLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class EnginePool:
+    """A fixed inventory of engine instances shared by many streams."""
+
+    def __init__(self, spec: Union[Mapping[str, int], Sequence[str],
+                                   Sequence[Engine]]):
+        if (isinstance(spec, (list, tuple)) and spec
+                and all(isinstance(e, Engine) for e in spec)):
+            engines = tuple(spec)
+        else:
+            engines = create_engines(spec)
+        self._cond = threading.Condition()
+        self._idle: Dict[str, Deque[EngineLease]] = {}
+        self._labels: List[str] = []
+        per_name: Dict[str, int] = {}
+        for engine in engines:
+            slot = per_name.get(engine.name, 0)
+            per_name[engine.name] = slot + 1
+            label = f"{engine.name}[{slot}]"
+            self._labels.append(label)
+            lease = EngineLease(self, engine, label)
+            lease._released = True  # starts idle; not an outstanding lease
+            self._idle.setdefault(engine.name, deque()).append(lease)
+        self._counts = dict(per_name)
+        self._closed = False
+        # -- accounting ------------------------------------------------
+        self._granted = 0
+        self._released_n = 0
+        self._waits = 0
+        self._peak_outstanding = 0
+        self._busy_s: Dict[str, float] = {label: 0.0
+                                          for label in self._labels}
+        self._frames: Dict[str, int] = {label: 0 for label in self._labels}
+
+    # -- inventory ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._labels)
+
+    def names(self) -> Sequence[str]:
+        """Engine names present in the pool (registration order)."""
+        return tuple(self._counts)
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def idle_count(self, name: str) -> int:
+        with self._cond:
+            return len(self._idle.get(name, ()))
+
+    @property
+    def outstanding(self) -> int:
+        with self._cond:
+            return self._granted - self._released_n
+
+    # -- the lease protocol ---------------------------------------------
+    def _check_name(self, name: str) -> None:
+        if name not in self._counts:
+            raise ConfigurationError(
+                f"pool has no {name!r} engines; inventory is "
+                f"{dict(self._counts)}")
+
+    def _take_locked(self, name: str) -> EngineLease:
+        idle = self._idle[name].popleft()
+        lease = EngineLease(self, idle.engine, idle.label)
+        self._granted += 1
+        self._peak_outstanding = max(self._peak_outstanding,
+                                     self._granted - self._released_n)
+        return lease
+
+    def try_lease(self, name: str) -> Optional[EngineLease]:
+        """An idle instance of ``name`` right now, or ``None``."""
+        self._check_name(name)
+        with self._cond:
+            if self._closed:
+                raise FusionError("engine pool is closed")
+            if not self._idle[name]:
+                return None
+            return self._take_locked(name)
+
+    def lease(self, name: str,
+              timeout: Optional[float] = None) -> EngineLease:
+        """Block until an instance of ``name`` is idle, then take it.
+
+        Raises :class:`FusionError` when ``timeout`` elapses first or
+        the pool is closed while waiting — never returns a lease the
+        caller does not hold.
+        """
+        self._check_name(name)
+        deadline = (time.perf_counter() + timeout
+                    if timeout is not None else None)
+        waited = False
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise FusionError("engine pool is closed")
+                if self._idle[name]:
+                    if waited:
+                        self._waits += 1
+                    return self._take_locked(name)
+                if deadline is not None \
+                        and time.perf_counter() >= deadline:
+                    self._waits += 1
+                    raise FusionError(
+                        f"timed out waiting {timeout:.3f}s for an idle "
+                        f"{name!r} engine ({self._counts[name]} "
+                        f"instance(s), all leased)")
+                waited = True
+                self._cond.wait(timeout=TICK_S)
+
+    def _return(self, lease: EngineLease, held_s: float) -> None:
+        with self._cond:
+            self._released_n += 1
+            self._busy_s[lease.label] += held_s
+            self._frames[lease.label] += 1
+            # a closed pool still accepts returns so accounting always
+            # balances; it only refuses *new* leases
+            self._idle[lease.name].append(lease)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Refuse new leases (outstanding ones may still release)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- accounting ------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._cond:
+            return {
+                "size": self.size,
+                "inventory": dict(self._counts),
+                "granted": self._granted,
+                "released": self._released_n,
+                "outstanding": self._granted - self._released_n,
+                "peak_outstanding": self._peak_outstanding,
+                "waits": self._waits,
+                "busy_s": dict(self._busy_s),
+                "leases": dict(self._frames),
+            }
+
+    def occupancy(self, wall_seconds: float) -> Dict[str, float]:
+        """Busy fraction of ``wall_seconds`` per instance label."""
+        if wall_seconds <= 0:
+            return {label: 0.0 for label in self._labels}
+        with self._cond:
+            return {label: busy / wall_seconds
+                    for label, busy in self._busy_s.items()}
+
+    def __enter__(self) -> "EnginePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,94 @@
+"""Aggregate reporting for a multi-stream service run.
+
+Each stream keeps its own :class:`~repro.session.FusionReport` — the
+same shape a solo :meth:`FusionSession.run` produces, so per-stream
+numbers are directly comparable to single-tenant runs.  The
+:class:`ServiceReport` adds what only the service can see: aggregate
+throughput over the shared wall interval, how the pool's engines were
+occupied, how the energy bill splits across tenants, and whether the
+admission bounds and lease accounting held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..session.report import FusionReport
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of one :meth:`FusionService.serve` drive."""
+
+    #: per-stream reports, in stream registration order
+    streams: Dict[str, FusionReport] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    frames_total: int = 0
+    #: modelled energy split by tenant (mJ); sums to ``energy_mj_total``
+    energy_mj_by_stream: Dict[str, float] = field(default_factory=dict)
+    energy_mj_total: float = 0.0
+    #: per-instance busy fraction of the service wall interval
+    engine_occupancy: Dict[str, float] = field(default_factory=dict)
+    #: :meth:`EnginePool.stats` at the end of the drive
+    pool: Dict[str, object] = field(default_factory=dict)
+    #: :meth:`AdmissionController.snapshot` at the end of the drive
+    admission: Dict[str, object] = field(default_factory=dict)
+    #: scheduling outcome: per-stream grants, charged mJ, priority
+    scheduler: Dict[str, object] = field(default_factory=dict)
+    #: True when :meth:`FusionService.cancel` ended the drive early
+    cancelled: bool = False
+
+    @property
+    def aggregate_fps(self) -> float:
+        """Frames finalized per wall-clock second, all streams."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.frames_total / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary (per-frame records omitted)."""
+        return {
+            "frames_total": self.frames_total,
+            "wall_seconds": self.wall_seconds,
+            "aggregate_fps": self.aggregate_fps,
+            "energy_mj_total": self.energy_mj_total,
+            "energy_mj_by_stream": dict(self.energy_mj_by_stream),
+            "engine_occupancy": dict(self.engine_occupancy),
+            "pool": dict(self.pool),
+            "admission": dict(self.admission),
+            "scheduler": dict(self.scheduler),
+            "cancelled": self.cancelled,
+            "streams": {name: report.as_dict()
+                        for name, report in self.streams.items()},
+        }
+
+    def describe(self) -> str:
+        """Human-readable service summary."""
+        lines = [
+            f"ServiceReport: {len(self.streams)} stream(s), "
+            f"{self.frames_total} frames in {self.wall_seconds:.2f}s "
+            f"({self.aggregate_fps:.1f} fps aggregate)"
+            + (" [cancelled]" if self.cancelled else ""),
+            f"  {'stream':<16} {'frames':>6} {'fps':>8} {'mJ':>10} "
+            f"{'engines'}",
+        ]
+        for name, report in self.streams.items():
+            fps = report.throughput.get("wall_fps", 0.0)
+            engines = ",".join(sorted(report.engine_usage)) or "-"
+            lines.append(
+                f"  {name:<16} {report.frames:>6} {fps:>8.1f} "
+                f"{report.model_millijoules_total:>10.2f} {engines}")
+        occupancy = ", ".join(f"{label} {frac:.0%}" for label, frac
+                              in self.engine_occupancy.items())
+        lines.append(f"  engine occupancy: {occupancy or 'none'}")
+        lines.append(f"  pool leases     : "
+                     f"{self.pool.get('granted', 0)} granted / "
+                     f"{self.pool.get('released', 0)} released / "
+                     f"{self.pool.get('outstanding', 0)} outstanding")
+        lines.append(f"  peak in flight  : "
+                     f"{self.admission.get('peak_in_flight', 0)} of "
+                     f"{self.admission.get('max_in_flight', 0)} "
+                     f"(per-stream queue bound "
+                     f"{self.admission.get('stream_queue_depth', 0)})")
+        return "\n".join(lines)

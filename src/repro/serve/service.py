@@ -1,0 +1,602 @@
+"""The multi-stream fusion service: N sessions over one engine pool.
+
+The paper fuses one video pair on a fixed CPU–FPGA team; the serving
+question — many independent streams contending for the same silicon —
+is where heterogeneous teams actually pay off (Nunez-Yanez et al.,
+arXiv:1802.03316) and where per-kernel engine choice shifts with
+contention (Qasaimeh et al., arXiv:1906.11879).  :class:`FusionService`
+answers it with the pieces the package already has: each stream is a
+full :class:`~repro.session.FusionSession` (its own config, graph,
+lowered plan, scheduler, calibrator, telemetry), and the service
+multiplexes their *plan interpreters* over a shared
+:class:`~repro.serve.EnginePool`.
+
+Execution model
+---------------
+* One **capture thread per stream** pulls pairs from the stream's
+  source and runs the plan's ordered head (ingest + registration) in
+  frame order — after passing :class:`~repro.serve.AdmissionController`
+  (global ``max_in_flight`` cap, bounded per-stream pending queues, so
+  backpressure reaches the source instead of growing a buffer).
+* A team of **service workers** repeatedly picks the next grant under
+  one condition variable: among streams with pending frames whose
+  required engine has an idle pool instance, take the stream with the
+  lowest ``charged_mj / priority`` — *energy-fair scheduling*: pool
+  energy (modelled J/frame from the planner's cost model) is divided
+  in proportion to priority, so a cheap low-power stream is not
+  starved by an expensive one, and a priority-2 stream earns twice the
+  energy share.  The worker leases the engine, drives the stream's
+  compute stages (micro-batched through
+  :meth:`~repro.exec.FrameProcessor.process_batch` when the plan
+  allows it), finalizes in frame order, then releases the lease —
+  on success, error and cancellation alike.
+
+Determinism contract
+--------------------
+Per-stream compute is serialized (one grant at a time per stream) and
+every stage's arithmetic is bound to the frame's assigned engine —
+leased pool instances come from the same registry factory as a solo
+session's engines — so **with a fixed seed and any worker count, each
+stream's output frames are bitwise-identical to running that stream
+alone on its leased engines**.  Concurrency only changes wall-clock
+interleaving across streams, never a single output bit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigurationError, FusionError
+from ..exec.base import ensure_source_open
+from ..hw.registry import create_engine
+from ..session.config import FusionConfig
+from ..session.report import FusedFrameResult, FusionReport
+from ..session.session import FusionSession
+from ..session.sources import FrameSource, as_frame_source
+from .admission import AdmissionController
+from .pool import EngineLease, EnginePool
+from .report import ServiceReport
+
+#: placement label the planner gives host-side stages (no engine cost)
+_HOST = "host"
+
+
+class StreamSpec:
+    """One tenant of the service: a named fusion workload.
+
+    Parameters
+    ----------
+    name:
+        Unique stream identity, the key of every per-stream report.
+    config:
+        The stream's :class:`~repro.session.FusionConfig` — geometry,
+        engine/scheduler, features.  ``executor`` is ignored: the
+        service *is* the executor (``engine_team`` is rejected, the
+        pool owns the hardware).
+    source:
+        The stream's :class:`~repro.session.FrameSource` (or plain
+        iterable of pairs).
+    frames:
+        Stop after this many fused frames (``None``: run until the
+        source is exhausted — never for infinite sources).
+    priority:
+        Energy-fair weight (> 0): the stream's share of pool energy is
+        proportional to it.
+    batch_frames:
+        Dispatch granularity: how many pending frames one engine
+        grant may drain under a single lease — a batchable plan rides
+        its stacked micro-batch schedule, a sequential plan runs the
+        grant frame-major in frame order.  Default: the config's
+        ``batch_size``.  Set 1 to force per-frame cadence (lowest
+        latency); granularity never changes output bits, only
+        wall-clock.
+    on_result:
+        Optional callback invoked with each
+        :class:`~repro.session.FusedFrameResult` in frame order.
+    """
+
+    def __init__(self, name: str, config: FusionConfig,
+                 source: FrameSource, frames: Optional[int] = None,
+                 priority: float = 1.0,
+                 batch_frames: Optional[int] = None,
+                 on_result: Optional[Callable[[FusedFrameResult], None]]
+                 = None):
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(
+                f"stream name must be a non-empty string, got {name!r}")
+        if frames is not None and frames < 1:
+            raise ConfigurationError(
+                f"stream {name!r}: frames must be >= 1 or None, got "
+                f"{frames}")
+        if not (priority > 0):
+            raise ConfigurationError(
+                f"stream {name!r}: priority must be > 0, got {priority}")
+        if batch_frames is not None and batch_frames < 1:
+            raise ConfigurationError(
+                f"stream {name!r}: batch_frames must be >= 1 or None, "
+                f"got {batch_frames}")
+        if config.engine_team is not None:
+            raise ConfigurationError(
+                f"stream {name!r}: engine_team is not servable — the "
+                f"service leases engines from its shared pool; size "
+                f"the pool instead")
+        self.name = name
+        self.config = config
+        self.source = source
+        self.frames = frames
+        self.priority = float(priority)
+        self.batch_frames = batch_frames
+        self.on_result = on_result
+
+
+class _StreamState:
+    """Service-side runtime of one stream."""
+
+    def __init__(self, spec: StreamSpec, index: int):
+        self.spec = spec
+        self.name = spec.name
+        self.index = index  # registration order, the scheduling tie-break
+        # a private session per tenant: all ordered policies (frame
+        # indices, scheduler observations, calibration, telemetry)
+        # live here, untouched by other streams
+        self.session = FusionSession(spec.config)
+        self.processor = self.session._processor
+        self.plan = self.session.plan
+        self.source = as_frame_source(spec.source)
+        self.pending: Deque[object] = deque()
+        self.busy = False
+        self.capture_done = False
+        self.dispatched = 0
+        self.finalized = 0
+        self.grants = 0
+        self.charged_mj = 0.0
+        self.started_s: Optional[float] = None
+        self.ended_s: Optional[float] = None
+        self.mark = self.session._snapshot()
+        if spec.config.keep_records:
+            self.session._batch_records = []
+        #: per-leased-instance worker contexts (id(engine) -> ctx)
+        self.contexts: Dict[int, object] = {}
+        # sequential plans still take multi-frame grants (the frames
+        # run frame-major, in order, under one lease), so a temporal
+        # stream does not pay per-frame dispatch overhead either
+        self.batch_frames = (spec.batch_frames
+                             if spec.batch_frames is not None
+                             else spec.config.batch_size)
+        self.est_mj_per_frame = self._estimate_mj()
+
+    def required_engines(self) -> Tuple[str, ...]:
+        """Engine names frames of this stream may be assigned to."""
+        session = self.session
+        if session.scheduler is not None:  # online: the whole probe set
+            return tuple(e.name for e in session.scheduler.engines)
+        return (session._engine.name,)
+
+    def _estimate_mj(self) -> float:
+        """Modelled mJ/frame from the planner's cost model — the
+        energy-fair scheduler's charge per granted frame."""
+        power = self.spec.config.power_model
+        engines: Dict[str, object] = {}
+        mj = 0.0
+        for node in self.plan.nodes.values():
+            label = node.engine
+            if label == _HOST or label.startswith("team(") \
+                    or node.model_seconds <= 0:
+                continue
+            if label not in engines:
+                engines[label] = create_engine(label)
+            mj += (node.model_seconds
+                   * power.power_w(engines[label].power_mode) * 1e3)
+        return mj
+
+    def done(self) -> bool:
+        return self.capture_done and not self.pending and not self.busy
+
+    def close(self) -> None:
+        """Release the stream's source and session (both idempotent)."""
+        self.source.close()
+        self.session.close()
+
+
+class FusionService:
+    """Serve many named fusion streams over one shared engine pool.
+
+    Usage::
+
+        service = FusionService(pool={"arm": 1, "neon": 1, "fpga": 2},
+                                max_in_flight=8, stream_queue_depth=4)
+        service.add_stream("gate-cam", config=FusionConfig(engine="fpga"),
+                           source=SyntheticSource(seed=1), frames=64)
+        service.add_stream("tower-cam", config=FusionConfig(temporal=True),
+                           source=SyntheticSource(seed=2), frames=64,
+                           priority=2.0)
+        report = service.serve()          # blocking; or start()/wait()
+        report.streams["gate-cam"].model_millijoules_total
+
+    A service instance drives exactly one :meth:`serve` (mirroring the
+    one-shot executors); it is a context manager, and :meth:`cancel`
+    ends a drive early with every lease released and every thread
+    joined.
+    """
+
+    #: seconds between stop-flag checks while blocked on the condition
+    TICK_S = 0.05
+    #: seconds to wait for each service thread to join at shutdown
+    JOIN_TIMEOUT_S = 10.0
+
+    def __init__(self, pool: Union[EnginePool, Dict[str, int], tuple,
+                                   list],
+                 max_in_flight: int = 8, stream_queue_depth: int = 4,
+                 workers: Optional[int] = None):
+        self.pool = pool if isinstance(pool, EnginePool) \
+            else EnginePool(pool)
+        self._owns_pool = not isinstance(pool, EnginePool)
+        if workers is None:
+            workers = self.pool.size
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._cond = threading.Condition()
+        self.admission = AdmissionController(
+            self._cond, max_in_flight=max_in_flight,
+            stream_queue_depth=stream_queue_depth)
+        self._streams: Dict[str, _StreamState] = {}
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._error_lock = threading.Lock()
+        self._started = False
+        self._finished = False
+        self._cancelled = False
+        self._t0 = 0.0
+        self._t1 = 0.0
+        self._report: Optional[ServiceReport] = None
+
+    # -- registration ----------------------------------------------------
+    def add_stream(self, name: str, config: Optional[FusionConfig] = None,
+                   source: Optional[FrameSource] = None,
+                   frames: Optional[int] = None, priority: float = 1.0,
+                   batch_frames: Optional[int] = None,
+                   on_result: Optional[Callable] = None,
+                   **config_overrides) -> StreamSpec:
+        """Register one stream; validates it against the pool.
+
+        ``config_overrides`` are convenience field overrides applied on
+        top of ``config`` (or a default config), mirroring
+        :class:`~repro.session.FusionSession`'s constructor.
+        """
+        if self._started:
+            raise ConfigurationError(
+                "cannot add streams to a service that already started")
+        if name in self._streams:
+            raise ConfigurationError(
+                f"duplicate stream name {name!r}")
+        if config is None:
+            config = FusionConfig(**config_overrides)
+        elif config_overrides:
+            config = config.with_overrides(**config_overrides)
+        if source is None:
+            raise ConfigurationError(
+                f"stream {name!r} needs a frame source")
+        spec = StreamSpec(name=name, config=config, source=source,
+                          frames=frames, priority=priority,
+                          batch_frames=batch_frames, on_result=on_result)
+        state = _StreamState(spec, index=len(self._streams))
+        missing = [engine for engine in state.required_engines()
+                   if self.pool.count(engine) == 0]
+        if missing:
+            state.close()
+            raise ConfigurationError(
+                f"stream {name!r} may select engine(s) {missing} but "
+                f"the pool only holds {dict(self.pool.stats()['inventory'])}; "
+                f"add instances or pin the stream to a pooled engine")
+        # a grant can never need more frames than admission allows to
+        # accumulate, or batch-ready dispatch would deadlock against
+        # the very bounds that protect the service
+        state.batch_frames = min(state.batch_frames,
+                                 self.admission.stream_queue_depth,
+                                 self.admission.max_in_flight)
+        self._streams[name] = state
+        self.admission.register(name)
+        return spec
+
+    # -- error/stop plumbing ----------------------------------------------
+    def _fail(self, exc: BaseException) -> None:
+        with self._error_lock:
+            if self._error is None:
+                self._error = exc
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+
+    def _stopped(self) -> bool:
+        return self._stop.is_set()
+
+    # -- capture (one thread per stream) ----------------------------------
+    def _capture(self, st: _StreamState) -> None:
+        produced = 0
+        limit = st.spec.frames
+        try:
+            iterator = iter(st.source)
+            while not self._stop.is_set() \
+                    and (limit is None or produced < limit):
+                if not self.admission.admit(st.name, self._stopped):
+                    return  # cancelled while backpressured
+                try:
+                    ensure_source_open(st.source)
+                except FusionError as exc:
+                    raise FusionError(f"stream {st.name!r}: {exc}") \
+                        from None
+                try:
+                    pair = next(iterator)
+                except StopIteration:
+                    # the admission ticket was never attached to a frame
+                    with self._cond:
+                        self.admission.retract(st.name)
+                    return
+                task = st.processor.ingest(pair, produced)
+                now = time.perf_counter()
+                with self._cond:
+                    if st.started_s is None:
+                        st.started_s = now
+                    st.pending.append(task)
+                    self._cond.notify_all()
+                produced += 1
+        except BaseException as exc:  # noqa: BLE001 - crosses threads
+            self._fail(exc)
+        finally:
+            with self._cond:
+                st.capture_done = True
+                self._cond.notify_all()
+
+    # -- dispatch ---------------------------------------------------------
+    def _all_done_locked(self) -> bool:
+        return all(st.done() for st in self._streams.values())
+
+    def _select_locked(self) -> Optional[Tuple[_StreamState, List[object],
+                                               EngineLease]]:
+        """The energy-fair pick: among dispatchable streams, the one
+        with the lowest charged-energy-per-priority; grants drain up
+        to ``batch_frames`` same-engine frames.  Caller holds the
+        service condition.
+
+        A batchable stream is preferred once *batch-ready* (a full
+        micro-batch pending, or its capture finished), so the stacked
+        transforms actually see full stacks; but when the global
+        admission budget is saturated the best partial batch runs
+        instead — waiting for frames that admission will never admit
+        would deadlock the service against its own backpressure.
+        """
+        best: Optional[_StreamState] = None
+        best_key = None
+        partial: Optional[_StreamState] = None
+        partial_key = None
+        for st in self._streams.values():
+            if st.busy or not st.pending:
+                continue
+            engine_name = st.pending[0].engine.name
+            if self.pool.idle_count(engine_name) == 0:
+                continue  # contended: revisit when a lease returns
+            key = (st.charged_mj / st.spec.priority, st.dispatched,
+                   st.index)
+            if st.capture_done or len(st.pending) >= st.batch_frames:
+                if best is None or key < best_key:
+                    best, best_key = st, key
+            elif partial is None or key < partial_key:
+                partial, partial_key = st, key
+        if best is None:
+            saturated = (self.admission.in_flight
+                         >= self.admission.max_in_flight)
+            best = partial if saturated else None
+        if best is None:
+            return None
+        engine_name = best.pending[0].engine.name
+        take = 1
+        while (take < best.batch_frames and take < len(best.pending)
+               and best.pending[take].engine.name == engine_name):
+            take += 1
+        lease = self.pool.try_lease(engine_name)
+        if lease is None:  # pragma: no cover - guarded by idle_count
+            return None
+        tasks = [best.pending.popleft() for _ in range(take)]
+        best.busy = True
+        best.dispatched += take
+        best.grants += 1
+        best.charged_mj += take * best.est_mj_per_frame
+        self.admission.on_dispatch(best.name, take)
+        return best, tasks, lease
+
+    def _compute(self, st: _StreamState, tasks: List[object],
+                 lease: EngineLease) -> None:
+        """Drive one grant: the stream's compute stages, then ordered
+        finalize — the per-stream serial interpretation of its plan,
+        under the externally owned engine lease."""
+        processor = st.processor
+        if len(tasks) > 1:
+            # micro-batched interpretation of the plan's batch
+            # schedule (bitwise-identical to per-frame, like the
+            # batch executor); a sequential plan runs the grant
+            # frame-major in frame order, also via process_batch
+            processor.process_batch(tasks)
+        else:
+            task = tasks[0]
+            ctx = st.contexts.get(id(lease.engine))
+            if ctx is None:
+                ctx = processor.context_for(lease.engine)
+                st.contexts[id(lease.engine)] = ctx
+            for name in st.plan.compute:
+                processor.run_stage(name, task, ctx)
+        for task in tasks:
+            result = processor.finalize(task)
+            if st.spec.on_result is not None:
+                st.spec.on_result(result)
+
+    def _worker(self, slot: int) -> None:
+        try:
+            while True:
+                grant = None
+                with self._cond:
+                    while grant is None:
+                        if self._stop.is_set() or self._all_done_locked():
+                            return
+                        grant = self._select_locked()
+                        if grant is None:
+                            self._cond.wait(timeout=self.TICK_S)
+                st, tasks, lease = grant
+                try:
+                    self._compute(st, tasks, lease)
+                finally:
+                    lease.release()
+                    now = time.perf_counter()
+                    with self._cond:
+                        st.busy = False
+                        st.finalized += len(tasks)
+                        st.ended_s = now
+                        self.admission.on_done(st.name, len(tasks))
+                        self._cond.notify_all()
+        except BaseException as exc:  # noqa: BLE001 - crosses threads
+            self._fail(exc)
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> "FusionService":
+        """Launch capture threads and the worker team (non-blocking)."""
+        if self._started:
+            raise ConfigurationError(
+                "FusionService instances drive exactly one serve(); "
+                "create a new service for the next drive")
+        if not self._streams:
+            raise ConfigurationError(
+                "service has no streams; add_stream() first")
+        self._started = True
+        self._t0 = time.perf_counter()
+        self._threads = [
+            threading.Thread(target=self._capture, args=(st,),
+                             name=f"serve-capture-{st.name}", daemon=True)
+            for st in self._streams.values()
+        ] + [
+            threading.Thread(target=self._worker, args=(slot,),
+                             name=f"serve-worker-{slot}", daemon=True)
+            for slot in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def cancel(self) -> None:
+        """End the drive early; leases are released and threads join
+        in :meth:`wait`/:meth:`close`."""
+        self._cancelled = True
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+
+    def wait(self) -> ServiceReport:
+        """Block until every stream finishes (or the drive stops),
+        then return the :class:`ServiceReport`.  Re-raises the first
+        stream/worker error after releasing every resource."""
+        if not self._started:
+            raise ConfigurationError("service was never started")
+        if self._report is not None:
+            return self._report
+        try:
+            # workers exit on their own when all streams are done;
+            # nudge them awake in case a notify was missed
+            while (any(t.is_alive() for t in self._threads)
+                   and not self._stop.is_set()):
+                with self._cond:
+                    self._cond.notify_all()
+                for thread in self._threads:
+                    thread.join(timeout=self.TICK_S)
+            for thread in self._threads:
+                thread.join(timeout=self.JOIN_TIMEOUT_S)
+        finally:
+            self._t1 = time.perf_counter()
+            self._finished = True
+            for st in self._streams.values():
+                st.close()
+            if self._owns_pool:
+                self.pool.close()
+        if self._error is not None:
+            raise self._error
+        self._report = self._build_report()
+        return self._report
+
+    def serve(self) -> ServiceReport:
+        """Run every stream to completion and report (blocking)."""
+        return self.start().wait()
+
+    def close(self) -> None:
+        """Cancel and join (idempotent; never raises stream errors —
+        :meth:`wait` is the raising path).  A service that never
+        started still releases every added stream's session and
+        source here."""
+        if self._started and not self._finished:
+            self.cancel()
+            try:
+                self.wait()
+            except BaseException:  # noqa: BLE001 - close() must not raise
+                pass
+        elif not self._started and not self._finished:
+            self._finished = True
+            for st in self._streams.values():
+                st.close()
+            if self._owns_pool:
+                self.pool.close()
+
+    def __enter__(self) -> "FusionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reporting --------------------------------------------------------
+    def _stream_report(self, st: _StreamState) -> FusionReport:
+        report = st.session._report_since(st.mark)
+        report.records = st.session._batch_records or []
+        wall = ((st.ended_s - st.started_s)
+                if st.started_s is not None and st.ended_s is not None
+                else 0.0)
+        peak_queue = self.admission.snapshot()["peak_queued"].get(
+            st.name, 0)
+        report.throughput = {
+            "executor": "serve",
+            "frames": st.finalized,
+            "wall_seconds": wall,
+            "wall_fps": st.finalized / wall if wall > 0 else 0.0,
+            "grants": st.grants,
+            "batch_frames": st.batch_frames,
+            "queue_peak": {"pending": peak_queue},
+            "charged_mj": st.charged_mj,
+            "priority": st.spec.priority,
+        }
+        return report
+
+    def _build_report(self) -> ServiceReport:
+        wall = self._t1 - self._t0
+        streams = {name: self._stream_report(st)
+                   for name, st in self._streams.items()}
+        energy = {name: report.model_millijoules_total
+                  for name, report in streams.items()}
+        return ServiceReport(
+            streams=streams,
+            wall_seconds=wall,
+            frames_total=sum(r.frames for r in streams.values()),
+            energy_mj_by_stream=energy,
+            energy_mj_total=sum(energy.values()),
+            engine_occupancy=self.pool.occupancy(wall),
+            pool=self.pool.stats(),
+            admission=self.admission.snapshot(),
+            scheduler={
+                name: {"grants": st.grants,
+                       "dispatched": st.dispatched,
+                       "charged_mj": st.charged_mj,
+                       "est_mj_per_frame": st.est_mj_per_frame,
+                       "priority": st.spec.priority}
+                for name, st in self._streams.items()
+            },
+            cancelled=self._cancelled,
+        )

@@ -62,7 +62,8 @@ from ..video.frames import VideoFrame
 from ..video.scaler import resize_to
 from .config import FusionConfig
 from .report import FusedFrameResult, FusionReport
-from .sources import CaptureChainSource, FramePair, FrameSource, as_frame_source
+from .sources import (CaptureChainSource, ClosedAwareIterator, FramePair,
+                      FrameSource, as_frame_source)
 from .telemetry import FrameTelemetry
 
 
@@ -870,7 +871,12 @@ class FusionSession:
             processor = self._processor_for(graph)
             driver = self._make_executor(processor, executor)
             self._concurrent_drive = driver.concurrent
-            yield from driver.run(processor, iter(src), limit=limit)
+            # a closed-aware iterator keeps the executor contract
+            # (pairs is a real Iterator) while letting the drive see a
+            # mid-stream close() and fail loudly instead of pulling
+            # from a dead source
+            yield from driver.run(processor, ClosedAwareIterator(src),
+                                  limit=limit)
         finally:
             self._concurrent_drive = False
             if driver is not None:
@@ -924,6 +930,41 @@ class FusionSession:
                 RuntimeWarning, stacklevel=2,
             )
         return report
+
+    def serve(self, source: Optional[FrameSource] = None,
+              frames: int = 10,
+              pool: Optional[object] = None,
+              priority: float = 1.0,
+              **service_kwargs) -> FusionReport:
+        """Drive this session's *configuration* through the serving
+        layer as a single-tenant :class:`repro.serve.FusionService`.
+
+        The N=1 interop with multi-stream serving: the same config,
+        graph and plan are served over an engine pool (default: one
+        instance of every engine this session may select), and the
+        stream's :class:`FusionReport` comes back — bitwise-identical
+        frames to :meth:`run` on the same seeded source.  The service
+        builds its own private session from the config, so this
+        session's accumulated counters stay untouched; ``pool`` and
+        ``service_kwargs`` (``max_in_flight``, ``stream_queue_depth``,
+        ``workers``) expose the serving knobs for experimentation.
+        """
+        from ..serve import FusionService
+
+        if source is None:
+            source = CaptureChainSource(scene=self.config.make_scene())
+        if pool is None:
+            if self.scheduler is not None:
+                names = [engine.name for engine in self.scheduler.engines]
+            else:
+                names = [self._engine.name]
+            pool = {name: 1 for name in names}
+        with FusionService(pool=pool, **service_kwargs) as service:
+            service.add_stream("session", config=self.config,
+                               source=source, frames=frames,
+                               priority=priority)
+            report = service.serve()
+        return report.streams["session"]
 
     # ------------------------------------------------------------------
     def _snapshot(self) -> Dict[str, object]:

@@ -58,7 +58,20 @@ class FrameSource:
     Subclasses implement :meth:`frames`; it may be infinite (live
     cameras) or finite (recorded arrays).  Iterating the source object
     itself delegates to :meth:`frames`.
+
+    Sources whose :meth:`close` really releases resources should set
+    ``self.closed = True`` there: the executors check the flag before
+    every pull, so closing such a source while a stream is still
+    driving it fails loudly with :class:`FusionError` instead of
+    replaying a dead device or deadlocking a capture thread against
+    the bounded queues.  The default close is a no-op and leaves
+    ``closed`` False, which is what keeps the built-in synthetic
+    sources reusable across streams.
     """
+
+    #: True once a resource-owning close() ran; executors refuse to
+    #: pull from a closed source mid-drive
+    closed: bool = False
 
     def frames(self) -> Iterator[FramePair]:  # pragma: no cover - interface
         raise NotImplementedError
@@ -68,7 +81,8 @@ class FrameSource:
         iterators).  Called by :meth:`FusionSession.stream` when a
         stream ends — normally, on error, or at an early ``limit``
         exit.  The default is a no-op so purely synthetic sources stay
-        reusable across streams; stateful subclasses override it.
+        reusable across streams; stateful subclasses override it (and
+        set ``self.closed = True``).
         """
 
     def __iter__(self) -> Iterator[FramePair]:
@@ -253,6 +267,34 @@ class CaptureChainSource(FrameSource):
             index += 1
 
 
+class ClosedAwareIterator:
+    """A true iterator over one source's frames that still advertises
+    the source's ``closed`` flag.
+
+    :meth:`FusionSession.stream` hands this to the executor, so the
+    documented ``Iterator`` contract of :meth:`repro.exec.Executor.run`
+    holds for out-of-tree executors (``next()`` works, a single
+    consumption position) while the drive can still see a mid-stream
+    :meth:`FrameSource.close` and fail loudly.
+    """
+
+    __slots__ = ("_source", "_iterator")
+
+    def __init__(self, source: FrameSource):
+        self._source = source
+        self._iterator = iter(source)
+
+    @property
+    def closed(self) -> bool:
+        return bool(getattr(self._source, "closed", False))
+
+    def __iter__(self) -> "ClosedAwareIterator":
+        return self
+
+    def __next__(self) -> FramePair:
+        return next(self._iterator)
+
+
 def as_frame_source(source) -> FrameSource:
     """Coerce plain iterables of ``(visible, thermal)`` into a source.
 
@@ -288,6 +330,7 @@ class _IterableSource(FrameSource):
     def close(self) -> None:
         """Close the wrapped iterator (a half-consumed generator's
         ``finally`` blocks run now, not at interpreter exit)."""
+        self.closed = True
         closer = getattr(self._iterable, "close", None)
         if callable(closer):
             closer()

@@ -62,3 +62,35 @@ def fpga_engine():
 @pytest.fixture
 def scene():
     return SyntheticScene(width=96, height=80, seed=42)
+
+
+def _assert_bitwise_parity(reference, results, *, costs=True, label=""):
+    """Golden-parity check shared by the executor, graph and serve
+    suites: ``results`` must be *bitwise* identical to ``reference``
+    (lists of :class:`repro.session.FusedFrameResult`) — same pixels,
+    same frame order, and (unless ``costs=False``, for deliberately
+    re-attributed accounting) identical modelled time/energy and
+    engine labels.  The package-wide invariant: scheduling may change
+    wall-clock, never a single output bit.
+    """
+    where = f" [{label}]" if label else ""
+    assert len(results) == len(reference), \
+        f"frame count mismatch{where}: {len(results)} != {len(reference)}"
+    for ref, got in zip(reference, results):
+        assert got.index == ref.index, \
+            f"frame order diverged{where}: {got.index} != {ref.index}"
+        assert np.array_equal(ref.frame.pixels, got.frame.pixels), \
+            f"frame {ref.index} pixels diverged{where}"
+        if costs:
+            assert got.model_seconds == ref.model_seconds, \
+                f"frame {ref.index} modelled seconds diverged{where}"
+            assert got.model_millijoules == ref.model_millijoules, \
+                f"frame {ref.index} modelled energy diverged{where}"
+            assert got.engine == ref.engine, \
+                f"frame {ref.index} engine label diverged{where}"
+
+
+@pytest.fixture
+def assert_bitwise_parity():
+    """The shared run-serial/hash-frames/compare-executor helper."""
+    return _assert_bitwise_parity

@@ -39,24 +39,18 @@ class TestBatchParity:
         dict(temporal=True),
         dict(registration=True, monitor=True),
     ])
-    def test_batch_matches_serial(self, features):
+    def test_batch_matches_serial(self, features, assert_bitwise_parity):
         reference = fuse_stream("serial", **features)
         results = fuse_stream("batch", **features)
-        assert len(results) == len(reference)
-        for ref, got in zip(reference, results):
-            assert np.array_equal(ref.frame.pixels, got.frame.pixels)
-            assert ref.model_millijoules == got.model_millijoules
-            assert ref.model_seconds == got.model_seconds
-            assert ref.engine == got.engine
-            assert ref.index == got.index
+        assert_bitwise_parity(reference, results)
 
     @pytest.mark.parametrize("batch_size", [1, 2, 3, 8, 32])
-    def test_every_batch_size_matches_serial(self, batch_size):
+    def test_every_batch_size_matches_serial(self, batch_size,
+                                             assert_bitwise_parity):
         reference = fuse_stream("serial", n=7)
         results = fuse_stream("batch", n=7, batch_size=batch_size)
-        for ref, got in zip(reference, results):
-            assert np.array_equal(ref.frame.pixels, got.frame.pixels)
-            assert ref.model_seconds == got.model_seconds
+        assert_bitwise_parity(reference, results,
+                              label=f"batch_size={batch_size}")
 
     def test_online_scheduler_groups_split_by_engine(self):
         """A probing scheduler mixes engines inside one micro-batch;

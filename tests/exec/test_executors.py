@@ -163,17 +163,12 @@ class TestDeterminism:
         dict(temporal=True),
         dict(registration=True, monitor=True),
     ])
-    def test_concurrent_matches_serial(self, features):
+    def test_concurrent_matches_serial(self, features,
+                                       assert_bitwise_parity):
         reference = fuse_stream("serial", **features)
         for executor in ("pipeline", "hetero"):
             results = fuse_stream(executor, **features)
-            assert len(results) == len(reference)
-            for ref, got in zip(reference, results):
-                assert np.array_equal(ref.frame.pixels, got.frame.pixels)
-                assert ref.model_millijoules == got.model_millijoules
-                assert ref.model_seconds == got.model_seconds
-                assert ref.engine == got.engine
-                assert ref.index == got.index
+            assert_bitwise_parity(reference, results, label=executor)
 
     def test_reports_aggregate_identically(self):
         reports = {}
@@ -311,6 +306,39 @@ class TestLifecycle:
         assert source.closed
         assert threading.active_count() == before
 
+    @pytest.mark.parametrize("executor", ("pipeline", "hetero"))
+    def test_source_closed_mid_stream_raises_not_deadlocks(self, executor):
+        """Regression: closing a source while a concurrent executor is
+        still capturing from it used to leave the capture thread
+        pulling from a dead source against the bounded queues; it must
+        surface as a FusionError on the consumer instead."""
+        from repro.errors import FusionError
+        before = threading.active_count()
+        source = _ClosableSource(n=10_000)
+        session = FusionSession(small_config(executor=executor))
+        stream = session.stream(source)
+        next(stream)
+        source.close()  # mid-iteration: the drive is still running
+        with pytest.raises(FusionError, match="closed"):
+            for _ in stream:
+                pass
+        assert threading.active_count() == before
+
+    @pytest.mark.parametrize("executor", ("serial", "batch"))
+    def test_source_closed_mid_stream_raises_inline_executors(self,
+                                                              executor):
+        """The inline executors hit the same guard on their next pull."""
+        from repro.errors import FusionError
+        source = _ClosableSource(n=10_000)
+        with FusionSession(small_config(executor=executor,
+                                        batch_size=2)) as s:
+            stream = s.stream(source)
+            next(stream)
+            source.close()
+            with pytest.raises(FusionError, match="closed"):
+                for _ in stream:
+                    pass
+
     def test_plain_generator_is_closed_with_its_stream(self):
         """Documented ownership: a bare generator belongs to the
         stream that consumed it, even on a clean limit exit."""
@@ -327,6 +355,45 @@ class TestLifecycle:
         with FusionSession(small_config()) as s:
             assert len(list(s.stream(pairs(), limit=2))) == 2
         assert cleaned == [True]
+
+    def test_executors_receive_a_true_iterator(self):
+        """The session hands executors a real Iterator (next() works,
+        repeated islice continues instead of restarting the source) —
+        the documented Executor.run contract an out-of-tree executor
+        may rely on — that still advertises the source's closed flag."""
+        import itertools
+
+        from repro.exec import SerialExecutor, register_executor
+
+        seen = {}
+
+        class _ProbeExecutor(SerialExecutor):
+            def run(self, processor, pairs, limit=None):
+                seen["has_next"] = hasattr(pairs, "__next__")
+                seen["closed"] = getattr(pairs, "closed", None)
+                first = [processor.ingest(p, i) for i, p in
+                         enumerate(itertools.islice(pairs, 2))]
+                second = [processor.ingest(p, i + 2) for i, p in
+                          enumerate(itertools.islice(pairs, 2))]
+                for task in first + second:
+                    for name in (*processor.parallel_stages(),
+                                 *processor.mid_stages()):
+                        processor.run_stage(name, task)
+                    self.stats.frames += 1
+                    yield processor.finalize(task)
+
+        register_executor("probe", _ProbeExecutor)
+        try:
+            with FusionSession(small_config()) as s:
+                results = list(s.stream(SyntheticSource(seed=5), limit=4,
+                                        executor="probe"))
+        finally:
+            from repro.exec import _REGISTRY
+            _REGISTRY.pop("probe", None)
+        assert seen["has_next"] is True
+        assert seen["closed"] is False
+        # islice continued the stream: four distinct frame indices
+        assert [r.index for r in results] == [0, 1, 2, 3]
 
     def test_frame_source_survives_streams(self):
         """FrameSource close defaults to a no-op, so the built-in

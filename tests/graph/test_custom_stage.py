@@ -45,14 +45,11 @@ def fuse_stream(executor, graph_builder=None, n=6, **overrides):
 
 class TestCustomStageParity:
     @pytest.mark.parametrize("executor", EXECUTORS[1:])
-    def test_custom_stage_matches_serial(self, executor):
+    def test_custom_stage_matches_serial(self, executor,
+                                         assert_bitwise_parity):
         reference = fuse_stream("serial", denoise_graph)
         results = fuse_stream(executor, denoise_graph)
-        assert len(results) == len(reference)
-        for ref, got in zip(reference, results):
-            assert np.array_equal(ref.frame.pixels, got.frame.pixels)
-            assert ref.model_millijoules == got.model_millijoules
-            assert ref.engine == got.engine
+        assert_bitwise_parity(reference, results, label=executor)
 
     def test_custom_stage_actually_changes_output(self):
         plain = fuse_stream("serial")

@@ -1,0 +1,207 @@
+"""EnginePool lease/release protocol and admission-control units."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, FusionError
+from repro.hw.registry import create_engines
+from repro.serve import AdmissionController, EnginePool
+
+
+class TestCreateEngines:
+    def test_mapping_spec(self):
+        engines = create_engines({"arm": 1, "fpga": 2})
+        assert [e.name for e in engines] == ["arm", "fpga", "fpga"]
+
+    def test_sequence_spec_with_repeats(self):
+        engines = create_engines(("neon", "neon", "fpga"))
+        assert [e.name for e in engines] == ["neon", "neon", "fpga"]
+        assert len({id(e) for e in engines}) == 3
+
+    @pytest.mark.parametrize("bad", [
+        {}, (), {"arm": 0}, {"arm": -1}, {"arm": 1.5}, {"warp": 1},
+        ("warp",), "arm", 7,
+    ])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            create_engines(bad)
+
+
+class TestEnginePool:
+    def test_inventory_and_labels(self):
+        pool = EnginePool({"arm": 1, "fpga": 2})
+        assert pool.size == 3
+        assert pool.names() == ("arm", "fpga")
+        assert pool.count("fpga") == 2
+        assert pool.count("neon") == 0
+        assert set(pool.stats()["busy_s"]) == {"arm[0]", "fpga[0]",
+                                               "fpga[1]"}
+
+    def test_lease_release_roundtrip_accounting(self):
+        pool = EnginePool({"fpga": 2})
+        a = pool.lease("fpga")
+        b = pool.lease("fpga")
+        assert {a.name, b.name} == {"fpga"}
+        assert a.engine is not b.engine
+        assert pool.idle_count("fpga") == 0
+        assert pool.outstanding == 2
+        a.release()
+        b.release()
+        stats = pool.stats()
+        assert stats["granted"] == 2
+        assert stats["released"] == 2
+        assert stats["outstanding"] == 0
+        assert stats["peak_outstanding"] == 2
+
+    def test_release_is_idempotent(self):
+        pool = EnginePool({"neon": 1})
+        lease = pool.lease("neon")
+        assert lease.release() is True
+        assert lease.release() is False
+        assert pool.stats()["released"] == 1
+        # the instance went back exactly once: it can be leased again
+        again = pool.lease("neon")
+        assert again.engine is lease.engine
+        again.release()
+
+    def test_lease_is_a_context_manager(self):
+        pool = EnginePool({"neon": 1})
+        with pool.lease("neon") as lease:
+            assert not lease.released
+        assert lease.released
+        assert pool.idle_count("neon") == 1
+
+    def test_unknown_engine_rejected(self):
+        pool = EnginePool({"neon": 1})
+        with pytest.raises(ConfigurationError, match="inventory"):
+            pool.lease("fpga")
+        with pytest.raises(ConfigurationError):
+            pool.try_lease("fpga")
+
+    def test_try_lease_never_blocks(self):
+        pool = EnginePool({"neon": 1})
+        held = pool.try_lease("neon")
+        assert held is not None
+        assert pool.try_lease("neon") is None
+        held.release()
+        assert pool.try_lease("neon") is not None
+
+    def test_lease_timeout_raises_fusion_error(self):
+        pool = EnginePool({"neon": 1})
+        held = pool.lease("neon")
+        with pytest.raises(FusionError, match="timed out"):
+            pool.lease("neon", timeout=0.05)
+        assert pool.stats()["waits"] >= 1
+        held.release()
+
+    def test_lease_blocks_until_release(self):
+        pool = EnginePool({"neon": 1})
+        held = pool.lease("neon")
+        got = []
+
+        def taker():
+            got.append(pool.lease("neon", timeout=5.0))
+
+        thread = threading.Thread(target=taker, daemon=True)
+        thread.start()
+        held.release()
+        thread.join(timeout=5.0)
+        assert got and got[0].name == "neon"
+        got[0].release()
+        assert pool.stats()["granted"] == 2
+        assert pool.stats()["released"] == 2
+
+    def test_closed_pool_refuses_new_leases_but_takes_returns(self):
+        pool = EnginePool({"neon": 1})
+        held = pool.lease("neon")
+        pool.close()
+        with pytest.raises(FusionError, match="closed"):
+            pool.lease("neon")
+        with pytest.raises(FusionError, match="closed"):
+            pool.try_lease("neon")
+        # accounting still balances after close
+        held.release()
+        assert pool.stats()["outstanding"] == 0
+
+    def test_occupancy_fractions(self):
+        pool = EnginePool({"neon": 1})
+        pool.lease("neon").release()
+        occupancy = pool.occupancy(1000.0)
+        assert 0.0 <= occupancy["neon[0]"] < 1.0
+        assert pool.occupancy(0.0) == {"neon[0]": 0.0}
+
+    def test_pool_accepts_prebuilt_engine_instances(self):
+        engines = create_engines({"arm": 1, "neon": 1})
+        pool = EnginePool(engines)
+        assert pool.size == 2
+        lease = pool.lease("arm")
+        assert lease.engine is engines[0]
+        lease.release()
+
+
+class TestAdmissionController:
+    def make(self, max_in_flight=4, depth=2):
+        cond = threading.Condition()
+        controller = AdmissionController(cond, max_in_flight, depth)
+        controller.register("s")
+        return cond, controller
+
+    def test_bounds_validated(self):
+        cond = threading.Condition()
+        with pytest.raises(ConfigurationError):
+            AdmissionController(cond, 0, 2)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(cond, 2, 0)
+        controller = AdmissionController(cond, 2, 2)
+        controller.register("s")
+        with pytest.raises(ConfigurationError, match="registered"):
+            controller.register("s")
+
+    def test_admits_until_stream_depth(self):
+        cond, controller = self.make(max_in_flight=10, depth=2)
+        assert controller.admit("s", lambda: False)
+        assert controller.admit("s", lambda: False)
+        # third admit would exceed the per-stream queue: the stop
+        # callable is the only way out of the backpressure wait
+        calls = []
+
+        def stop():
+            calls.append(True)
+            return len(calls) > 2
+
+        assert not controller.admit("s", stop)
+        snap = controller.snapshot()
+        assert snap["peak_queued"]["s"] == 2
+        assert snap["in_flight"] == 2
+
+    def test_global_budget_spans_streams(self):
+        cond, controller = self.make(max_in_flight=2, depth=2)
+        controller.register("t")
+        assert controller.admit("s", lambda: False)
+        assert controller.admit("t", lambda: False)
+        stop_now = [False]
+        result = []
+
+        def late_admit():
+            result.append(controller.admit("s", lambda: stop_now[0]))
+
+        thread = threading.Thread(target=late_admit, daemon=True)
+        thread.start()
+        # draining one frame unblocks the waiter
+        with cond:
+            controller.on_dispatch("t", 1)
+            controller.on_done("t", 1)
+        thread.join(timeout=5.0)
+        assert result == [True]
+        assert controller.snapshot()["peak_in_flight"] == 2
+
+    def test_retract_undoes_an_unused_ticket(self):
+        cond, controller = self.make()
+        assert controller.admit("s", lambda: False)
+        with cond:
+            controller.retract("s")
+        snap = controller.snapshot()
+        assert snap["in_flight"] == 0
+        assert snap["queued"]["s"] == 0
+        assert snap["admitted"]["s"] == 0

@@ -231,6 +231,68 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["affinity"] == {"fuse": "fpga"}
 
+    def _serve_spec(self, tmp_path, **top):
+        spec = {
+            "pool": {"neon": 1, "fpga": 1},
+            "max_in_flight": 4,
+            "stream_queue_depth": 2,
+            "streams": [
+                {"name": "cam-a", "frames": 3, "seed": 1,
+                 "config": {"engine": "neon", "size": "40x40",
+                            "levels": 2, "quality_metrics": False}},
+                {"name": "cam-b", "frames": 3, "seed": 2, "priority": 2,
+                 "config": {"engine": "fpga", "size": "40x40",
+                            "levels": 2, "temporal": True,
+                            "quality_metrics": False}},
+            ],
+        }
+        spec.update(top)
+        path = tmp_path / "streams.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_serve_command(self, tmp_path, capsys):
+        from repro.cli import main
+        path = self._serve_spec(tmp_path)
+        assert main(["serve", "--streams", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ServiceReport" in out
+        assert "cam-a" in out and "cam-b" in out
+        assert "engine occupancy" in out
+
+    def test_serve_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+        path = self._serve_spec(tmp_path)
+        assert main(["serve", "--streams", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["frames_total"] == 6
+        assert set(payload["streams"]) == {"cam-a", "cam-b"}
+        assert payload["pool"]["granted"] == payload["pool"]["released"]
+        assert payload["energy_mj_total"] == pytest.approx(
+            sum(payload["energy_mj_by_stream"].values()))
+
+    def test_serve_rejects_bad_specs(self, tmp_path, capsys):
+        from repro.cli import main
+        # unreadable file
+        assert main(["serve", "--streams",
+                     str(tmp_path / "missing.json")]) == 1
+        # no streams
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"pool": {"neon": 1}}))
+        assert main(["serve", "--streams", str(empty)]) == 1
+        # unknown config key
+        bad = self._serve_spec(tmp_path, streams=[
+            {"name": "x", "config": {"warp": 9}}])
+        assert main(["serve", "--streams", str(bad)]) == 1
+        # typo'd stream-level key must not be silently ignored
+        typo = self._serve_spec(tmp_path, streams=[
+            {"name": "x", "priorty": 4.0,
+             "config": {"engine": "neon", "size": "40x40"}}])
+        assert main(["serve", "--streams", str(typo)]) == 1
+        # stream engine missing from the pool
+        unpooled = self._serve_spec(tmp_path, pool={"neon": 1})
+        assert main(["serve", "--streams", str(unpooled)]) == 1
+
     def test_seed_makes_runs_reproducible(self, tmp_path):
         from repro.cli import main
         outputs = []
