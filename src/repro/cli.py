@@ -208,7 +208,7 @@ _SERVE_CONFIG_FIELDS = (
 
 #: keys a serve-spec stream block itself may carry.
 _SERVE_STREAM_KEYS = ("name", "config", "seed", "frames", "priority",
-                      "batch_frames")
+                      "batch_frames", "slo")
 
 
 def _serve_stream_config(name: str, block: dict) -> "FusionConfig":
@@ -228,6 +228,7 @@ def _serve_stream_config(name: str, block: dict) -> "FusionConfig":
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from .serve import FusionService
+    from .serve.ops import ShedPolicy, StreamSLO
     from .session import SyntheticSource
 
     try:
@@ -241,12 +242,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             f"stream spec {args.streams!r} has no 'streams' entries")
 
-    workers = spec.get("workers")
+    # spec values are the defaults; explicit CLI flags override them
+    workers = args.workers if args.workers is not None \
+        else spec.get("workers")
+    shedding = spec.get("shedding")
     service = FusionService(
         pool=spec.get("pool", {"arm": 1, "neon": 1, "fpga": 1}),
         max_in_flight=int(spec.get("max_in_flight", 8)),
         stream_queue_depth=int(spec.get("stream_queue_depth", 4)),
         workers=int(workers) if workers is not None else None,
+        shedding=ShedPolicy(**shedding) if shedding is not None else None,
+        slo_headroom=float(spec.get("slo_headroom", 1.0)),
     )
     for index, block in enumerate(streams):
         name = block.get("name", f"stream{index}")
@@ -259,6 +265,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"expected a subset of {sorted(_SERVE_STREAM_KEYS)}")
         config = _serve_stream_config(name, block.get("config", {}))
         seed = int(block.get("seed", config.seed))
+        slo = block.get("slo")
         service.add_stream(
             name,
             config=config,
@@ -266,9 +273,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
             frames=int(block.get("frames", args.frames)),
             priority=float(block.get("priority", 1.0)),
             batch_frames=block.get("batch_frames"),
+            slo=StreamSLO.from_dict(slo) if slo is not None else None,
         )
     with service:
         report = service.serve()
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(service.metrics_text())
+            print(f"wrote metrics to {args.metrics_out}",
+                  file=sys.stderr)
+        if args.events_out:
+            written = service.events.dump(args.events_out)
+            print(f"wrote {written} event(s) to {args.events_out}",
+                  file=sys.stderr)
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:
@@ -370,6 +386,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--frames", type=int, default=16,
                        help="default frames per stream when a block "
                             "does not set its own")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="service worker threads (default: the spec's "
+                            "'workers', else the pool size); an explicit "
+                            "flag overrides the spec")
+    serve.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the service's metrics as Prometheus "
+                            "text exposition to PATH after the drive")
+    serve.add_argument("--events-out", metavar="PATH", default=None,
+                       help="write the service's structured event log "
+                            "as JSON Lines to PATH after the drive")
     serve.add_argument("--json", action="store_true",
                        help="emit the ServiceReport as JSON on stdout")
     serve.set_defaults(func=cmd_serve)

@@ -18,7 +18,12 @@ inventory.  This package is that serving layer:
   the planner's modelled J/frame);
 * :class:`ServiceReport` — per-stream :class:`~repro.session.FusionReport`
   plus the aggregate only the service can see: throughput, per-engine
-  occupancy, the energy bill split by tenant.
+  occupancy, the energy bill split by tenant, the frame ledger;
+* :mod:`repro.serve.ops` — live operations: per-stream SLOs
+  (:class:`StreamSLO`) driving admission and scheduling, runtime
+  attach/detach churn (``live=True``), bounded hysteretic frame
+  shedding under overload (:class:`ShedPolicy`), and the export layer
+  (:class:`MetricsRegistry` Prometheus text, :class:`EventLog` JSONL).
 
 Determinism contract: with a fixed seed and any worker count, each
 stream's output frames are bitwise-identical to running that stream
@@ -40,6 +45,8 @@ Quick start::
 """
 
 from .admission import AdmissionController
+from .ops import (EventLog, MetricsRegistry, ShedPolicy, SLORejection,
+                  StreamSLO)
 from .pool import EngineLease, EnginePool
 from .report import ServiceReport
 from .service import FusionService, StreamSpec
@@ -47,6 +54,8 @@ from .service import FusionService, StreamSpec
 __all__ = [
     "AdmissionController",
     "EngineLease", "EnginePool",
+    "EventLog", "MetricsRegistry",
     "FusionService", "StreamSpec",
     "ServiceReport",
+    "ShedPolicy", "SLORejection", "StreamSLO",
 ]

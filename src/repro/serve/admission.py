@@ -58,6 +58,13 @@ class AdmissionController:
         self._queued: Dict[str, int] = {}
         self._peak_queued: Dict[str, int] = {}
         self._admitted: Dict[str, int] = {}
+        # retired-stream bookkeeping: per-stream counters fold into
+        # these on deregister so churned streams cost one int each
+        # (and reap() can drop even that), while the totals keep the
+        # accounting provable across the service's whole life
+        self._retired_peak_queued: Dict[str, int] = {}
+        self._retired_admitted = 0
+        self._retired_streams = 0
 
     def register(self, stream: str) -> None:
         if stream in self._queued:
@@ -66,6 +73,30 @@ class AdmissionController:
         self._queued[stream] = 0
         self._peak_queued[stream] = 0
         self._admitted[stream] = 0
+
+    def deregister(self, stream: str) -> int:
+        """Retire ``stream``'s per-stream accounting (caller holds the
+        shared condition): its admitted count folds into the retired
+        total, its queue peak is kept for the report, and the name
+        becomes reusable.  Returns the stream's queue peak."""
+        if stream not in self._queued:
+            raise ConfigurationError(
+                f"stream {stream!r} is not registered for admission")
+        if self._queued[stream]:
+            raise ConfigurationError(
+                f"stream {stream!r} still has {self._queued[stream]} "
+                f"queued frame(s); drain or discard before deregister")
+        del self._queued[stream]
+        self._retired_admitted += self._admitted.pop(stream)
+        self._retired_streams += 1
+        peak = self._peak_queued.pop(stream)
+        self._retired_peak_queued[stream] = peak
+        return peak
+
+    def forget(self, stream: str) -> None:
+        """Drop a retired stream's kept queue peak (reap path: the
+        aggregate totals remain; caller holds the shared condition)."""
+        self._retired_peak_queued.pop(stream, None)
 
     # -- the admission gate ----------------------------------------------
     def admit(self, stream: str, should_stop: Callable[[], bool]) -> bool:
@@ -118,12 +149,17 @@ class AdmissionController:
         return self._in_flight
 
     def snapshot(self) -> Dict[str, object]:
+        peaks = dict(self._retired_peak_queued)
+        peaks.update(self._peak_queued)
         return {
             "max_in_flight": self.max_in_flight,
             "stream_queue_depth": self.stream_queue_depth,
             "in_flight": self._in_flight,
             "peak_in_flight": self._peak_in_flight,
             "queued": dict(self._queued),
-            "peak_queued": dict(self._peak_queued),
+            "peak_queued": peaks,
             "admitted": dict(self._admitted),
+            "admitted_total": (self._retired_admitted
+                               + sum(self._admitted.values())),
+            "retired_streams": self._retired_streams,
         }

@@ -1,0 +1,44 @@
+"""Live operations for the serving layer: SLOs, churn, shedding,
+observability.
+
+PR 5 made :class:`~repro.serve.FusionService` drive a *fixed* stream
+set to completion; this package is what turns it into an always-on
+system (ROADMAP item 4):
+
+* :class:`StreamSLO` — a declarative per-stream objective (target
+  FPS, latency budget, priority class) that drives admission
+  (:func:`check_feasible` models capacity before a stream attaches;
+  infeasible SLOs raise :class:`SLORejection`) and scheduling (the
+  picker runs the largest normalized SLO deficit first);
+* :class:`ShedPolicy` / :class:`Shedder` — graceful degradation under
+  overload: whole frames of the lowest priority class are dropped
+  before ingest, bounded per tenant, with watermark hysteresis so
+  recovery is stable;
+* :class:`MetricsRegistry` — counters/gauges/histograms fed by the
+  pool, admission, scheduler and per-stream telemetry, exported as
+  Prometheus text exposition (:meth:`MetricsRegistry.render_prometheus`,
+  ``repro serve --metrics-out``);
+* :class:`EventLog` — a bounded structured event ring
+  (attach/detach/shed/SLO-violation/lease events with monotonic
+  timestamps) exported as JSONL.
+
+The runtime churn surface itself — ``attach()`` / ``detach()`` on a
+running service — lives on :class:`~repro.serve.FusionService`
+(``live=True``); this package holds the policies and the export layer
+it runs on.
+"""
+
+from .events import EVENT_KINDS, Event, EventLog
+from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, parse_prometheus)
+from .shedding import ShedPolicy, Shedder
+from .slo import (BEST_EFFORT, CLASS_WEIGHTS, PRIORITY_CLASSES,
+                  SLORejection, StreamSLO, check_feasible)
+
+__all__ = [
+    "BEST_EFFORT", "CLASS_WEIGHTS", "PRIORITY_CLASSES",
+    "Counter", "DEFAULT_BUCKETS", "EVENT_KINDS", "Event", "EventLog",
+    "Gauge", "Histogram", "MetricsRegistry",
+    "SLORejection", "ShedPolicy", "Shedder", "StreamSLO",
+    "check_feasible", "parse_prometheus",
+]

@@ -1,0 +1,142 @@
+"""Structured service events as a bounded JSONL log.
+
+Metrics answer *how much*; events answer *what happened when*: a
+stream attached, a tenant was rejected at admission, frames were shed
+under overload, an SLO was violated, a lease was granted.  Each
+:class:`Event` carries a monotonic timestamp (``time.monotonic()`` —
+immune to wall-clock steps, so event deltas are trustworthy), a
+monotonically increasing sequence number, a kind from
+:data:`EVENT_KINDS`, the stream it concerns (when any) and a flat
+JSON-friendly payload.
+
+The log is a *ring*: ``capacity`` bounds retained events (the soak
+bar demands flat memory across thousands of churned streams), while
+``total`` and per-kind counters keep the full history countable after
+old events age out.  :meth:`to_jsonl` renders the retained window in
+JSON-Lines, one event per line — the format log shippers ingest.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ...errors import ConfigurationError
+
+#: the event vocabulary; emit() rejects kinds outside it so consumers
+#: can switch on the field without defending against typos
+EVENT_KINDS = (
+    "attach",           # stream admitted and registered
+    "reject",           # admission refused a stream (SLO infeasible)
+    "detach",           # stream retired (completed, detached, errored)
+    "shed",             # frames dropped whole under overload
+    "slo_violation",    # a retiring stream missed its SLO
+    "lease",            # an engine lease granted to a stream
+    "error",            # a stream failed (isolated in live mode)
+    "service",          # service lifecycle (start, drain, close)
+)
+
+
+class Event:
+    """One structured log record."""
+
+    __slots__ = ("seq", "monotonic_s", "kind", "stream", "data")
+
+    def __init__(self, seq: int, monotonic_s: float, kind: str,
+                 stream: Optional[str], data: Dict[str, object]):
+        self.seq = seq
+        self.monotonic_s = monotonic_s
+        self.kind = kind
+        self.stream = stream
+        self.data = data
+
+    def as_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "seq": self.seq,
+            "monotonic_s": self.monotonic_s,
+            "kind": self.kind,
+        }
+        if self.stream is not None:
+            record["stream"] = self.stream
+        if self.data:
+            record.update(self.data)
+        return record
+
+
+class EventLog:
+    """Thread-safe bounded event ring with JSONL export.
+
+    Parameters
+    ----------
+    capacity:
+        Retained-event bound (older events age out of the ring but
+        stay counted in ``total`` and the per-kind counters).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"event log capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: Deque[Event] = deque(maxlen=capacity)
+        self._seq = 0
+        self._counts: Dict[str, int] = {}
+
+    def emit(self, kind: str, stream: Optional[str] = None,
+             **data: object) -> Event:
+        if kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown event kind {kind!r}; expected one of "
+                f"{EVENT_KINDS}")
+        with self._lock:
+            self._seq += 1
+            event = Event(self._seq, time.monotonic(), kind, stream, data)
+            self._ring.append(event)
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            return event
+
+    # -- reading --------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Events ever emitted (aged-out ones included)."""
+        with self._lock:
+            return self._seq
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def events(self, kind: Optional[str] = None) -> List[Event]:
+        """Retained events, oldest first (optionally one kind)."""
+        with self._lock:
+            retained = list(self._ring)
+        if kind is None:
+            return retained
+        return [event for event in retained if event.kind == kind]
+
+    def to_jsonl(self) -> str:
+        """The retained window as JSON Lines (one event per line)."""
+        return "".join(json.dumps(event.as_dict(), sort_keys=True) + "\n"
+                       for event in self.events())
+
+    def dump(self, path) -> int:
+        """Write :meth:`to_jsonl` to ``path``; returns events written."""
+        events = self.events()
+        with open(path, "w") as fh:
+            for event in events:
+                fh.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
+        return len(events)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly summary for the :class:`ServiceReport`."""
+        with self._lock:
+            return {
+                "total": self._seq,
+                "retained": len(self._ring),
+                "capacity": self.capacity,
+                "counts": dict(self._counts),
+            }

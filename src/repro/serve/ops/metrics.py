@@ -1,0 +1,316 @@
+"""Fleet observability: a minimal metrics registry with Prometheus
+text exposition.
+
+A long-lived :class:`~repro.serve.FusionService` is scraped, not
+printed: operators want counters (frames finalized, frames shed,
+leases granted), gauges (active streams, in-flight frames, engine
+occupancy) and latency histograms, all exportable in the Prometheus
+text format without taking a dependency on a metrics client library.
+:class:`MetricsRegistry` is that layer — deliberately small, fully
+thread-safe (one lock per registry; every instrument mutation takes
+it), and bounded: label cardinality is whatever the caller creates, so
+the service labels hot-path series by *engine* and *priority class*
+(bounded sets), never by stream name — per-stream series appear only
+in report-derived gauges.
+
+The exposition follows the Prometheus conventions the real exposition
+format specifies: ``# HELP``/``# TYPE`` headers, ``name{label="v"}
+value`` samples, histograms as cumulative ``_bucket{le="..."}`` series
+plus ``_sum``/``_count``.  :func:`parse_prometheus` is the inverse for
+tests and for the acceptance gate that the rendered text numerically
+agrees with the :class:`~repro.serve.ServiceReport` aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...errors import ConfigurationError
+
+#: default histogram buckets (seconds): spans sub-ms modelled stage
+#: times up to multi-second stalls
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+#: label-set key: sorted (name, value) pairs
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+_NAME_OK = ("abcdefghijklmnopqrstuvwxyz"
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() \
+            or any(ch not in _NAME_OK for ch in name):
+        raise ConfigurationError(
+            f"invalid metric name {name!r}: use [a-zA-Z_:][a-zA-Z0-9_:]*")
+    return name
+
+
+class _Child:
+    """One labelled time series of a family (or the unlabelled one)."""
+
+    __slots__ = ("_family", "_key")
+
+    def __init__(self, family: "_Family", key: _LabelKey):
+        self._family = family
+        self._key = key
+
+    @property
+    def value(self) -> float:
+        with self._family._lock:
+            return self._family._values.get(self._key, 0.0)
+
+
+class Counter(_Child):
+    """Monotonically increasing count."""
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up; inc({amount}) is not allowed")
+        with self._family._lock:
+            values = self._family._values
+            values[self._key] = values.get(self._key, 0.0) + amount
+
+
+class Gauge(_Child):
+    """A value that can go up and down."""
+
+    def set(self, value: float) -> None:
+        with self._family._lock:
+            self._family._values[self._key] = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._family._lock:
+            values = self._family._values
+            values[self._key] = values.get(self._key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram(_Child):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    def observe(self, value: float) -> None:
+        family = self._family
+        with family._lock:
+            state = family._values.get(self._key)
+            if state is None:
+                state = {"buckets": [0] * len(family.buckets),
+                         "sum": 0.0, "count": 0}
+                family._values[self._key] = state
+            slot = bisect_left(family.buckets, value)
+            if slot < len(family.buckets):
+                state["buckets"][slot] += 1
+            state["sum"] += float(value)
+            state["count"] += 1
+
+    @property
+    def count(self) -> int:
+        with self._family._lock:
+            state = self._family._values.get(self._key)
+            return state["count"] if state else 0
+
+    @property
+    def sum(self) -> float:
+        with self._family._lock:
+            state = self._family._values.get(self._key)
+            return state["sum"] if state else 0.0
+
+
+class _Family:
+    """One named metric family: HELP/TYPE plus its labelled children."""
+
+    _child_cls = _Child
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str,
+                 kind: str, buckets: Optional[Sequence[float]] = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.kind = kind
+        self._lock = registry._lock
+        self._values: Dict[_LabelKey, object] = {}
+        self._children: Dict[_LabelKey, _Child] = {}
+        if kind == "histogram":
+            if buckets is None:
+                buckets = DEFAULT_BUCKETS
+            buckets = tuple(sorted(float(b) for b in buckets))
+            if not buckets or len(set(buckets)) != len(buckets):
+                raise ConfigurationError(
+                    f"histogram {name!r} needs distinct finite buckets")
+            self.buckets: Tuple[float, ...] = buckets
+
+    def labels(self, **labels: str) -> _Child:
+        key = _label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._child_cls(self, key)
+                self._children[key] = child
+            return child
+
+    # the unlabelled series, for families used without labels
+    def __getattr__(self, item):
+        return getattr(self.labels(), item)
+
+    # -- exposition -----------------------------------------------------
+    def _render(self, lines: List[str]) -> None:
+        lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key in sorted(self._values):
+            if self.kind == "histogram":
+                self._render_histogram(lines, key)
+            else:
+                lines.append(f"{self.name}{_format_labels(key)} "
+                             f"{_format_value(self._values[key])}")
+
+    def _render_histogram(self, lines: List[str], key: _LabelKey) -> None:
+        state = self._values[key]
+        cumulative = 0
+        for bound, count in zip(self.buckets, state["buckets"]):
+            cumulative += count
+            bucket_key = key + (("le", _format_value(bound)),)
+            lines.append(f"{self.name}_bucket{_format_labels(bucket_key)} "
+                         f"{cumulative}")
+        inf_key = key + (("le", "+Inf"),)
+        lines.append(f"{self.name}_bucket{_format_labels(inf_key)} "
+                     f"{state['count']}")
+        lines.append(f"{self.name}_sum{_format_labels(key)} "
+                     f"{_format_value(state['sum'])}")
+        lines.append(f"{self.name}_count{_format_labels(key)} "
+                     f"{state['count']}")
+
+    def _snapshot(self) -> Dict[str, object]:
+        series = {}
+        for key, value in self._values.items():
+            label = _format_labels(key) or "{}"
+            if self.kind == "histogram":
+                series[label] = {"count": value["count"],
+                                 "sum": value["sum"],
+                                 "buckets": list(value["buckets"])}
+            else:
+                series[label] = value
+        return {"kind": self.kind, "help": self.help, "series": series}
+
+
+class _CounterFamily(_Family):
+    _child_cls = Counter
+
+
+class _GaugeFamily(_Family):
+    _child_cls = Gauge
+
+
+class _HistogramFamily(_Family):
+    _child_cls = Histogram
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Families are created once (re-registering the same name returns the
+    existing family; a kind mismatch raises) and render in registration
+    order, each family's series in sorted label order — so the
+    exposition is deterministic for a given set of observations.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, cls, name: str, help: str, kind: str,
+                  buckets=None) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind:
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}, not {kind}")
+                return family
+        family = cls(self, name, help, kind, buckets)
+        with self._lock:
+            return self._families.setdefault(name, family)
+
+    def counter(self, name: str, help: str = "") -> _CounterFamily:
+        return self._register(_CounterFamily, name, help, "counter")
+
+    def gauge(self, name: str, help: str = "") -> _GaugeFamily:
+        return self._register(_GaugeFamily, name, help, "gauge")
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None
+                  ) -> _HistogramFamily:
+        return self._register(_HistogramFamily, name, help, "histogram",
+                              buckets)
+
+    # -- export ---------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The registry as Prometheus text exposition (format 0.0.4)."""
+        lines: List[str] = []
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            with self._lock:
+                family._render(lines)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly dump of every family and series."""
+        with self._lock:
+            return {name: family._snapshot()
+                    for name, family in self._families.items()}
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse exposition text back into ``{'name{labels}': value}``.
+
+    The test-side inverse of :meth:`MetricsRegistry.render_prometheus`
+    (and of any real exporter's scrape): comments are skipped, sample
+    lines split on the last space.
+    """
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        samples[series] = float(value)
+    return samples
+
+
+def iter_samples(text: str) -> Iterable[Tuple[str, float]]:
+    """Yield (series, value) pairs from exposition text."""
+    return parse_prometheus(text).items()

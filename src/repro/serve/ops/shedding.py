@@ -1,0 +1,147 @@
+"""Graceful degradation: bounded, hysteretic frame shedding.
+
+A service at its admission ceiling has two bad options: block every
+capture (latency balloons for all tenants) or buffer (memory grows
+without bound).  The live-ops answer is a third: under overload, drop
+*frames* of the lowest priority class present — never streams, and
+always whole frames before ingest, so a shed frame is simply absent
+from the output (tolerance-free by construction: nothing is ever
+partially fused).
+
+:class:`ShedPolicy` declares the thresholds; the service owns a
+:class:`Shedder` instance and consults it from each capture thread:
+
+* **engage/disengage with hysteresis** — shedding engages when global
+  in-flight frames reach ``high_watermark`` of ``max_in_flight`` and
+  stays engaged until load falls to ``low_watermark``; the gap makes
+  recovery stable (no flapping at the boundary, the classic
+  high/low-watermark discipline of the paper's capture FIFO);
+* **lowest class only** — a capture may shed only while its stream's
+  priority class is the *lowest-ranked among active streams*, so a
+  critical tenant never loses a frame while background tenants ride;
+* **bounded per tenant** — at most ``max_shed_fraction`` of a
+  stream's offered frames may be shed (checked against the ledger, so
+  the bound holds over the stream's whole life); past the bound the
+  stream falls back to blocking admission (backpressure, not loss).
+
+Every shed is recorded per tenant; the ledger reconciles exactly:
+``offered == admitted + shed`` at every instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ...errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Thresholds for overload shedding.
+
+    Parameters
+    ----------
+    high_watermark:
+        Fraction of ``max_in_flight`` at which shedding engages
+        (1.0 = only at a completely full admission budget).
+    low_watermark:
+        Fraction at which an engaged shedder disengages; must be
+        strictly below ``high_watermark`` — the hysteresis band.
+    max_shed_fraction:
+        Per-tenant bound: never shed more than this fraction of a
+        stream's offered frames.
+    """
+
+    high_watermark: float = 1.0
+    low_watermark: float = 0.5
+    max_shed_fraction: float = 0.5
+
+    def __post_init__(self):
+        if not 0.0 < self.high_watermark <= 1.0:
+            raise ConfigurationError(
+                f"high_watermark must be in (0, 1], got "
+                f"{self.high_watermark}")
+        if not 0.0 <= self.low_watermark < self.high_watermark:
+            raise ConfigurationError(
+                f"low_watermark must be in [0, high_watermark), got "
+                f"{self.low_watermark} (high {self.high_watermark})")
+        if not 0.0 < self.max_shed_fraction <= 1.0:
+            raise ConfigurationError(
+                f"max_shed_fraction must be in (0, 1], got "
+                f"{self.max_shed_fraction}")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "high_watermark": self.high_watermark,
+            "low_watermark": self.low_watermark,
+            "max_shed_fraction": self.max_shed_fraction,
+        }
+
+
+class Shedder:
+    """The service's shedding state machine.
+
+    All methods are called under the service condition variable (the
+    same discipline as :class:`~repro.serve.AdmissionController`), so
+    the engage/disengage transitions and the per-tenant bounds are
+    race-free without any lock of their own.
+    """
+
+    def __init__(self, policy: ShedPolicy, max_in_flight: int):
+        self.policy = policy
+        self._high = max(1, int(round(policy.high_watermark
+                                      * max_in_flight)))
+        self._low = int(policy.low_watermark * max_in_flight)
+        self.engaged = False
+        self.engagements = 0
+        self.shed_total = 0
+        self.shed_by_stream: Dict[str, int] = {}
+
+    # -- the state machine ---------------------------------------------
+    def update(self, in_flight: int) -> bool:
+        """Advance the hysteresis against current load; returns the
+        (possibly new) engaged state."""
+        if not self.engaged and in_flight >= self._high:
+            self.engaged = True
+            self.engagements += 1
+        elif self.engaged and in_flight <= self._low:
+            self.engaged = False
+        return self.engaged
+
+    def should_shed(self, stream: str, rank: int, lowest_rank: int,
+                    offered: int, shed: int, in_flight: int) -> bool:
+        """May ``stream`` shed its next frame right now?
+
+        ``rank`` is the stream's priority-class rank, ``lowest_rank``
+        the lowest rank among active streams (larger = less
+        important); ``offered``/``shed`` are the stream's ledger
+        counts *before* this frame.
+        """
+        if not self.update(in_flight):
+            return False
+        if rank < lowest_rank:
+            return False  # a higher class never sheds below it
+        # bound over the stream's life, counting the frame at hand
+        if (shed + 1) > self.policy.max_shed_fraction * (offered + 1):
+            return False
+        return True
+
+    def record(self, stream: str) -> None:
+        self.shed_total += 1
+        self.shed_by_stream[stream] = \
+            self.shed_by_stream.get(stream, 0) + 1
+
+    def forget(self, stream: str) -> int:
+        """Fold a retiring stream's count out of the per-stream map
+        (the total keeps it); returns what it shed."""
+        return self.shed_by_stream.pop(stream, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy.as_dict(),
+            "engaged": self.engaged,
+            "engagements": self.engagements,
+            "shed_total": self.shed_total,
+            "shed_by_stream": dict(self.shed_by_stream),
+        }

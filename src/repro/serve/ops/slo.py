@@ -1,0 +1,183 @@
+"""Per-stream service-level objectives and SLO-driven admission.
+
+PR 5's scheduler split pool energy by a static priority *weight* — a
+knob, not a goal.  A live service states goals instead:
+:class:`StreamSLO` declares what a tenant needs (target FPS, a
+per-frame latency budget, a priority class), and two mechanisms
+enforce it:
+
+* **admission** — :func:`check_feasible` models whether the pool can
+  meet the SLO *before* the stream attaches: the plan's modelled
+  seconds-per-frame on each engine it will lease, against that
+  engine's remaining capacity after every already-admitted SLO is
+  charged (goal-driven work distribution in the sense of
+  Nunez-Yanez et al., arXiv:1802.03316 — admit against modelled
+  capacity, not hope).  Infeasible streams are rejected with
+  :class:`SLORejection` naming the overloaded engine and the numbers;
+* **scheduling** — the service's picker orders dispatchable streams by
+  *normalized SLO deficit* (seconds behind the target frame schedule,
+  largest first) instead of charged-energy-per-weight; energy is still
+  charged at the planner's modelled cost, and best-effort streams
+  (no ``target_fps``) fall back to the energy-fair key among
+  themselves.
+
+Priority classes are ordinal, not numeric: ``critical`` outranks
+``standard`` outranks ``background``.  Under overload the shedding
+policy (:mod:`repro.serve.ops.shedding`) only drops frames of the
+lowest class present — class is about *who degrades first*, the SLO
+deficit is about *who runs next*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ...errors import ConfigurationError, FusionError
+
+#: ordinal priority classes, highest first; shedding starts from the
+#: back of this tuple, energy weights fall with rank
+PRIORITY_CLASSES = ("critical", "standard", "background")
+
+#: energy-fair weight of each class when no explicit weight is given:
+#: one step of class outranks any deficit tie
+CLASS_WEIGHTS = {"critical": 4.0, "standard": 2.0, "background": 1.0}
+
+
+class SLORejection(FusionError):
+    """Admission refused a stream: its SLO is not feasible on the
+    pool's modelled capacity (or violates its own latency budget)."""
+
+
+@dataclass(frozen=True)
+class StreamSLO:
+    """What one stream needs from the service.
+
+    Parameters
+    ----------
+    target_fps:
+        Sustained fused frames per second the tenant expects; ``0.0``
+        declares a best-effort stream (no deficit, no capacity
+        reservation).
+    latency_budget_s:
+        Optional per-frame budget: admission rejects a stream whose
+        *modelled* frame time already exceeds it, and a retiring
+        stream whose measured wall p95 exceeded it logs an
+        ``slo_violation`` event.
+    priority_class:
+        ``"critical"`` / ``"standard"`` / ``"background"``: who sheds
+        first under overload, and the energy-fair weight among streams
+        with equal deficit.
+    """
+
+    target_fps: float = 0.0
+    latency_budget_s: Optional[float] = None
+    priority_class: str = "standard"
+
+    def __post_init__(self):
+        if self.target_fps < 0:
+            raise ConfigurationError(
+                f"target_fps must be >= 0 (0 = best effort), got "
+                f"{self.target_fps}")
+        if self.latency_budget_s is not None and self.latency_budget_s <= 0:
+            raise ConfigurationError(
+                f"latency_budget_s must be positive or None, got "
+                f"{self.latency_budget_s}")
+        if self.priority_class not in PRIORITY_CLASSES:
+            raise ConfigurationError(
+                f"priority_class must be one of {PRIORITY_CLASSES}, got "
+                f"{self.priority_class!r}")
+
+    @property
+    def weight(self) -> float:
+        """Energy-fair weight derived from the priority class."""
+        return CLASS_WEIGHTS[self.priority_class]
+
+    @property
+    def rank(self) -> int:
+        """Ordinal rank (0 = most important)."""
+        return PRIORITY_CLASSES.index(self.priority_class)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "target_fps": self.target_fps,
+            "latency_budget_s": self.latency_budget_s,
+            "priority_class": self.priority_class,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StreamSLO":
+        """Build from a spec block (the CLI's ``"slo"`` key)."""
+        known = {"target_fps", "latency_budget_s", "priority_class"}
+        bad = set(data) - known
+        if bad:
+            raise ConfigurationError(
+                f"unknown SLO key(s) {sorted(bad)}; expected a subset "
+                f"of {sorted(known)}")
+        return cls(**dict(data))
+
+
+#: a best-effort standard-class SLO: the default when a stream gives
+#: none — scheduling degenerates to the energy-fair pick
+BEST_EFFORT = StreamSLO()
+
+
+def check_feasible(name: str, slo: StreamSLO,
+                   seconds_by_engine: Mapping[str, float],
+                   model_mj_per_frame: float,
+                   pool_counts: Mapping[str, int],
+                   committed: Mapping[str, float],
+                   headroom: float = 1.0) -> Dict[str, float]:
+    """Admission gate: can the pool still meet ``slo``?
+
+    Parameters
+    ----------
+    seconds_by_engine:
+        The stream's modelled compute seconds per frame on each engine
+        it will lease (from the lowered plan's cost model).
+    model_mj_per_frame:
+        The planner's modelled energy per frame — reported in the
+        rejection so operators see what the J/frame bill would have
+        been.
+    pool_counts:
+        Instances per engine name in the pool.
+    committed:
+        Engine -> already-reserved utilization fraction (sum over
+        admitted SLO streams of ``target_fps * seconds_per_frame``,
+        divided by instance count).
+    headroom:
+        Fraction of each engine the admission controller may promise
+        (1.0 = the whole modelled capacity).
+
+    Returns the stream's own utilization demand per engine (what to
+    add to ``committed`` on admit).  Raises :class:`SLORejection` when
+    any engine would be oversubscribed, or when the latency budget is
+    below the modelled frame time.
+    """
+    total_s = sum(seconds_by_engine.values())
+    if slo.latency_budget_s is not None and total_s > slo.latency_budget_s:
+        raise SLORejection(
+            f"stream {name!r}: latency budget "
+            f"{slo.latency_budget_s * 1e3:.2f} ms is below the plan's "
+            f"modelled frame time {total_s * 1e3:.2f} ms "
+            f"({model_mj_per_frame:.2f} mJ/frame) — the SLO cannot be "
+            f"met even on an idle pool")
+    demand: Dict[str, float] = {}
+    if slo.target_fps <= 0:
+        return demand  # best effort reserves nothing
+    for engine, seconds in seconds_by_engine.items():
+        instances = pool_counts.get(engine, 0)
+        if instances == 0:
+            continue  # inventory membership is validated elsewhere
+        demand[engine] = slo.target_fps * seconds / instances
+        load = committed.get(engine, 0.0) + demand[engine]
+        if load > headroom + 1e-9:
+            raise SLORejection(
+                f"stream {name!r}: admitting {slo.target_fps:g} fps "
+                f"would load engine {engine!r} to {load:.2f}x of its "
+                f"modelled capacity ({instances} instance(s), "
+                f"{committed.get(engine, 0.0):.2f}x already committed, "
+                f"headroom {headroom:g}); the SLO cannot be met — "
+                f"modelled cost {seconds * 1e3:.3f} ms/frame, "
+                f"{model_mj_per_frame:.2f} mJ/frame")
+    return demand

@@ -38,6 +38,21 @@ class ServiceReport:
     scheduler: Dict[str, object] = field(default_factory=dict)
     #: True when :meth:`FusionService.cancel` ended the drive early
     cancelled: bool = False
+    #: frame-accounting ledger: totals + per-stream
+    #: offered/admitted/shed/finalized/errored, and whether the
+    #: conservation laws balanced
+    ledger: Dict[str, object] = field(default_factory=dict)
+    #: SLO admission state: headroom, committed utilization per
+    #: engine, violations observed at retirement
+    slo: Dict[str, object] = field(default_factory=dict)
+    #: :meth:`Shedder.snapshot` (empty when no shed policy was set)
+    shedding: Dict[str, object] = field(default_factory=dict)
+    #: :meth:`MetricsRegistry.snapshot` at the end of the drive
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: :meth:`EventLog.snapshot` at the end of the drive
+    events: Dict[str, object] = field(default_factory=dict)
+    #: live-mode isolated per-stream errors (stream -> message)
+    errors: Dict[str, str] = field(default_factory=dict)
 
     @property
     def aggregate_fps(self) -> float:
@@ -59,6 +74,12 @@ class ServiceReport:
             "admission": dict(self.admission),
             "scheduler": dict(self.scheduler),
             "cancelled": self.cancelled,
+            "ledger": dict(self.ledger),
+            "slo": dict(self.slo),
+            "shedding": dict(self.shedding),
+            "metrics": dict(self.metrics),
+            "events": dict(self.events),
+            "errors": dict(self.errors),
             "streams": {name: report.as_dict()
                         for name, report in self.streams.items()},
         }
@@ -91,4 +112,20 @@ class ServiceReport:
                      f"{self.admission.get('max_in_flight', 0)} "
                      f"(per-stream queue bound "
                      f"{self.admission.get('stream_queue_depth', 0)})")
+        totals = self.ledger.get("totals")
+        if totals:
+            lines.append(
+                f"  frame ledger    : {totals.get('offered', 0)} offered "
+                f"= {totals.get('finalized', 0)} finalized "
+                f"+ {totals.get('shed', 0)} shed "
+                f"+ {totals.get('errored', 0)} errored "
+                f"[{'balanced' if self.ledger.get('balanced') else 'UNBALANCED'}]")
+        if self.shedding.get("shed_total"):
+            lines.append(
+                f"  overload sheds  : {self.shedding['shed_total']} "
+                f"frame(s) over "
+                f"{self.shedding.get('engagements', 0)} engagement(s)")
+        if self.errors:
+            for name, message in self.errors.items():
+                lines.append(f"  stream error    : {name}: {message}")
         return "\n".join(lines)

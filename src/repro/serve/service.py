@@ -19,17 +19,36 @@ Execution model
   (global ``max_in_flight`` cap, bounded per-stream pending queues, so
   backpressure reaches the source instead of growing a buffer).
 * A team of **service workers** repeatedly picks the next grant under
-  one condition variable: among streams with pending frames whose
-  required engine has an idle pool instance, take the stream with the
-  lowest ``charged_mj / priority`` — *energy-fair scheduling*: pool
-  energy (modelled J/frame from the planner's cost model) is divided
-  in proportion to priority, so a cheap low-power stream is not
-  starved by an expensive one, and a priority-2 stream earns twice the
-  energy share.  The worker leases the engine, drives the stream's
-  compute stages (micro-batched through
+  one condition variable.  Streams that declared a
+  :class:`~repro.serve.ops.StreamSLO` are ordered by *normalized SLO
+  deficit* — seconds behind their target frame schedule, largest
+  first — then by the energy-fair key ``charged_mj / weight`` (pool
+  energy, modelled J/frame from the planner's cost model, divided in
+  proportion to weight), so a best-effort stream never starves a
+  tenant with a rate to keep, and equally-behind tenants split energy
+  by class.  The worker leases the engine, drives the stream's compute
+  stages (micro-batched through
   :meth:`~repro.exec.FrameProcessor.process_batch` when the plan
   allows it), finalizes in frame order, then releases the lease —
   on success, error and cancellation alike.
+
+Live operations
+---------------
+Constructed with ``live=True`` the service becomes an always-on
+system: :meth:`attach` admits a new stream against the pool's modelled
+capacity *while serving* (infeasible SLOs are rejected with
+:class:`~repro.serve.ops.SLORejection` before any resource is bound),
+:meth:`detach` retires one tenant without disturbing the others, a
+finished stream auto-retires (its report parked for :meth:`reap`),
+and a failing stream is *isolated* — its error is recorded, its leases
+and admission tickets are returned, healthy tenants keep running.
+Under overload a :class:`~repro.serve.ops.ShedPolicy` drops whole
+frames of the lowest priority class present (bounded, hysteretic,
+never a stream).  Everything is accounted in a per-stream ledger
+(``offered == admitted + shed``, ``admitted == finalized + errored +
+in-flight`` at every instant) and exported through a
+:class:`~repro.serve.ops.MetricsRegistry` (Prometheus text via
+:meth:`metrics_text`) and a structured :class:`~repro.serve.ops.EventLog`.
 
 Determinism contract
 --------------------
@@ -39,7 +58,9 @@ leased pool instances come from the same registry factory as a solo
 session's engines — so **with a fixed seed and any worker count, each
 stream's output frames are bitwise-identical to running that stream
 alone on its leased engines**.  Concurrency only changes wall-clock
-interleaving across streams, never a single output bit.
+interleaving across streams, never a single output bit; shedding only
+ever removes whole frames before ingest, so the frames that *are*
+produced keep the contract and the ledger reconciles exactly.
 """
 
 from __future__ import annotations
@@ -57,11 +78,16 @@ from ..session.report import FusedFrameResult, FusionReport
 from ..session.session import FusionSession
 from ..session.sources import FrameSource, as_frame_source
 from .admission import AdmissionController
+from .ops import (BEST_EFFORT, EventLog, MetricsRegistry, ShedPolicy,
+                  Shedder, SLORejection, StreamSLO, check_feasible)
 from .pool import EngineLease, EnginePool
 from .report import ServiceReport
 
 #: placement label the planner gives host-side stages (no engine cost)
 _HOST = "host"
+
+#: the empty ledger shape (per stream and for the running totals)
+_LEDGER_KEYS = ("offered", "admitted", "shed", "finalized", "errored")
 
 
 class StreamSpec:
@@ -80,11 +106,14 @@ class StreamSpec:
         The stream's :class:`~repro.session.FrameSource` (or plain
         iterable of pairs).
     frames:
-        Stop after this many fused frames (``None``: run until the
-        source is exhausted — never for infinite sources).
+        Stop after this many source frames (``None``: run until the
+        source is exhausted — never for infinite sources unless the
+        stream will be detached).  Shed frames count against the
+        limit: they were consumed from the source.
     priority:
-        Energy-fair weight (> 0): the stream's share of pool energy is
-        proportional to it.
+        Legacy energy-fair weight (> 0) for streams without an SLO.
+        Mutually exclusive with ``slo`` — a declared SLO carries its
+        own class weight.
     batch_frames:
         Dispatch granularity: how many pending frames one engine
         grant may drain under a single lease — a batchable plan rides
@@ -96,6 +125,11 @@ class StreamSpec:
     on_result:
         Optional callback invoked with each
         :class:`~repro.session.FusedFrameResult` in frame order.
+    slo:
+        Optional :class:`~repro.serve.ops.StreamSLO`.  Declaring one
+        replaces the static priority weight: admission models whether
+        the pool can meet it (else :class:`SLORejection`), and the
+        scheduler runs the largest normalized SLO deficit first.
     """
 
     def __init__(self, name: str, config: FusionConfig,
@@ -103,7 +137,8 @@ class StreamSpec:
                  priority: float = 1.0,
                  batch_frames: Optional[int] = None,
                  on_result: Optional[Callable[[FusedFrameResult], None]]
-                 = None):
+                 = None,
+                 slo: Optional[StreamSLO] = None):
         if not name or not isinstance(name, str):
             raise ConfigurationError(
                 f"stream name must be a non-empty string, got {name!r}")
@@ -118,6 +153,15 @@ class StreamSpec:
             raise ConfigurationError(
                 f"stream {name!r}: batch_frames must be >= 1 or None, "
                 f"got {batch_frames}")
+        if slo is not None and not isinstance(slo, StreamSLO):
+            raise ConfigurationError(
+                f"stream {name!r}: slo must be a StreamSLO, got "
+                f"{type(slo).__name__}")
+        if slo is not None and priority != 1.0:
+            raise ConfigurationError(
+                f"stream {name!r}: give either a priority weight or an "
+                f"SLO, not both — the SLO's priority class carries the "
+                f"weight")
         if config.engine_team is not None:
             raise ConfigurationError(
                 f"stream {name!r}: engine_team is not servable — the "
@@ -130,6 +174,13 @@ class StreamSpec:
         self.priority = float(priority)
         self.batch_frames = batch_frames
         self.on_result = on_result
+        self.slo = slo
+
+    @property
+    def weight(self) -> float:
+        """Energy-fair weight: the SLO's class weight, else the
+        legacy priority knob."""
+        return self.slo.weight if self.slo is not None else self.priority
 
 
 class _StreamState:
@@ -138,7 +189,7 @@ class _StreamState:
     def __init__(self, spec: StreamSpec, index: int):
         self.spec = spec
         self.name = spec.name
-        self.index = index  # registration order, the scheduling tie-break
+        self.index = index  # attach order, the scheduling tie-break
         # a private session per tenant: all ordered policies (frame
         # indices, scheduler observations, calibration, telemetry)
         # live here, untouched by other streams
@@ -146,15 +197,26 @@ class _StreamState:
         self.processor = self.session._processor
         self.plan = self.session.plan
         self.source = as_frame_source(spec.source)
+        self.slo = spec.slo if spec.slo is not None else BEST_EFFORT
         self.pending: Deque[object] = deque()
         self.busy = False
         self.capture_done = False
+        self.detach_requested = False
+        self.error: Optional[str] = None
         self.dispatched = 0
-        self.finalized = 0
         self.grants = 0
         self.charged_mj = 0.0
+        # the stream ledger (offered == admitted + shed at all times;
+        # admitted == finalized + errored once drained)
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+        self.finalized = 0
+        self.errored = 0
         self.started_s: Optional[float] = None
         self.ended_s: Optional[float] = None
+        self.t_attach: Optional[float] = None  # monotonic; the SLO clock
+        self.slo_demand: Dict[str, float] = {}
         self.mark = self.session._snapshot()
         if spec.config.keep_records:
             self.session._batch_records = []
@@ -166,7 +228,8 @@ class _StreamState:
         self.batch_frames = (spec.batch_frames
                              if spec.batch_frames is not None
                              else spec.config.batch_size)
-        self.est_mj_per_frame = self._estimate_mj()
+        self.seconds_by_engine, self.est_mj_per_frame = \
+            self._estimate_costs()
 
     def required_engines(self) -> Tuple[str, ...]:
         """Engine names frames of this stream may be assigned to."""
@@ -175,11 +238,14 @@ class _StreamState:
             return tuple(e.name for e in session.scheduler.engines)
         return (session._engine.name,)
 
-    def _estimate_mj(self) -> float:
-        """Modelled mJ/frame from the planner's cost model — the
-        energy-fair scheduler's charge per granted frame."""
+    def _estimate_costs(self) -> Tuple[Dict[str, float], float]:
+        """Modelled per-frame cost from the planner's cost model:
+        compute seconds split by engine (the SLO feasibility input)
+        and total mJ (the energy-fair scheduler's charge per granted
+        frame)."""
         power = self.spec.config.power_model
         engines: Dict[str, object] = {}
+        seconds_by: Dict[str, float] = {}
         mj = 0.0
         for node in self.plan.nodes.values():
             label = node.engine
@@ -188,9 +254,24 @@ class _StreamState:
                 continue
             if label not in engines:
                 engines[label] = create_engine(label)
+            seconds_by[label] = seconds_by.get(label, 0.0) \
+                + node.model_seconds
             mj += (node.model_seconds
                    * power.power_w(engines[label].power_mode) * 1e3)
-        return mj
+        return seconds_by, mj
+
+    def deficit_s(self, now: float) -> float:
+        """Seconds behind the SLO's target frame schedule (0 for
+        best-effort streams; negative when ahead of schedule)."""
+        fps = self.slo.target_fps
+        if fps <= 0 or self.t_attach is None:
+            return 0.0
+        return (now - self.t_attach) - self.dispatched / fps
+
+    def ledger(self) -> Dict[str, int]:
+        return {"offered": self.offered, "admitted": self.admitted,
+                "shed": self.shed, "finalized": self.finalized,
+                "errored": self.errored}
 
     def done(self) -> bool:
         return self.capture_done and not self.pending and not self.busy
@@ -212,11 +293,16 @@ class FusionService:
                            source=SyntheticSource(seed=1), frames=64)
         service.add_stream("tower-cam", config=FusionConfig(temporal=True),
                            source=SyntheticSource(seed=2), frames=64,
-                           priority=2.0)
+                           slo=StreamSLO(target_fps=10.0,
+                                         priority_class="critical"))
         report = service.serve()          # blocking; or start()/wait()
         report.streams["gate-cam"].model_millijoules_total
 
-    A service instance drives exactly one :meth:`serve` (mirroring the
+    With ``live=True`` the service stays up between streams:
+    :meth:`attach`/:meth:`detach` churn tenants at runtime, finished
+    streams auto-retire (collect them with :meth:`reap`), and
+    :meth:`wait` drains whatever is still attached.  A service
+    instance drives exactly one serve/start–wait cycle (mirroring the
     one-shot executors); it is a context manager, and :meth:`cancel`
     ends a drive early with every lease released and every thread
     joined.
@@ -230,7 +316,12 @@ class FusionService:
     def __init__(self, pool: Union[EnginePool, Dict[str, int], tuple,
                                    list],
                  max_in_flight: int = 8, stream_queue_depth: int = 4,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None, live: bool = False,
+                 shedding: Optional[ShedPolicy] = None,
+                 slo_headroom: float = 1.0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 events: Optional[EventLog] = None,
+                 event_capacity: int = 4096):
         self.pool = pool if isinstance(pool, EnginePool) \
             else EnginePool(pool)
         self._owns_pool = not isinstance(pool, EnginePool)
@@ -239,12 +330,30 @@ class FusionService:
         if workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {workers}")
+        if not (slo_headroom > 0):
+            raise ConfigurationError(
+                f"slo_headroom must be > 0, got {slo_headroom}")
         self.workers = workers
+        self.live = live
+        self.slo_headroom = float(slo_headroom)
         self._cond = threading.Condition()
         self.admission = AdmissionController(
             self._cond, max_in_flight=max_in_flight,
             stream_queue_depth=stream_queue_depth)
+        self.shedder = (Shedder(shedding, max_in_flight)
+                        if shedding is not None else None)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None \
+            else EventLog(capacity=event_capacity)
         self._streams: Dict[str, _StreamState] = {}
+        self._retired: Dict[str, FusionReport] = {}
+        self._retired_scheduler: Dict[str, Dict[str, object]] = {}
+        self._retired_ledger: Dict[str, Dict[str, int]] = {}
+        self._violations: Dict[str, List[Dict[str, object]]] = {}
+        self._errors: Dict[str, str] = {}
+        self._totals: Dict[str, int] = {k: 0 for k in _LEDGER_KEYS}
+        self._committed: Dict[str, float] = {}
+        self._attach_seq = 0
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
         self._error: Optional[BaseException] = None
@@ -252,29 +361,132 @@ class FusionService:
         self._started = False
         self._finished = False
         self._cancelled = False
+        self._draining = False
         self._t0 = 0.0
         self._t1 = 0.0
         self._report: Optional[ServiceReport] = None
+        self._init_metrics()
 
-    # -- registration ----------------------------------------------------
+    def _init_metrics(self) -> None:
+        # hot-path series are labelled by engine / priority class only
+        # (bounded sets); per-stream series appear exclusively as
+        # report-derived gauges, so churn cannot grow the registry
+        m = self.metrics
+        self._c_frames = m.counter(
+            "repro_serve_frames_finalized_total",
+            "Fused frames finalized, by priority class")
+        self._c_shed = m.counter(
+            "repro_serve_frames_shed_total",
+            "Frames dropped whole under overload, by priority class")
+        self._c_energy = m.counter(
+            "repro_serve_energy_millijoules_total",
+            "Modelled energy spent, by priority class")
+        self._c_leases = m.counter(
+            "repro_serve_leases_granted_total",
+            "Engine leases granted, by engine")
+        self._c_attached = m.counter(
+            "repro_serve_streams_attached_total",
+            "Streams admitted over the service's life")
+        self._c_retired = m.counter(
+            "repro_serve_streams_retired_total",
+            "Streams retired, by outcome")
+        self._c_rejected = m.counter(
+            "repro_serve_streams_rejected_total",
+            "Streams refused admission (SLO infeasible)")
+        self._c_violations = m.counter(
+            "repro_serve_slo_violations_total",
+            "SLO violations observed at stream retirement, by kind")
+        self._g_active = m.gauge(
+            "repro_serve_active_streams", "Streams currently attached")
+        self._g_inflight = m.gauge(
+            "repro_serve_in_flight_frames",
+            "Admitted frames not yet finalized")
+        self._g_shed_engaged = m.gauge(
+            "repro_serve_shedding_engaged",
+            "1 while the overload shedder is engaged")
+        self._g_committed = m.gauge(
+            "repro_serve_slo_committed_utilization",
+            "Modelled utilization reserved by admitted SLOs, by engine")
+        self._h_latency = m.histogram(
+            "repro_serve_frame_seconds",
+            "Modelled per-frame compute seconds, by priority class")
+        self._h_wall = m.histogram(
+            "repro_serve_frame_wall_seconds",
+            "Measured per-frame wall latency, by priority class")
+        # report-derived (set when a drive's report is built)
+        self._g_fps = m.gauge(
+            "repro_serve_aggregate_fps",
+            "Aggregate finalized frames per wall second (end of drive)")
+        self._g_occupancy = m.gauge(
+            "repro_serve_engine_occupancy_ratio",
+            "Per-instance busy fraction of the drive wall interval")
+        self._g_stream_energy = m.gauge(
+            "repro_serve_stream_energy_millijoules",
+            "Modelled energy by stream (end of drive)")
+
+    def _telemetry_sink(self, priority_class: str):
+        frames = self._c_frames.labels(priority_class=priority_class)
+        energy = self._c_energy.labels(priority_class=priority_class)
+        latency = self._h_latency.labels(priority_class=priority_class)
+        wall_h = self._h_wall.labels(priority_class=priority_class)
+
+        def sink(seconds: float, millijoules: float,
+                 wall: Optional[float]) -> None:
+            frames.inc()
+            energy.inc(millijoules)
+            latency.observe(seconds)
+            if wall is not None:
+                wall_h.observe(wall)
+        return sink
+
+    # -- registration / churn ---------------------------------------------
     def add_stream(self, name: str, config: Optional[FusionConfig] = None,
                    source: Optional[FrameSource] = None,
                    frames: Optional[int] = None, priority: float = 1.0,
                    batch_frames: Optional[int] = None,
                    on_result: Optional[Callable] = None,
+                   slo: Optional[StreamSLO] = None,
                    **config_overrides) -> StreamSpec:
         """Register one stream; validates it against the pool.
 
+        Before :meth:`start` this is plain registration; on a running
+        ``live=True`` service it is runtime attach.  A running
+        non-live service rejects it — the fixed-workload contract.
         ``config_overrides`` are convenience field overrides applied on
         top of ``config`` (or a default config), mirroring
         :class:`~repro.session.FusionSession`'s constructor.
         """
-        if self._started:
+        if self._started and not self.live:
             raise ConfigurationError(
-                "cannot add streams to a service that already started")
-        if name in self._streams:
-            raise ConfigurationError(
-                f"duplicate stream name {name!r}")
+                "cannot add streams to a service that already started; "
+                "construct with live=True for runtime attach")
+        return self.attach(name, config=config, source=source,
+                           frames=frames, priority=priority,
+                           batch_frames=batch_frames, on_result=on_result,
+                           slo=slo, **config_overrides)
+
+    def attach(self, name: str, config: Optional[FusionConfig] = None,
+               source: Optional[FrameSource] = None,
+               frames: Optional[int] = None, priority: float = 1.0,
+               batch_frames: Optional[int] = None,
+               on_result: Optional[Callable] = None,
+               slo: Optional[StreamSLO] = None,
+               **config_overrides) -> StreamSpec:
+        """Admit one stream, live or pre-start.
+
+        The stream's session is built, validated against the pool's
+        inventory, and — when it declares an SLO — checked for
+        feasibility against the pool's modelled capacity *after* every
+        already-admitted SLO is charged.  On a running live service
+        the capture thread starts immediately; other tenants are never
+        paused.  Raises :class:`SLORejection` when the SLO cannot be
+        met, :class:`FusionError` once the service is draining or
+        closed.
+        """
+        with self._cond:
+            self._check_attachable_locked(name)
+            index = self._attach_seq
+            self._attach_seq += 1
         if config is None:
             config = FusionConfig(**config_overrides)
         elif config_overrides:
@@ -284,8 +496,11 @@ class FusionService:
                 f"stream {name!r} needs a frame source")
         spec = StreamSpec(name=name, config=config, source=source,
                           frames=frames, priority=priority,
-                          batch_frames=batch_frames, on_result=on_result)
-        state = _StreamState(spec, index=len(self._streams))
+                          batch_frames=batch_frames, on_result=on_result,
+                          slo=slo)
+        # session construction is heavy: do it outside the condition,
+        # then re-validate registration under it
+        state = _StreamState(spec, index=index)
         missing = [engine for engine in state.required_engines()
                    if self.pool.count(engine) == 0]
         if missing:
@@ -300,9 +515,120 @@ class FusionService:
         state.batch_frames = min(state.batch_frames,
                                  self.admission.stream_queue_depth,
                                  self.admission.max_in_flight)
-        self._streams[name] = state
-        self.admission.register(name)
+        state.session.telemetry.sink = \
+            self._telemetry_sink(state.slo.priority_class)
+        with self._cond:
+            try:
+                self._check_attachable_locked(name)
+                pool_counts = {engine: self.pool.count(engine)
+                               for engine in state.seconds_by_engine}
+                state.slo_demand = check_feasible(
+                    name, state.slo, state.seconds_by_engine,
+                    state.est_mj_per_frame, pool_counts,
+                    self._committed, headroom=self.slo_headroom)
+            except (SLORejection, ConfigurationError, FusionError) as exc:
+                state.close()
+                self._c_rejected.inc()
+                self.events.emit("reject", name, reason=str(exc))
+                raise
+            for engine, demand in state.slo_demand.items():
+                self._committed[engine] = \
+                    self._committed.get(engine, 0.0) + demand
+            self.admission.register(name)
+            self._streams[name] = state
+            state.t_attach = time.monotonic()
+            self._c_attached.inc()
+            self._g_active.set(len(self._streams))
+            self.events.emit(
+                "attach", name, index=index,
+                priority_class=state.slo.priority_class,
+                target_fps=state.slo.target_fps, weight=spec.weight)
+            if self._started:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                thread = threading.Thread(
+                    target=self._capture, args=(state,),
+                    name=f"serve-capture-{name}", daemon=True)
+                self._threads.append(thread)
+                thread.start()
+            self._cond.notify_all()
         return spec
+
+    def _check_attachable_locked(self, name: str) -> None:
+        if self._finished:
+            raise FusionError(
+                "service is closed; create a new FusionService")
+        if self._draining:
+            raise FusionError(
+                "service is draining; no further streams may attach")
+        if name in self._streams:
+            raise ConfigurationError(f"duplicate stream name {name!r}")
+
+    def detach(self, name: str,
+               timeout: Optional[float] = None) -> FusionReport:
+        """Retire one stream from a running live service and return
+        its :class:`~repro.session.FusionReport`.
+
+        Frames already admitted drain first (nothing is torn down
+        mid-flight); the stream's capture stops, its leases return,
+        its SLO reservation is released, and every other tenant keeps
+        running undisturbed.  Blocks until the stream retired (or
+        ``timeout`` seconds elapsed — then :class:`FusionError`).
+        """
+        deadline = (time.monotonic() + timeout) if timeout is not None \
+            else None
+        with self._cond:
+            if name in self._retired and name not in self._streams:
+                return self._retired[name]
+            st = self._streams.get(name)
+            if st is None:
+                raise ConfigurationError(
+                    f"no stream named {name!r} is attached")
+            if self._started and not self.live:
+                raise ConfigurationError(
+                    "detach requires a live service (live=True); a "
+                    "fixed-workload drive runs its streams to "
+                    "completion")
+            st.detach_requested = True
+            self._cond.notify_all()
+            if not self._started:
+                # never ran: retire synchronously, report is empty
+                self._retire_locked(st, outcome="detached")
+                return self._retired[name]
+            while name in self._streams:
+                if self._error is not None:
+                    raise self._error
+                self._cond.wait(timeout=self.TICK_S)
+                if deadline is not None and time.monotonic() > deadline:
+                    raise FusionError(
+                        f"stream {name!r} did not retire within "
+                        f"{timeout:g}s")
+            return self._retired[name]
+
+    def reap(self) -> Dict[str, FusionReport]:
+        """Collect and forget retired streams' reports.
+
+        The live-churn memory contract: everything per-stream —
+        report, ledger entry, scheduler entry, SLO violations, kept
+        queue peaks — is handed to the caller and dropped from the
+        service, so a service churning thousands of streams stays
+        flat.  Aggregate totals (ledger, counters, event counts)
+        survive.
+        """
+        with self._cond:
+            reports = self._retired
+            self._retired = {}
+            for name in reports:
+                self._retired_scheduler.pop(name, None)
+                self._retired_ledger.pop(name, None)
+                self._violations.pop(name, None)
+                self._errors.pop(name, None)
+                self.admission.forget(name)
+            return reports
+
+    def stream_names(self) -> List[str]:
+        """Names of currently attached (not yet retired) streams."""
+        with self._cond:
+            return list(self._streams)
 
     # -- error/stop plumbing ----------------------------------------------
     def _fail(self, exc: BaseException) -> None:
@@ -313,6 +639,25 @@ class FusionService:
         with self._cond:
             self._cond.notify_all()
 
+    def _stream_failed_locked(self, st: _StreamState, exc: BaseException,
+                              where: str) -> None:
+        """Live-mode isolation: record the stream's error, stop its
+        capture, discard its undispatched frames (tickets returned),
+        and let it retire — without touching any other tenant."""
+        if st.error is None:
+            st.error = f"{type(exc).__name__}: {exc}"
+            self._errors[st.name] = st.error
+            self.events.emit("error", st.name, where=where,
+                             error=st.error)
+        st.detach_requested = True
+        discarded = len(st.pending)
+        if discarded:
+            st.pending.clear()
+            st.errored += discarded
+            self.admission.on_dispatch(st.name, discarded)
+            self.admission.on_done(st.name, discarded)
+        self._cond.notify_all()
+
     def _stopped(self) -> bool:
         return self._stop.is_set()
 
@@ -320,34 +665,86 @@ class FusionService:
     def _capture(self, st: _StreamState) -> None:
         produced = 0
         limit = st.spec.frames
+
+        def stop() -> bool:
+            return self._stop.is_set() or st.detach_requested
+
         try:
             iterator = iter(st.source)
-            while not self._stop.is_set() \
-                    and (limit is None or produced < limit):
-                if not self.admission.admit(st.name, self._stopped):
-                    return  # cancelled while backpressured
+            while not stop() and (limit is None or produced < limit):
+                if self.shedder is not None:
+                    with self._cond:
+                        shed_now = self.shedder.should_shed(
+                            st.name, st.slo.rank,
+                            self._lowest_rank_locked(),
+                            st.offered, st.shed,
+                            self.admission.in_flight)
+                        self._g_shed_engaged.set(
+                            1.0 if self.shedder.engaged else 0.0)
+                else:
+                    shed_now = False
+                if shed_now:
+                    # drop the next frame whole, before ingest: it is
+                    # simply absent from the output, never partial
+                    try:
+                        ensure_source_open(st.source)
+                    except FusionError as exc:
+                        raise FusionError(
+                            f"stream {st.name!r}: {exc}") from None
+                    try:
+                        next(iterator)
+                    except StopIteration:
+                        return
+                    with self._cond:
+                        st.offered += 1
+                        st.shed += 1
+                        self.shedder.record(st.name)
+                    self._c_shed.labels(
+                        priority_class=st.slo.priority_class).inc()
+                    self.events.emit("shed", st.name, index=produced)
+                    produced += 1
+                    continue
+                if not self.admission.admit(st.name, stop):
+                    return  # cancelled/detached while backpressured
                 try:
-                    ensure_source_open(st.source)
-                except FusionError as exc:
-                    raise FusionError(f"stream {st.name!r}: {exc}") \
-                        from None
-                try:
+                    try:
+                        ensure_source_open(st.source)
+                    except FusionError as exc:
+                        raise FusionError(
+                            f"stream {st.name!r}: {exc}") from None
                     pair = next(iterator)
+                    task = st.processor.ingest(pair, produced)
                 except StopIteration:
                     # the admission ticket was never attached to a frame
                     with self._cond:
                         self.admission.retract(st.name)
                     return
-                task = st.processor.ingest(pair, produced)
+                except BaseException:
+                    # a failing source/ingest must return its ticket
+                    # too, or the budget leaks one admission forever
+                    with self._cond:
+                        self.admission.retract(st.name)
+                    raise
                 now = time.perf_counter()
                 with self._cond:
+                    if stop():
+                        # detached/cancelled between admit and append:
+                        # the ticket never becomes a frame
+                        self.admission.retract(st.name)
+                        return
                     if st.started_s is None:
                         st.started_s = now
+                    st.offered += 1
+                    st.admitted += 1
                     st.pending.append(task)
                     self._cond.notify_all()
                 produced += 1
         except BaseException as exc:  # noqa: BLE001 - crosses threads
-            self._fail(exc)
+            if self.live:
+                with self._cond:
+                    self._stream_failed_locked(st, exc, where="capture")
+            else:
+                self._fail(exc)
         finally:
             with self._cond:
                 st.capture_done = True
@@ -357,11 +754,20 @@ class FusionService:
     def _all_done_locked(self) -> bool:
         return all(st.done() for st in self._streams.values())
 
+    def _lowest_rank_locked(self) -> int:
+        """Rank of the least important priority class attached
+        (larger = less important) — only that class may shed."""
+        return max((st.slo.rank for st in self._streams.values()),
+                   default=0)
+
     def _select_locked(self) -> Optional[Tuple[_StreamState, List[object],
                                                EngineLease]]:
-        """The energy-fair pick: among dispatchable streams, the one
-        with the lowest charged-energy-per-priority; grants drain up
-        to ``batch_frames`` same-engine frames.  Caller holds the
+        """The SLO-deficit pick: among dispatchable streams, the one
+        furthest behind its target frame schedule; ties (and all
+        best-effort streams, whose deficit is zero) fall back to the
+        energy-fair key — lowest charged-energy-per-weight, charged
+        at the planner's modelled cost.  Grants drain up to
+        ``batch_frames`` same-engine frames.  Caller holds the
         service condition.
 
         A batchable stream is preferred once *batch-ready* (a full
@@ -371,6 +777,7 @@ class FusionService:
         instead — waiting for frames that admission will never admit
         would deadlock the service against its own backpressure.
         """
+        now = time.monotonic()
         best: Optional[_StreamState] = None
         best_key = None
         partial: Optional[_StreamState] = None
@@ -381,7 +788,8 @@ class FusionService:
             engine_name = st.pending[0].engine.name
             if self.pool.idle_count(engine_name) == 0:
                 continue  # contended: revisit when a lease returns
-            key = (st.charged_mj / st.spec.priority, st.dispatched,
+            key = (-st.deficit_s(now),
+                   st.charged_mj / st.spec.weight, st.dispatched,
                    st.index)
             if st.capture_done or len(st.pending) >= st.batch_frames:
                 if best is None or key < best_key:
@@ -408,13 +816,18 @@ class FusionService:
         best.grants += 1
         best.charged_mj += take * best.est_mj_per_frame
         self.admission.on_dispatch(best.name, take)
+        self._c_leases.labels(engine=engine_name).inc()
+        self.events.emit("lease", best.name, engine=engine_name,
+                         frames=take)
         return best, tasks, lease
 
     def _compute(self, st: _StreamState, tasks: List[object],
-                 lease: EngineLease) -> None:
+                 lease: EngineLease, progress: List[int]) -> None:
         """Drive one grant: the stream's compute stages, then ordered
         finalize — the per-stream serial interpretation of its plan,
-        under the externally owned engine lease."""
+        under the externally owned engine lease.  ``progress[0]``
+        counts frames actually finalized, so an error mid-grant is
+        charged to exactly the frames it lost."""
         processor = st.processor
         if len(tasks) > 1:
             # micro-batched interpretation of the plan's batch
@@ -432,6 +845,7 @@ class FusionService:
                 processor.run_stage(name, task, ctx)
         for task in tasks:
             result = processor.finalize(task)
+            progress[0] += 1
             if st.spec.on_result is not None:
                 st.spec.on_result(result)
 
@@ -441,49 +855,183 @@ class FusionService:
                 grant = None
                 with self._cond:
                     while grant is None:
-                        if self._stop.is_set() or self._all_done_locked():
+                        if self._stop.is_set():
+                            return
+                        self._reap_done_locked()
+                        if self._drained_locked():
                             return
                         grant = self._select_locked()
                         if grant is None:
                             self._cond.wait(timeout=self.TICK_S)
                 st, tasks, lease = grant
+                progress = [0]
+                error: Optional[BaseException] = None
                 try:
-                    self._compute(st, tasks, lease)
+                    self._compute(st, tasks, lease, progress)
+                except BaseException as exc:  # noqa: BLE001
+                    if not self.live:
+                        raise
+                    error = exc
                 finally:
                     lease.release()
                     now = time.perf_counter()
                     with self._cond:
                         st.busy = False
-                        st.finalized += len(tasks)
+                        st.finalized += progress[0]
+                        st.errored += len(tasks) - progress[0]
                         st.ended_s = now
                         self.admission.on_done(st.name, len(tasks))
+                        if error is not None:
+                            self._stream_failed_locked(st, error,
+                                                       where="compute")
+                        self._reap_done_locked()
                         self._cond.notify_all()
         except BaseException as exc:  # noqa: BLE001 - crosses threads
             self._fail(exc)
 
+    def _drained_locked(self) -> bool:
+        """May a worker exit?  A live service idles between streams
+        until :meth:`wait` starts the drain; a fixed drive exits when
+        every stream retired."""
+        if self.live and not self._draining:
+            return False
+        return self._all_done_locked()
+
+    # -- retirement -------------------------------------------------------
+    def _reap_done_locked(self) -> None:
+        if self._error is not None:
+            return  # the failing drive tears down in wait()
+        for name in [n for n, s in self._streams.items() if s.done()]:
+            st = self._streams[name]
+            if st.error is not None:
+                outcome = "errored"
+            elif st.detach_requested:
+                outcome = "detached"
+            else:
+                outcome = "completed"
+            self._retire_locked(st, outcome)
+
+    def _retire_locked(self, st: _StreamState, outcome: str) -> None:
+        """Move one stream from active to retired: fold its ledger
+        into the totals, release its SLO reservation, deregister it
+        from admission, close its session/source, park its report.
+        Caller holds the service condition."""
+        peak_queue = self.admission.deregister(st.name)
+        for engine, demand in st.slo_demand.items():
+            left = self._committed.get(engine, 0.0) - demand
+            if left > 1e-12:
+                self._committed[engine] = left
+            else:
+                self._committed.pop(engine, None)
+        if self.shedder is not None:
+            self.shedder.forget(st.name)
+        entry = st.ledger()
+        self._retired_ledger[st.name] = entry
+        for key in _LEDGER_KEYS:
+            self._totals[key] += entry[key]
+        violations = self._check_slo_locked(st)
+        report = self._stream_report(st, peak_queue)
+        self._retired[st.name] = report
+        self._retired_scheduler[st.name] = {
+            "grants": st.grants,
+            "dispatched": st.dispatched,
+            "charged_mj": st.charged_mj,
+            "est_mj_per_frame": st.est_mj_per_frame,
+            "priority": st.spec.priority,
+            "weight": st.spec.weight,
+            "priority_class": st.slo.priority_class,
+            "target_fps": st.slo.target_fps,
+            "outcome": outcome,
+        }
+        del self._streams[st.name]
+        st.close()
+        self._c_retired.labels(outcome=outcome).inc()
+        self._g_active.set(len(self._streams))
+        self.events.emit("detach", st.name, outcome=outcome,
+                         finalized=entry["finalized"],
+                         shed=entry["shed"], errored=entry["errored"],
+                         violations=len(violations))
+        self._cond.notify_all()
+
+    def _check_slo_locked(self, st: _StreamState) \
+            -> List[Dict[str, object]]:
+        """Judge a retiring stream against its declared SLO; records
+        and returns any violations (informational — the stream still
+        retires normally)."""
+        violations: List[Dict[str, object]] = []
+        slo = st.slo
+        wall = ((st.ended_s - st.started_s)
+                if st.started_s is not None and st.ended_s is not None
+                else 0.0)
+        if slo.target_fps > 0 and wall > 0 and st.finalized > 0:
+            achieved = st.finalized / wall
+            if achieved + 1e-9 < slo.target_fps:
+                violations.append({"kind": "fps",
+                                   "target": slo.target_fps,
+                                   "achieved": achieved})
+        if slo.latency_budget_s is not None \
+                and st.session.telemetry._wall:
+            p95 = st.session.telemetry._percentile(
+                st.session.telemetry._wall, 0.95)
+            if p95 > slo.latency_budget_s:
+                violations.append({"kind": "latency",
+                                   "budget_s": slo.latency_budget_s,
+                                   "wall_p95_s": p95})
+        if violations:
+            self._violations[st.name] = violations
+            for violation in violations:
+                self._c_violations.labels(kind=violation["kind"]).inc()
+                payload = {("violation" if key == "kind" else key): v
+                           for key, v in violation.items()}
+                self.events.emit("slo_violation", st.name, **payload)
+        return violations
+
+    def _return_pending_locked(self, st: _StreamState) -> None:
+        """Give a cancelled stream's undispatched frames back to the
+        admission budget; they retire as errored (never finalized)."""
+        discarded = len(st.pending)
+        if discarded:
+            st.pending.clear()
+            st.errored += discarded
+            self.admission.on_dispatch(st.name, discarded)
+            self.admission.on_done(st.name, discarded)
+
     # -- lifecycle --------------------------------------------------------
     def start(self) -> "FusionService":
         """Launch capture threads and the worker team (non-blocking)."""
+        if self._finished:
+            raise FusionError(
+                "service is closed; FusionService instances drive "
+                "exactly one serve() — create a new service")
         if self._started:
+            raise FusionError(
+                "service already started; FusionService instances "
+                "drive exactly one serve() — create a new service for "
+                "the next drive")
+        if not self._streams and not self.live:
             raise ConfigurationError(
-                "FusionService instances drive exactly one serve(); "
-                "create a new service for the next drive")
-        if not self._streams:
-            raise ConfigurationError(
-                "service has no streams; add_stream() first")
+                "service has no streams; add_stream() first (or "
+                "construct with live=True to attach at runtime)")
         self._started = True
         self._t0 = time.perf_counter()
-        self._threads = [
-            threading.Thread(target=self._capture, args=(st,),
-                             name=f"serve-capture-{st.name}", daemon=True)
-            for st in self._streams.values()
-        ] + [
-            threading.Thread(target=self._worker, args=(slot,),
-                             name=f"serve-worker-{slot}", daemon=True)
-            for slot in range(self.workers)
-        ]
-        for thread in self._threads:
-            thread.start()
+        with self._cond:
+            now = time.monotonic()
+            for st in self._streams.values():
+                st.t_attach = now  # the SLO clock starts at serve time
+            self._threads = [
+                threading.Thread(target=self._capture, args=(st,),
+                                 name=f"serve-capture-{st.name}",
+                                 daemon=True)
+                for st in self._streams.values()
+            ] + [
+                threading.Thread(target=self._worker, args=(slot,),
+                                 name=f"serve-worker-{slot}", daemon=True)
+                for slot in range(self.workers)
+            ]
+            for thread in self._threads:
+                thread.start()
+        self.events.emit("service", phase="start", live=self.live,
+                         workers=self.workers)
         return self
 
     def cancel(self) -> None:
@@ -491,17 +1039,30 @@ class FusionService:
         in :meth:`wait`/:meth:`close`."""
         self._cancelled = True
         self._stop.set()
+        self.events.emit("service", phase="cancel")
         with self._cond:
             self._cond.notify_all()
 
     def wait(self) -> ServiceReport:
         """Block until every stream finishes (or the drive stops),
-        then return the :class:`ServiceReport`.  Re-raises the first
-        stream/worker error after releasing every resource."""
+        then return the :class:`ServiceReport`.
+
+        On a live service this *drains*: no further attach is
+        admitted, currently attached streams run to completion (an
+        endless stream must be detached or the service cancelled
+        first).  Re-raises the first service error after releasing
+        every resource; live-mode per-stream errors do not raise —
+        they are isolated in the report's ``errors``.
+        """
         if not self._started:
             raise ConfigurationError("service was never started")
         if self._report is not None:
             return self._report
+        with self._cond:
+            if not self._draining:
+                self._draining = True
+                self.events.emit("service", phase="drain")
+            self._cond.notify_all()
         try:
             # workers exit on their own when all streams are done;
             # nudge them awake in case a notify was missed
@@ -516,13 +1077,26 @@ class FusionService:
         finally:
             self._t1 = time.perf_counter()
             self._finished = True
-            for st in self._streams.values():
-                st.close()
+            with self._cond:
+                if self._error is None:
+                    # cancelled drives retire leftovers here, with
+                    # their undispatched tickets returned, so the
+                    # ledger and admission balance exactly
+                    for st in list(self._streams.values()):
+                        self._return_pending_locked(st)
+                        outcome = ("cancelled" if self._cancelled
+                                   else "completed")
+                        self._retire_locked(st, outcome)
+                else:
+                    for st in self._streams.values():
+                        st.close()
             if self._owns_pool:
                 self.pool.close()
         if self._error is not None:
             raise self._error
         self._report = self._build_report()
+        self.events.emit("service", phase="finish",
+                         cancelled=self._cancelled)
         return self._report
 
     def serve(self) -> ServiceReport:
@@ -546,6 +1120,7 @@ class FusionService:
                 st.close()
             if self._owns_pool:
                 self.pool.close()
+            self.events.emit("service", phase="close")
 
     def __enter__(self) -> "FusionService":
         return self
@@ -553,15 +1128,59 @@ class FusionService:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- observability ----------------------------------------------------
+    def ledger(self) -> Dict[str, object]:
+        """The frame-accounting ledger, live at any instant.
+
+        ``totals`` spans the service's whole life (retired streams
+        included, reaped ones too); ``balanced`` asserts the
+        conservation laws: every offered frame was admitted or shed,
+        and every admitted frame is finalized, errored, or still in
+        flight.
+        """
+        with self._cond:
+            return self._ledger_locked()
+
+    def _ledger_locked(self) -> Dict[str, object]:
+        totals = dict(self._totals)
+        for st in self._streams.values():
+            entry = st.ledger()
+            for key in _LEDGER_KEYS:
+                totals[key] += entry[key]
+        in_flight = self.admission.in_flight
+        balanced = (
+            totals["offered"] == totals["admitted"] + totals["shed"]
+            and totals["admitted"] == (totals["finalized"]
+                                       + totals["errored"] + in_flight))
+        streams = {name: dict(entry)
+                   for name, entry in self._retired_ledger.items()}
+        for name, st in self._streams.items():
+            streams[name] = st.ledger()
+        return {"totals": totals, "in_flight": in_flight,
+                "balanced": balanced, "streams": streams}
+
+    def metrics_text(self) -> str:
+        """The registry as Prometheus text exposition, with the
+        point-in-time gauges refreshed first — the scrape endpoint's
+        body (and ``repro serve --metrics-out``)."""
+        with self._cond:
+            self._g_active.set(len(self._streams))
+            self._g_inflight.set(self.admission.in_flight)
+            if self.shedder is not None:
+                self._g_shed_engaged.set(
+                    1.0 if self.shedder.engaged else 0.0)
+            for engine, demand in self._committed.items():
+                self._g_committed.labels(engine=engine).set(demand)
+        return self.metrics.render_prometheus()
+
     # -- reporting --------------------------------------------------------
-    def _stream_report(self, st: _StreamState) -> FusionReport:
+    def _stream_report(self, st: _StreamState,
+                       peak_queue: int) -> FusionReport:
         report = st.session._report_since(st.mark)
         report.records = st.session._batch_records or []
         wall = ((st.ended_s - st.started_s)
                 if st.started_s is not None and st.ended_s is not None
                 else 0.0)
-        peak_queue = self.admission.snapshot()["peak_queued"].get(
-            st.name, 0)
         report.throughput = {
             "executor": "serve",
             "frames": st.finalized,
@@ -572,31 +1191,47 @@ class FusionService:
             "queue_peak": {"pending": peak_queue},
             "charged_mj": st.charged_mj,
             "priority": st.spec.priority,
+            "priority_class": st.slo.priority_class,
+            "shed": st.shed,
+            "errored": st.errored,
         }
         return report
 
     def _build_report(self) -> ServiceReport:
         wall = self._t1 - self._t0
-        streams = {name: self._stream_report(st)
-                   for name, st in self._streams.items()}
+        streams = dict(self._retired)
         energy = {name: report.model_millijoules_total
                   for name, report in streams.items()}
-        return ServiceReport(
+        occupancy = self.pool.occupancy(wall)
+        report = ServiceReport(
             streams=streams,
             wall_seconds=wall,
             frames_total=sum(r.frames for r in streams.values()),
             energy_mj_by_stream=energy,
             energy_mj_total=sum(energy.values()),
-            engine_occupancy=self.pool.occupancy(wall),
+            engine_occupancy=occupancy,
             pool=self.pool.stats(),
             admission=self.admission.snapshot(),
-            scheduler={
-                name: {"grants": st.grants,
-                       "dispatched": st.dispatched,
-                       "charged_mj": st.charged_mj,
-                       "est_mj_per_frame": st.est_mj_per_frame,
-                       "priority": st.spec.priority}
-                for name, st in self._streams.items()
-            },
+            scheduler=dict(self._retired_scheduler),
             cancelled=self._cancelled,
+            ledger=self._ledger_locked(),
+            slo={
+                "headroom": self.slo_headroom,
+                "committed": dict(self._committed),
+                "violations": {name: list(v) for name, v
+                               in self._violations.items()},
+            },
+            shedding=(self.shedder.snapshot()
+                      if self.shedder is not None else {}),
+            metrics=self.metrics.snapshot(),
+            events=self.events.snapshot(),
+            errors=dict(self._errors),
         )
+        # report-derived gauges: the scrape numerically agrees with
+        # the report's aggregates by construction
+        self._g_fps.set(report.aggregate_fps)
+        for label, frac in occupancy.items():
+            self._g_occupancy.labels(instance=label).set(frac)
+        for name, millijoules in energy.items():
+            self._g_stream_energy.labels(stream=name).set(millijoules)
+        return report

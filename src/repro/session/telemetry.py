@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import ConfigurationError
+
+#: signature of a telemetry sink: (seconds, millijoules, wall_seconds)
+TelemetrySink = Callable[[float, float, Optional[float]], None]
 
 
 @dataclass
@@ -60,16 +63,24 @@ class FrameTelemetry:
     energy_budget_mj:
         Optional mission energy budget; :meth:`frames_remaining`
         extrapolates how many more frames fit.
+    sink:
+        Optional per-frame observer called *after* each successful
+        :meth:`record` with ``(seconds, millijoules, wall_seconds)``.
+        The serving layer attaches one to feed its live metrics
+        (latency histograms, energy counters) without polling; a sink
+        must be fast and must not raise.
     """
 
     def __init__(self, target_fps: float = 25.0,
-                 energy_budget_mj: Optional[float] = None):
+                 energy_budget_mj: Optional[float] = None,
+                 sink: Optional[TelemetrySink] = None):
         if target_fps <= 0:
             raise ConfigurationError("target_fps must be positive")
         if energy_budget_mj is not None and energy_budget_mj <= 0:
             raise ConfigurationError("energy budget must be positive")
         self.target_fps = target_fps
         self.energy_budget_mj = energy_budget_mj
+        self.sink = sink
         self._latencies: List[float] = []
         self._millijoules: List[float] = []
         self._wall: List[float] = []
@@ -88,6 +99,8 @@ class FrameTelemetry:
         self._millijoules.append(millijoules)
         if wall_seconds is not None:
             self._wall.append(wall_seconds)
+        if self.sink is not None:
+            self.sink(seconds, millijoules, wall_seconds)
 
     @property
     def frames(self) -> int:

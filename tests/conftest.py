@@ -12,6 +12,26 @@ from repro.types import FrameShape
 from repro.video.scene import SyntheticScene
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "soak: long-running churn/endurance tests (skipped unless "
+        "selected with -m soak — CI runs them in their own "
+        "deadlock-guarded step)")
+
+
+def pytest_collection_modifyitems(config, items):
+    # soak tests only run when explicitly asked for, so the tier-1 and
+    # coverage suites stay fast; `-m soak` (the CI soak step) selects
+    # them, everything else skips them
+    if "soak" in (config.getoption("-m") or ""):
+        return
+    skip = pytest.mark.skip(reason="soak test: run with -m soak")
+    for item in items:
+        if "soak" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(20160314)

@@ -1,0 +1,109 @@
+"""EventLog: bounded ring, monotonic stamps, JSONL export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import EventLog
+from repro.serve.ops.events import EVENT_KINDS
+
+
+class TestEmit:
+    def test_sequence_numbers_and_monotonic_stamps(self):
+        log = EventLog()
+        first = log.emit("attach", "cam-a", index=0)
+        second = log.emit("lease", "cam-a", engine="neon")
+        assert (first.seq, second.seq) == (1, 2)
+        assert second.monotonic_s >= first.monotonic_s
+        assert log.total == 2
+
+    def test_unknown_kind_rejected(self):
+        log = EventLog()
+        with pytest.raises(ConfigurationError, match="unknown event kind"):
+            log.emit("reboot")
+        assert log.total == 0
+
+    def test_every_declared_kind_accepted(self):
+        log = EventLog()
+        for kind in EVENT_KINDS:
+            log.emit(kind)
+        assert log.counts() == {kind: 1 for kind in EVENT_KINDS}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            EventLog(capacity=0)
+
+
+class TestRing:
+    def test_old_events_age_out_but_stay_counted(self):
+        log = EventLog(capacity=4)
+        for index in range(10):
+            log.emit("shed", "cam", index=index)
+        assert log.total == 10
+        assert log.counts() == {"shed": 10}
+        retained = log.events()
+        assert len(retained) == 4
+        assert [event.seq for event in retained] == [7, 8, 9, 10]
+
+    def test_kind_filter(self):
+        log = EventLog()
+        log.emit("attach", "a")
+        log.emit("shed", "a")
+        log.emit("attach", "b")
+        assert [e.stream for e in log.events("attach")] == ["a", "b"]
+        assert log.events("reject") == []
+
+    def test_snapshot_summary(self):
+        log = EventLog(capacity=2)
+        for _ in range(3):
+            log.emit("lease")
+        snapshot = log.snapshot()
+        assert snapshot == {"total": 3, "retained": 2, "capacity": 2,
+                            "counts": {"lease": 3}}
+        json.dumps(snapshot)
+
+
+class TestExport:
+    def test_jsonl_one_parseable_line_per_event(self):
+        log = EventLog()
+        log.emit("attach", "cam-a", priority_class="critical")
+        log.emit("service", phase="start")
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "attach"
+        assert first["stream"] == "cam-a"
+        assert first["priority_class"] == "critical"
+        second = json.loads(lines[1])
+        assert second["kind"] == "service"
+        assert "stream" not in second  # service-wide event
+        assert second["seq"] == 2
+
+    def test_dump_writes_file_and_returns_count(self, tmp_path):
+        log = EventLog()
+        log.emit("attach", "a")
+        log.emit("detach", "a", outcome="completed")
+        path = tmp_path / "events.jsonl"
+        assert log.dump(path) == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] \
+            == ["attach", "detach"]
+
+    def test_concurrent_emit_keeps_unique_ordered_seqs(self):
+        log = EventLog()
+
+        def pump():
+            for _ in range(200):
+                log.emit("lease", "cam")
+
+        threads = [threading.Thread(target=pump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert log.total == 800
+        seqs = [event.seq for event in log.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)

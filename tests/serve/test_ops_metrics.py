@@ -1,0 +1,223 @@
+"""MetricsRegistry: instrument semantics, Prometheus exposition, and
+the acceptance gate that the scrape agrees with the ServiceReport."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import FusionService, MetricsRegistry
+from repro.serve.ops.metrics import (
+    DEFAULT_BUCKETS,
+    iter_samples,
+    parse_prometheus,
+)
+from repro.session import FusionConfig, SyntheticSource
+from repro.types import FrameShape
+
+SMALL = FrameShape(32, 24)
+MID = FrameShape(40, 40)
+
+POOL = {"arm": 1, "neon": 1, "fpga": 2}
+
+#: the 4-stream acceptance workload (mirrors test_service.py)
+MIXED_WORKLOAD = (
+    ("batch-a", dict(engine="neon", executor="batch", batch_size=4,
+                     fusion_shape=SMALL), 11),
+    ("batch-b", dict(engine="fpga", executor="batch", batch_size=4,
+                     fusion_shape=SMALL), 12),
+    ("temporal", dict(engine="arm", temporal=True), 13),
+    ("registration", dict(engine="fpga", registration=True), 14),
+)
+
+
+def config(**overrides):
+    defaults = dict(engine="neon", fusion_shape=MID, levels=2, seed=5,
+                    quality_metrics=False)
+    defaults.update(overrides)
+    return FusionConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        frames = registry.counter("frames_total", "Frames")
+        frames.inc()
+        frames.inc(2.5)
+        assert frames.labels().value == 3.5
+        with pytest.raises(ConfigurationError, match="only go up"):
+            frames.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        active = registry.gauge("active", "Active")
+        active.set(5)
+        active.inc(2)
+        active.dec(3)
+        assert active.labels().value == 4.0
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        leases = registry.counter("leases_total", "Leases")
+        leases.labels(engine="neon").inc(3)
+        leases.labels(engine="fpga").inc(1)
+        assert leases.labels(engine="neon").value == 3
+        assert leases.labels(engine="fpga").value == 1
+        # same label set -> the same child
+        assert leases.labels(engine="neon") is leases.labels(engine="neon")
+
+    def test_histogram_counts_sum_and_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("latency_seconds", "Latency",
+                                     buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            latency.labels().observe(value)
+        assert latency.labels().count == 5
+        assert latency.labels().sum == pytest.approx(56.05)
+        samples = parse_prometheus(registry.render_prometheus())
+        assert samples['latency_seconds_bucket{le="0.1"}'] == 1
+        assert samples['latency_seconds_bucket{le="1"}'] == 3
+        assert samples['latency_seconds_bucket{le="10"}'] == 4
+        assert samples['latency_seconds_bucket{le="+Inf"}'] == 5
+        assert samples["latency_seconds_count"] == 5
+        assert samples["latency_seconds_sum"] == pytest.approx(56.05)
+
+    def test_histogram_default_buckets_sorted(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", "H")
+        assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+
+    def test_reregistering_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "X")
+        assert registry.counter("x_total") is first
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="invalid metric"):
+            registry.counter("9frames", "bad")
+        with pytest.raises(ConfigurationError, match="invalid metric"):
+            registry.counter("frames total", "bad")
+
+
+# ----------------------------------------------------------------------
+class TestExposition:
+    def test_help_and_type_headers(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_total", "Frames fused").inc()
+        text = registry.render_prometheus()
+        assert "# HELP frames_total Frames fused" in text
+        assert "# TYPE frames_total counter" in text
+        assert text.endswith("\n")
+
+    def test_render_parse_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "A").labels(k="v").inc(7)
+        registry.gauge("g", "G").set(2.25)
+        registry.histogram("h", "H", buckets=(1.0,)).labels().observe(0.5)
+        samples = parse_prometheus(registry.render_prometheus())
+        assert samples['a_total{k="v"}'] == 7
+        assert samples["g"] == 2.25
+        assert samples['h_bucket{le="1"}'] == 1
+        assert samples['h_bucket{le="+Inf"}'] == 1
+        assert samples["h_sum"] == 0.5
+        assert samples["h_count"] == 1
+        assert dict(iter_samples(registry.render_prometheus())) \
+            == samples
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "G").labels(path='a"b\\c').set(1)
+        text = registry.render_prometheus()
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_infinite_gauge_renders_as_inf(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "G").set(math.inf)
+        assert "g +Inf" in registry.render_prometheus()
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c_total", "C").inc(2)
+        registry.histogram("h", "H", buckets=(1.0,)).labels().observe(0.5)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)
+        assert snapshot["c_total"]["kind"] == "counter"
+        assert snapshot["c_total"]["series"]["{}"] == 2
+        assert snapshot["h"]["series"]["{}"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+class TestScrapeAgreesWithReport:
+    """The ISSUE's acceptance gate: on the 4-stream workload,
+    ``render_prometheus()`` numerically agrees with the
+    ServiceReport's aggregates — fps, per-engine occupancy, energy."""
+
+    @pytest.fixture(scope="class")
+    def served(self):
+        service = FusionService(pool=POOL, max_in_flight=8,
+                                stream_queue_depth=4)
+        for name, overrides, seed in MIXED_WORKLOAD:
+            service.add_stream(name, config=config(**overrides),
+                               source=SyntheticSource(seed=seed),
+                               frames=6)
+        report = service.serve()
+        samples = parse_prometheus(service.metrics_text())
+        return report, samples
+
+    def test_aggregate_fps_matches(self, served):
+        report, samples = served
+        assert samples["repro_serve_aggregate_fps"] \
+            == pytest.approx(report.aggregate_fps, rel=1e-9)
+
+    def test_engine_occupancy_matches_per_instance(self, served):
+        report, samples = served
+        assert report.engine_occupancy  # 4 instances
+        for label, frac in report.engine_occupancy.items():
+            key = f'repro_serve_engine_occupancy_ratio{{instance="{label}"}}'
+            assert samples[key] == pytest.approx(frac, rel=1e-9), label
+
+    def test_energy_split_matches_per_stream(self, served):
+        report, samples = served
+        for name, millijoules in report.energy_mj_by_stream.items():
+            key = f'repro_serve_stream_energy_millijoules{{stream="{name}"}}'
+            assert samples[key] == pytest.approx(millijoules, rel=1e-9)
+
+    def test_frames_and_energy_totals_match(self, served):
+        report, samples = served
+        finalized = sum(value for series, value in samples.items()
+                        if series.startswith(
+                            "repro_serve_frames_finalized_total"))
+        assert finalized == report.frames_total == 24
+        energy = sum(value for series, value in samples.items()
+                     if series.startswith(
+                         "repro_serve_energy_millijoules_total"))
+        assert energy == pytest.approx(report.energy_mj_total, rel=1e-6)
+
+    def test_lease_counter_matches_pool_grants(self, served):
+        report, samples = served
+        leases = sum(value for series, value in samples.items()
+                     if series.startswith(
+                         "repro_serve_leases_granted_total"))
+        assert leases == report.pool["granted"]
+
+    def test_lifecycle_counters_match(self, served):
+        report, samples = served
+        assert samples["repro_serve_streams_attached_total"] == 4
+        retired = sum(value for series, value in samples.items()
+                      if series.startswith(
+                          "repro_serve_streams_retired_total"))
+        assert retired == 4
+        assert samples["repro_serve_active_streams"] == 0
+        assert samples["repro_serve_in_flight_frames"] == 0
+
+    def test_wall_latency_histogram_counts_every_frame(self, served):
+        report, samples = served
+        key = ('repro_serve_frame_wall_seconds_count'
+               '{priority_class="standard"}')
+        assert samples[key] == report.frames_total

@@ -1,0 +1,237 @@
+"""StreamSLO: validation, feasibility admission, deficit scheduling."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FusionError
+from repro.serve import FusionService, SLORejection, StreamSLO
+from repro.serve.ops.slo import (
+    BEST_EFFORT,
+    CLASS_WEIGHTS,
+    PRIORITY_CLASSES,
+    check_feasible,
+)
+from repro.session import FusionConfig, SyntheticSource
+from repro.types import FrameShape
+
+TINY = FrameShape(32, 24)
+
+
+def config(**overrides):
+    defaults = dict(engine="neon", fusion_shape=TINY, levels=2, seed=5,
+                    quality_metrics=False)
+    defaults.update(overrides)
+    return FusionConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+class TestStreamSLO:
+    def test_defaults_are_best_effort_standard(self):
+        slo = StreamSLO()
+        assert slo.target_fps == 0.0
+        assert slo.latency_budget_s is None
+        assert slo.priority_class == "standard"
+        assert BEST_EFFORT == slo
+
+    def test_weight_and_rank_follow_class(self):
+        for rank, name in enumerate(PRIORITY_CLASSES):
+            slo = StreamSLO(priority_class=name)
+            assert slo.rank == rank
+            assert slo.weight == CLASS_WEIGHTS[name]
+        assert StreamSLO(priority_class="critical").weight \
+            > StreamSLO(priority_class="background").weight
+
+    def test_negative_fps_rejected(self):
+        with pytest.raises(ConfigurationError, match="target_fps"):
+            StreamSLO(target_fps=-1.0)
+
+    def test_nonpositive_latency_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="latency_budget_s"):
+            StreamSLO(latency_budget_s=0.0)
+
+    def test_unknown_priority_class_rejected(self):
+        with pytest.raises(ConfigurationError, match="priority_class"):
+            StreamSLO(priority_class="vip")
+
+    def test_dict_round_trip(self):
+        slo = StreamSLO(target_fps=12.5, latency_budget_s=0.2,
+                        priority_class="critical")
+        assert StreamSLO.from_dict(slo.as_dict()) == slo
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown SLO key"):
+            StreamSLO.from_dict({"target_fps": 5.0, "fps": 5.0})
+
+
+# ----------------------------------------------------------------------
+class TestCheckFeasible:
+    POOL = {"neon": 1, "fpga": 2}
+
+    def test_best_effort_reserves_nothing(self):
+        demand = check_feasible("s", BEST_EFFORT, {"neon": 0.01}, 1.0,
+                                self.POOL, {})
+        assert demand == {}
+
+    def test_demand_is_fps_times_seconds_over_instances(self):
+        slo = StreamSLO(target_fps=10.0)
+        demand = check_feasible("s", slo,
+                                {"neon": 0.02, "fpga": 0.04}, 1.0,
+                                self.POOL, {})
+        assert demand["neon"] == pytest.approx(10.0 * 0.02 / 1)
+        assert demand["fpga"] == pytest.approx(10.0 * 0.04 / 2)
+
+    def test_oversubscription_rejected_with_the_numbers(self):
+        slo = StreamSLO(target_fps=60.0)
+        with pytest.raises(SLORejection, match="neon"):
+            check_feasible("cam", slo, {"neon": 0.02}, 2.5, self.POOL,
+                           {})
+
+    def test_committed_load_counts_against_the_new_stream(self):
+        slo = StreamSLO(target_fps=10.0)  # 0.2x of neon alone
+        check_feasible("s", slo, {"neon": 0.02}, 1.0, self.POOL, {})
+        with pytest.raises(SLORejection, match="already committed"):
+            check_feasible("s", slo, {"neon": 0.02}, 1.0, self.POOL,
+                           {"neon": 0.9})
+
+    def test_headroom_scales_the_promise(self):
+        slo = StreamSLO(target_fps=30.0)  # 0.6x of one neon
+        check_feasible("s", slo, {"neon": 0.02}, 1.0, self.POOL, {})
+        with pytest.raises(SLORejection, match="headroom"):
+            check_feasible("s", slo, {"neon": 0.02}, 1.0, self.POOL,
+                           {}, headroom=0.5)
+
+    def test_latency_budget_below_modelled_frame_time_rejected(self):
+        slo = StreamSLO(latency_budget_s=0.005)
+        with pytest.raises(SLORejection, match="latency budget"):
+            check_feasible("s", slo, {"neon": 0.004, "fpga": 0.002},
+                           1.0, self.POOL, {})
+
+
+# ----------------------------------------------------------------------
+class TestServiceSLOAdmission:
+    def test_slo_and_priority_are_mutually_exclusive(self):
+        service = FusionService(pool={"neon": 1})
+        with pytest.raises(ConfigurationError, match="not both"):
+            service.add_stream("x", config=config(),
+                               source=SyntheticSource(seed=1), frames=2,
+                               priority=3.0, slo=StreamSLO())
+        service.close()
+
+    def test_infeasible_target_fps_rejected_at_attach(self):
+        service = FusionService(pool={"neon": 1})
+        with pytest.raises(SLORejection, match="cannot be met"):
+            service.add_stream("greedy", config=config(),
+                               source=SyntheticSource(seed=1), frames=2,
+                               slo=StreamSLO(target_fps=1e9))
+        # the rejected stream bound nothing
+        assert service.stream_names() == []
+        assert service.events.counts().get("reject") == 1
+        report = service.metrics_text()
+        assert "repro_serve_streams_rejected_total 1" in report
+        service.close()
+
+    def test_impossible_latency_budget_rejected_at_attach(self):
+        service = FusionService(pool={"neon": 1})
+        with pytest.raises(SLORejection, match="latency budget"):
+            service.add_stream("snappy", config=config(),
+                               source=SyntheticSource(seed=1), frames=2,
+                               slo=StreamSLO(latency_budget_s=1e-9))
+        service.close()
+
+    def test_retiring_a_stream_releases_its_reservation(self):
+        service = FusionService(pool={"neon": 1}, live=True)
+        probe = service.attach("probe", config=config(),
+                               source=SyntheticSource(seed=1), frames=2)
+        # derive a target that fills >half of the single neon, from
+        # the same cost model admission uses
+        seconds = sum(
+            service._streams["probe"].seconds_by_engine.values())
+        fps = 0.8 / seconds
+        assert probe is not None
+        service.detach("probe")
+
+        service.attach("first", config=config(),
+                       source=SyntheticSource(seed=2), frames=2,
+                       slo=StreamSLO(target_fps=fps))
+        with pytest.raises(SLORejection):
+            service.attach("second", config=config(),
+                           source=SyntheticSource(seed=3), frames=2,
+                           slo=StreamSLO(target_fps=fps))
+        service.detach("first")
+        # the reservation is gone: the same SLO fits again
+        service.attach("second", config=config(),
+                       source=SyntheticSource(seed=3), frames=2,
+                       slo=StreamSLO(target_fps=fps))
+        service.start()
+        report = service.wait()
+        assert report.ledger["balanced"]
+        assert report.slo["committed"] == {}
+
+    def test_deficit_pick_prefers_stream_behind_schedule(self):
+        """The picker's first key is the normalized SLO deficit: a
+        stream behind its target frame schedule beats a best-effort
+        one; once it is ahead, the best-effort stream (deficit 0)
+        goes next."""
+        import time as _time
+
+        service = FusionService(pool={"neon": 1}, workers=1)
+        service.add_stream("slo", config=config(),
+                           source=SyntheticSource(seed=1), frames=2,
+                           batch_frames=1,
+                           slo=StreamSLO(target_fps=5.0))
+        service.add_stream("easy", config=config(),
+                           source=SyntheticSource(seed=2), frames=2,
+                           batch_frames=1)
+        pair = next(iter(SyntheticSource(seed=9).frames()))
+        now = _time.monotonic()
+        with service._cond:
+            for name in ("slo", "easy"):
+                st = service._streams[name]
+                st.pending.append(st.processor.ingest(pair, 0))
+                st.t_attach = now
+            # 10 s behind a 5 fps schedule: a 50-frame deficit
+            service._streams["slo"].t_attach = now - 10.0
+            picked, tasks, lease = service._select_locked()
+            assert picked.name == "slo"
+            lease.release()
+            # far ahead of schedule: the deficit goes negative and
+            # the best-effort stream (deficit 0) wins the first key
+            service._streams["slo"].pending.append(
+                service._streams["slo"].processor.ingest(pair, 1))
+            service._streams["slo"].busy = False
+            service._streams["slo"].dispatched = 1000
+            picked, tasks, lease = service._select_locked()
+            assert picked.name == "easy"
+            lease.release()
+        service.close()
+
+    def test_missed_fps_target_is_recorded_as_violation(self):
+        """A feasible-but-missed target (source slower than the SLO)
+        retires with an fps violation — informational, not fatal."""
+        import time as _time
+
+        import numpy as np
+
+        from repro.session import FramePair, FrameSource
+
+        class SlowSource(FrameSource):
+            def frames(self):
+                for i in range(4):
+                    _time.sleep(0.05)
+                    yield FramePair(
+                        visible=np.full((24, 32), 10.0 + i),
+                        thermal=np.full((24, 32), 200.0 - i),
+                        timestamp_s=i / 25.0, index=i)
+
+        service = FusionService(pool={"neon": 1})
+        # ~18 ms modelled frame time: 40 fps is feasible at
+        # admission, but a 20 fps source can never deliver it
+        service.add_stream("laggard", config=config(),
+                           source=SlowSource(), frames=4,
+                           slo=StreamSLO(target_fps=40.0))
+        report = service.serve()
+        violations = report.slo["violations"]["laggard"]
+        assert any(v["kind"] == "fps" for v in violations)
+        fps_violation = next(v for v in violations
+                             if v["kind"] == "fps")
+        assert fps_violation["achieved"] < fps_violation["target"]
+        assert report.events["counts"]["slo_violation"] >= 1

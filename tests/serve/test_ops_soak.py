@@ -1,0 +1,135 @@
+"""Churn soak: ≥1000 short-lived streams through one live service.
+
+The live-ops acceptance bar, measured rather than asserted by hand:
+a ``live=True`` :class:`~repro.serve.FusionService` must churn
+through a thousand attach/serve/retire cycles with
+
+* **balanced accounting** — every lease released
+  (``granted == released``), every offered frame finalized, shed or
+  errored (``admitted == finalized + shed + errored``), every
+  admission ticket returned;
+* **no leaked threads** — capture threads die with their streams; at
+  the end the process is back to its pre-service thread count;
+* **flat memory** — :meth:`reap` drops all per-stream state, so RSS
+  after the warm-up wave does not grow with the number of streams
+  churned.
+
+Runs only under ``-m soak`` (the CI step gives it a deadlock-guarding
+``timeout(1)``); ``REPRO_SOAK_STREAMS`` scales the churn.
+"""
+
+import os
+import resource
+import threading
+import time
+
+import pytest
+
+from repro.serve import FusionService
+from repro.session import FusionConfig, SyntheticSource
+from repro.types import FrameShape
+
+TINY = FrameShape(32, 24)
+
+#: the ISSUE's bar: at least 1000 short-lived streams
+TOTAL_STREAMS = int(os.environ.get("REPRO_SOAK_STREAMS", "1000"))
+FRAMES_PER_STREAM = 2
+WAVE = 8
+#: streams churned before the RSS high-water mark is taken
+WARMUP_STREAMS = min(200, TOTAL_STREAMS // 4)
+#: allowed RSS growth after warm-up (KiB; ru_maxrss unit on Linux) —
+#: a leaked session per stream would blow through this instantly
+RSS_GROWTH_KIB = 32 * 1024
+
+
+def tiny_config(engine="neon"):
+    return FusionConfig(engine=engine, fusion_shape=TINY, levels=2,
+                        seed=5, quality_metrics=False,
+                        keep_records=False)
+
+
+def churn(service, total, reports, start_index=0):
+    """Attach ``total`` streams in bounded waves, reaping as they
+    retire; returns the next unused stream index."""
+    attached = 0
+    reaped = 0
+    while reaped < total:
+        while attached < total and len(service.stream_names()) < WAVE:
+            index = start_index + attached
+            engine = "neon" if index % 2 == 0 else "arm"
+            service.attach(f"soak-{index}",
+                           config=tiny_config(engine),
+                           source=SyntheticSource(seed=index % 13),
+                           frames=FRAMES_PER_STREAM)
+            attached += 1
+        got = service.reap()
+        reaped += len(got)
+        reports.update(got)
+        if not got:
+            time.sleep(0.001)
+    return start_index + attached
+
+
+@pytest.mark.soak
+def test_thousand_stream_churn_soak():
+    baseline_threads = threading.active_count()
+    reports = {}
+    service = FusionService(pool={"neon": 1, "arm": 1}, max_in_flight=8,
+                            stream_queue_depth=4, live=True,
+                            event_capacity=256)
+    service.start()
+    try:
+        # warm-up wave, then take the memory high-water mark
+        next_index = churn(service, WARMUP_STREAMS, reports)
+        warm_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+        churn(service, TOTAL_STREAMS - WARMUP_STREAMS, reports,
+              start_index=next_index)
+        final_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+        report = service.wait()
+    finally:
+        service.close()
+
+    # every stream retired, every frame fused
+    assert len(reports) == TOTAL_STREAMS
+    assert all(r.frames == FRAMES_PER_STREAM for r in reports.values())
+    assert report.admission["retired_streams"] == TOTAL_STREAMS
+
+    # lease accounting balances exactly
+    pool = report.pool
+    assert pool["granted"] == pool["released"]
+    assert pool["outstanding"] == 0
+
+    # frame ledger balances exactly (no shedding configured, nothing
+    # errored: offered == admitted == finalized)
+    totals = report.ledger["totals"]
+    expected = TOTAL_STREAMS * FRAMES_PER_STREAM
+    assert report.ledger["balanced"]
+    assert totals["offered"] == expected
+    assert totals["admitted"] == expected
+    assert totals["finalized"] == expected
+    assert totals["shed"] == 0
+    assert totals["errored"] == 0
+    assert report.admission["in_flight"] == 0
+    assert report.admission["admitted_total"] == expected
+
+    # reap() really dropped per-stream state: nothing retained beyond
+    # the final report's aggregates
+    assert service.stream_names() == []
+    assert service._retired == {}
+    assert len(report.admission["peak_queued"]) == 0
+    # the bounded event ring stayed bounded
+    assert report.events["retained"] <= 256
+    assert report.events["counts"]["attach"] == TOTAL_STREAMS
+    assert report.events["counts"]["detach"] == TOTAL_STREAMS
+
+    # no leaked threads: captures and workers all joined
+    assert threading.active_count() == baseline_threads
+
+    # flat memory: churning 4x the warm-up adds no per-stream residue
+    growth_kib = final_kib - warm_kib
+    assert growth_kib < RSS_GROWTH_KIB, (
+        f"RSS grew {growth_kib} KiB across "
+        f"{TOTAL_STREAMS - WARMUP_STREAMS} churned streams "
+        f"(warm {warm_kib} KiB -> final {final_kib} KiB)")

@@ -376,8 +376,36 @@ class TestServiceValidation:
         service.add_stream("s", config=config(),
                            source=SyntheticSource(seed=1), frames=1)
         service.serve()
-        with pytest.raises(ConfigurationError, match="one"):
+        with pytest.raises(FusionError, match="one"):
             service.start()
+
+    def test_second_start_while_running_raises(self):
+        service = FusionService(pool={"neon": 1})
+        service.add_stream("s", config=config(),
+                           source=SyntheticSource(seed=1), frames=2)
+        service.start()
+        before = threading.active_count()
+        with pytest.raises(FusionError, match="already started"):
+            service.start()
+        # the failed start spawned no duplicate worker threads
+        assert threading.active_count() == before
+        service.wait()
+
+    def test_start_after_close_raises(self):
+        service = FusionService(pool={"neon": 1})
+        service.add_stream("s", config=config(),
+                           source=SyntheticSource(seed=1), frames=1)
+        service.close()
+        with pytest.raises(FusionError, match="closed"):
+            service.start()
+
+    def test_close_is_idempotent(self):
+        service = FusionService(pool={"neon": 1})
+        service.add_stream("s", config=config(),
+                           source=SyntheticSource(seed=1), frames=1)
+        service.serve()
+        service.close()
+        service.close()  # second close is a no-op, never raises
 
     def test_empty_service_cannot_start(self):
         with pytest.raises(ConfigurationError, match="no streams"):

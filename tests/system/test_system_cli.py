@@ -293,6 +293,83 @@ class TestCli:
         unpooled = self._serve_spec(tmp_path, pool={"neon": 1})
         assert main(["serve", "--streams", str(unpooled)]) == 1
 
+    def test_serve_workers_and_export_flags(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.serve.ops.metrics import parse_prometheus
+        path = self._serve_spec(tmp_path, workers=1)
+        metrics = tmp_path / "metrics.prom"
+        events = tmp_path / "events.jsonl"
+        # an explicit --workers overrides the spec's value
+        assert main(["serve", "--streams", str(path), "--workers", "2",
+                     "--metrics-out", str(metrics),
+                     "--events-out", str(events), "--json"]) == 0
+        out = capsys.readouterr()
+        payload = json.loads(out.out)
+        assert f"wrote metrics to {metrics}" in out.err
+
+        samples = parse_prometheus(metrics.read_text())
+        assert samples["repro_serve_aggregate_fps"] == pytest.approx(
+            payload["aggregate_fps"])
+        assert samples["repro_serve_streams_attached_total"] == 2
+        assert samples["repro_serve_active_streams"] == 0
+
+        records = [json.loads(line)
+                   for line in events.read_text().splitlines()]
+        kinds = {record["kind"] for record in records}
+        assert {"attach", "lease", "detach", "service"} <= kinds
+        start = next(r for r in records if r["kind"] == "service"
+                     and r.get("phase") == "start")
+        assert start["workers"] == 2  # the CLI flag won
+
+    def test_serve_workers_defaults_to_spec_value(self, tmp_path,
+                                                  capsys):
+        from repro.cli import main
+        path = self._serve_spec(tmp_path, workers=1)
+        events = tmp_path / "events.jsonl"
+        assert main(["serve", "--streams", str(path),
+                     "--events-out", str(events)]) == 0
+        capsys.readouterr()
+        records = [json.loads(line)
+                   for line in events.read_text().splitlines()]
+        start = next(r for r in records if r["kind"] == "service"
+                     and r.get("phase") == "start")
+        assert start["workers"] == 1  # the spec's value held
+
+    def test_serve_spec_slo_and_shedding_blocks(self, tmp_path, capsys):
+        from repro.cli import main
+        path = self._serve_spec(
+            tmp_path,
+            shedding={"high_watermark": 1.0, "low_watermark": 0.5},
+            streams=[
+                {"name": "cam-slo", "frames": 3, "seed": 1,
+                 "slo": {"target_fps": 5.0,
+                         "priority_class": "critical"},
+                 "config": {"engine": "neon", "size": "40x40",
+                            "levels": 2, "quality_metrics": False}}])
+        assert main(["serve", "--streams", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheduler"]["cam-slo"]["priority_class"] \
+            == "critical"
+        assert payload["shedding"]["policy"]["high_watermark"] == 1.0
+        assert payload["ledger"]["balanced"] is True
+        # an infeasible SLO fails loudly
+        greedy = self._serve_spec(tmp_path, streams=[
+            {"name": "greedy", "frames": 2,
+             "slo": {"target_fps": 1e9},
+             "config": {"engine": "neon", "size": "40x40",
+                        "levels": 2, "quality_metrics": False}}])
+        assert main(["serve", "--streams", str(greedy)]) == 1
+
+    def test_serve_help_documents_the_ops_flags(self, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        text = capsys.readouterr().out
+        assert "--workers" in text
+        assert "--metrics-out" in text
+        assert "--events-out" in text
+        assert "Prometheus" in text
+
     def test_seed_makes_runs_reproducible(self, tmp_path):
         from repro.cli import main
         outputs = []
