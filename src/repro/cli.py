@@ -174,6 +174,19 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain_passes(plan) -> str:
+    """The optimization pipeline's pass-by-pass diff, as text."""
+    lines = ["optimization passes"]
+    for report in plan.pass_reports:
+        marker = "changed" if report["changed"] else "no change"
+        lines.append(f"  {report['pass']} [{marker}]")
+        for action in report["actions"]:
+            lines.append(f"    - {action}")
+    if not plan.pass_reports:
+        lines.append("  (none ran — pass --optimize)")
+    return "\n".join(lines)
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     config = FusionConfig(
         engine=args.engine,
@@ -187,6 +200,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
         registration=args.registration,
         temporal=args.temporal,
         seed=args.seed,
+        optimize=args.optimize,
     )
     with FusionSession(config) as session:
         plan = session.plan
@@ -196,6 +210,54 @@ def cmd_plan(args: argparse.Namespace) -> int:
             print(session.graph.describe())
             print()
             print(plan.describe())
+            if args.explain:
+                print()
+                print(_explain_passes(plan))
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from .graph.autotune import PlanAutotuner
+
+    config = FusionConfig(
+        engine=args.engine,
+        executor=args.executor,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        batch_size=args.batch_size,
+        fusion_shape=args.size,
+        levels=args.levels,
+        registration=args.registration,
+        temporal=args.temporal,
+        seed=args.seed,
+        quality_metrics=False,
+        keep_records=False,
+    )
+    tuner = PlanAutotuner(cache_dir=args.cache_dir,
+                          calibration_frames=args.frames)
+    if args.clear_cache:
+        removed = tuner.clear_cache()
+        print(f"cleared {removed} cached plan decision(s) from "
+              f"{tuner.cache_dir}")
+    decision = tuner.decide(config)
+    if args.json:
+        print(json.dumps(decision.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"plan decision [{decision.source}] key={decision.key}")
+    overrides = ", ".join(f"{k}={v!r}" for k, v
+                          in sorted(decision.overrides.items()))
+    print(f"  winner   : {overrides or 'default configuration'}")
+    when = (f"on {args.frames} calibration frame(s)"
+            if decision.source == "tuned" else "at tuning time")
+    print(f"  measured : {decision.fps:.2f} fps {when}")
+    if decision.candidates:
+        print("  candidates:")
+        for row in decision.candidates:
+            ov = ", ".join(f"{k}={v!r}" for k, v
+                           in sorted(row["overrides"].items()))
+            print(f"    {row['fps']:8.2f} fps  {ov or 'default'}")
+    else:
+        print(f"  (loaded from cache: {tuner.cache_path(decision.key)})")
     return 0
 
 
@@ -374,7 +436,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="explicit hetero engine team, e.g. fpga neon "
                            "(requires --executor hetero); shows the "
                            "planned fuse affinity")
+    plan.add_argument("--optimize", action="store_true",
+                      help="run the optimization pass pipeline (stage "
+                           "fusion, materialization elimination, "
+                           "loop-invariant hoisting) on the lowered plan")
+    plan.add_argument("--explain", action="store_true",
+                      help="print the pass-by-pass diff: fused units, "
+                           "eliminated materializations, hoisted setup")
     plan.set_defaults(func=cmd_plan)
+
+    tune = sub.add_parser("tune", parents=[common],
+                          help="measure candidate plans on a calibration "
+                               "prefix and persist the winner in the "
+                               "plan cache")
+    tune.add_argument("--engine", default="adaptive", choices=engines)
+    tune.add_argument("--executor", default="serial",
+                      choices=executor_names())
+    tune.add_argument("--workers", type=int, default=2)
+    tune.add_argument("--queue-depth", type=int, default=4)
+    tune.add_argument("--batch-size", type=int, default=8)
+    tune.add_argument("--size", type=_parse_shape, default=FrameShape(88, 72))
+    tune.add_argument("--levels", type=int, default=3)
+    tune.add_argument("--registration", action="store_true")
+    tune.add_argument("--temporal", action="store_true")
+    tune.add_argument("--frames", type=int, default=6,
+                      help="calibration prefix length each candidate "
+                           "is measured on")
+    tune.add_argument("--cache-dir", default=None,
+                      help="plan-cache directory (default: "
+                           "$REPRO_PLAN_CACHE or ~/.cache/repro/plans)")
+    tune.add_argument("--clear-cache", action="store_true",
+                      help="delete every cached decision first")
+    tune.add_argument("--json", action="store_true",
+                      help="emit the decision as JSON on stdout")
+    tune.set_defaults(func=cmd_tune)
 
     serve = sub.add_parser("serve", parents=[common],
                            help="serve many streams concurrently over a "

@@ -34,11 +34,54 @@ the leading axes.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from .util import cconv, cconv_causal, ccorr_causal, downsample2, upsample2
+
+
+class ScratchPool:
+    """Keyed, reusable scratch buffers for the steady-state frame path.
+
+    The materialization-elimination pass
+    (:class:`repro.graph.passes.MaterializationEliminationPass`) routes
+    per-frame intermediates — canonically the ``(2, H, W)`` stack fed
+    to the stacked forward transform — through one of these instead of
+    allocating fresh arrays every frame.  ``take`` returns the cached
+    buffer for ``key`` when shape and dtype still match, else
+    (re)allocates it; callers must fully overwrite the buffer before
+    use, which keeps pooling invisible to the arithmetic (bitwise).
+
+    A pool is **single-threaded by contract**: it lives on a per-worker
+    context (or the session's serial lane), exactly like the non-thread
+    -safe compute lanes it feeds.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[object, np.ndarray] = {}
+
+    def take(self, key: object, shape: Tuple[int, ...],
+             dtype: np.dtype = np.float64) -> np.ndarray:
+        """The pooled buffer for ``key``, allocated on first use (or
+        when ``shape``/``dtype`` changed).  Contents are undefined."""
+        buffer = self._buffers.get(key)
+        if (buffer is None or buffer.shape != tuple(shape)
+                or buffer.dtype != np.dtype(dtype)):
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by pooled buffers."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()
 
 
 class KernelBackend:
@@ -52,10 +95,34 @@ class KernelBackend:
 
     def __init__(self, dtype: np.dtype = np.float64):
         self.dtype = np.dtype(dtype)
+        #: id(taps) -> (taps, converted) once the loop-invariant hoist
+        #: pass enables caching; the strong reference to the original
+        #: keeps its id() from being reused
+        self._tap_cache: Optional[Dict[int, Tuple[np.ndarray,
+                                                  np.ndarray]]] = None
+
+    def enable_tap_cache(self) -> None:
+        """Convert each filter bank to the working dtype once instead
+        of on every primitive call (enabled by the hoist pass; the
+        cached array is the exact array the per-call conversion
+        produced, so outputs are bitwise-unchanged)."""
+        if self._tap_cache is None:
+            self._tap_cache = {}
+
+    @property
+    def tap_cache_enabled(self) -> bool:
+        return self._tap_cache is not None
 
     # -- internal helpers ----------------------------------------------
     def _f(self, taps: np.ndarray) -> np.ndarray:
-        return np.asarray(taps, dtype=self.dtype)
+        cache = self._tap_cache
+        if cache is None:
+            return np.asarray(taps, dtype=self.dtype)
+        entry = cache.get(id(taps))
+        if entry is None or entry[0] is not taps:
+            entry = (taps, np.asarray(taps, dtype=self.dtype))
+            cache[id(taps)] = entry
+        return entry[1]
 
     def _x(self, x: np.ndarray) -> np.ndarray:
         return np.asarray(x).astype(self.dtype, copy=False)

@@ -73,6 +73,12 @@ class ExecStats:
     queue_peak: Dict[str, int] = field(default_factory=dict)
     steals: int = 0
     worker_frames: Dict[str, int] = field(default_factory=dict)
+    #: per-stage wall-time attribution measured by the processor (how
+    #: long each stage ran, summed over frames and workers) — unlike
+    #: ``stage_busy_s`` it is keyed by *plan stage* (or fused unit)
+    #: name under every executor, so reports can attribute wall time
+    #: to pipeline stages uniformly
+    stage_wall_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def wall_fps(self) -> float:
@@ -98,6 +104,7 @@ class ExecStats:
             "queue_peak": dict(self.queue_peak),
             "steals": self.steals,
             "worker_frames": dict(self.worker_frames),
+            "stage_wall_s": dict(self.stage_wall_s),
         }
 
 
@@ -160,6 +167,19 @@ class FrameProcessor(ABC):
             raise ConfigurationError(
                 f"{type(self).__name__} does not know stage {name!r}; "
                 f"plan-driven processors must override run_stage()")
+
+    def stage_wall_snapshot(self) -> Dict[str, float]:
+        """Cumulative measured per-stage wall seconds (default: the
+        processor measures nothing)."""
+        return {}
+
+    def stage_wall_since(self, mark: Dict[str, float]) -> Dict[str, float]:
+        """Per-stage wall seconds accumulated since ``mark`` (an
+        earlier :meth:`stage_wall_snapshot`)."""
+        current = self.stage_wall_snapshot()
+        return {name: seconds - mark.get(name, 0.0)
+                for name, seconds in current.items()
+                if seconds - mark.get(name, 0.0) > 0.0}
 
     def make_contexts(self, n: int,
                       engines: Optional[Iterable[object]] = None

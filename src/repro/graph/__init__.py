@@ -29,11 +29,17 @@ Typical customization::
     report = session.run(32, graph=graph)   # any executor, same result
 """
 
+from .autotune import PlanAutotuner, PlanDecision
 from .graph import FusionGraph
+from .passes import (PassPipeline, PassReport, PlanPass,
+                     default_pipeline, optimize_plan)
 from .planner import FusionPlan, PlannedStage, Planner
 from .stage import AUTO, ORDERED, STAGE_KINDS, STATELESS, Stage
 
 __all__ = [
     "AUTO", "ORDERED", "STAGE_KINDS", "STATELESS",
     "Stage", "FusionGraph", "FusionPlan", "PlannedStage", "Planner",
+    "PassPipeline", "PassReport", "PlanPass",
+    "default_pipeline", "optimize_plan",
+    "PlanAutotuner", "PlanDecision",
 ]

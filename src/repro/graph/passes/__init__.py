@@ -1,0 +1,36 @@
+"""Composable optimization passes over the lowered FusionPlan IR.
+
+The pipeline turns the plan from a *description* of the dataflow into
+a *speedup* while preserving the package's determinism contract: an
+optimized plan yields bitwise-identical frames and identical modelled
+time/energy to the unoptimized plan, under every executor.
+
+* :class:`StatelessFusionPass` — chains of adjacent stateless,
+  same-placement stages collapse into one fused dispatch unit (the
+  canonical ``visible+thermal+fuse`` chain rides a single stacked
+  transform invocation);
+* :class:`MaterializationEliminationPass` — steady-state intermediate
+  buffers ride a per-worker :class:`repro.dtcwt.backend.ScratchPool`,
+  so the per-frame path allocates nothing on the stacked core;
+* :class:`LoopInvariantHoistPass` — filter/shape/engine-derived setup
+  (the per-frame cost model, filter-tap dtype conversion) moves out of
+  the frame loop into plan-construction time.
+
+``optimize_plan(plan, config)`` runs the default pipeline;
+``FusionConfig(optimize=True)`` and ``repro plan --optimize`` apply it
+for a whole session.  The :class:`~repro.graph.autotune.PlanAutotuner`
+searches over these decisions and caches winners on disk.
+"""
+
+from .base import (PassPipeline, PassReport, PlanPass, default_pipeline,
+                   optimize_plan)
+from .fuse_stages import StatelessFusionPass
+from .hoist import LoopInvariantHoistPass
+from .materialize import MaterializationEliminationPass
+
+__all__ = [
+    "PassPipeline", "PassReport", "PlanPass",
+    "StatelessFusionPass", "MaterializationEliminationPass",
+    "LoopInvariantHoistPass",
+    "default_pipeline", "optimize_plan",
+]

@@ -1,0 +1,60 @@
+"""Materialization elimination: steady-state frames allocate nothing.
+
+Between the forward transforms, the coefficient fusion and the inverse
+the per-frame path materializes short-lived NumPy buffers: the
+``(2, H, W)`` input stack fed to the stacked forward, and the
+equivalent stack the batch executor builds per micro-batch.  On the
+paper's FPGA those intermediates live in on-chip line buffers that are
+*reused* every frame; this pass marks the plan ``scratch`` so the
+session processor threads those buffers through a per-worker
+:class:`repro.dtcwt.backend.ScratchPool` instead — each lane writes
+its frame into the same pooled allocation, so the steady state
+allocates nothing on that path.
+
+Bitwise safety: the pooled buffer is fully overwritten before every
+use and the kernels never mutate their inputs, so pooling changes
+allocation behaviour only — never a single output bit.  The pass only
+fires where a pooled buffer will actually be consumed: a fused
+``visible+thermal`` (or full core) unit from the fusion pass, or the
+batch executor's stacked core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple
+
+from ..planner import FusionPlan
+from .base import PassReport, PlanPass
+
+
+class MaterializationEliminationPass(PlanPass):
+    """Route per-frame intermediate buffers through a scratch pool."""
+
+    name = "eliminate-materialization"
+
+    def run(self, plan: FusionPlan, config) -> Tuple[FusionPlan,
+                                                     PassReport]:
+        if plan.scratch:
+            return plan, self.skip("plan already pools its buffers")
+        actions = []
+        for unit, members in plan.units.items():
+            if members[:2] == ("visible", "thermal"):
+                actions.append(
+                    f"unit {unit!r}: the (2, H, W) forward input stack "
+                    f"now rides one pooled buffer per worker lane "
+                    f"(eliminates 1 allocation/frame)")
+        if plan.fusable_core and plan.executor == "batch":
+            actions.append(
+                "batch stacked core: the (2B, H, W) micro-batch input "
+                "stack now rides one pooled buffer per engine lane "
+                "(eliminates 2 stack allocations/micro-batch)")
+        if not actions:
+            return plan, self.skip(
+                "no stacked dispatch consumes a pooled buffer (run the "
+                "fusion pass first, or use the batch executor)")
+        return (replace(plan, scratch=True),
+                PassReport(name=self.name, changed=True, actions=actions))
+
+
+__all__ = ["MaterializationEliminationPass"]

@@ -107,6 +107,20 @@ class FusionPlan:
     engine: str = "adaptive"
     shape: str = ""
     levels: int = 3
+    #: optimization-pass products (see :mod:`repro.graph.passes`):
+    #: fused dispatch units (unit name -> ordered member stage names;
+    #: the unit name appears in ``parallel``/``mid``/``compute`` while
+    #: ``schedule``/``nodes`` keep every original stage)
+    units: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: loop-invariant per-frame model cost, hoisted to plan time
+    #: (engine name -> modelled whole-frame seconds)
+    hoisted_frame_seconds: Dict[str, float] = field(default_factory=dict)
+    #: steady-state buffers ride a per-worker scratch pool
+    scratch: bool = False
+    #: True once a pass pipeline has run over this plan
+    optimized: bool = False
+    #: one report dict per executed pass, in pipeline order
+    pass_reports: Tuple[Dict[str, object], ...] = ()
 
     def __contains__(self, name: str) -> bool:
         return name in self.nodes
@@ -120,6 +134,15 @@ class FusionPlan:
 
     def stage(self, name: str) -> Stage:
         return self.node(name).stage
+
+    def is_unit(self, name: str) -> bool:
+        """True when ``name`` is a fused dispatch unit, not a stage."""
+        return name in self.units
+
+    def members(self, name: str) -> Tuple[str, ...]:
+        """The original stage names ``name`` executes, in order (a
+        plain stage is its own single member)."""
+        return self.units.get(name, (name,))
 
     @property
     def model_seconds_per_frame(self) -> float:
@@ -146,6 +169,14 @@ class FusionPlan:
             "stages": [self.nodes[name].as_dict()
                        for name in self.schedule],
             "model_seconds_per_frame": self.model_seconds_per_frame,
+            "optimization": {
+                "optimized": self.optimized,
+                "units": {name: list(members)
+                          for name, members in self.units.items()},
+                "hoisted_frame_seconds": dict(self.hoisted_frame_seconds),
+                "scratch": self.scratch,
+                "passes": [dict(report) for report in self.pass_reports],
+            },
         }
 
     def describe(self) -> str:
@@ -179,6 +210,18 @@ class FusionPlan:
             lines.append(f"  affinity     : {self.affinity}")
         lines.append(f"  modelled cost: "
                      f"{self.model_seconds_per_frame * 1e3:.3f} ms/frame")
+        if self.optimized:
+            units = (", ".join(f"{name} = [{' '.join(members)}]"
+                               for name, members in self.units.items())
+                     or "none")
+            hoisted = (", ".join(f"{eng}={s * 1e3:.3f}ms" for eng, s
+                                 in sorted(self.hoisted_frame_seconds
+                                           .items()))
+                       or "none")
+            lines.append(f"  fused units  : {units}")
+            lines.append(f"  hoisted cost : {hoisted}")
+            lines.append(f"  scratch pool : "
+                         f"{'enabled' if self.scratch else 'disabled'}")
         return "\n".join(lines)
 
 

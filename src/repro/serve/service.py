@@ -218,6 +218,7 @@ class _StreamState:
         self.t_attach: Optional[float] = None  # monotonic; the SLO clock
         self.slo_demand: Dict[str, float] = {}
         self.mark = self.session._snapshot()
+        self.wall_mark = self.processor.stage_wall_snapshot()
         if spec.config.keep_records:
             self.session._batch_records = []
         #: per-leased-instance worker contexts (id(engine) -> ctx)
@@ -543,6 +544,11 @@ class FusionService:
                 "attach", name, index=index,
                 priority_class=state.slo.priority_class,
                 target_fps=state.slo.target_fps, weight=spec.weight)
+            decision = state.session.autotune_decision
+            if decision is not None:
+                self.events.emit(
+                    "autotune", name, source=decision.source,
+                    overrides=dict(decision.overrides), fps=decision.fps)
             if self._started:
                 self._threads = [t for t in self._threads if t.is_alive()]
                 thread = threading.Thread(
@@ -1194,6 +1200,7 @@ class FusionService:
             "priority_class": st.slo.priority_class,
             "shed": st.shed,
             "errored": st.errored,
+            "stage_wall_s": st.processor.stage_wall_since(st.wall_mark),
         }
         return report
 

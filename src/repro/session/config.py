@@ -131,6 +131,22 @@ class FusionConfig:
         stages spliced in after it).  Equivalent to customizing
         :meth:`FusionSession.canonical_graph` by hand, but carried by
         the config so every drive of the session uses it.
+    optimize:
+        Run the plan-optimization pipeline
+        (:mod:`repro.graph.passes`) on every lowered plan: stateless
+        stage fusion, materialization elimination, loop-invariant
+        hoisting.  Output frames and modelled costs are
+        bitwise-identical to the unoptimized plan.
+    autotune:
+        Consult the :class:`~repro.graph.autotune.PlanAutotuner`
+        before lowering: candidate plans (executor x batch x
+        placement x optimize) are measured on a short calibration
+        prefix and the winner is applied — and persisted in an
+        on-disk cache so later sessions with the same key skip the
+        measurement.
+    plan_cache_dir:
+        Directory for the autotuner's persistent plan cache
+        (default: ``$REPRO_PLAN_CACHE`` or ``~/.cache/repro/plans``).
     """
 
     engine: str = "adaptive"
@@ -156,6 +172,9 @@ class FusionConfig:
     seed: int = 2016
     scene: Optional[SyntheticScene] = None
     graph_overrides: Optional[dict] = None
+    optimize: bool = False
+    autotune: bool = False
+    plan_cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.fusion_shape, tuple):
@@ -230,6 +249,11 @@ class FusionConfig:
             raise ConfigurationError("probe_frames must be >= 1")
         if self.reprobe_every < 2:
             raise ConfigurationError("reprobe_every must be >= 2")
+        if self.autotune and self.engine_team is not None:
+            raise ConfigurationError(
+                "autotune cannot be combined with an explicit "
+                "engine_team: the tuner owns the executor/placement "
+                "axes it searches over")
         self._validate_graph_overrides()
 
     def _validate_graph_overrides(self) -> None:

@@ -53,6 +53,7 @@ from ..core.metrics import fusion_report
 from ..core.quality_monitor import ACTION_FUSE, QualityMonitor
 from ..core.registration import DtcwtRegistration
 from ..core.video_fusion import TemporalFusion
+from ..dtcwt.backend import ScratchPool
 from ..errors import ConfigurationError, FusionError
 from ..exec import Executor, FrameProcessor, make_executor
 from ..graph import FusionGraph, FusionPlan, Planner, Stage
@@ -137,13 +138,13 @@ class _WorkerContext:
         self.engine = engine
         self.co_schedule = co_schedule
         self._lanes: Dict[str, ImageFusion] = {}
+        #: per-worker scratch buffers (single-threaded, like the lanes)
+        self.scratch = ScratchPool()
 
     def lane(self, engine: Engine) -> ImageFusion:
         fuser = self._lanes.get(engine.name)
         if fuser is None:
-            config = self._session.config
-            fuser = ImageFusion(transform=engine.transform(config.levels),
-                                rule=config.make_rule())
+            fuser = self._session._new_fuser(engine)
             self._lanes[engine.name] = fuser
         return fuser
 
@@ -169,11 +170,26 @@ class _SessionProcessor(FrameProcessor):
         # ordered stages may never execute concurrently; a violated
         # guard is an executor bug (or a user driving run_stage by
         # hand from several threads) and raises instead of corrupting
-        # cross-frame state
+        # cross-frame state.  Built over the schedule (every original
+        # stage name), because an optimized plan's compute tuple may
+        # carry fused dispatch units instead of raw stage names.
+        head_tail = set(plan.head) | set(plan.tail)
         self._guards: Dict[str, threading.Lock] = {
-            name: threading.Lock() for name in plan.compute
-            if plan.stage(name).ordered
+            name: threading.Lock() for name in plan.schedule
+            if name not in head_tail and plan.stage(name).ordered
         }
+        # loop-invariant hoisting: the per-frame model cost table the
+        # optimization pass evaluated at plan time (empty -> compute
+        # per frame, the unoptimized behaviour)
+        self._hoisted: Dict[str, float] = dict(plan.hoisted_frame_seconds)
+        # scratch buffers for the serial lane (ctx=None paths); worker
+        # contexts carry their own pools
+        self._scratch = ScratchPool()
+        # measured per-stage wall-time attribution (stage or unit name
+        # -> seconds); executors of every kind funnel through
+        # run_stage, so one accumulator covers them all
+        self._stage_wall: Dict[str, float] = {}
+        self._wall_lock = threading.Lock()
         # modelled stages with a forced placement: their time/energy is
         # billed to the forced engine (matching the lowered plan), not
         # to the frame's selected engine
@@ -199,12 +215,35 @@ class _SessionProcessor(FrameProcessor):
         return self.plan.mid
 
     def stage_bucket(self, name: str) -> str:
+        if self.plan.is_unit(name):
+            return name  # a fused unit is its own stats bucket
         kind = self.plan.stage(name).kind
         if kind == "forward":
             return "forward"
         if kind == "temporal":
             return "fuse"  # the stats key the mid lane always used
         return name
+
+    # -- measured per-stage wall time ----------------------------------
+    def _record_wall(self, name: str, seconds: float) -> None:
+        with self._wall_lock:
+            self._stage_wall[name] = \
+                self._stage_wall.get(name, 0.0) + seconds
+
+    def stage_wall_snapshot(self) -> Dict[str, float]:
+        """Cumulative measured seconds per stage/unit since this
+        processor was built (copy; safe to keep as a mark)."""
+        with self._wall_lock:
+            return dict(self._stage_wall)
+
+    def stage_wall_since(self, mark: Dict[str, float]
+                         ) -> Dict[str, float]:
+        """Per-stage wall seconds accumulated since ``mark`` (one
+        drive's attribution; processors outlive drives)."""
+        now = self.stage_wall_snapshot()
+        return {name: seconds - mark.get(name, 0.0)
+                for name, seconds in now.items()
+                if seconds - mark.get(name, 0.0) > 0.0}
 
     def make_contexts(self, n, engines=None):
         session = self._session
@@ -238,13 +277,19 @@ class _SessionProcessor(FrameProcessor):
         """The plan's head: the ingest stage plus every ordered stage
         glued to it (canonically rig registration), run inline on the
         capturing thread so frame order is inherent."""
+        started = time.perf_counter()
         session = self._session
         vis = session._normalize(pair.visible)
         th = session._normalize(pair.thermal)
 
         engine = session._select_engine()
-        seconds = engine.frame_time(session.config.fusion_shape,
-                                    session.config.levels).total_s
+        # loop-invariant hoisting: the optimized plan carries this
+        # model evaluation (a pure function of engine/shape/levels),
+        # so the steady-state frame path only does a dict lookup
+        seconds = self._hoisted.get(engine.name)
+        if seconds is None:
+            seconds = engine.frame_time(session.config.fusion_shape,
+                                        session.config.levels).total_s
         if session.scheduler is not None:
             # the observation is the modelled cost, known at selection
             # time; feeding it here keeps the probe/exploit sequence
@@ -261,6 +306,7 @@ class _SessionProcessor(FrameProcessor):
             started=time.perf_counter(),
         )
         session._next_index += 1
+        self._record_wall("ingest", time.perf_counter() - started)
         for name in self._head_rest:
             self.run_stage(name, task)
         return task
@@ -280,6 +326,17 @@ class _SessionProcessor(FrameProcessor):
 
     def run_stage(self, name: str, task: _FrameTask,
                   ctx: Optional[_WorkerContext] = None) -> None:
+        started = time.perf_counter()
+        try:
+            if self.plan.is_unit(name):
+                self._run_unit(name, task, ctx)
+            else:
+                self._run_single(name, task, ctx)
+        finally:
+            self._record_wall(name, time.perf_counter() - started)
+
+    def _run_single(self, name: str, task: _FrameTask,
+                    ctx: Optional[_WorkerContext]) -> None:
         stage = self.plan.stage(name)
         guard = self._guards.get(name)
         if guard is not None and not guard.acquire(blocking=False):
@@ -312,6 +369,69 @@ class _SessionProcessor(FrameProcessor):
         finally:
             if guard is not None:
                 guard.release()
+
+    # -- fused dispatch units (the stateless-fusion pass) ---------------
+    def _run_unit(self, name: str, task: _FrameTask,
+                  ctx: Optional[_WorkerContext]) -> None:
+        """Execute a fused dispatch unit: the stacked specializations
+        when the unit starts with the canonical transform chain, then
+        any remaining members in schedule order.
+
+        ``visible+thermal+fuse`` rides one ``(2, H, W)`` stacked
+        forward, vectorized coefficient fusion and one stacked inverse
+        (the arithmetic :meth:`ImageFusion.fuse_batch` pins
+        bitwise-equal to the per-stage path); ``visible+thermal``
+        alone rides the stacked forward.  Members beyond the
+        specialized prefix run exactly as their per-stage dispatch
+        would — fusion never changes what executes, only how many
+        dispatches carry it.
+        """
+        members = self.plan.units[name]
+        rest = members
+        if members[:3] == ("visible", "thermal", "fuse") \
+                and self._canonical_kinds(members[:3]):
+            self._stacked_chain(task, ctx, with_fuse=True)
+            rest = members[3:]
+        elif members[:2] == ("visible", "thermal") \
+                and self._canonical_kinds(members[:2]):
+            self._stacked_chain(task, ctx, with_fuse=False)
+            rest = members[2:]
+        for member in rest:
+            self._run_single(member, task, ctx)
+
+    def _canonical_kinds(self, names: Tuple[str, ...]) -> bool:
+        """True when the named stages really are the canonical
+        forwards (and fuse) — a custom ``map`` stage may reuse the
+        names, and must then take the generic member-by-member path."""
+        want = {"visible": "forward", "thermal": "forward",
+                "fuse": "fuse"}
+        return all(self.plan.stage(n).kind == want[n] for n in names)
+
+    def _stacked_chain(self, task: _FrameTask,
+                       ctx: Optional[_WorkerContext],
+                       with_fuse: bool) -> None:
+        # one lane computes the whole chain: members of a fused unit
+        # are placement-compatible by construction (all auto -> the
+        # frame's engine, or all forced onto one engine)
+        anchor = self.plan.stage("fuse" if with_fuse else "visible")
+        fuser, _ = self._stage_lane(task, anchor, ctx)
+        shape = task.visible.shape
+        if self.plan.scratch:
+            pool = ctx.scratch if ctx is not None else self._scratch
+            stack = pool.take(("pair-stack", shape), (2,) + shape)
+        else:
+            stack = np.empty((2,) + shape)
+        stack[0] = task.visible
+        stack[1] = task.thermal
+        doubled = fuser.decompose_batch(stack)
+        stack_a = doubled.slice(0, 1)
+        stack_b = doubled.slice(1, 2)
+        task.pyr_visible = stack_a[0]
+        task.pyr_thermal = stack_b[0]
+        if with_fuse:
+            fused = fuser.reconstruct_batch(
+                fuser.combine_stack(stack_a, stack_b))
+            task.fused = fused[0]
 
     def _stage_lane(self, task: _FrameTask, stage, ctx
                     ) -> Tuple[ImageFusion, Engine]:
@@ -399,20 +519,46 @@ class _SessionProcessor(FrameProcessor):
                         self.run_stage(name, task)
 
     def _fuse_batch_core(self, tasks) -> None:
+        started = time.perf_counter()
         session = self._session
         groups: Dict[str, List[_FrameTask]] = {}
         for task in tasks:
             groups.setdefault(task.engine.name, []).append(task)
         for name, group in groups.items():
             fuser = session._fusers[name]
-            batch = fuser.fuse_batch(
-                np.stack([t.visible for t in group]),
-                np.stack([t.thermal for t in group]),
-            )
-            for i, task in enumerate(group):
-                task.pyr_visible = batch.pyramids_a[i]
-                task.pyr_thermal = batch.pyramids_b[i]
-                task.fused = batch.fused[i]
+            if self.plan.scratch:
+                # materialization elimination: the (2B, H, W) input
+                # stack rides one pooled buffer per engine lane; the
+                # math below is fuse_batch verbatim minus its
+                # concatenate (the buffer already holds visible frames
+                # first, thermal second)
+                count = len(group)
+                shape = group[0].visible.shape
+                stack = self._scratch.take(("batch-stack", name, count,
+                                            shape),
+                                           (2 * count,) + shape)
+                for i, task in enumerate(group):
+                    stack[i] = task.visible
+                    stack[count + i] = task.thermal
+                doubled = fuser.decompose_batch(stack)
+                stack_a = doubled.slice(0, count)
+                stack_b = doubled.slice(count, 2 * count)
+                fused = fuser.reconstruct_batch(
+                    fuser.combine_stack(stack_a, stack_b))
+                for i, task in enumerate(group):
+                    task.pyr_visible = stack_a[i]
+                    task.pyr_thermal = stack_b[i]
+                    task.fused = fused[i]
+            else:
+                batch = fuser.fuse_batch(
+                    np.stack([t.visible for t in group]),
+                    np.stack([t.thermal for t in group]),
+                )
+                for i, task in enumerate(group):
+                    task.pyr_visible = batch.pyramids_a[i]
+                    task.pyr_thermal = batch.pyramids_b[i]
+                    task.fused = batch.fused[i]
+        self._record_wall("batch-core", time.perf_counter() - started)
 
     # -- accounting -----------------------------------------------------
     def _frame_cost(self, task: _FrameTask) -> Tuple[float, float, str]:
@@ -456,6 +602,7 @@ class _SessionProcessor(FrameProcessor):
         return seconds, mj, label
 
     def finalize(self, task: _FrameTask) -> FusedFrameResult:
+        started = time.perf_counter()
         session = self._session
         fused = task.fused
 
@@ -512,7 +659,32 @@ class _SessionProcessor(FrameProcessor):
         # session-lifetime list would grow without bound
         if session._batch_records is not None:
             session._batch_records.append(result)
+        self._record_wall("finalize", time.perf_counter() - started)
         return result
+
+
+def build_session_graph(config: FusionConfig) -> FusionGraph:
+    """The canonical session dataflow for ``config``, with its
+    ``graph_overrides`` applied — the exact graph a
+    :class:`FusionSession` on this config lowers.  Shared with the
+    :class:`~repro.graph.autotune.PlanAutotuner`, whose cache keys
+    hash this graph's structure."""
+    graph = FusionGraph.canonical(
+        registration=config.registration,
+        temporal=config.temporal,
+    )
+    overrides = config.graph_overrides or {}
+    for name in overrides.get("drop", ()):
+        graph.drop(name)
+    for name, engine in (overrides.get("place") or {}).items():
+        graph.place(name, engine)
+    for anchor, stages in (overrides.get("insert_after") or {}).items():
+        if isinstance(stages, Stage):
+            stages = (stages,)
+        for stage in stages:
+            graph.insert_after(anchor, stage)
+            anchor = stage.name
+    return graph
 
 
 class FusionSession:
@@ -538,6 +710,12 @@ class FusionSession:
             config = FusionConfig(**overrides)
         elif overrides:
             config = config.with_overrides(**overrides)
+        self.autotune_decision = None
+        if config.autotune:
+            from ..graph.autotune import PlanAutotuner
+            tuner = PlanAutotuner(cache_dir=config.plan_cache_dir)
+            self.autotune_decision = tuner.decide(config)
+            config = self.autotune_decision.apply(config)
         self.config = config
 
         shape = config.fusion_shape
@@ -578,7 +756,10 @@ class FusionSession:
 
         self._planner = Planner()
         self._graph = self._build_graph()
-        self.plan = self._planner.lower(self._graph, config)
+        self.plan = self._lower(self._graph)
+        if self.plan.hoisted_frame_seconds:
+            for fuser in self._fusers.values():
+                fuser.transform.backend.enable_tap_cache()
         self._processor = _SessionProcessor(self, self.plan)
         self._default_source: Optional[CaptureChainSource] = None
         self._frames = 0
@@ -601,22 +782,7 @@ class FusionSession:
     def _build_graph(self) -> FusionGraph:
         """The canonical pipeline for this config, with the config's
         ``graph_overrides`` applied."""
-        graph = FusionGraph.canonical(
-            registration=self.config.registration,
-            temporal=self.config.temporal,
-        )
-        overrides = self.config.graph_overrides or {}
-        for name in overrides.get("drop", ()):
-            graph.drop(name)
-        for name, engine in (overrides.get("place") or {}).items():
-            graph.place(name, engine)
-        for anchor, stages in (overrides.get("insert_after") or {}).items():
-            if isinstance(stages, Stage):
-                stages = (stages,)
-            for stage in stages:
-                graph.insert_after(anchor, stage)
-                anchor = stage.name
-        return graph
+        return build_session_graph(self.config)
 
     @property
     def graph(self) -> FusionGraph:
@@ -634,14 +800,22 @@ class FusionSession:
         it to :meth:`run`/:meth:`stream` as ``graph=``."""
         return self._graph.copy()
 
+    def _lower(self, graph: FusionGraph) -> "FusionPlan":
+        """Lower ``graph`` against this config, applying the
+        optimization pipeline when the config asks for it."""
+        plan = self._planner.lower(graph, self.config)
+        if self.config.optimize:
+            from ..graph.passes import optimize_plan
+            plan = optimize_plan(plan, self.config)
+        return plan
+
     def _processor_for(self, graph: Optional[FusionGraph]
                        ) -> "_SessionProcessor":
         """The session's standing processor, or a one-drive processor
         interpreting ``graph`` lowered against this config."""
         if graph is None:
             return self._processor
-        return _SessionProcessor(self, self._planner.lower(graph,
-                                                           self.config))
+        return _SessionProcessor(self, self._lower(graph))
 
     # ------------------------------------------------------------------
     @property
@@ -658,15 +832,24 @@ class FusionSession:
             self._placement_engines[name] = engine
         return engine
 
+    def _new_fuser(self, engine: Engine) -> ImageFusion:
+        """A fresh fusion lane on ``engine``, inheriting the plan's
+        hoisting decisions (worker contexts and late placements build
+        their lanes here so optimized plans stay uniform)."""
+        fuser = ImageFusion(
+            transform=engine.transform(self.config.levels),
+            rule=self.config.make_rule())
+        if self.plan.hoisted_frame_seconds:
+            fuser.transform.backend.enable_tap_cache()
+        return fuser
+
     def _fuser_for(self, engine: Engine) -> ImageFusion:
         """The serial-lane fuser for ``engine``, created on first use
         (forced placements may name engines outside the scheduler's
         set)."""
         fuser = self._fusers.get(engine.name)
         if fuser is None:
-            fuser = ImageFusion(
-                transform=engine.transform(self.config.levels),
-                rule=self.config.make_rule())
+            fuser = self._new_fuser(engine)
             self._fusers[engine.name] = fuser
         return fuser
 
@@ -869,6 +1052,7 @@ class FusionSession:
         driver: Optional[Executor] = None
         try:
             processor = self._processor_for(graph)
+            wall_mark = processor.stage_wall_snapshot()
             driver = self._make_executor(processor, executor)
             self._concurrent_drive = driver.concurrent
             # a closed-aware iterator keeps the executor contract
@@ -884,6 +1068,8 @@ class FusionSession:
                 # every drive overwrites the block, a zero-frame drive
                 # included — a batch report must never carry the
                 # previous batch's wall-clock numbers
+                driver.stats.stage_wall_s = \
+                    processor.stage_wall_since(wall_mark)
                 self._last_throughput = driver.stats.as_dict()
             # fold the transport health of whichever source fed this
             # stream into the session's counters
