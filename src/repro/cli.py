@@ -30,8 +30,10 @@ Every subcommand accepts ``--seed``; ``demo`` and ``fuse`` thread it
 into the synthetic scene so runs are exactly reproducible.  ``demo``
 and ``fuse`` also accept ``--executor serial|pipeline|hetero|batch``
 (with ``--workers``/``--queue-depth``/``--batch-size``) to pick the
-execution strategy, and ``--json`` to emit the full report
-machine-readably.
+execution strategy, ``--precision float32|float64`` to pin the kernel
+datapath dtype end-to-end (default: each engine's native precision,
+bitwise-identical to previous releases), and ``--json`` to emit the
+full report machine-readably.
 
 The CLI is reachable without the console-script install as
 ``python -m repro`` (see :mod:`repro.__main__`) or
@@ -87,6 +89,7 @@ def _session(args: argparse.Namespace, **overrides) -> FusionSession:
         workers=args.workers,
         queue_depth=args.queue_depth,
         batch_size=args.batch_size,
+        precision=args.precision,
         fusion_shape=args.size,
         levels=args.levels,
         seed=args.seed,
@@ -187,6 +190,20 @@ def _explain_passes(plan) -> str:
     return "\n".join(lines)
 
 
+def _explain_kernels(plan) -> str:
+    """Per-stage kernel backend and working dtype, as text."""
+    lines = ["kernel bindings"]
+    for name in plan.schedule:
+        node = plan.nodes[name]
+        if node.kernel:
+            lines.append(f"  {name:<12} {node.engine:<10} "
+                         f"kernel={node.kernel} dtype={node.precision}")
+        else:
+            lines.append(f"  {name:<12} {node.engine:<10} "
+                         f"host-side (no engine arithmetic)")
+    return "\n".join(lines)
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     config = FusionConfig(
         engine=args.engine,
@@ -194,6 +211,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         batch_size=args.batch_size,
+        precision=args.precision,
         engine_team=(tuple(args.engine_team) if args.engine_team else None),
         fusion_shape=args.size,
         levels=args.levels,
@@ -212,6 +230,8 @@ def cmd_plan(args: argparse.Namespace) -> int:
             print(plan.describe())
             if args.explain:
                 print()
+                print(_explain_kernels(plan))
+                print()
                 print(_explain_passes(plan))
     return 0
 
@@ -225,6 +245,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         batch_size=args.batch_size,
+        precision=args.precision,
         fusion_shape=args.size,
         levels=args.levels,
         registration=args.registration,
@@ -265,7 +286,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
 _SERVE_CONFIG_FIELDS = (
     "engine", "executor", "batch_size", "levels", "fusion_rule",
     "objective", "registration", "temporal", "monitor",
-    "quality_metrics", "keep_records", "seed",
+    "quality_metrics", "keep_records", "seed", "precision",
 )
 
 #: keys a serve-spec stream block itself may carry.
@@ -392,6 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
     execution.add_argument("--batch-size", type=int, default=8,
                            help="frame pairs per stacked transform "
                                 "invocation (batch executor only)")
+    execution.add_argument("--precision", default=None,
+                           choices=("float32", "float64"),
+                           help="pin the kernel datapath dtype end-to-end "
+                                "(default: each engine's native precision; "
+                                "the FPGA datapath is float32-only)")
     execution.add_argument("--json", action="store_true",
                            help="emit the FusionReport as JSON on stdout")
 
@@ -455,6 +481,11 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--workers", type=int, default=2)
     tune.add_argument("--queue-depth", type=int, default=4)
     tune.add_argument("--batch-size", type=int, default=8)
+    tune.add_argument("--precision", default=None,
+                      choices=("float32", "float64"),
+                      help="incumbent datapath dtype; an explicit "
+                           "float64 lets the tuner offer the float32 "
+                           "datapath as a candidate axis")
     tune.add_argument("--size", type=_parse_shape, default=FrameShape(88, 72))
     tune.add_argument("--levels", type=int, default=3)
     tune.add_argument("--registration", action="store_true")

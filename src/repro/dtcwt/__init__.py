@@ -11,7 +11,8 @@ Public entry points:
   :mod:`repro.dtcwt.coeffs` for the design methods).
 """
 
-from .backend import DEFAULT_BACKEND, KernelBackend, NumpyBackend
+from .backend import DEFAULT_BACKEND, KernelBackend, NumpyBackend, ScratchPool
+from .jit_backend import NUMBA_AVAILABLE, JitBackend
 from .coeffs import (
     BiorthogonalBank,
     DtcwtBanks,
@@ -50,6 +51,9 @@ __all__ = [
     "DEFAULT_BACKEND",
     "KernelBackend",
     "NumpyBackend",
+    "ScratchPool",
+    "JitBackend",
+    "NUMBA_AVAILABLE",
     "BiorthogonalBank",
     "DtcwtBanks",
     "QshiftBank",

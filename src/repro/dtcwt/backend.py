@@ -56,18 +56,33 @@ class ScratchPool:
     A pool is **single-threaded by contract**: it lives on a per-worker
     context (or the session's serial lane), exactly like the non-thread
     -safe compute lanes it feeds.
+
+    A pool also carries one **working dtype per generation**: the first
+    ``take`` pins it, and a ``take`` requesting a different dtype drops
+    *every* cached buffer (not just the requested key) before
+    reallocating.  Switching a session's precision mid-process would
+    otherwise strand each old-dtype buffer until its own key happened
+    to be requested again — paying the stale memory *and* the
+    realloc-on-mismatch cost key by key.  Call :meth:`clear` explicitly
+    when swapping backends or dtypes out-of-band.
     """
 
     def __init__(self) -> None:
         self._buffers: Dict[object, np.ndarray] = {}
+        self._dtype: Optional[np.dtype] = None
 
     def take(self, key: object, shape: Tuple[int, ...],
              dtype: np.dtype = np.float64) -> np.ndarray:
         """The pooled buffer for ``key``, allocated on first use (or
         when ``shape``/``dtype`` changed).  Contents are undefined."""
+        dtype = np.dtype(dtype)
+        if self._dtype != dtype:
+            # precision swap: one generation, one dtype — drop all
+            # stale buffers at once instead of lazily per key
+            self._buffers.clear()
+            self._dtype = dtype
         buffer = self._buffers.get(key)
-        if (buffer is None or buffer.shape != tuple(shape)
-                or buffer.dtype != np.dtype(dtype)):
+        if buffer is None or buffer.shape != tuple(shape):
             buffer = np.empty(shape, dtype=dtype)
             self._buffers[key] = buffer
         return buffer
@@ -81,7 +96,9 @@ class ScratchPool:
         return sum(buf.nbytes for buf in self._buffers.values())
 
     def clear(self) -> None:
+        """Drop every cached buffer (the backend/dtype-swap hook)."""
         self._buffers.clear()
+        self._dtype = None
 
 
 class KernelBackend:
@@ -125,6 +142,17 @@ class KernelBackend:
         return entry[1]
 
     def _x(self, x: np.ndarray) -> np.ndarray:
+        """Caller array in the working dtype.
+
+        ``astype(copy=False)`` **aliases** the caller's array when the
+        dtype already matches, so the value returned here may be the
+        caller's own buffer.  Primitives must therefore treat it as
+        read-only: build outputs in fresh (or pooled-internal) arrays
+        and never pass it as an ``out=`` target.  Every backend in this
+        package honors that contract — the regression tests assert the
+        inputs are bit-unchanged after each primitive — and subclasses
+        adding in-place kernels must copy first if they need to write.
+        """
         return np.asarray(x).astype(self.dtype, copy=False)
 
     # -- level 1 (undecimated, centered) ---------------------------------

@@ -37,12 +37,13 @@ from typing import Dict, List, Optional, Tuple
 log = logging.getLogger("repro.autotune")
 
 #: bump when the cache entry layout changes; older entries re-tune
-CACHE_VERSION = 1
+#: (2: precision joined the fingerprint and the tunable field set)
+CACHE_VERSION = 2
 
 #: config fields a cached decision may override (anything else in a
 #: cache file marks the entry invalid)
 TUNABLE_FIELDS = ("executor", "workers", "batch_size", "engine",
-                  "optimize")
+                  "optimize", "precision")
 
 
 @dataclass(frozen=True)
@@ -155,6 +156,7 @@ class PlanAutotuner:
             "temporal": config.temporal,
             "monitor": config.monitor,
             "optimize": config.optimize,
+            "precision": getattr(config, "precision", None),
         }
 
     def cache_path(self, key: str) -> Path:
@@ -272,25 +274,60 @@ class PlanAutotuner:
                  "optimize": True})
         for name in self._placement_axis(config):
             add({"engine": name, "optimize": True})
+        for precision in self._precision_axis(config):
+            add({"precision": precision, "optimize": True})
+            for name in self._placement_axis(config, precision):
+                add({"engine": name, "precision": precision,
+                     "optimize": True})
         return out
 
     @staticmethod
-    def _placement_axis(config) -> List[str]:
+    def _placement_axis(config, precision: Optional[str] = None
+                        ) -> List[str]:
         """Alternative fixed placements that preserve output bits: only
         engines whose working dtype matches the incumbent's (a dtype
         change is a numerics change, not a tuning decision), and only
-        when the config names a concrete engine to begin with."""
+        when the config names a concrete engine to begin with.
+
+        Registered extension engines (``jit``, ``gpu``) qualify through
+        the same dtype test, so compiled backends become placement
+        candidates automatically.  ``precision`` probes the axis under
+        a candidate precision override instead of the config's own;
+        engines that reject the pinned dtype are skipped, not fatal."""
+        from ..errors import ConfigurationError
         from ..hw.registry import create_engine, engine_names
         if config.engine not in engine_names():
             return []
-        base = create_engine(config.engine).transform(1).backend.dtype
+        if precision is None:
+            precision = getattr(config, "precision", None)
+        try:
+            base = create_engine(config.engine).transform(
+                1, precision=precision).backend.dtype
+        except ConfigurationError:
+            return []
         axis = []
         for name in engine_names():
             if name == config.engine:
                 continue
-            if create_engine(name).transform(1).backend.dtype == base:
+            try:
+                dtype = create_engine(name).transform(
+                    1, precision=precision).backend.dtype
+            except ConfigurationError:
+                continue
+            if dtype == base:
                 axis.append(name)
         return axis
+
+    @staticmethod
+    def _precision_axis(config) -> List[str]:
+        """Candidate precision overrides.  Only a config that already
+        pinned ``precision="float64"`` opts into exploring the float32
+        datapath (the documented tolerance-parity contract); the
+        engine-native default stays bitwise by never moving this
+        axis."""
+        if getattr(config, "precision", None) == "float64":
+            return ["float32"]
+        return []
 
     def _calibration_pairs(self, config) -> List[Tuple[object, object]]:
         """A deterministic pre-rendered prefix shared by every

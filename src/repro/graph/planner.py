@@ -38,8 +38,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..errors import ConfigurationError
-from ..hw.registry import create_engine, engine_names
+from ..hw.registry import create_engine, engine_names, precision_candidates
 from .graph import FusionGraph
 from .stage import AUTO, Stage
 
@@ -65,6 +67,11 @@ class PlannedStage:
     role: str            # "head" | "parallel" | "mid" | "tail"
     engine: str          # resolved placement (engine name or "host")
     model_seconds: float  # modelled compute cost on that engine
+    #: kernel backend driving the stage's arithmetic ("numpy", "neon",
+    #: "jit", ...; "" for host-side stages that never touch an engine)
+    kernel: str = ""
+    #: working dtype of that backend ("float32"/"float64"; "" for host)
+    precision: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -77,6 +84,8 @@ class PlannedStage:
             "placement": self.engine,
             "forced": self.stage.placement != AUTO,
             "model_seconds": self.model_seconds,
+            "kernel": self.kernel,
+            "precision": self.precision,
         }
 
 
@@ -208,6 +217,10 @@ class FusionPlan:
                      f"{'sequential (ordered stage present)' if self.sequential_mid else 'concurrent-eligible'}")
         if self.affinity:
             lines.append(f"  affinity     : {self.affinity}")
+        kernels = ", ".join(
+            f"{name}={self.nodes[name].kernel}/{self.nodes[name].precision}"
+            for name in self.schedule if self.nodes[name].kernel)
+        lines.append(f"  kernels      : {kernels or 'host-only'}")
         lines.append(f"  modelled cost: "
                      f"{self.model_seconds_per_frame * 1e3:.3f} ms/frame")
         if self.optimized:
@@ -269,6 +282,7 @@ class Planner:
                                               tail[0], engine_label,
                                               config, affinity)
         costs = self._model_costs(graph, order, placements, config)
+        kernels = self._kernel_info(placements, config)
         batch_schedule, fusable_core = self._batch_schedule(
             graph, compute, head_set, sequential_mid)
         batch_groups = tuple(names for names, mode in batch_schedule
@@ -280,9 +294,11 @@ class Planner:
                     else "tail" if name in tail
                     else "parallel" if name in parallel
                     else "mid")
+            kernel, precision = kernels[name]
             nodes[name] = PlannedStage(stage=graph.stage(name), role=role,
                                        engine=placements[name],
-                                       model_seconds=costs[name])
+                                       model_seconds=costs[name],
+                                       kernel=kernel, precision=precision)
         return FusionPlan(
             graph=graph, schedule=order, head=tuple(head),
             parallel=parallel, mid=mid, tail=tail, compute=compute,
@@ -370,16 +386,24 @@ class Planner:
 
     def _resolve_default_engine(self, config) -> Tuple[str, bool]:
         """Engine label ``auto`` placements resolve to, and whether the
-        binding is re-decided per frame (the online scheduler)."""
-        from ..core.adaptive import CostModelScheduler, default_engines
+        binding is re-decided per frame (the online scheduler).
+
+        Mirrors the session exactly: a precision-pinned config narrows
+        the scheduler candidate set to engines whose datapath supports
+        that dtype, so the plan predicts the engine the session will
+        actually bind."""
+        from ..core.adaptive import CostModelScheduler
+        candidates = precision_candidates(getattr(config, "precision",
+                                                  None))
         if config.engine == "adaptive":
             decision = CostModelScheduler(
+                engines=candidates,
                 objective=config.objective,
                 power_model=config.power_model,
             ).choose(config.fusion_shape, config.levels)
             return decision.engine.name, False
         if config.engine == "online":
-            return default_engines()[0].name, True
+            return candidates[0].name, True
         return config.engine, False
 
     def _resolve_placements(self, graph, order, head_set, tail_name,
@@ -438,6 +462,36 @@ class Planner:
                 costs[name] = self._stage_seconds(
                     stage, engine_for(placement), shape, levels)
         return costs
+
+    @staticmethod
+    def _kernel_info(placements, config) -> Dict[str, Tuple[str, str]]:
+        """Per-stage (kernel backend name, working dtype) pairs.
+
+        Resolved through the same :meth:`Engine.make_backend` path the
+        session binds, so a forced placement whose datapath cannot run
+        the config's precision (FPGA under ``float64``) fails here, at
+        plan time, with the engine's own error — not mid-stream."""
+        precision = getattr(config, "precision", None)
+        cache: Dict[str, Tuple[str, str]] = {}
+
+        def info_for(name: str) -> Tuple[str, str]:
+            if name not in cache:
+                backend = create_engine(name).make_backend(precision)
+                cache[name] = (backend.name, str(np.dtype(backend.dtype)))
+            return cache[name]
+
+        kernels: Dict[str, Tuple[str, str]] = {}
+        for stage_name, placement in placements.items():
+            if placement == HOST:
+                kernels[stage_name] = ("", "")
+            elif placement.startswith("team("):
+                pairs = [info_for(n) for n in placement[5:-1].split(",")]
+                names = sorted({kernel for kernel, _ in pairs})
+                dtypes = sorted({dtype for _, dtype in pairs})
+                kernels[stage_name] = ("|".join(names), "|".join(dtypes))
+            else:
+                kernels[stage_name] = info_for(placement)
+        return kernels
 
     @staticmethod
     def _stage_seconds(stage, engine, shape, levels) -> float:

@@ -31,11 +31,14 @@ from .dvfs import (
 from .energy import EnergyMeter, energy_mj
 from .engine import Engine
 from .fpga import FpgaEngine, HlsBackend, pad_filter_pair
+from .gpu import GpuBackend, GpuEngine
 from .hls import HlsWaveletEngine, shift_register_dual_fir
+from .jit import JitEngine
 from .neon import NeonEngine
 from .platform import DEFAULT_PLATFORM, ZynqPlatform
 from .power import DEFAULT_POWER_MODEL, MODES, PowerModel, PowerRecorder
 from .registry import (
+    DEFAULT_ENGINE_NAMES,
     create_engine,
     create_engine_pool,
     default_engines,
@@ -61,8 +64,9 @@ from .work import FilterPass, WorkModel, summarize_passes
 
 __all__ = [
     "ArmEngine", "NeonEngine", "FpgaEngine", "Engine",
+    "JitEngine", "GpuEngine", "GpuBackend",
     "create_engine", "create_engine_pool", "default_engines",
-    "engine_names", "register_engine",
+    "engine_names", "register_engine", "DEFAULT_ENGINE_NAMES",
     "HlsBackend", "pad_filter_pair",
     "HlsWaveletEngine", "shift_register_dual_fir",
     "AcpModel", "AxiLiteModel", "GpPortModel",

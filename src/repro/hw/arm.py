@@ -10,7 +10,7 @@ per-pass overhead — the same workload description all engines share
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Optional
 
 from ..dtcwt.backend import NumpyBackend
 from ..types import FrameShape, TimingBreakdown
@@ -23,8 +23,8 @@ class ArmEngine(Engine):
     name = "arm"
     power_mode = "arm"
 
-    def make_backend(self) -> NumpyBackend:
-        return NumpyBackend(dtype=np.float32)
+    def make_backend(self, precision: Optional[str] = None) -> NumpyBackend:
+        return NumpyBackend(dtype=self.working_dtype(precision))
 
     # ------------------------------------------------------------------
     def forward_time(self, shape: FrameShape, levels: int = 3) -> TimingBreakdown:

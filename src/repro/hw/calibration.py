@@ -68,6 +68,29 @@ class Calibration:
     #: extra pipeline registers between BRAM and the MAC array
     fpga_pipeline_depth_cycles: int = 20
 
+    # --- JIT-compiled host engine (extension; not a paper device) -------
+    #: compiled MAC throughput of the forward path — the halo-extension
+    #: kernels remove interpreter dispatch and wrap-around indexing, so
+    #: throughput approaches the memory system rather than the
+    #: interpreter (~8x the fitted scalar rate)
+    jit_mac_rate_fwd: float = 96.0e6
+    #: compiled MAC throughput of the inverse path (strided zero-stuffed
+    #: writes keep it below the forward rate, same as the ARM ratio)
+    jit_mac_rate_inv: float = 69.0e6
+    #: per-pass cost of a compiled call (no interpreter loop setup)
+    jit_pass_overhead_s: float = 5.0e-7
+
+    # --- GPU-class engine (extension; motivated by the CPU/GPU/FPGA
+    # --- vision-kernels comparison in PAPERS.md) ------------------------
+    #: massively parallel MAC throughput once a kernel is resident
+    gpu_mac_rate: float = 2.0e9
+    #: host-side cost to launch one filtering kernel (driver + queue)
+    gpu_kernel_launch_s: float = 8.0e-6
+    #: per-32-bit-word DMA cost over the host<->device link (~4 GB/s)
+    gpu_word_s: float = 1.0e-9
+    #: fixed latency per DMA transfer (descriptor setup, doorbell)
+    gpu_transfer_latency_s: float = 3.0e-5
+
     def validate(self) -> None:
         positives = {
             "arm_mac_rate_fwd": self.arm_mac_rate_fwd,
@@ -75,6 +98,11 @@ class Calibration:
             "arm_fuse_coeff_s": self.arm_fuse_coeff_s,
             "fpga_driver_invocation_s": self.fpga_driver_invocation_s,
             "fpga_ps_word_s": self.fpga_ps_word_s,
+            "jit_mac_rate_fwd": self.jit_mac_rate_fwd,
+            "jit_mac_rate_inv": self.jit_mac_rate_inv,
+            "gpu_mac_rate": self.gpu_mac_rate,
+            "gpu_kernel_launch_s": self.gpu_kernel_launch_s,
+            "gpu_word_s": self.gpu_word_s,
         }
         for name, value in positives.items():
             if value <= 0:

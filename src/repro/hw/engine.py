@@ -16,10 +16,13 @@ the transforms), so :meth:`Engine.fusion_time` is shared.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Optional, Tuple
+
+import numpy as np
 
 from ..dtcwt.coeffs import DtcwtBanks, dtcwt_banks
 from ..dtcwt.transform2d import Dtcwt2D
+from ..errors import ConfigurationError
 from ..types import FrameShape, TimingBreakdown
 from .calibration import DEFAULT_CALIBRATION, Calibration
 from .platform import DEFAULT_PLATFORM, ZynqPlatform
@@ -33,6 +36,13 @@ class Engine(ABC):
     name: str = "engine"
     #: key into the power model for the whole-pipeline execution mode
     power_mode: str = "arm"
+    #: working precisions this engine's datapath can run; the FIRST
+    #: entry is the engine's *native* precision, used when no explicit
+    #: precision is requested (``None``).  Every modelled device is
+    #: float32-native like the HLS datapath; most also accept an
+    #: explicit float64 request, the FPGA being the hardware-fixed
+    #: exception.
+    supported_precisions: Tuple[str, ...] = ("float32", "float64")
 
     def __init__(self, platform: ZynqPlatform = DEFAULT_PLATFORM,
                  calibration: Calibration = DEFAULT_CALIBRATION,
@@ -45,13 +55,31 @@ class Engine(ABC):
     # functional path
     # ------------------------------------------------------------------
     @abstractmethod
-    def make_backend(self):
-        """Kernel backend computing this engine's arithmetic."""
+    def make_backend(self, precision: Optional[str] = None):
+        """Kernel backend computing this engine's arithmetic.
 
-    def transform(self, levels: int = 3) -> Dtcwt2D:
+        ``precision`` is ``None`` (engine-native — every output stays
+        bitwise-identical to the historical default) or one of
+        :attr:`supported_precisions`.
+        """
+
+    def working_dtype(self, precision: Optional[str] = None) -> np.dtype:
+        """The numpy dtype the backend will compute in, after
+        validating ``precision`` against :attr:`supported_precisions`."""
+        if precision is None:
+            precision = self.supported_precisions[0]
+        if precision not in self.supported_precisions:
+            raise ConfigurationError(
+                f"engine {self.name!r} does not support precision "
+                f"{precision!r}; supported: {self.supported_precisions}"
+            )
+        return np.dtype(precision)
+
+    def transform(self, levels: int = 3,
+                  precision: Optional[str] = None) -> Dtcwt2D:
         """A ready-to-use functional transform on this engine."""
         return Dtcwt2D(levels=levels, banks=self.banks,
-                       backend=self.make_backend())
+                       backend=self.make_backend(precision))
 
     # ------------------------------------------------------------------
     # analytic timing

@@ -202,6 +202,9 @@ class FpgaEngine(Engine):
 
     name = "fpga"
     power_mode = "fpga"
+    #: the synthesized datapath is single-precision, full stop — an
+    #: explicit float64 request is a configuration error, not a cast
+    supported_precisions = ("float32",)
 
     def __init__(self, platform: ZynqPlatform = DEFAULT_PLATFORM,
                  calibration: Calibration = DEFAULT_CALIBRATION,
@@ -217,7 +220,8 @@ class FpgaEngine(Engine):
         )
 
     # ------------------------------------------------------------------
-    def make_backend(self) -> HlsBackend:
+    def make_backend(self, precision: Optional[str] = None) -> HlsBackend:
+        self.working_dtype(precision)  # validation only; always float32
         return HlsBackend(
             engine=HlsWaveletEngine(
                 self.platform,

@@ -17,7 +17,7 @@ Section IV); it penalizes the odd 35x35 frames.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Optional
 
 from ..dtcwt.backend import NumpyBackend
 from ..types import FrameShape, TimingBreakdown
@@ -37,8 +37,8 @@ class NeonEngine(Engine):
     name = "neon"
     power_mode = "neon"
 
-    def make_backend(self) -> NeonBackend:
-        return NeonBackend(dtype=np.float32)
+    def make_backend(self, precision: Optional[str] = None) -> NeonBackend:
+        return NeonBackend(dtype=self.working_dtype(precision))
 
     # ------------------------------------------------------------------
     def forward_time(self, shape: FrameShape, levels: int = 3) -> TimingBreakdown:

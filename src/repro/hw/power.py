@@ -22,20 +22,38 @@ from typing import Dict, List
 from ..errors import ConfigurationError
 from ..types import EnergyReport
 
-#: Execution modes the recorder distinguishes.
+#: Execution modes every power model must provide (the paper's set).
+#: A model may additionally carry *extension* modes — e.g. ``"host"``
+#: (compiled code on a development-class CPU) and ``"gpu"`` (a
+#: discrete-class accelerator) for the modelled extension engines — by
+#: listing them in every rail; :meth:`PowerModel.power_w` accepts any
+#: mode present in all rails, and rejects the rest.
 MODES = ("idle", "arm", "neon", "fpga")
 
 #: Per-rail power draw (watts) for each execution mode.  Rails follow the
 #: ZC702 PMBus naming: PS core (VCCPINT), PS aux (VCCPAUX), memory
 #: (VCCMIO_PS + DDR), PL core (VCCINT), PL aux/BRAM (VCCAUX+VCCBRAM) and
-#: fixed board overhead.
+#: fixed board overhead.  The ``accel`` rail models an attached
+#: GPU-class device: it draws nothing in the paper's modes (so every
+#: published sum is unchanged) and dominates in ``gpu`` mode — the
+#: power side of the CPU/GPU/FPGA energy-efficiency comparison that
+#: motivates the extension (PAPERS.md).  ``host`` mirrors the ARM
+#: column: compiled host code keeps the same rails busy.
 DEFAULT_RAILS: Dict[str, Dict[str, float]] = {
-    "vccpint": {"idle": 0.130, "arm": 0.2800, "neon": 0.2800, "fpga": 0.2192},
-    "vccpaux": {"idle": 0.040, "arm": 0.0430, "neon": 0.0430, "fpga": 0.0430},
-    "ddr":     {"idle": 0.080, "arm": 0.1200, "neon": 0.1200, "fpga": 0.1200},
-    "vccint":  {"idle": 0.055, "arm": 0.0600, "neon": 0.0600, "fpga": 0.1400},
-    "vccaux":  {"idle": 0.020, "arm": 0.0200, "neon": 0.0200, "fpga": 0.0200},
-    "board":   {"idle": 0.025, "arm": 0.0100, "neon": 0.0100, "fpga": 0.0100},
+    "vccpint": {"idle": 0.130, "arm": 0.2800, "neon": 0.2800,
+                "fpga": 0.2192, "host": 0.2800, "gpu": 0.2192},
+    "vccpaux": {"idle": 0.040, "arm": 0.0430, "neon": 0.0430,
+                "fpga": 0.0430, "host": 0.0430, "gpu": 0.0430},
+    "ddr":     {"idle": 0.080, "arm": 0.1200, "neon": 0.1200,
+                "fpga": 0.1200, "host": 0.1200, "gpu": 0.1800},
+    "vccint":  {"idle": 0.055, "arm": 0.0600, "neon": 0.0600,
+                "fpga": 0.1400, "host": 0.0600, "gpu": 0.0600},
+    "vccaux":  {"idle": 0.020, "arm": 0.0200, "neon": 0.0200,
+                "fpga": 0.0200, "host": 0.0200, "gpu": 0.0200},
+    "board":   {"idle": 0.025, "arm": 0.0100, "neon": 0.0100,
+                "fpga": 0.0100, "host": 0.0100, "gpu": 0.0100},
+    "accel":   {"idle": 0.000, "arm": 0.0000, "neon": 0.0000,
+                "fpga": 0.0000, "host": 0.0000, "gpu": 2.1000},
 }
 
 
@@ -54,7 +72,8 @@ class PowerModel:
                     raise ConfigurationError(
                         f"rail {rail!r} missing mode {mode!r}"
                     )
-                if modes[mode] < 0:
+            for mode, value in modes.items():
+                if value < 0:
                     raise ConfigurationError(
                         f"rail {rail!r} mode {mode!r} has negative power"
                     )
@@ -72,10 +91,19 @@ class PowerModel:
         """Net extra power of FPGA mode over ARM mode (paper: 19.2 mW)."""
         return self.power_w("fpga") - self.power_w("arm")
 
+    def modes(self) -> tuple:
+        """Modes this model can price: the required baseline plus any
+        extension mode present in *every* rail."""
+        extras = [m for m in next(iter(self.rails.values()), {})
+                  if m not in MODES
+                  and all(m in modes for modes in self.rails.values())]
+        return MODES + tuple(extras)
+
     def _check_mode(self, mode: str) -> None:
-        if mode not in MODES:
+        if mode not in self.modes():
             raise ConfigurationError(
-                f"unknown power mode {mode!r}; expected one of {MODES}"
+                f"unknown power mode {mode!r}; expected one of "
+                f"{self.modes()}"
             )
 
 

@@ -18,7 +18,15 @@ from ..errors import ConfigurationError
 from .arm import ArmEngine
 from .engine import Engine
 from .fpga import FpgaEngine
+from .gpu import GpuEngine
+from .jit import JitEngine
 from .neon import NeonEngine
+
+#: The paper's engine trio, in presentation order.  Extension engines
+#: (jit, gpu) are registered and selectable by name, but scheduler
+#: defaults stay pinned to this set so default behaviour (and every
+#: seeded parity figure) is unchanged by registering more engines.
+DEFAULT_ENGINE_NAMES: Tuple[str, ...] = ("arm", "neon", "fpga")
 
 #: Name -> zero-argument factory.  Insertion order is meaningful: it is
 #: the paper's presentation order (ARM scalar, NEON SIMD, FPGA) and the
@@ -107,10 +115,37 @@ def create_engines(spec: Union[Mapping[str, int], Sequence[str]]
 
 
 def default_engines() -> Tuple[Engine, ...]:
-    """One instance of every registered engine (the paper's three)."""
-    return tuple(factory() for factory in _REGISTRY.values())
+    """One instance of each of the paper's three engines.
+
+    Deliberately *not* "everything registered": the adaptive/online
+    schedulers, the hoist pass and the sweep runner all consume this
+    set, and growing it implicitly whenever an extension engine is
+    registered would silently change default scheduling decisions.
+    Extension engines participate by explicit selection
+    (``engine="jit"``, engine teams, the autotuner's placement axis).
+    """
+    return tuple(create_engine(name) for name in DEFAULT_ENGINE_NAMES)
+
+
+def precision_candidates(precision: Union[str, None] = None
+                         ) -> Tuple[Engine, ...]:
+    """The default engine set narrowed to a working precision.
+
+    ``None`` (engine-native) keeps the full paper trio; an explicit
+    precision drops engines whose datapath cannot run it (the
+    float32-only FPGA under ``"float64"``).  Schedulers consume this so
+    a precision-pinned session never selects an engine that would have
+    to silently change dtype.
+    """
+    engines = default_engines()
+    if precision is None:
+        return engines
+    return tuple(e for e in engines
+                 if precision in e.supported_precisions)
 
 
 register_engine("arm", ArmEngine)
 register_engine("neon", NeonEngine)
 register_engine("fpga", FpgaEngine)
+register_engine("jit", JitEngine)
+register_engine("gpu", GpuEngine)

@@ -23,7 +23,7 @@ from ..errors import ConfigurationError
 from ..exec import executor_names
 from ..graph import Stage
 from ..hw.power import DEFAULT_POWER_MODEL, PowerModel
-from ..hw.registry import engine_names
+from ..hw.registry import create_engine, engine_names
 from ..types import FULL_FRAME, FrameShape
 from ..video.scene import SyntheticScene
 
@@ -60,6 +60,16 @@ class FusionConfig:
         pairs through single NumPy transform calls on one thread.
         All executors produce bitwise-identical frames and identical
         modelled costs for a fixed seed.
+    precision:
+        Working precision of the wavelet kernels: ``None`` (default)
+        runs every engine at its native precision — bitwise-identical
+        to historical behaviour — while ``"float32"``/``"float64"``
+        force that dtype end-to-end (session, planner, executors,
+        serving).  Engines that cannot run the requested precision are
+        rejected eagerly (the FPGA datapath is float32-only), and the
+        scheduler modes restrict their candidate set to engines that
+        support it.  See README "Precision & compiled backends" for
+        the tolerance-parity contract between the two precisions.
     workers:
         Concurrent stage workers (``"pipeline"``: forward-transform
         pool size; ``"hetero"``: team size when ``engine_team`` is not
@@ -151,6 +161,7 @@ class FusionConfig:
 
     engine: str = "adaptive"
     executor: str = "serial"
+    precision: Optional[str] = None
     workers: int = 2
     queue_depth: int = 4
     batch_size: int = 8
@@ -228,6 +239,18 @@ class FusionConfig:
                     "engine_team cannot be combined with temporal "
                     "fusion: the temporal fuse stage is sequential and "
                     "would silently bypass the co-scheduled team")
+        if self.precision is not None:
+            if self.precision not in ("float32", "float64"):
+                raise ConfigurationError(
+                    f"precision must be None, 'float32' or 'float64', "
+                    f"got {self.precision!r}")
+            # fail eagerly when a named engine cannot run the requested
+            # precision (e.g. the float32-only FPGA datapath asked for
+            # float64); scheduler modes filter candidates at runtime
+            named = [self.engine] if self.engine in engine_names() else []
+            named.extend(self.engine_team or ())
+            for name in named:
+                create_engine(name).working_dtype(self.precision)
         if self.levels < 1:
             raise ConfigurationError(f"levels must be >= 1, got {self.levels}")
         if self.fusion_rule not in FUSION_RULES:

@@ -58,7 +58,8 @@ from ..errors import ConfigurationError, FusionError
 from ..exec import Executor, FrameProcessor, make_executor
 from ..graph import FusionGraph, FusionPlan, Planner, Stage
 from ..hw.engine import Engine
-from ..hw.registry import create_engine, create_engine_pool, default_engines
+from ..hw.registry import (create_engine, create_engine_pool,
+                           precision_candidates)
 from ..video.frames import VideoFrame
 from ..video.scaler import resize_to
 from .config import FusionConfig
@@ -418,7 +419,13 @@ class _SessionProcessor(FrameProcessor):
         shape = task.visible.shape
         if self.plan.scratch:
             pool = ctx.scratch if ctx is not None else self._scratch
-            stack = pool.take(("pair-stack", shape), (2,) + shape)
+            # pool the stack in the lane's working dtype: assigning the
+            # float64 host frames into it rounds exactly once, the same
+            # rounding forward_batch's cast performed on a float64
+            # stack — values are bitwise-identical, and the backend's
+            # own cast becomes a no-op (no hidden per-frame copy)
+            stack = pool.take(("pair-stack", shape), (2,) + shape,
+                              dtype=fuser.transform.backend.dtype)
         else:
             stack = np.empty((2,) + shape)
         stack[0] = task.visible
@@ -536,7 +543,9 @@ class _SessionProcessor(FrameProcessor):
                 shape = group[0].visible.shape
                 stack = self._scratch.take(("batch-stack", name, count,
                                             shape),
-                                           (2 * count,) + shape)
+                                           (2 * count,) + shape,
+                                           dtype=fuser.transform
+                                           .backend.dtype)
                 for i, task in enumerate(group):
                     stack[i] = task.visible
                     stack[count + i] = task.thermal
@@ -663,6 +672,15 @@ class _SessionProcessor(FrameProcessor):
         return result
 
 
+def _precision_candidates(config: FusionConfig):
+    """The scheduler candidate set honoring the config's precision: the
+    paper-default trio, minus engines whose datapath cannot run the
+    requested dtype (the float32-only FPGA under ``float64``).  With no
+    explicit precision every engine qualifies, so default scheduling is
+    untouched."""
+    return precision_candidates(config.precision)
+
+
 def build_session_graph(config: FusionConfig) -> FusionGraph:
     """The canonical session dataflow for ``config``, with its
     ``graph_overrides`` applied — the exact graph a
@@ -722,14 +740,16 @@ class FusionSession:
         self.decision: Optional[Decision] = None
         self.scheduler: Optional[OnlineScheduler] = None
         if config.engine == "online":
-            engines = default_engines()
+            engines = _precision_candidates(config)
             self.scheduler = OnlineScheduler(
                 engines, probe_frames=config.probe_frames,
                 reprobe_every=config.reprobe_every)
             self._engine = engines[0]
         elif config.engine == "adaptive":
-            chooser = CostModelScheduler(objective=config.objective,
-                                         power_model=config.power_model)
+            chooser = CostModelScheduler(
+                engines=_precision_candidates(config),
+                objective=config.objective,
+                power_model=config.power_model)
             self.decision = chooser.choose(shape, config.levels)
             self._engine = self.decision.engine
             engines = (self._engine,)
@@ -739,8 +759,10 @@ class FusionSession:
 
         rule = config.make_rule()
         self._fusers: Dict[str, ImageFusion] = {
-            engine.name: ImageFusion(transform=engine.transform(config.levels),
-                                     rule=rule)
+            engine.name: ImageFusion(
+                transform=engine.transform(config.levels,
+                                           precision=config.precision),
+                rule=rule)
             for engine in engines
         }
         self._placement_engines: Dict[str, Engine] = {}
@@ -837,7 +859,8 @@ class FusionSession:
         hoisting decisions (worker contexts and late placements build
         their lanes here so optimized plans stay uniform)."""
         fuser = ImageFusion(
-            transform=engine.transform(self.config.levels),
+            transform=engine.transform(self.config.levels,
+                                       precision=self.config.precision),
             rule=self.config.make_rule())
         if self.plan.hoisted_frame_seconds:
             fuser.transform.backend.enable_tap_cache()

@@ -90,7 +90,7 @@ class TestConfigValidation:
         dict(workers=0),
         dict(queue_depth=0),
         dict(executor="hetero", engine_team=()),
-        dict(executor="hetero", engine_team=("neon", "gpu")),
+        dict(executor="hetero", engine_team=("neon", "abacus")),
         dict(executor="hetero", engine_team="neon"),
         dict(executor="serial", engine_team=("neon",)),
         # temporal fusion is sequential; a co-scheduled team would be

@@ -168,7 +168,7 @@ class TestPlannerLowering:
         assert not plan.fusable_core
 
     def test_unknown_placement_rejected(self):
-        graph = FusionGraph.canonical().place("fuse", "gpu")
+        graph = FusionGraph.canonical().place("fuse", "abacus")
         with pytest.raises(ConfigurationError, match="registered engine"):
             Planner().lower(graph, small_config())
 

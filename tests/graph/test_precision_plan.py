@@ -1,0 +1,121 @@
+"""Planner precision metadata and the autotuner's precision axes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import FusionGraph, Planner
+from repro.graph.autotune import (CACHE_VERSION, TUNABLE_FIELDS,
+                                  PlanAutotuner)
+from repro.session import FusionConfig
+
+
+def lower(**kw):
+    config = FusionConfig(fusion_shape=(40, 32), levels=2, **kw)
+    return Planner().lower(FusionGraph.canonical(
+        registration=config.registration, temporal=config.temporal),
+        config)
+
+
+class TestPlannedKernelMetadata:
+    def test_engine_stages_carry_kernel_and_dtype(self):
+        plan = lower(engine="neon")
+        for name in ("visible", "thermal", "fuse"):
+            node = plan.node(name)
+            assert node.kernel == "neon"
+            assert node.precision == "float32"  # engine-native default
+
+    def test_host_stages_carry_no_kernel(self):
+        plan = lower(engine="neon")
+        for name in ("ingest", "finalize"):
+            assert plan.node(name).kernel == ""
+            assert plan.node(name).precision == ""
+
+    def test_explicit_precision_threads_through(self):
+        plan = lower(engine="jit", precision="float64")
+        assert plan.node("fuse").kernel == "jit"
+        assert plan.node("fuse").precision == "float64"
+
+    def test_as_dict_and_describe_expose_kernels(self):
+        plan = lower(engine="jit", precision="float32")
+        stages = {s["name"]: s for s in plan.as_dict()["stages"]}
+        assert stages["fuse"]["kernel"] == "jit"
+        assert stages["fuse"]["precision"] == "float32"
+        assert "kernels      : " in plan.describe()
+        assert "fuse=jit/float32" in plan.describe()
+
+    def test_team_placement_reports_member_kernels(self):
+        plan = lower(engine="adaptive", executor="hetero",
+                     engine_team=("arm", "neon"))
+        node = plan.node("visible")
+        assert node.engine.startswith("team(")
+        assert node.kernel == "neon|numpy"
+        assert node.precision == "float32"
+
+    def test_forced_fpga_under_float64_fails_at_plan_time(self):
+        graph = FusionGraph.canonical().place("fuse", "fpga")
+        config = FusionConfig(engine="neon", precision="float64",
+                              fusion_shape=(40, 32), levels=2)
+        with pytest.raises(ConfigurationError, match="fpga"):
+            Planner().lower(graph, config)
+
+
+class TestPrecisionAwareResolution:
+    def test_adaptive_float64_never_picks_fpga(self):
+        """The full paper frame normally goes to the FPGA; pinning
+        float64 must re-route auto placements to a CPU engine."""
+        native = Planner().lower(FusionGraph.canonical(),
+                                 FusionConfig(engine="adaptive"))
+        assert native.node("fuse").engine == "fpga"
+        pinned = Planner().lower(FusionGraph.canonical(),
+                                 FusionConfig(engine="adaptive",
+                                              precision="float64"))
+        assert pinned.node("fuse").engine in ("arm", "neon")
+        assert pinned.node("fuse").precision == "float64"
+
+    def test_online_float64_probe_engine_supports_it(self):
+        plan = lower(engine="online", precision="float64")
+        assert plan.dynamic_engine
+        assert plan.node("fuse").engine in ("arm", "neon")
+
+
+class TestAutotunePrecisionAxes:
+    def test_precision_is_tunable_and_fingerprinted(self):
+        assert "precision" in TUNABLE_FIELDS
+        assert CACHE_VERSION == 2
+        tuner = PlanAutotuner(cache_dir="/tmp/unused")
+        fp = tuner._config_fingerprint(
+            FusionConfig(engine="neon", precision="float64"))
+        assert fp["precision"] == "float64"
+        assert (tuner.cache_key(FusionConfig(engine="neon"))
+                != tuner.cache_key(FusionConfig(engine="neon",
+                                                precision="float64")))
+
+    def test_compiled_engines_join_the_placement_axis(self):
+        """jit and gpu qualify automatically via the dtype test."""
+        axis = PlanAutotuner._placement_axis(FusionConfig(engine="neon"))
+        assert {"jit", "gpu"} <= set(axis)
+
+    def test_float64_config_offers_float32_candidates(self):
+        tuner = PlanAutotuner(cache_dir="/tmp/unused")
+        rows = tuner.candidates(FusionConfig(engine="neon",
+                                             precision="float64"))
+        assert {"precision": "float32", "optimize": True} in rows
+        assert {"engine": "jit", "precision": "float32",
+                "optimize": True} in rows
+        # fpga can't run the incumbent float64, but qualifies under
+        # the float32 candidate precision
+        assert {"engine": "fpga", "optimize": True} not in rows
+        assert {"engine": "fpga", "precision": "float32",
+                "optimize": True} in rows
+
+    def test_native_config_never_moves_the_precision_axis(self):
+        """The bitwise default: no explicit precision, no dtype
+        candidates."""
+        tuner = PlanAutotuner(cache_dir="/tmp/unused")
+        for kw in ({}, {"precision": "float32"}):
+            rows = tuner.candidates(FusionConfig(engine="neon", **kw))
+            assert not any("precision" in row for row in rows)
+
+    def test_scheduler_engines_have_no_placement_axis(self):
+        assert PlanAutotuner._placement_axis(
+            FusionConfig(engine="adaptive")) == []

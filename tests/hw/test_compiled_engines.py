@@ -1,0 +1,147 @@
+"""Extension engines (jit, gpu), precision API and registry pinning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.hw import Calibration, PowerModel
+from repro.hw.registry import (DEFAULT_ENGINE_NAMES, create_engine,
+                               default_engines, engine_names,
+                               precision_candidates)
+from repro.types import FrameShape
+
+FULL = FrameShape(88, 72)
+SMALL = FrameShape(16, 16)
+
+
+class TestRegistryPinning:
+    def test_extension_engines_registered(self):
+        assert {"jit", "gpu"} <= set(engine_names())
+        assert create_engine("jit").name == "jit"
+        assert create_engine("gpu").name == "gpu"
+
+    def test_default_engines_stay_the_paper_trio(self):
+        """Registering jit/gpu must not change default scheduling:
+        the default set stays pinned to the paper's engines."""
+        assert DEFAULT_ENGINE_NAMES == ("arm", "neon", "fpga")
+        assert tuple(e.name for e in default_engines()) == ("arm", "neon",
+                                                            "fpga")
+
+    def test_precision_candidates_filter(self):
+        assert tuple(e.name for e in precision_candidates()) == (
+            "arm", "neon", "fpga")
+        assert tuple(e.name for e in
+                     precision_candidates("float32")) == ("arm", "neon",
+                                                          "fpga")
+        # the float32-only FPGA drops out under an explicit float64
+        assert tuple(e.name for e in
+                     precision_candidates("float64")) == ("arm", "neon")
+
+
+class TestPrecisionApi:
+    @pytest.mark.parametrize("name", ["arm", "neon", "fpga", "jit", "gpu"])
+    def test_native_precision_is_float32(self, name):
+        engine = create_engine(name)
+        assert engine.supported_precisions[0] == "float32"
+        assert engine.working_dtype() == np.float32
+        assert engine.make_backend().dtype == np.float32
+
+    @pytest.mark.parametrize("name", ["arm", "neon", "jit", "gpu"])
+    def test_float64_selectable_on_cpu_class_engines(self, name):
+        engine = create_engine(name)
+        assert engine.working_dtype("float64") == np.float64
+        assert engine.make_backend("float64").dtype == np.float64
+        assert engine.transform(2, precision="float64").backend.dtype \
+            == np.float64
+
+    def test_fpga_rejects_float64_eagerly(self):
+        fpga = create_engine("fpga")
+        assert fpga.supported_precisions == ("float32",)
+        with pytest.raises(ConfigurationError, match="float64"):
+            fpga.working_dtype("float64")
+        with pytest.raises(ConfigurationError):
+            fpga.make_backend("float64")
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_engine("arm").working_dtype("float16")
+
+
+class TestJitEngineModel:
+    def test_faster_than_arm_everywhere(self):
+        arm, jit = create_engine("arm"), create_engine("jit")
+        for shape in (SMALL, FULL, FrameShape(352, 288)):
+            assert jit.forward_time(shape).total_s \
+                < arm.forward_time(shape).total_s
+            assert jit.inverse_time(shape).total_s \
+                < arm.inverse_time(shape).total_s
+
+    def test_monotonic_in_size(self):
+        jit = create_engine("jit")
+        times = [jit.frame_time(FrameShape(s, s)).total_s
+                 for s in (16, 40, 88, 176)]
+        assert times == sorted(times)
+
+    def test_power_mode_is_host(self):
+        assert create_engine("jit").power_mode == "host"
+        # host draws like the ARM column: same rails busy
+        pm = PowerModel()
+        assert pm.power_w("host") == pytest.approx(pm.power_w("arm"))
+
+
+class TestGpuEngineModel:
+    def test_breakdown_has_transfer_and_command(self):
+        t = create_engine("gpu").forward_time(FULL)
+        assert t.compute_s > 0
+        assert t.transfer_s > 0
+        assert t.command_s > 0
+
+    def test_loses_small_wins_large(self):
+        """Per-pass launch + DMA costs recreate the FPGA-style
+        crossover one device class up: the GPU loses the paper's
+        small frames and wins very large ones."""
+        neon, gpu = create_engine("neon"), create_engine("gpu")
+        assert gpu.frame_time(SMALL).total_s > neon.frame_time(SMALL).total_s
+        big = FrameShape(1408, 1152)
+        assert gpu.frame_time(big).total_s < neon.frame_time(big).total_s
+
+    def test_gpu_mode_energy_dominated_by_accel_rail(self):
+        pm = PowerModel()
+        assert pm.power_w("gpu") > pm.power_w("fpga") + 2.0
+        assert "gpu" in pm.modes()
+
+    def test_paper_modes_unchanged_by_accel_rail(self):
+        """The accel rail draws nothing in the paper's modes, so every
+        published aggregate stays exactly where the seed pinned it."""
+        pm = PowerModel()
+        assert pm.rails["accel"]["idle"] == 0.0
+        for mode in ("idle", "arm", "neon", "fpga"):
+            assert pm.rails["accel"][mode] == 0.0
+
+    def test_unknown_mode_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel().power_w("tpu")
+
+    def test_bitwise_identical_to_jit_backend(self, rng):
+        """The functional path is the jit arithmetic: same bits."""
+        img = rng.standard_normal((24, 32)) * 50.0
+        tj = create_engine("jit").transform(2)
+        tg = create_engine("gpu").transform(2)
+        pj, pg = tj.forward(img), tg.forward(img)
+        assert np.array_equal(pj.lowpass, pg.lowpass)
+        assert np.array_equal(tj.inverse(pj), tg.inverse(pg))
+
+
+class TestCalibrationValidation:
+    @pytest.mark.parametrize("field", [
+        "jit_mac_rate_fwd", "jit_mac_rate_inv", "gpu_mac_rate",
+        "gpu_kernel_launch_s", "gpu_word_s",
+    ])
+    def test_new_rates_must_be_positive(self, field):
+        with pytest.raises(CalibrationError):
+            Calibration(**{field: 0.0}).validate()
+        with pytest.raises(CalibrationError):
+            Calibration(**{field: -1.0}).validate()
+
+    def test_defaults_validate(self):
+        Calibration().validate()

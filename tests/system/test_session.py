@@ -36,7 +36,7 @@ class TestEngineRegistry:
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigurationError):
-            create_engine("gpu")
+            create_engine("abacus")
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -46,7 +46,7 @@ class TestDeprecatedSystemStubs:
         for name in ("arm", "neon", "fpga"):
             assert make_engine(name).name == name
         with pytest.raises(ConfigurationError):
-            make_engine("gpu")
+            make_engine("abacus")
         with pytest.warns(DeprecationWarning):
             assert set(legacy.ENGINE_NAMES) >= {"arm", "neon", "fpga",
                                                 "adaptive"}
