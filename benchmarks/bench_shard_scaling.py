@@ -1,0 +1,224 @@
+"""Shard scaling: the same stream fleet at 1, 2 and 4 shard processes.
+
+:class:`repro.serve.ShardedFusionService` exists to buy *multi-core*
+throughput that a single GIL-bound interpreter cannot: each shard is a
+full FusionService in its own process, frames travel over shared-memory
+rings, and the parent brokers one global engine pool.  This bench
+drives an 8-stream batch fleet (alternating ARM/NEON tenants on small
+frames — the shape where NumPy vectorization is already saturated
+per-process and the interpreter is the bottleneck) through the sharded
+service at 1, 2 and 4 shards and reports aggregate FPS per shard
+count.  Bitwise cross-shard-count parity is asserted, not assumed:
+every stream must hash identically at every shard count — sharding
+relocates the interpreter, never the arithmetic.
+
+Runs two ways:
+
+* under pytest (like every other bench): ``pytest
+  benchmarks/bench_shard_scaling.py``;
+* as a script with a CI-friendly quick mode::
+
+      PYTHONPATH=src python benchmarks/bench_shard_scaling.py --quick
+      PYTHONPATH=src python benchmarks/bench_shard_scaling.py \
+          --scale 2 --min-speedup 1.6
+
+``--quick`` gates on the issue's acceptance bar (2 shards >= 1.6x the
+1-shard run) **only on multi-core hosts** — on a single core the shard
+processes time-slice one CPU and the IPC tax makes scaling physically
+impossible, so the gate reports and skips (CI boxes vary); the JSON
+rows (``BENCH_shards.json``) are written either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+from repro.serve import ShardedFusionService
+from repro.session import ArraySource, FusionConfig
+from repro.types import FrameShape
+from repro.video.scaler import resize_to
+from repro.video.scene import SyntheticScene
+
+SMALL = FrameShape(32, 24)
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: enough virtual engine instances that the fleet-wide lease broker is
+#: never the bottleneck — this bench isolates interpreter scaling
+POOL = {"arm": 4, "neon": 4}
+
+#: (name, engine, seed, frames at scale 1) — eight small-frame batch
+#: tenants, the workload where per-frame Python overhead dominates and
+#: a second interpreter is the only remaining lever
+WORKLOAD: Tuple[Tuple[str, str, int, int], ...] = tuple(
+    (f"tenant-{i}", "arm" if i % 2 == 0 else "neon", 20 + i, 24)
+    for i in range(8))
+
+
+def build_config(engine: str) -> FusionConfig:
+    return FusionConfig(engine=engine, executor="batch", batch_size=8,
+                        fusion_shape=SMALL, levels=2, seed=5,
+                        quality_metrics=False, keep_records=True)
+
+
+def recorded_footage(seed: int, frames: int) -> ArraySource:
+    """Pre-rendered pairs at fusion geometry: the parent feeds shards
+    recorded footage, so the synthetic render cost stays outside the
+    measured interval (it would be identical dead weight at every
+    shard count)."""
+    shape = SMALL.array_shape
+    scene = SyntheticScene(seed=seed)
+    visible, thermal = [], []
+    for i in range(frames):
+        t_s = i / 25.0
+        visible.append(resize_to(scene.render_visible(t_s), shape))
+        thermal.append(resize_to(scene.render_thermal(t_s), shape))
+    return ArraySource(visible, thermal)
+
+
+def frame_hashes(records) -> List[str]:
+    return [hashlib.sha256(r.frame.pixels.tobytes()).hexdigest()
+            for r in records]
+
+
+def run_sharded(shards: int, scale: int,
+                footage: Dict[str, ArraySource]):
+    service = ShardedFusionService(pool=POOL, shards=shards,
+                                   max_in_flight=len(WORKLOAD) * 8,
+                                   stream_queue_depth=8)
+    for name, engine, seed, frames in WORKLOAD:
+        service.add_stream(name, config=build_config(engine),
+                           source=footage[name], frames=frames * scale)
+    return service.serve()
+
+
+def run_bench(scale: int) -> Tuple[str, Dict]:
+    footage = {name: recorded_footage(seed, frames * scale)
+               for name, engine, seed, frames in WORKLOAD}
+    total_frames = sum(frames * scale for *_, frames in WORKLOAD)
+
+    rows: Dict[int, Dict] = {}
+    hashes: Dict[int, Dict[str, List[str]]] = {}
+    for shards in SHARD_COUNTS:
+        report = run_sharded(shards, scale, footage)
+        rows[shards] = {
+            "shards": shards,
+            "frames": sum(s.frames for s in report.streams.values()),
+            "wall_s": report.wall_seconds,
+            "fps": report.aggregate_fps,
+            "pool": dict(report.pool),
+        }
+        hashes[shards] = {name: frame_hashes(s.records)
+                          for name, s in report.streams.items()}
+
+    base_fps = rows[SHARD_COUNTS[0]]["fps"]
+    for shards in SHARD_COUNTS:
+        rows[shards]["speedup_vs_1"] = (rows[shards]["fps"] / base_fps
+                                        if base_fps > 0 else 0.0)
+
+    reference = hashes[SHARD_COUNTS[0]]
+    mismatched = sorted(
+        {name for shards in SHARD_COUNTS[1:]
+         for name in reference if hashes[shards][name] != reference[name]})
+
+    cpus = os.cpu_count() or 1
+    lines = [f"Shard scaling: {len(WORKLOAD)} batch tenants, "
+             f"{total_frames} frames total, pool {POOL}, cpus={cpus}:",
+             f"  {'shards':>6} {'frames':>6} {'wall s':>8} "
+             f"{'agg fps':>9} {'vs 1 shard':>10}  parity"]
+    for shards in SHARD_COUNTS:
+        row = rows[shards]
+        parity = ("baseline" if shards == SHARD_COUNTS[0]
+                  else "DIVERGED" if any(hashes[shards][n] != reference[n]
+                                         for n in reference)
+                  else "bitwise")
+        lines.append(f"  {shards:>6} {row['frames']:>6} "
+                     f"{row['wall_s']:>8.2f} {row['fps']:>9.2f} "
+                     f"{row['speedup_vs_1']:>9.2f}x  {parity}")
+    if cpus < 2:
+        lines.append("  (single-core host: shard processes time-slice "
+                     "one CPU; the speedup gate does not apply)")
+
+    payload = {
+        "pool": dict(POOL),
+        "scale": scale,
+        "cpus": cpus,
+        "frames_total": total_frames,
+        "shard_counts": list(SHARD_COUNTS),
+        "rows": {str(k): v for k, v in rows.items()},
+        "speedup_2_shards": rows[2]["speedup_vs_1"],
+        "bitwise_parity": not mismatched,
+        "mismatched_streams": mismatched,
+    }
+    return "\n".join(lines), payload
+
+
+def test_shard_scaling(report):
+    """Pytest entry: completion + cross-shard-count bitwise parity
+    (the speedup gate runs in script mode, where the machine is known)."""
+    text, payload = run_bench(scale=1)
+    report(text)
+    assert payload["bitwise_parity"], payload["mismatched_streams"]
+    for shards in SHARD_COUNTS:
+        row = payload["rows"][str(shards)]
+        assert row["frames"] == payload["frames_total"]
+        assert row["fps"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: scale 1 and gate 2 shards "
+                             "at the acceptance bar (1.6x) on "
+                             "multi-core hosts")
+    parser.add_argument("--scale", type=int, default=2,
+                        help="frame-count multiplier per stream "
+                             "(default 2; --quick forces 1)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless 2-shard fps >= this multiple "
+                             "of the 1-shard fps (multi-core hosts "
+                             "only)")
+    parser.add_argument("--json-out", default=None,
+                        help="write the machine-readable rows as JSON")
+    args = parser.parse_args(argv)
+
+    scale = 1 if args.quick else args.scale
+    min_speedup = args.min_speedup
+    if min_speedup is None and args.quick:
+        min_speedup = 1.6
+
+    text, payload = run_bench(scale)
+    print(text)
+
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"  wrote {args.json_out}")
+
+    if not payload["bitwise_parity"]:
+        print(f"FAIL: shard counts diverged bitwise: "
+              f"{payload['mismatched_streams']}", file=sys.stderr)
+        return 1
+    if min_speedup is not None:
+        if payload["cpus"] < 2:
+            print(f"SKIP speedup gate: single-core host "
+                  f"(2 shards measured {payload['speedup_2_shards']:.2f}x)")
+        elif payload["speedup_2_shards"] < min_speedup:
+            print(f"FAIL: 2-shard speedup "
+                  f"{payload['speedup_2_shards']:.2f}x < "
+                  f"{min_speedup:.2f}x", file=sys.stderr)
+            return 1
+        else:
+            print(f"OK: 2-shard speedup "
+                  f"{payload['speedup_2_shards']:.2f}x >= "
+                  f"{min_speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -329,7 +329,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     workers = args.workers if args.workers is not None \
         else spec.get("workers")
     shedding = spec.get("shedding")
-    service = FusionService(
+    shards = args.shards if args.shards is not None \
+        else spec.get("shards")
+    service_kwargs = dict(
         pool=spec.get("pool", {"arm": 1, "neon": 1, "fpga": 1}),
         max_in_flight=int(spec.get("max_in_flight", 8)),
         stream_queue_depth=int(spec.get("stream_queue_depth", 4)),
@@ -337,6 +339,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         shedding=ShedPolicy(**shedding) if shedding is not None else None,
         slo_headroom=float(spec.get("slo_headroom", 1.0)),
     )
+    if shards is not None:
+        from .serve import ShardedFusionService
+        service = ShardedFusionService(shards=int(shards),
+                                       **service_kwargs)
+    else:
+        service = FusionService(**service_kwargs)
     for index, block in enumerate(streams):
         name = block.get("name", f"stream{index}")
         bad = set(block) - set(_SERVE_STREAM_KEYS)
@@ -512,6 +520,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--frames", type=int, default=16,
                        help="default frames per stream when a block "
                             "does not set its own")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="serve through N shard processes "
+                            "(ShardedFusionService) instead of one "
+                            "process; overrides the spec's 'shards' key")
     serve.add_argument("--workers", type=int, default=None,
                        help="service worker threads (default: the spec's "
                             "'workers', else the pool size); an explicit "

@@ -30,9 +30,15 @@ import hashlib
 import json
 import logging
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 log = logging.getLogger("repro.autotune")
 
@@ -85,6 +91,30 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro" / "plans"
+
+
+@contextmanager
+def cache_write_lock(path: Path):
+    """Exclusive advisory lock serializing publishes of one cache entry.
+
+    The lock lives in a sibling ``<entry>.lock`` file (never the entry
+    itself — the entry is replaced by rename, which would drop the
+    lock's inode).  ``fcntl.flock`` is advisory and process-wide, which
+    is exactly the concurrency the sharded service creates; platforms
+    without :mod:`fcntl` fall back to lockless last-writer-wins, which
+    is still torn-file-free because every writer renames a complete
+    pid-unique tmp file into place.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "w") as lock_fh:
+        fcntl.flock(lock_fh, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(lock_fh, fcntl.LOCK_UN)
 
 
 class PlanAutotuner:
@@ -240,11 +270,19 @@ class PlanAutotuner:
             "overrides": dict(decision.overrides),
             "fps": decision.fps,
         }
+        # Concurrent writers exist: shard processes autotuning the
+        # same (graph, config, shape) key race here.  A fixed tmp name
+        # would let two writers interleave write_text/replace and
+        # publish a torn file, so each writer gets a pid-unique tmp
+        # and the publish (tmp -> path rename) runs under an exclusive
+        # lock file next to the entry — last writer wins, readers only
+        # ever see a complete JSON document.
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
             tmp.write_text(json.dumps(entry, indent=2, sort_keys=True))
-            tmp.replace(path)
+            with cache_write_lock(path):
+                tmp.replace(path)
         except OSError as exc:
             log.warning("plan cache %s not persisted (%s); tuning "
                         "result applies to this session only", path, exc)

@@ -50,6 +50,7 @@ from .ops import (EventLog, MetricsRegistry, ShedPolicy, SLORejection,
 from .pool import EngineLease, EnginePool
 from .report import ServiceReport
 from .service import FusionService, StreamSpec
+from .shard import ShardedFusionService
 
 __all__ = [
     "AdmissionController",
@@ -57,5 +58,6 @@ __all__ = [
     "EventLog", "MetricsRegistry",
     "FusionService", "StreamSpec",
     "ServiceReport",
+    "ShardedFusionService",
     "ShedPolicy", "SLORejection", "StreamSLO",
 ]

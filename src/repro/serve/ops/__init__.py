@@ -30,7 +30,8 @@ it runs on.
 
 from .events import EVENT_KINDS, Event, EventLog
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
-                      MetricsRegistry, parse_prometheus)
+                      MetricsRegistry, merge_snapshots, parse_prometheus,
+                      render_snapshot)
 from .shedding import ShedPolicy, Shedder
 from .slo import (BEST_EFFORT, CLASS_WEIGHTS, PRIORITY_CLASSES,
                   SLORejection, StreamSLO, check_feasible)
@@ -40,5 +41,6 @@ __all__ = [
     "Counter", "DEFAULT_BUCKETS", "EVENT_KINDS", "Event", "EventLog",
     "Gauge", "Histogram", "MetricsRegistry",
     "SLORejection", "ShedPolicy", "Shedder", "StreamSLO",
-    "check_feasible", "parse_prometheus",
+    "check_feasible", "merge_snapshots", "parse_prometheus",
+    "render_snapshot",
 ]

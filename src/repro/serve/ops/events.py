@@ -37,6 +37,9 @@ EVENT_KINDS = (
     "lease",            # an engine lease granted to a stream
     "error",            # a stream failed (isolated in live mode)
     "service",          # service lifecycle (start, drain, close)
+    "shard_start",      # a shard process came up (sharded serving)
+    "shard_exit",       # a shard process exited (clean or crashed)
+    "lease_reclaim",    # broker reclaimed leases from a dead shard
 )
 
 

@@ -222,7 +222,13 @@ class _Family:
                                  "buckets": list(value["buckets"])}
             else:
                 series[label] = value
-        return {"kind": self.kind, "help": self.help, "series": series}
+        snap = {"kind": self.kind, "help": self.help, "series": series}
+        if self.kind == "histogram":
+            # bucket bounds travel with the snapshot so histograms from
+            # different processes can be merged bucket-wise (and the
+            # merge can refuse mismatched bounds loudly)
+            snap["le"] = list(self.buckets)
+        return snap
 
 
 class _CounterFamily(_Family):
@@ -292,6 +298,104 @@ class MetricsRegistry:
         with self._lock:
             return {name: family._snapshot()
                     for name, family in self._families.items()}
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, object]]
+                    ) -> Dict[str, object]:
+    """Merge :meth:`MetricsRegistry.snapshot` dumps from N processes.
+
+    The sharded service's observability story: each shard owns a
+    private registry (cross-process mutation of one registry is not a
+    thing), so the fleet-wide view is a *merge of snapshots* — counters
+    and gauges sum per series, histograms sum bucket-wise (mismatched
+    bucket bounds for the same family raise — that is a deployment
+    bug, not data), and family kind/help must agree.  Series present
+    in only some shards pass through unchanged, so heterogeneous label
+    sets (different engines per shard) merge naturally.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        for name, family in snapshot.items():
+            into = merged.get(name)
+            if into is None:
+                merged[name] = {
+                    "kind": family["kind"], "help": family["help"],
+                    "series": {label: (dict(value)
+                                       if isinstance(value, dict)
+                                       else value)
+                               for label, value
+                               in family["series"].items()},
+                }
+                if "le" in family:
+                    merged[name]["le"] = list(family["le"])
+                continue
+            if into["kind"] != family["kind"]:
+                raise ConfigurationError(
+                    f"cannot merge metric {name!r}: kind "
+                    f"{family['kind']!r} vs {into['kind']!r}")
+            if family["kind"] == "histogram" \
+                    and list(family.get("le", ())) != list(
+                        into.get("le", ())):
+                raise ConfigurationError(
+                    f"cannot merge histogram {name!r}: bucket bounds "
+                    f"differ across snapshots")
+            series = into["series"]
+            for label, value in family["series"].items():
+                have = series.get(label)
+                if have is None:
+                    series[label] = (dict(value)
+                                     if isinstance(value, dict) else value)
+                elif isinstance(value, dict):
+                    have["count"] += value["count"]
+                    have["sum"] += value["sum"]
+                    have["buckets"] = [a + b for a, b
+                                       in zip(have["buckets"],
+                                              value["buckets"])]
+                else:
+                    series[label] = have + value
+    return merged
+
+
+def render_snapshot(snapshot: Dict[str, object]) -> str:
+    """Render a (possibly merged) snapshot as Prometheus exposition.
+
+    The inverse direction of :meth:`MetricsRegistry.snapshot` for the
+    sharded service: merged snapshots are plain data, not a live
+    registry, so exposition is rebuilt from the data directly.
+    """
+    lines: List[str] = []
+    for name, family in snapshot.items():
+        lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        for label in sorted(family["series"]):
+            value = family["series"][label]
+            label_str = "" if label == "{}" else label
+            if family["kind"] == "histogram":
+                bounds = family.get("le", ())
+                cumulative = 0
+                for bound, count in zip(bounds, value["buckets"]):
+                    cumulative += count
+                    bucket_label = _merge_label(
+                        label_str, f'le="{_format_value(float(bound))}"')
+                    lines.append(f"{name}_bucket{bucket_label} "
+                                 f"{cumulative}")
+                inf_label = _merge_label(label_str, 'le="+Inf"')
+                lines.append(f"{name}_bucket{inf_label} "
+                             f"{value['count']}")
+                lines.append(f"{name}_sum{label_str} "
+                             f"{_format_value(value['sum'])}")
+                lines.append(f"{name}_count{label_str} "
+                             f"{value['count']}")
+            else:
+                lines.append(f"{name}{label_str} "
+                             f"{_format_value(float(value))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _merge_label(label_str: str, extra: str) -> str:
+    if not label_str:
+        return "{" + extra + "}"
+    return label_str[:-1] + "," + extra + "}"
 
 
 def parse_prometheus(text: str) -> Dict[str, float]:

@@ -323,9 +323,16 @@ class FusionService:
                  metrics: Optional[MetricsRegistry] = None,
                  events: Optional[EventLog] = None,
                  event_capacity: int = 4096):
-        self.pool = pool if isinstance(pool, EnginePool) \
-            else EnginePool(pool)
-        self._owns_pool = not isinstance(pool, EnginePool)
+        # an EnginePool, anything lease-protocol-compatible (the
+        # sharded tier's BrokeredEnginePool duck-types the surface),
+        # or a spec to build a pool from
+        if isinstance(pool, EnginePool) \
+                or callable(getattr(pool, "try_lease", None)):
+            self.pool = pool
+            self._owns_pool = False
+        else:
+            self.pool = EnginePool(pool)
+            self._owns_pool = True
         if workers is None:
             workers = self.pool.size
         if workers < 1:

@@ -1,0 +1,310 @@
+"""Zero-copy frame transport between processes: shared-memory rings.
+
+Pickling pixel arrays over a pipe costs a serialize + two copies per
+frame and caps sharded throughput well below what the GIL escape buys.
+:class:`FrameRing` moves frames through one
+:class:`multiprocessing.shared_memory.SharedMemory` segment instead:
+a fixed number of equally sized *slots*, leased to the producer by a
+counting semaphore of free slots and to the consumer by a semaphore of
+filled slots.  Pixel data is written with a single ``memcpy`` into the
+slot (a flat ``memoryview`` assignment — never pickled) and read back
+with one copy out; only the small metadata dict (stream name, frame
+index, dtype/shape descriptors, scalar provenance) is pickled, and it
+is bounded per message.
+
+Each slot carries a **generation counter**: the producer stamps the
+absolute message sequence number into the slot header, the consumer
+asserts the stamp matches the sequence it is about to consume.  A
+mismatch means slot reuse raced ahead of the lease protocol (or a
+foreign writer scribbled on the segment) and raises immediately
+instead of silently delivering another stream's pixels.
+
+Lifecycle contract: the *creating* process (the parent service) owns
+the segment — it unlinks on close, registers an :mod:`atexit` fallback
+and is the only side the OS resource tracker watches.  Attaching
+processes (shards) explicitly unregister from their tracker, so a
+shard's death — including SIGKILL — never double-unlinks or leaks a
+segment: the parent's unlink is the single point of truth.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import secrets
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import ConfigurationError, FusionError
+
+#: slot header: generation (u64), meta length (u32), payload length (u32)
+_HEADER = struct.Struct("<QII")
+
+#: seconds between stop-flag checks while blocked on a slot semaphore
+TICK_S = 0.05
+
+#: every segment this module creates carries this prefix, so leak
+#: checks can enumerate exactly the segments the sharded service owns
+SEGMENT_PREFIX = "repro-shard"
+
+
+def segment_name(tag: str) -> str:
+    """A collision-resistant shared-memory name for one ring."""
+    return f"{SEGMENT_PREFIX}-{tag}-{secrets.token_hex(4)}"
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without tracker ownership.
+
+    The parent created the segment and is responsible for unlinking
+    it; a shard that merely attaches must not enroll it with its own
+    resource tracker, or the first shard to exit would tear the
+    segment down under every other process (and SIGKILLed shards
+    would trip the tracker's leak warnings).  Python 3.13 spells this
+    ``track=False``; older versions need the documented unregister
+    workaround.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        return segment
+
+
+class RingClosed(FusionError):
+    """The ring was closed while a put/get was blocked on it."""
+
+
+class FrameRing:
+    """A bounded SPSC message ring over one shared-memory segment.
+
+    One process produces (any number of its threads, serialized by the
+    producer lock), one process consumes.  Construct in the owning
+    process, pass the instance to the peer as a ``Process`` argument
+    (the semaphores only travel at process creation), then call
+    :meth:`attach` on the peer side before first use.
+
+    Parameters
+    ----------
+    ctx:
+        The :mod:`multiprocessing` context the semaphores come from
+        (must match the context the shard processes are spawned with).
+    tag:
+        Human-readable segment-name component (``in-0``, ``out-2``).
+    slots / slot_bytes:
+        Ring geometry.  A message (header + pickled meta + raw array
+        payload) must fit one slot; oversized frames raise with the
+        knob to raise (``ring_slot_bytes``) named in the error.
+    """
+
+    def __init__(self, ctx, tag: str, slots: int, slot_bytes: int):
+        if slots < 2:
+            raise ConfigurationError(
+                f"ring needs >= 2 slots, got {slots}")
+        if slot_bytes < _HEADER.size + 64:
+            raise ConfigurationError(
+                f"ring slot_bytes {slot_bytes} is too small to hold a "
+                f"message header")
+        self.name = segment_name(tag)
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._free = ctx.Semaphore(slots)
+        self._filled = ctx.Semaphore(0)
+        self._write_lock = ctx.Lock()
+        self._shm: Optional[shared_memory.SharedMemory] = \
+            shared_memory.SharedMemory(name=self.name, create=True,
+                                       size=slots * slot_bytes)
+        self._owner = True
+        self._wseq = 0
+        self._rseq = 0
+        self._closed = False
+
+    # -- cross-process plumbing -----------------------------------------
+    def __getstate__(self):
+        if self._owner and self._shm is None:
+            raise FusionError(f"ring {self.name} is closed")
+        state = self.__dict__.copy()
+        # the segment handle never crosses the process boundary; the
+        # peer re-attaches by name (untracked) in attach()
+        state["_shm"] = None
+        state["_owner"] = False
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    def attach(self) -> "FrameRing":
+        """Map the segment in an attaching (non-owner) process."""
+        if self._shm is None:
+            self._shm = attach_segment(self.name)
+        return self
+
+    # -- producing -------------------------------------------------------
+    def put(self, meta: Dict[str, object],
+            arrays: Sequence[np.ndarray] = (),
+            should_stop: Optional[Callable[[], bool]] = None) -> bool:
+        """Write one message; blocks while the ring is full.
+
+        Returns False (without writing) when ``should_stop`` turns
+        true while blocked — the cancellation path out of a full ring.
+        Raises :class:`RingClosed` when the ring closes mid-wait.
+        """
+        if self._shm is None:
+            raise RingClosed(f"ring {self.name} is not attached")
+        descriptors = [(str(a.dtype), tuple(a.shape)) for a in arrays]
+        meta_blob = pickle.dumps(
+            {"meta": meta, "arrays": descriptors},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        payload = [memoryview(np.ascontiguousarray(a)).cast("B")
+                   for a in arrays]
+        payload_len = sum(len(view) for view in payload)
+        need = _HEADER.size + len(meta_blob) + payload_len
+        if need > self.slot_bytes:
+            raise ConfigurationError(
+                f"message of {need} bytes exceeds the ring slot size "
+                f"{self.slot_bytes}; raise ring_slot_bytes on the "
+                f"sharded service to fit the stream's frame geometry")
+        while not self._free.acquire(timeout=TICK_S):
+            if self._closed:
+                raise RingClosed(f"ring {self.name} closed during put")
+            if should_stop is not None and should_stop():
+                return False
+        try:
+            with self._write_lock:
+                base = (self._wseq % self.slots) * self.slot_bytes
+                buf = self._shm.buf
+                _HEADER.pack_into(buf, base, self._wseq, len(meta_blob),
+                                  payload_len)
+                offset = base + _HEADER.size
+                buf[offset:offset + len(meta_blob)] = meta_blob
+                offset += len(meta_blob)
+                for view in payload:
+                    buf[offset:offset + len(view)] = view
+                    offset += len(view)
+                self._wseq += 1
+        except BaseException:
+            self._free.release()  # the slot never became a message
+            raise
+        self._filled.release()
+        return True
+
+    # -- consuming -------------------------------------------------------
+    def get(self, should_stop: Optional[Callable[[], bool]] = None
+            ) -> Optional[Tuple[Dict[str, object], List[np.ndarray]]]:
+        """Read the next message; blocks while the ring is empty.
+
+        Returns ``None`` when ``should_stop`` turns true while blocked.
+        The returned arrays are fresh copies — the slot is released
+        for reuse before this method returns.
+        """
+        if self._shm is None:
+            raise RingClosed(f"ring {self.name} is not attached")
+        while not self._filled.acquire(timeout=TICK_S):
+            if self._closed:
+                raise RingClosed(f"ring {self.name} closed during get")
+            if should_stop is not None and should_stop():
+                return None
+        base = (self._rseq % self.slots) * self.slot_bytes
+        buf = self._shm.buf
+        generation, meta_len, payload_len = _HEADER.unpack_from(buf, base)
+        if generation != self._rseq:
+            raise FusionError(
+                f"ring {self.name}: generation mismatch at slot "
+                f"{self._rseq % self.slots} (slot stamped {generation}, "
+                f"consumer expected {self._rseq}) — the slot lease "
+                f"protocol was violated")
+        offset = base + _HEADER.size
+        wire = pickle.loads(bytes(buf[offset:offset + meta_len]))
+        offset += meta_len
+        arrays: List[np.ndarray] = []
+        for dtype, shape in wire["arrays"]:
+            nbytes = int(np.dtype(dtype).itemsize * int(np.prod(shape,
+                                                                dtype=np.int64)))
+            flat = np.frombuffer(buf, dtype=np.uint8, count=nbytes,
+                                 offset=offset)
+            arrays.append(flat.copy().view(dtype).reshape(shape))
+            offset += nbytes
+        self._rseq += 1
+        self._free.release()
+        return wire["meta"], arrays
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Release this process's mapping (and, in the owner, unlink
+        the segment).  Idempotent; safe from atexit."""
+        self._closed = True
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown
+            pass
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "FrameRing":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RingCleanup:
+    """Process-wide atexit fallback: unlink rings the parent created.
+
+    Normal shutdown unlinks in :meth:`ShardedFusionService.close`; this
+    guard covers the paths that never get there (an exception between
+    ring creation and service start, a ``kill``ed test runner) so the
+    host is never left with orphaned ``/dev/shm`` segments.
+    """
+
+    def __init__(self):
+        self._rings: List[FrameRing] = []
+        self._registered = False
+
+    def track(self, ring: FrameRing) -> FrameRing:
+        if not self._registered:
+            atexit.register(self.run)
+            self._registered = True
+        self._rings.append(ring)
+        return ring
+
+    def untrack(self, ring: FrameRing) -> None:
+        try:
+            self._rings.remove(ring)
+        except ValueError:
+            pass
+
+    def run(self) -> None:
+        rings, self._rings = self._rings, []
+        for ring in rings:
+            ring.close()
+
+
+#: the module-level cleanup registrar every service instance uses
+CLEANUP = RingCleanup()
+
+
+def wait_until(predicate: Callable[[], bool], timeout_s: float,
+               tick_s: float = TICK_S) -> bool:
+    """Poll ``predicate`` until true or ``timeout_s`` elapses."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        if predicate():
+            return True
+        if time.monotonic() >= deadline:
+            return False
+        time.sleep(tick_s)

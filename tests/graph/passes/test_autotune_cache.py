@@ -152,6 +152,70 @@ class TestCacheTolerance:
         assert not tuner.cache_path(key).exists()
 
 
+class TestConcurrentWriters:
+    """The sharded service creates real multi-process writers of one
+    cache entry; the publish path (pid-unique tmp + locked rename)
+    must never let a reader observe a torn file."""
+
+    def test_concurrent_processes_publish_whole_entries(self, tmp_path):
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork" if "fork"
+                             in mp.get_all_start_methods() else "spawn")
+        stop = ctx.Event()
+        fail = ctx.Event()
+        workers = [ctx.Process(target=_hammer_cache,
+                               args=(str(tmp_path), seed, stop, fail))
+                   for seed in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            # read the entry continuously while four processes publish
+            tuner = PlanAutotuner(cache_dir=str(tmp_path),
+                                  calibration_frames=2)
+            path = tuner.cache_path(tuner.cache_key(_config()))
+            deadline = __import__("time").monotonic() + 3.0
+            reads = 0
+            while __import__("time").monotonic() < deadline:
+                if fail.is_set():
+                    break
+                if path.exists():
+                    text = path.read_text()
+                    entry = json.loads(text)  # torn JSON would raise
+                    assert entry["key"] == tuner.cache_key(_config())
+                    reads += 1
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=30)
+                if worker.is_alive():
+                    worker.kill()
+        assert not fail.is_set(), "a writer process crashed"
+        assert reads > 0, "the readers never saw a published entry"
+        # no abandoned tmp files once the dust settles
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_store_leaves_no_tmp_residue(self, tuner):
+        decision = tuner.decide(_config())
+        parent = tuner.cache_path(decision.key).parent
+        assert not list(parent.glob("*.tmp"))
+
+
+def _hammer_cache(cache_dir, seed, stop, fail):
+    """Child-process body: republish the same cache entry in a loop."""
+    try:
+        tuner = PlanAutotuner(cache_dir=cache_dir, calibration_frames=2)
+        config = _config()
+        decision = PlanDecision(overrides={"optimize": bool(seed % 2)},
+                                fps=float(seed + 1), source="tuned",
+                                key=tuner.cache_key(config))
+        while not stop.is_set():
+            tuner._store(decision, config)
+    except BaseException:
+        fail.set()
+        raise
+
+
 class TestSessionIntegration:
     def test_second_session_hits_the_plan_cache(self, tmp_path):
         config = _config(autotune=True, plan_cache_dir=str(tmp_path))

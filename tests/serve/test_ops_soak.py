@@ -18,14 +18,16 @@ Runs only under ``-m soak`` (the CI step gives it a deadlock-guarding
 ``timeout(1)``); ``REPRO_SOAK_STREAMS`` scales the churn.
 """
 
+import gc
 import os
 import resource
 import threading
 import time
+import tracemalloc
 
 import pytest
 
-from repro.serve import FusionService
+from repro.serve import FusionService, ShardedFusionService
 from repro.session import FusionConfig, SyntheticSource
 from repro.types import FrameShape
 
@@ -33,6 +35,10 @@ TINY = FrameShape(32, 24)
 
 #: the ISSUE's bar: at least 1000 short-lived streams
 TOTAL_STREAMS = int(os.environ.get("REPRO_SOAK_STREAMS", "1000"))
+#: the sharded soak churns fewer streams by default — every frame
+#: crosses two process boundaries, so the same invariants are probed
+#: at a volume that keeps the deadlock-guarded CI step comfortable
+SHARDED_STREAMS = int(os.environ.get("REPRO_SOAK_SHARD_STREAMS", "400"))
 FRAMES_PER_STREAM = 2
 WAVE = 8
 #: streams churned before the RSS high-water mark is taken
@@ -133,3 +139,108 @@ def test_thousand_stream_churn_soak():
         f"RSS grew {growth_kib} KiB across "
         f"{TOTAL_STREAMS - WARMUP_STREAMS} churned streams "
         f"(warm {warm_kib} KiB -> final {final_kib} KiB)")
+
+
+def _shard_rss_kib(service):
+    """Live VmRSS of every shard process, by /proc (Linux)."""
+    out = {}
+    for handle in service._handles:
+        try:
+            with open(f"/proc/{handle.process.pid}/status") as fh:
+                for line in fh:
+                    if line.startswith("VmRSS:"):
+                        out[handle.index] = int(line.split()[1])
+                        break
+        except OSError:  # pragma: no cover - process already gone
+            pass
+    return out
+
+
+def _quiesce(service):
+    """Wait until nothing is attached (all waves reaped)."""
+    while service.stream_names():
+        time.sleep(0.005)
+    gc.collect()
+
+
+@pytest.mark.soak
+def test_sharded_churn_soak():
+    """The same churn bar through the process-sharded tier: global
+    lease/frame accounting must balance across shard processes, the
+    parent must stay memory-flat, and the shard-side ``reap`` relay
+    must keep the shard interpreters flat too.
+
+    Parent flatness is measured on the *Python heap* (tracemalloc),
+    not RSS: the parent's feeder threads churn large short-lived
+    scene arrays every frame, which makes the allocator high-water
+    mark wildly sensitive to GC pacing (pytest plugins that register
+    ``gc.callbacks`` shift it by hundreds of MiB) while retained
+    objects — the thing ``reap`` must actually bound — stay exact.
+    """
+    warmup = min(100, SHARDED_STREAMS // 4)
+    reports = {}
+    service = ShardedFusionService(pool={"neon": 1, "arm": 1}, shards=2,
+                                   max_in_flight=8,
+                                   stream_queue_depth=4, live=True,
+                                   event_capacity=256)
+    service.start()
+    try:
+        next_index = churn(service, warmup, reports)
+        _quiesce(service)
+        warm_shards = _shard_rss_kib(service)
+        tracemalloc.start()
+
+        churn(service, SHARDED_STREAMS - warmup, reports,
+              start_index=next_index)
+        _quiesce(service)
+        heap_growth_kib = tracemalloc.get_traced_memory()[0] // 1024
+        tracemalloc.stop()
+        final_shards = _shard_rss_kib(service)
+
+        report = service.wait()
+    finally:
+        service.close()
+
+    # every stream retired through its shard, every frame fused
+    assert len(reports) == SHARDED_STREAMS
+    assert all(r.frames == FRAMES_PER_STREAM for r in reports.values())
+    assert not report.errors
+
+    # fleet-wide lease accounting balances exactly: the parent pool is
+    # the single broker, so granted == released across both shards
+    pool = report.pool
+    assert pool["granted"] == pool["released"]
+    assert pool["outstanding"] == 0
+
+    # the merged frame ledger balances globally
+    totals = report.ledger["totals"]
+    expected = SHARDED_STREAMS * FRAMES_PER_STREAM
+    assert report.ledger["balanced"]
+    assert totals["offered"] == expected
+    assert totals["finalized"] == expected
+    assert totals["shed"] == 0 and totals["errored"] == 0
+    assert report.admission["admitted_total"] == expected
+    assert report.admission["retired_streams"] == SHARDED_STREAMS
+
+    # the shard-side event rings saw every attach/detach
+    assert report.events["counts"]["attach"] == SHARDED_STREAMS
+    assert report.events["counts"]["detach"] == SHARDED_STREAMS
+    assert report.events["counts"]["shard_start"] == 2
+
+    # reap() dropped parent-side per-stream state
+    assert service.stream_names() == []
+
+    # flat parent memory: everything allocated after warm-up and still
+    # alive once all streams are reaped is per-stream residue (plus
+    # the reports dict this test legitimately keeps — ~KiB/stream); a
+    # leaked session or entry per stream would be MiB/stream
+    assert heap_growth_kib < RSS_GROWTH_KIB, (
+        f"parent heap retained {heap_growth_kib} KiB across "
+        f"{SHARDED_STREAMS - warmup} sharded streams")
+    # flat shard memory: the reap relay keeps retired state from
+    # accumulating inside the shard interpreters
+    for index, warm in warm_shards.items():
+        grown = final_shards.get(index, warm) - warm
+        assert grown < RSS_GROWTH_KIB, (
+            f"shard {index} RSS grew {grown} KiB across "
+            f"{SHARDED_STREAMS - warmup} churned streams")

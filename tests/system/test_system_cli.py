@@ -368,7 +368,56 @@ class TestCli:
         assert "--workers" in text
         assert "--metrics-out" in text
         assert "--events-out" in text
+        assert "--shards" in text
         assert "Prometheus" in text
+
+    def test_serve_sharded_flag_and_exports(self, tmp_path, capsys):
+        """``--shards 2`` serves the spec through the process-sharded
+        tier: same report shape, merged metrics, and the parent event
+        log records the shard lifecycle."""
+        from repro.cli import main
+        from repro.serve.ops.metrics import parse_prometheus
+        path = self._serve_spec(tmp_path)
+        metrics = tmp_path / "metrics.prom"
+        events = tmp_path / "events.jsonl"
+        assert main(["serve", "--streams", str(path), "--shards", "2",
+                     "--metrics-out", str(metrics),
+                     "--events-out", str(events), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["frames_total"] == 6
+        assert set(payload["streams"]) == {"cam-a", "cam-b"}
+        assert payload["admission"]["shards"] == 2
+        assert payload["pool"]["granted"] == payload["pool"]["released"]
+        assert payload["ledger"]["balanced"] is True
+
+        samples = parse_prometheus(metrics.read_text())
+        assert samples["repro_serve_aggregate_fps"] == pytest.approx(
+            payload["aggregate_fps"])
+        assert samples["repro_serve_live_shards"] == 0  # all drained
+
+        records = [json.loads(line)
+                   for line in events.read_text().splitlines()]
+        kinds = [record["kind"] for record in records]
+        assert kinds.count("shard_start") == 2
+        assert kinds.count("shard_exit") == 2
+
+    def test_serve_sharded_spec_key_matches_solo_output(self, tmp_path,
+                                                        capsys):
+        """The spec's ``"shards"`` key routes to the sharded service,
+        and the per-stream energy/frames match the solo run exactly
+        (the determinism contract, exercised end to end)."""
+        from repro.cli import main
+        solo = self._serve_spec(tmp_path)
+        assert main(["serve", "--streams", str(solo), "--json"]) == 0
+        solo_payload = json.loads(capsys.readouterr().out)
+
+        sharded = self._serve_spec(tmp_path, shards=2)
+        assert main(["serve", "--streams", str(sharded), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["admission"]["shards"] == 2
+        assert payload["frames_total"] == solo_payload["frames_total"]
+        assert payload["energy_mj_by_stream"] \
+            == solo_payload["energy_mj_by_stream"]
 
     def test_seed_makes_runs_reproducible(self, tmp_path):
         from repro.cli import main
