@@ -1,0 +1,198 @@
+"""N-way fusion throughput: stacked group forward vs separate forwards.
+
+The N-way core's claim is that a frame *group* is already a batch: all
+``N`` sources of one group ride a single stacked ``(N, H, W)`` forward
+transform (plus vectorized coefficient reduction and one stacked
+inverse), amortizing the per-call Python dispatch that separate
+per-source forwards pay ``N`` times — without changing one output bit.
+This bench fuses a seeded visible+IR+depth triple stream both ways and
+compares wall-clock FPS, verifying the bitwise-parity claim on the
+side.
+
+Runs two ways:
+
+* under pytest (like every other bench): ``pytest
+  benchmarks/bench_nway_fusion.py``;
+* as a script with a CI-friendly quick mode that also emits a
+  machine-readable summary::
+
+      PYTHONPATH=src python benchmarks/bench_nway_fusion.py --quick
+      PYTHONPATH=src python benchmarks/bench_nway_fusion.py \
+          --frames 96 --sources 4 --min-speedup 1.5
+
+``--min-speedup`` turns the report into an assertion (exit code 1 when
+the stacked path misses the bar).  Like the batch-executor bench the
+bar is meaningful on a single core: the speedup is NumPy
+vectorization, not concurrency.  ``--json-out`` (default
+``BENCH_nway.json``) writes the rows for CI artifact diffing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.fusion import ImageFusion
+from repro.types import FrameShape
+from repro.video.scene import SyntheticScene
+
+#: modality cycle used to synthesize N co-registered source streams
+MODALITIES = ("visible", "thermal", "depth")
+
+
+def render_groups(frames: int, n_sources: int, size: FrameShape,
+                  seed: int = 7) -> List[List[np.ndarray]]:
+    """``frames`` co-registered N-frame groups at the fusion geometry."""
+    scene = SyntheticScene(width=size.width, height=size.height,
+                           seed=seed)
+    groups = []
+    for index in range(frames):
+        t_s = index / 25.0
+        groups.append([
+            scene.render(MODALITIES[s % len(MODALITIES)], t_s)
+            for s in range(n_sources)
+        ])
+    return groups
+
+
+def measure(mode: str, groups: List[List[np.ndarray]],
+            levels: int) -> Dict:
+    """Wall-clock FPS of one strategy over the pre-rendered groups.
+
+    ``separate`` runs one forward per source per group (the naive
+    N-way generalization); ``stacked`` rides each group through the
+    batch-first path — one ``(N, H, W)`` forward, vectorized
+    reduction, one stacked inverse — exactly what the session's plan
+    interpreter does per frame.
+    """
+    fusion = ImageFusion(levels=levels)
+    start = time.perf_counter()
+    if mode == "separate":
+        for group in groups:
+            pyramids = [fusion.decompose(frame) for frame in group]
+            fusion.reconstruct(fusion.combine_many(pyramids))
+    else:
+        for group in groups:
+            fusion.fuse_batch(*(frame[None] for frame in group))
+    elapsed = time.perf_counter() - start
+    return {
+        "mode": mode,
+        "frames": len(groups),
+        "elapsed_s": elapsed,
+        "fps": len(groups) / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def check_parity(groups: List[List[np.ndarray]], levels: int) -> bool:
+    """The invariant the speedup must not cost: the stacked group path
+    is bitwise-identical to separate forwards."""
+    fusion = ImageFusion(levels=levels)
+    for group in groups[:4]:
+        single = fusion.fuse(*group).fused
+        stacked = fusion.fuse_batch(*(frame[None] for frame in group))
+        if not np.array_equal(single, stacked.fused[0]):
+            return False
+    return True
+
+
+def run_bench(frames: int, n_sources: int, size: FrameShape,
+              levels: int) -> tuple:
+    groups = render_groups(frames, n_sources, size)
+    rows = [measure("separate", groups, levels),
+            measure("stacked", groups, levels)]
+    base, stacked = rows
+    parity_ok = check_parity(groups, levels)
+    speedup = (stacked["fps"] / base["fps"]) if base["fps"] > 0 else 0.0
+
+    lines = [f"N-way stacked-forward throughput ({frames} groups x "
+             f"{n_sources} sources @ {size}, levels={levels}, "
+             f"cpus={os.cpu_count()}):",
+             f"  {'mode':>9} {'fps':>9} {'vs separate':>12}"]
+    for row in rows:
+        ratio = row["fps"] / base["fps"] if base["fps"] > 0 else 0.0
+        lines.append(f"  {row['mode']:>9} {row['fps']:>9.2f} "
+                     f"{ratio:>11.2f}x")
+    lines.append("")
+    lines.append(f"  bitwise parity with separate forwards: "
+                 f"{'OK' if parity_ok else 'FAILED'}")
+    return "\n".join(lines), rows, speedup, parity_ok
+
+
+def test_nway_fusion_throughput(report):
+    """Pytest entry: quick pass; parity asserted, speedup reported
+    (the hard >= 1.5x bar lives in the script/CI invocation)."""
+    text, rows, speedup, parity_ok = run_bench(
+        frames=16, n_sources=3, size=FrameShape(40, 40), levels=2)
+    report(text)
+    assert parity_ok
+    assert all(r["frames"] == 16 for r in rows)
+    assert all(r["fps"] > 0 for r in rows)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=96,
+                        help="frame groups per measurement (default 96)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 32 groups, small geometry")
+    parser.add_argument("--sources", type=int, default=3,
+                        help="sources per frame group (default 3)")
+    parser.add_argument("--size", default="88x72",
+                        help="fusion geometry, e.g. 88x72")
+    parser.add_argument("--levels", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless stacked fps >= this multiple "
+                             "of separate-forward fps")
+    parser.add_argument("--json-out", default="BENCH_nway.json",
+                        help="machine-readable results path "
+                             "('' disables the write)")
+    args = parser.parse_args(argv)
+
+    frames = 32 if args.quick else args.frames
+    if args.quick:
+        size, levels = FrameShape(40, 40), 2
+    else:
+        width, height = (int(v) for v in args.size.lower().split("x"))
+        size, levels = FrameShape(width, height), args.levels
+    text, rows, speedup, parity_ok = run_bench(frames, args.sources,
+                                               size, levels)
+    print(text)
+
+    if args.json_out:
+        payload = {
+            "bench": "nway_fusion",
+            "frames": frames,
+            "sources": args.sources,
+            "size": str(size),
+            "levels": levels,
+            "cpus": os.cpu_count(),
+            "rows": rows,
+            "stacked_speedup": speedup,
+            "parity_ok": parity_ok,
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+
+    if not parity_ok:
+        print("FAIL: stacked output is not bitwise-identical to "
+              "separate forwards", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(f"FAIL: stacked speedup {speedup:.2f}x < "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None:
+        print(f"OK: stacked speedup {speedup:.2f}x >= "
+              f"{args.min_speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

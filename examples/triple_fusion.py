@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Three-source fusion: visible + infrared + depth through one plan.
+
+The paper fuses a visible/IR pair; the pipeline generalizes to any
+number of co-registered sources.  This demo adds the synthetic scene's
+depth modality as a third stream: the session lowers a three-forward
+plan (``visible``, ``thermal``, ``source2`` feeding one ``fuse``
+reduction), all three sources ride a single stacked DT-CWT forward per
+frame, and the fused output is bitwise-identical across executors.
+
+Run:  python examples/triple_fusion.py
+"""
+
+import numpy as np
+
+from repro.session import FusionConfig, FusionSession, SyntheticSource
+
+MODALITIES = ("visible", "thermal", "depth")
+
+
+def main() -> None:
+    config = FusionConfig(engine="neon", fusion_shape=(88, 72), levels=2,
+                          seed=11, n_sources=3, quality_metrics=False)
+
+    with FusionSession(config) as session:
+        print(session.plan.describe())
+        print()
+
+        print("frame | engine |  model ms | sources | fused range")
+        print("-" * 56)
+        source = SyntheticSource(seed=11, modalities=MODALITIES)
+        results = list(session.stream(source, limit=8))
+        for result in results:
+            lo, hi = int(result.pixels.min()), int(result.pixels.max())
+            print(f"{result.index:5d} | {result.engine:>6} | "
+                  f"{result.model_seconds * 1e3:9.3f} | "
+                  f"{len(result.sources):7d} | [{lo:3d}, {hi:3d}]")
+        report = session.report()
+
+    print(f"\n{report.frames} frames fused from "
+          f"{len(MODALITIES)} sources "
+          f"({report.model_fps:.1f} modelled fps)")
+
+    # the depth stream genuinely contributes: drop it and the output
+    # changes, keep it and every executor agrees bit-for-bit
+    pair_config = FusionConfig(engine="neon", fusion_shape=(88, 72),
+                               levels=2, seed=11, quality_metrics=False)
+    with FusionSession(pair_config) as session:
+        pair = list(session.stream(SyntheticSource(seed=11), limit=1))[0]
+    changed = not np.array_equal(pair.pixels, results[0].pixels)
+    print(f"third source changes the fused output: {changed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -76,9 +76,11 @@ from .hw import (
 from .graph import FusionGraph, FusionPlan, Planner, Stage
 from .serve import EngineLease, EnginePool, FusionService, ServiceReport
 from .session import (
+    ArrayGroupSource,
     ArraySource,
     CameraPairSource,
     CaptureChainSource,
+    FrameGroup,
     FramePair,
     FusedFrameResult,
     FusionConfig,
@@ -104,8 +106,8 @@ __all__ = [
     "HeterogeneousExecutor", "BatchExecutor",
     "executor_names", "register_executor",
     "FusionConfig", "FusionSession", "FusionReport", "FusedFrameResult",
-    "FramePair", "SyntheticSource", "ArraySource",
-    "CameraPairSource", "CaptureChainSource",
+    "FrameGroup", "FramePair", "SyntheticSource", "ArraySource",
+    "ArrayGroupSource", "CameraPairSource", "CaptureChainSource",
     "Stage", "FusionGraph", "FusionPlan", "Planner",
     "EngineLease", "EnginePool", "FusionService", "ServiceReport",
     "FULL_FRAME", "PAPER_FRAME_SIZES", "FrameShape",

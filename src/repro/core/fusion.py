@@ -23,7 +23,7 @@ for that pair alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,28 +35,46 @@ from .fusion_rules import FusionRule, MaxMagnitudeRule
 
 @dataclass
 class FusionResult:
-    """Fused frame plus the intermediate pyramids (for inspection)."""
+    """Fused frame plus the intermediate pyramids (for inspection).
+
+    ``pyramids`` holds every source's pyramid in input order; the
+    historical ``pyramid_a`` / ``pyramid_b`` names read the first two.
+    """
 
     fused: np.ndarray
-    pyramid_a: DtcwtPyramid
-    pyramid_b: DtcwtPyramid
+    pyramids: Tuple[DtcwtPyramid, ...]
     pyramid_fused: DtcwtPyramid
+
+    @property
+    def pyramid_a(self) -> DtcwtPyramid:
+        return self.pyramids[0]
+
+    @property
+    def pyramid_b(self) -> DtcwtPyramid:
+        return self.pyramids[1]
 
 
 @dataclass
 class BatchFusionResult:
     """Fused frame stack plus the intermediate pyramid stacks.
 
-    ``fused`` has shape ``(B, H, W)``; the pyramid stacks hold every
-    pair's coefficients (``pyramids_a[i]`` etc. give per-frame views).
-    ``result[i]`` adapts frame ``i`` into an ordinary
-    :class:`FusionResult`.
+    ``fused`` has shape ``(B, H, W)``; ``pyramids[s]`` holds source
+    ``s``'s coefficients for every frame (``pyramids_a`` /
+    ``pyramids_b`` read the first two).  ``result[i]`` adapts frame
+    ``i`` into an ordinary :class:`FusionResult`.
     """
 
     fused: np.ndarray
-    pyramids_a: DtcwtPyramidStack
-    pyramids_b: DtcwtPyramidStack
+    pyramids: Tuple[DtcwtPyramidStack, ...]
     pyramids_fused: DtcwtPyramidStack
+
+    @property
+    def pyramids_a(self) -> DtcwtPyramidStack:
+        return self.pyramids[0]
+
+    @property
+    def pyramids_b(self) -> DtcwtPyramidStack:
+        return self.pyramids[1]
 
     def __len__(self) -> int:
         return self.fused.shape[0]
@@ -64,8 +82,7 @@ class BatchFusionResult:
     def __getitem__(self, index: int) -> FusionResult:
         return FusionResult(
             fused=self.fused[index],
-            pyramid_a=self.pyramids_a[index],
-            pyramid_b=self.pyramids_b[index],
+            pyramids=tuple(stack[index] for stack in self.pyramids),
             pyramid_fused=self.pyramids_fused[index],
         )
 
@@ -108,6 +125,11 @@ class ImageFusion:
         """Stage 3: coefficient fusion."""
         return self.rule.fuse(pyr_a, pyr_b)
 
+    def combine_many(self, pyramids: Sequence[DtcwtPyramid]) -> DtcwtPyramid:
+        """Stage 3, N-ary: reduce any number of source pyramids (two
+        delegate to the pairwise :meth:`combine` bit-for-bit)."""
+        return self.rule.fuse_many(pyramids)
+
     def reconstruct(self, pyramid: DtcwtPyramid) -> np.ndarray:
         """Stage 4: inverse DT-CWT of the fused pyramid."""
         return self.transform.inverse(pyramid)
@@ -124,69 +146,89 @@ class ImageFusion:
         """Vectorized coefficient fusion of ``N`` pyramid pairs."""
         return self.rule.fuse_stack(stack_a, stack_b)
 
+    def combine_stack_many(self, stacks: Sequence[DtcwtPyramidStack]
+                           ) -> DtcwtPyramidStack:
+        """Vectorized N-ary coefficient fusion of pyramid stacks (two
+        delegate to the pairwise :meth:`combine_stack` bit-for-bit)."""
+        return self.rule.fuse_stack_many(stacks)
+
     def reconstruct_batch(self, stack: DtcwtPyramidStack) -> np.ndarray:
         """Inverse DT-CWT of a fused pyramid stack -> ``(N, H, W)``."""
         return self.transform.inverse_batch(stack)
 
     # ------------------------------------------------------------------
-    def fuse(self, image_a: np.ndarray, image_b: np.ndarray) -> FusionResult:
-        """Full pipeline on one frame pair."""
-        a = np.asarray(image_a)
-        b = np.asarray(image_b)
-        if a.shape != b.shape:
+    def fuse(self, *images: np.ndarray) -> FusionResult:
+        """Full pipeline on one co-registered frame group (N >= 2).
+
+        ``fuse(a, b)`` is the historical pair path, bit-for-bit; more
+        sources reduce through the rule's N-ary combination.
+        """
+        if len(images) < 2:
             raise FusionError(
-                f"source frames must share a shape, got {a.shape} vs {b.shape}"
+                f"fuse needs >= 2 source frames, got {len(images)}")
+        frames = [np.asarray(image) for image in images]
+        shapes = {frame.shape for frame in frames}
+        if len(shapes) != 1:
+            raise FusionError(
+                f"source frames must share a shape, got "
+                f"{' vs '.join(str(frame.shape) for frame in frames)}"
             )
-        pyr_a = self.decompose(a)
-        pyr_b = self.decompose(b)
-        pyr_f = self.combine(pyr_a, pyr_b)
+        pyramids = tuple(self.decompose(frame) for frame in frames)
+        if len(pyramids) == 2:
+            pyr_f = self.combine(pyramids[0], pyramids[1])
+        else:
+            pyr_f = self.combine_many(pyramids)
         fused = self.reconstruct(pyr_f)
-        return FusionResult(fused=fused, pyramid_a=pyr_a, pyramid_b=pyr_b,
+        return FusionResult(fused=fused, pyramids=pyramids,
                             pyramid_fused=pyr_f)
 
     def fuse_batch(self,
-                   frames_a: Union[np.ndarray, Sequence[np.ndarray]],
-                   frames_b: Union[np.ndarray, Sequence[np.ndarray]]
+                   *stacks: Union[np.ndarray, Sequence[np.ndarray]]
                    ) -> BatchFusionResult:
-        """Full pipeline on ``B`` frame pairs in stacked NumPy calls.
+        """Full pipeline on ``B`` frame groups in stacked NumPy calls.
 
-        ``frames_a``/``frames_b`` are ``(B, H, W)`` stacks (or lists of
-        same-shape 2-D frames).  Both sources ride one ``(2B, H, W)``
-        forward transform — the pairing itself doubles the batch — so
-        even ``B = 1`` already halves the per-call overhead versus two
-        separate forwards.  Each fused frame is bitwise-identical to
-        :meth:`fuse` on that pair.
+        Each positional argument is one source's ``(B, H, W)`` stack
+        (or list of same-shape 2-D frames).  All ``N`` sources ride the
+        *same* ``(N*B, H, W)`` forward transform — the grouping itself
+        multiplies the batch — so even ``B = 1`` already divides the
+        per-call overhead by ``N`` versus separate forwards.  Each
+        fused frame is bitwise-identical to :meth:`fuse` on that group.
         """
-        a = np.asarray(frames_a)
-        b = np.asarray(frames_b)
-        if a.ndim == 2 or b.ndim == 2:
+        if len(stacks) < 2:
+            raise FusionError(
+                f"fuse_batch needs >= 2 source stacks, got {len(stacks)}")
+        arrays = [np.asarray(stack) for stack in stacks]
+        if any(array.ndim == 2 for array in arrays):
             raise FusionError(
                 "fuse_batch expects (B, H, W) frame stacks; use fuse() "
-                "for a single pair"
+                "for a single group"
             )
-        if a.ndim != 3 or b.ndim != 3:
+        if any(array.ndim != 3 for array in arrays):
             raise FusionError(
                 f"fuse_batch expects (B, H, W) frame stacks, got shapes "
-                f"{a.shape} and {b.shape}"
+                f"{' and '.join(str(array.shape) for array in arrays)}"
             )
-        if a.shape != b.shape:
+        if len({array.shape for array in arrays}) != 1:
             raise FusionError(
-                f"source stacks must share a shape, got {a.shape} vs "
-                f"{b.shape}"
+                f"source stacks must share a shape, got "
+                f"{' vs '.join(str(array.shape) for array in arrays)}"
             )
-        if a.shape[0] == 0:
+        if arrays[0].shape[0] == 0:
             raise FusionError("cannot fuse an empty batch")
-        count = a.shape[0]
-        doubled = self.decompose_batch(np.concatenate([a, b], axis=0))
-        stack_a = doubled.slice(0, count)
-        stack_b = doubled.slice(count, 2 * count)
-        stack_f = self.combine_stack(stack_a, stack_b)
+        count = arrays[0].shape[0]
+        stacked = self.decompose_batch(np.concatenate(arrays, axis=0))
+        per_source = tuple(stacked.slice(s * count, (s + 1) * count)
+                           for s in range(len(arrays)))
+        if len(per_source) == 2:
+            stack_f = self.combine_stack(per_source[0], per_source[1])
+        else:
+            stack_f = self.combine_stack_many(per_source)
         fused = self.reconstruct_batch(stack_f)
-        return BatchFusionResult(fused=fused, pyramids_a=stack_a,
-                                 pyramids_b=stack_b, pyramids_fused=stack_f)
+        return BatchFusionResult(fused=fused, pyramids=per_source,
+                                 pyramids_fused=stack_f)
 
 
-def fuse_images(image_a: np.ndarray, image_b: np.ndarray, levels: int = 3,
+def fuse_images(*images: np.ndarray, levels: int = 3,
                 rule: Optional[FusionRule] = None) -> np.ndarray:
-    """One-shot DT-CWT fusion of two frames; returns the fused frame."""
-    return ImageFusion(levels=levels, rule=rule).fuse(image_a, image_b).fused
+    """One-shot DT-CWT fusion of N >= 2 frames; returns the fused frame."""
+    return ImageFusion(levels=levels, rule=rule).fuse(*images).fused

@@ -28,6 +28,8 @@ trailing-axes discipline (or override :meth:`fuse_stack`).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
+
 import numpy as np
 
 from ..dtcwt.transform2d import DtcwtPyramid, DtcwtPyramidStack
@@ -35,7 +37,18 @@ from ..errors import FusionError
 
 
 class FusionRule(ABC):
-    """Combines two same-shape DT-CWT pyramids into one."""
+    """Combines N >= 2 same-shape DT-CWT pyramids into one.
+
+    The pairwise :meth:`fuse` / :meth:`fuse_stack` remain the N=2
+    entry points; :meth:`fuse_many` / :meth:`fuse_stack_many` reduce
+    any number of sources and *delegate to the pairwise path when
+    N == 2*, so two-source results are bitwise-identical whichever
+    spelling the caller uses.  The default N-ary reduction left-folds
+    :meth:`fuse_highpass` (exact for selection rules whose pairwise
+    comparison is associative, e.g. max-magnitude) and uniformly
+    averages the low-pass; rules with genuinely N-ary semantics
+    override :meth:`fuse_highpass_many` / :meth:`fuse_lowpass_many`.
+    """
 
     name = "rule"
 
@@ -82,6 +95,69 @@ class FusionRule(ABC):
             levels=a.levels,
         )
 
+    def fuse_many(self, pyramids: Sequence[DtcwtPyramid]) -> DtcwtPyramid:
+        """Reduce N >= 2 pyramids into one fused pyramid.
+
+        ``fuse_many([a, b])`` is bitwise-identical to ``fuse(a, b)``
+        (it *is* that call).
+        """
+        pyramids = list(pyramids)
+        if len(pyramids) < 2:
+            raise FusionError(
+                f"fuse_many needs >= 2 pyramids, got {len(pyramids)}")
+        if len(pyramids) == 2:
+            return self.fuse(pyramids[0], pyramids[1])
+        first = pyramids[0]
+        for other in pyramids[1:]:
+            _check_compatible(first, other)
+        highpasses = tuple(
+            self.fuse_highpass_many(bands)
+            for bands in zip(*(p.highpasses for p in pyramids))
+        )
+        lowpass = self.fuse_lowpass_many([p.lowpass for p in pyramids])
+        return DtcwtPyramid(
+            lowpass=lowpass,
+            highpasses=highpasses,
+            original_shape=first.original_shape,
+            padded_shape=first.padded_shape,
+            levels=first.levels,
+        )
+
+    def fuse_stack_many(self, stacks: Sequence[DtcwtPyramidStack]
+                        ) -> DtcwtPyramidStack:
+        """Reduce N >= 2 pyramid *stacks*, vectorized over frames.
+
+        Frame ``i`` of the result is bitwise-identical to
+        ``fuse_many([s[i] for s in stacks])``; two stacks delegate to
+        the pairwise :meth:`fuse_stack`.
+        """
+        stacks = list(stacks)
+        if len(stacks) < 2:
+            raise FusionError(
+                f"fuse_stack_many needs >= 2 stacks, got {len(stacks)}")
+        if len(stacks) == 2:
+            return self.fuse_stack(stacks[0], stacks[1])
+        first = stacks[0]
+        for other in stacks[1:]:
+            _check_compatible(first, other)
+            if first.count != other.count:
+                raise FusionError(
+                    f"pyramid stacks disagree on frame count: "
+                    f"{first.count} vs {other.count}"
+                )
+        highpasses = tuple(
+            self.fuse_highpass_many(bands)
+            for bands in zip(*(s.highpasses for s in stacks))
+        )
+        lowpass = self.fuse_lowpass_many([s.lowpass for s in stacks])
+        return DtcwtPyramidStack(
+            lowpass=lowpass,
+            highpasses=highpasses,
+            original_shape=first.original_shape,
+            padded_shape=first.padded_shape,
+            levels=first.levels,
+        )
+
     @abstractmethod
     def fuse_highpass(self, band_a: np.ndarray, band_b: np.ndarray) -> np.ndarray:
         """Combine one level's complex subbands ``(6, ..., H, W)``.
@@ -93,6 +169,23 @@ class FusionRule(ABC):
     def fuse_lowpass(self, low_a: np.ndarray, low_b: np.ndarray) -> np.ndarray:
         """Default low-pass handling: average the two modalities."""
         return (low_a + low_b) / 2.0
+
+    def fuse_highpass_many(self, bands: Sequence[np.ndarray]) -> np.ndarray:
+        """N-ary high-pass reduction; the default left-folds the
+        pairwise rule (earlier sources win pairwise ties, matching the
+        two-source convention)."""
+        fused = bands[0]
+        for band in bands[1:]:
+            fused = self.fuse_highpass(fused, band)
+        return fused
+
+    def fuse_lowpass_many(self, lows: Sequence[np.ndarray]) -> np.ndarray:
+        """N-ary low-pass reduction; the default is the uniform mean
+        (the N-source generalization of the pairwise average)."""
+        total = lows[0] + lows[1]
+        for low in lows[2:]:
+            total = total + low
+        return total / float(len(lows))
 
 
 class MaxMagnitudeRule(FusionRule):
@@ -107,6 +200,14 @@ class MaxMagnitudeRule(FusionRule):
     def fuse_highpass(self, band_a: np.ndarray, band_b: np.ndarray) -> np.ndarray:
         choose_a = np.abs(band_a) >= np.abs(band_b)
         return np.where(choose_a, band_a, band_b)
+
+    def fuse_highpass_many(self, bands: Sequence[np.ndarray]) -> np.ndarray:
+        # one argmax over the source axis instead of N-1 pairwise
+        # folds; argmax returns the first maximum, which is exactly
+        # the fold's earliest-source tie-break
+        stacked = np.stack(bands)
+        choice = np.argmax(np.abs(stacked), axis=0)
+        return np.take_along_axis(stacked, choice[None], axis=0)[0]
 
 
 class WeightedRule(FusionRule):
@@ -128,6 +229,21 @@ class WeightedRule(FusionRule):
 
     def fuse_lowpass(self, low_a: np.ndarray, low_b: np.ndarray) -> np.ndarray:
         return self.alpha * low_a + (1.0 - self.alpha) * low_b
+
+    def _blend_many(self, operands: Sequence[np.ndarray]) -> np.ndarray:
+        # alpha toward source 0; the remainder shared uniformly —
+        # the N-source generalization of the pairwise blend
+        rest = (1.0 - self.alpha) / float(len(operands) - 1)
+        fused = self.alpha * operands[0]
+        for operand in operands[1:]:
+            fused = fused + rest * operand
+        return fused
+
+    def fuse_highpass_many(self, bands: Sequence[np.ndarray]) -> np.ndarray:
+        return self._blend_many(bands)
+
+    def fuse_lowpass_many(self, lows: Sequence[np.ndarray]) -> np.ndarray:
+        return self._blend_many(lows)
 
 
 class WindowActivityRule(FusionRule):
@@ -158,6 +274,21 @@ class WindowActivityRule(FusionRule):
             majority = self.window * self.window / 2.0
             choose_a = votes > majority
         return np.where(choose_a, band_a, band_b)
+
+    def fuse_highpass_many(self, bands: Sequence[np.ndarray]) -> np.ndarray:
+        stacked = np.stack(bands)
+        activity = _box_sum(np.abs(stacked), self.window)
+        # first maximum wins: the earliest-source tie-break of the
+        # pairwise rule, generalized
+        choice = np.argmax(activity, axis=0)
+        if self.consistency:
+            # each source's local vote share; re-argmax flips isolated
+            # decisions toward the neighbourhood consensus
+            votes = np.stack([
+                _box_sum((choice == s).astype(np.float64), self.window)
+                for s in range(stacked.shape[0])])
+            choice = np.argmax(votes, axis=0)
+        return np.take_along_axis(stacked, choice[None], axis=0)[0]
 
 
 def _box_sum(stack: np.ndarray, window: int) -> np.ndarray:

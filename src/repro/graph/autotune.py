@@ -187,6 +187,7 @@ class PlanAutotuner:
             "monitor": config.monitor,
             "optimize": config.optimize,
             "precision": getattr(config, "precision", None),
+            "n_sources": getattr(config, "n_sources", 2),
         }
 
     def cache_path(self, key: str) -> Path:

@@ -281,15 +281,28 @@ class FusionGraph:
     # -- the canonical pipeline ----------------------------------------
     @classmethod
     def canonical(cls, registration: bool = False,
-                  temporal: bool = False) -> "FusionGraph":
+                  temporal: bool = False,
+                  n_sources: int = 2) -> "FusionGraph":
         """The paper's pipeline as a graph.
 
         ``ingest -> [register ->] visible+thermal -> fuse -> finalize``
-        by default; with ``temporal`` the two forwards and the fuse
-        node are replaced by one ordered ``temporal`` stage, because
-        flicker-suppressing temporal fusion decomposes internally and
-        carries smoothed masks across frames.
+        by default; with ``n_sources > 2`` further forward stages
+        (``source2``, ``source3``, ...) join the parallel wave and the
+        fuse node reduces all of them.  With ``temporal`` the forwards
+        and the fuse node are replaced by one ordered ``temporal``
+        stage, because flicker-suppressing temporal fusion decomposes
+        internally and carries smoothed masks across frames — that
+        path is pairwise only.
         """
+        if n_sources < 2:
+            raise ConfigurationError(
+                f"the canonical graph needs >= 2 sources, got "
+                f"{n_sources}")
+        if temporal and n_sources != 2:
+            raise ConfigurationError(
+                "temporal fusion is pairwise (visible + thermal); "
+                f"n_sources={n_sources} is not supported with "
+                f"temporal=True")
         graph = cls()
         graph.add(Stage(name="ingest", kind="ingest", state=ORDERED))
         prev = "ingest"
@@ -302,13 +315,21 @@ class FusionGraph:
                             state=ORDERED, after=(prev,)))
             last = "temporal"
         else:
-            graph.add(Stage(name="visible", kind="forward",
-                            after=(prev,), batchable=True))
-            graph.add(Stage(name="thermal", kind="forward",
-                            after=(prev,), batchable=True))
+            forwards = forward_stage_names(n_sources)
+            for name in forwards:
+                graph.add(Stage(name=name, kind="forward",
+                                after=(prev,), batchable=True))
             graph.add(Stage(name="fuse", kind="fuse",
-                            after=("visible", "thermal"), batchable=True))
+                            after=forwards, batchable=True))
             last = "fuse"
         graph.add(Stage(name="finalize", kind="finalize", state=ORDERED,
                         after=(last,)))
         return graph
+
+
+def forward_stage_names(n_sources: int) -> tuple:
+    """Canonical names of the N forward stages: the historical
+    ``visible``/``thermal`` pair, then ``source2``, ``source3``, ...
+    so every existing two-source plan, test and report is untouched."""
+    extra = tuple(f"source{i}" for i in range(2, n_sources))
+    return ("visible", "thermal") + extra

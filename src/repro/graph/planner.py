@@ -35,6 +35,7 @@ driven.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -42,7 +43,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..hw.registry import create_engine, engine_names, precision_candidates
-from .graph import FusionGraph
+from .graph import FusionGraph, forward_stage_names
 from .stage import AUTO, Stage
 
 #: Canonical names the session's built-in stage kinds must keep, so
@@ -318,10 +319,12 @@ class Planner:
             raise ConfigurationError(
                 f"graph needs exactly one fuse or temporal stage, found "
                 f"{[s.name for s in fuse_like] or 'none'}")
+        forwards = [s for s in graph.stages() if s.kind == "forward"]
         if "fuse" in graph:
-            # the fuse stage consumes both pyramids; a graph missing a
-            # forward (or not feeding it into fuse) must fail here,
-            # not as an AttributeError deep inside an executor thread
+            # the fuse stage consumes every source pyramid; a graph
+            # missing a forward (or not feeding it into fuse) must
+            # fail here, not as an AttributeError deep inside an
+            # executor thread
             missing = [n for n in ("visible", "thermal")
                        if n not in graph]
             if missing:
@@ -330,12 +333,23 @@ class Planner:
                     f"{missing} are missing from the graph (use a "
                     f"temporal stage instead to fuse without explicit "
                     f"forwards)")
-            unfed = {"visible", "thermal"} - graph.ancestors("fuse")
+            unfed = ({s.name for s in forwards}
+                     - graph.ancestors("fuse"))
             if unfed:
                 raise ConfigurationError(
                     f"the fuse stage must (transitively) depend on "
-                    f"both forward stages; {sorted(unfed)} never reach "
+                    f"every forward stage; {sorted(unfed)} never reach "
                     f"it")
+        if forwards:
+            expected = set(forward_stage_names(len(forwards)))
+            actual = {s.name for s in forwards}
+            if actual != expected:
+                raise ConfigurationError(
+                    f"the {len(forwards)} forward stages must carry "
+                    f"the canonical source names "
+                    f"{sorted(expected)}, got {sorted(actual)} "
+                    f"(affinity keys, reports and the session's "
+                    f"source indexing depend on them)")
         for stage in graph.stages():
             want = CANONICAL_NAMES.get(stage.kind)
             if want is not None and stage.name != want:
@@ -343,11 +357,12 @@ class Planner:
                     f"built-in stage kind {stage.kind!r} must keep its "
                     f"canonical name {want!r}, got {stage.name!r} "
                     f"(affinity keys and reports depend on it)")
-            if stage.kind == "forward" and stage.name not in ("visible",
-                                                              "thermal"):
+            if (stage.kind == "forward"
+                    and stage.name not in ("visible", "thermal")
+                    and not re.fullmatch(r"source[2-9]\d*", stage.name)):
                 raise ConfigurationError(
-                    f"forward stages are named 'visible' or 'thermal', "
-                    f"got {stage.name!r}")
+                    f"forward stages are named 'visible', 'thermal' or "
+                    f"'source<i>' (i >= 2), got {stage.name!r}")
             if stage.placement != AUTO:
                 if stage.placement not in engine_names():
                     raise ConfigurationError(
@@ -519,20 +534,21 @@ class Planner:
         if sequential_mid:
             return (), False
         core: Tuple[str, ...] = ()
-        if all(name in graph for name in ("visible", "thermal", "fuse")):
-            vis, th, fuse = (graph.stage(n)
-                             for n in ("visible", "thermal", "fuse"))
+        forward_names = tuple(
+            name for name in graph.topo_order()
+            if graph.stage(name).kind == "forward")
+        if forward_names and "fuse" in graph:
+            stages = [graph.stage(n) for n in forward_names]
+            fuse = graph.stage("fuse")
             core_ok = (
-                vis.kind == "forward" and th.kind == "forward"
-                and fuse.kind == "fuse"
+                fuse.kind == "fuse"
                 and all(s.batchable and s.placement == AUTO
-                        for s in (vis, th, fuse))
-                and set(vis.after) <= head_set
-                and set(th.after) <= head_set
-                and set(fuse.after) <= {"visible", "thermal"} | head_set
+                        for s in stages + [fuse])
+                and all(set(s.after) <= head_set for s in stages)
+                and set(fuse.after) <= set(forward_names) | head_set
             )
             if core_ok:
-                core = ("visible", "thermal", "fuse")
+                core = forward_names + ("fuse",)
         schedule: List[Tuple[Tuple[str, ...], str]] = []
         if core:
             schedule.append((core, "core"))

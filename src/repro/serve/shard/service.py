@@ -58,7 +58,8 @@ from .worker import HEARTBEAT_S, shard_main
 
 #: ring geometry defaults: 8 slots x 2 MiB holds a 352x288 float64
 #: pair (the synthetic default) with headroom; raise ring_slot_bytes
-#: for larger frame geometries
+#: for larger frame geometries or wider frame groups (an N-way stream
+#: ships N source frames plus the fused result per slot)
 DEFAULT_RING_SLOTS = 8
 DEFAULT_RING_SLOT_BYTES = 2 * 1024 * 1024
 
@@ -355,7 +356,7 @@ class ShardedFusionService:
                     {"kind": "frame", "stream": entry.name,
                      "index": pair.index,
                      "timestamp_s": pair.timestamp_s},
-                    [pair.visible, pair.thermal], should_stop=stopping)
+                    list(pair.frames), should_stop=stopping)
                 if not delivered:
                     return
                 sent += 1
@@ -653,6 +654,7 @@ class ShardedFusionService:
                     source=frame_meta["source"],
                     metadata=dict(frame_meta["metadata"])),
                 visible=arrays[1], thermal=arrays[2],
+                extra_sources=tuple(arrays[3:]),
                 engine=meta["engine"], action=meta["action"],
                 model_seconds=meta["model_seconds"],
                 model_millijoules=meta["model_millijoules"],

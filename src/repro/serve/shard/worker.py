@@ -39,7 +39,7 @@ from typing import Callable, Dict, Iterator, Optional
 
 from ...errors import ConfigurationError, FusionError
 from ...session.report import FusedFrameResult
-from ...session.sources import FramePair, FrameSource
+from ...session.sources import FrameGroup, FrameSource
 from ..ops import SLORejection
 from ..service import FusionService, _StreamState
 from .broker import BrokeredEnginePool
@@ -65,9 +65,9 @@ class _RingStreamSource(FrameSource):
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=depth)
         self._interrupted = threading.Event()
 
-    def push(self, pair: FramePair,
+    def push(self, pair: FrameGroup,
              should_stop: Callable[[], bool]) -> bool:
-        """Dispatcher-side: enqueue one pair (blocking, stop-aware)."""
+        """Dispatcher-side: enqueue one group (blocking, stop-aware)."""
         while True:
             if self._interrupted.is_set() or should_stop():
                 return False
@@ -84,7 +84,7 @@ class _RingStreamSource(FrameSource):
     def interrupt(self) -> None:
         self._interrupted.set()
 
-    def frames(self) -> Iterator[FramePair]:
+    def frames(self) -> Iterator[FrameGroup]:
         while True:
             try:
                 item = self._queue.get(timeout=TICK_S)
@@ -146,8 +146,7 @@ def _result_writer(out_ring: FrameRing, stream: str,
                 "metadata": dict(frame.metadata),
             },
         }
-        out_ring.put(meta, [result.pixels, result.visible,
-                            result.thermal],
+        out_ring.put(meta, [result.pixels, *result.sources],
                      should_stop=stopped.is_set)
     return send
 
@@ -203,9 +202,9 @@ def shard_main(shard_id: int, control, in_ring: FrameRing,
                 source.finish()
                 continue
             source.push(
-                FramePair(visible=arrays[0], thermal=arrays[1],
-                          timestamp_s=meta["timestamp_s"],
-                          index=meta["index"]),
+                FrameGroup(frames=tuple(arrays),
+                           timestamp_s=meta["timestamp_s"],
+                           index=meta["index"]),
                 should_stop=stopped.is_set)
 
     dispatch_thread = threading.Thread(target=dispatch,

@@ -28,9 +28,11 @@ from .config import FUSION_RULES, SCHEDULER_NAMES, FusionConfig
 from .report import FusedFrameResult, FusionReport
 from .session import FusionSession
 from .sources import (
+    ArrayGroupSource,
     ArraySource,
     CameraPairSource,
     CaptureChainSource,
+    FrameGroup,
     FramePair,
     FrameSource,
     SyntheticSource,
@@ -42,7 +44,8 @@ __all__ = [
     "FUSION_RULES", "SCHEDULER_NAMES", "FusionConfig",
     "FusedFrameResult", "FusionReport",
     "FusionSession",
-    "ArraySource", "CameraPairSource", "CaptureChainSource",
-    "FramePair", "FrameSource", "SyntheticSource", "as_frame_source",
+    "ArrayGroupSource", "ArraySource", "CameraPairSource",
+    "CaptureChainSource", "FrameGroup", "FramePair", "FrameSource",
+    "SyntheticSource", "as_frame_source",
     "FrameTelemetry", "TelemetrySummary",
 ]

@@ -157,6 +157,12 @@ class FusionConfig:
     plan_cache_dir:
         Directory for the autotuner's persistent plan cache
         (default: ``$REPRO_PLAN_CACHE`` or ``~/.cache/repro/plans``).
+    n_sources:
+        Number of co-registered source frames fused per output frame.
+        The default 2 is the paper's visible+thermal pair; higher
+        values add ``source2``, ``source3``, ... forward stages to
+        the canonical graph and every executor fuses N-way through
+        the same plan.  Temporal fusion is pairwise only.
     """
 
     engine: str = "adaptive"
@@ -186,6 +192,7 @@ class FusionConfig:
     optimize: bool = False
     autotune: bool = False
     plan_cache_dir: Optional[str] = None
+    n_sources: int = 2
 
     def __post_init__(self) -> None:
         if isinstance(self.fusion_shape, tuple):
@@ -272,6 +279,14 @@ class FusionConfig:
             raise ConfigurationError("probe_frames must be >= 1")
         if self.reprobe_every < 2:
             raise ConfigurationError("reprobe_every must be >= 2")
+        if self.n_sources < 2:
+            raise ConfigurationError(
+                f"n_sources must be >= 2, got {self.n_sources}")
+        if self.temporal and self.n_sources != 2:
+            raise ConfigurationError(
+                "temporal fusion is pairwise (visible + thermal); "
+                f"n_sources={self.n_sources} cannot be combined with "
+                f"temporal=True")
         if self.autotune and self.engine_team is not None:
             raise ConfigurationError(
                 "autotune cannot be combined with an explicit "

@@ -32,11 +32,19 @@ class FusedFrameResult:
     timestamp_s: float = 0.0
     applied_shift: Optional[Tuple[int, int]] = None
     quality: Dict[str, float] = field(default_factory=dict)
+    #: sources beyond the (visible, thermal) pair, in input order —
+    #: empty for the historical two-source pipeline
+    extra_sources: Tuple[np.ndarray, ...] = ()
 
     @property
     def pixels(self) -> np.ndarray:
         """The fused uint8 pixel data."""
         return self.frame.pixels
+
+    @property
+    def sources(self) -> Tuple[np.ndarray, ...]:
+        """All N input frames in source order."""
+        return (self.visible, self.thermal) + tuple(self.extra_sources)
 
 
 @dataclass

@@ -64,8 +64,8 @@ from ..video.frames import VideoFrame
 from ..video.scaler import resize_to
 from .config import FusionConfig
 from .report import FusedFrameResult, FusionReport
-from .sources import (CaptureChainSource, ClosedAwareIterator, FramePair,
-                      FrameSource, as_frame_source)
+from .sources import (CaptureChainSource, ClosedAwareIterator, FrameGroup,
+                      FramePair, FrameSource, as_frame_source)
 from .telemetry import FrameTelemetry
 
 
@@ -104,21 +104,62 @@ class _RigCalibrator:
 
 @dataclass
 class _FrameTask:
-    """One frame in flight between the processor's stages."""
+    """One frame group in flight between the processor's stages.
+
+    ``frames[s]`` / ``pyramids[s]`` hold source ``s``'s normalized
+    frame and forward pyramid; the ``visible`` / ``thermal`` /
+    ``pyr_visible`` / ``pyr_thermal`` accessors keep the pairwise
+    stage API (and custom ``map`` stages written against it) working
+    on any group.
+    """
 
     index: int
     timestamp_s: float
-    visible: np.ndarray
-    thermal: np.ndarray
+    frames: List[np.ndarray]
     engine: Engine
     model_seconds: float
     applied_shift: Optional[Tuple[int, int]] = None
     started: float = 0.0
-    pyr_visible: object = None
-    pyr_thermal: object = None
+    pyramids: List[object] = dataclass_field(default_factory=list)
     fused: Optional[np.ndarray] = None
     #: stage -> engine assigned by a co-scheduling executor
     stage_engines: Dict[str, Engine] = dataclass_field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.pyramids:
+            self.pyramids = [None] * len(self.frames)
+
+    @property
+    def visible(self) -> np.ndarray:
+        return self.frames[0]
+
+    @visible.setter
+    def visible(self, value: np.ndarray) -> None:
+        self.frames[0] = value
+
+    @property
+    def thermal(self) -> np.ndarray:
+        return self.frames[1]
+
+    @thermal.setter
+    def thermal(self, value: np.ndarray) -> None:
+        self.frames[1] = value
+
+    @property
+    def pyr_visible(self) -> object:
+        return self.pyramids[0]
+
+    @pyr_visible.setter
+    def pyr_visible(self, value: object) -> None:
+        self.pyramids[0] = value
+
+    @property
+    def pyr_thermal(self) -> object:
+        return self.pyramids[1]
+
+    @pyr_thermal.setter
+    def pyr_thermal(self, value: object) -> None:
+        self.pyramids[1] = value
 
 
 class _WorkerContext:
@@ -191,12 +232,22 @@ class _SessionProcessor(FrameProcessor):
         # run_stage, so one accumulator covers them all
         self._stage_wall: Dict[str, float] = {}
         self._wall_lock = threading.Lock()
+        # the plan's forward stages in schedule order: ("visible",
+        # "thermal") for the paper pair, plus "source2", ... for N-way
+        # graphs; empty on temporal plans (which decompose internally)
+        self._forward_names: Tuple[str, ...] = tuple(
+            name for name in plan.schedule
+            if name in plan and plan.stage(name).kind == "forward")
+        self._forward_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self._forward_names)}
+        self._modelled_stages: Tuple[str, ...] = \
+            self._forward_names + ("fuse",)
         # modelled stages with a forced placement: their time/energy is
         # billed to the forced engine (matching the lowered plan), not
         # to the frame's selected engine
         self._forced_engines: Dict[str, Engine] = {
             name: session._placement_engine(plan.stage(name).placement)
-            for name in ("visible", "thermal", "fuse")
+            for name in self._modelled_stages
             if name in plan and plan.stage(name).placement != "auto"
         }
 
@@ -274,14 +325,23 @@ class _SessionProcessor(FrameProcessor):
         task.stage_engines[stage] = engine
 
     # -- stages ---------------------------------------------------------
-    def ingest(self, pair: FramePair, index: int) -> _FrameTask:
+    def ingest(self, pair: FrameGroup, index: int) -> _FrameTask:
         """The plan's head: the ingest stage plus every ordered stage
         glued to it (canonically rig registration), run inline on the
         capturing thread so frame order is inherent."""
         started = time.perf_counter()
         session = self._session
-        vis = session._normalize(pair.visible)
-        th = session._normalize(pair.thermal)
+        expected = len(self._forward_names) or 2
+        incoming = getattr(pair, "frames", None)
+        if incoming is None:  # a bare (visible, thermal, ...) tuple
+            incoming = tuple(pair)
+        if len(incoming) != expected:
+            raise FusionError(
+                f"this session's plan fuses {expected} sources per "
+                f"frame, but the source delivered {len(incoming)} "
+                f"(configure FusionConfig(n_sources={len(incoming)}) "
+                f"to match the stream)")
+        frames = [session._normalize(frame) for frame in incoming]
 
         engine = session._select_engine()
         # loop-invariant hoisting: the optimized plan carries this
@@ -299,9 +359,8 @@ class _SessionProcessor(FrameProcessor):
 
         task = _FrameTask(
             index=session._next_index,
-            timestamp_s=pair.timestamp_s,
-            visible=vis,
-            thermal=th,
+            timestamp_s=getattr(pair, "timestamp_s", 0.0),
+            frames=frames,
             engine=engine,
             model_seconds=seconds,
             started=time.perf_counter(),
@@ -313,17 +372,25 @@ class _SessionProcessor(FrameProcessor):
         return task
 
     def _register(self, task: _FrameTask) -> None:
-        """Apply the rig calibrator's consensus shift to the thermal
-        frame (ordered: the consensus accumulates across frames)."""
+        """Apply each rig calibrator's consensus shift to its source
+        (ordered: every consensus accumulates across frames).  Source
+        0 is the reference; sources 1..N-1 are aligned onto it.
+        ``applied_shift`` keeps reporting the thermal (source 1)
+        shift, as the pairwise reports always did."""
         session = self._session
-        if session.calibrator is None:
+        if session.calibrators is None:
             return
-        offset = session.calibrator.offset(task.visible, task.thermal)
-        if offset is not None:
-            task.thermal = np.roll(np.roll(task.thermal, offset[0], axis=0),
-                                   offset[1], axis=1)
-            session._shift_total += float(np.hypot(*offset))
-            task.applied_shift = offset
+        for s, calibrator in enumerate(session.calibrators, start=1):
+            if s >= len(task.frames):
+                break
+            offset = calibrator.offset(task.frames[0], task.frames[s])
+            if offset is not None:
+                task.frames[s] = np.roll(
+                    np.roll(task.frames[s], offset[0], axis=0),
+                    offset[1], axis=1)
+                session._shift_total += float(np.hypot(*offset))
+                if s == 1:
+                    task.applied_shift = offset
 
     def run_stage(self, name: str, task: _FrameTask,
                   ctx: Optional[_WorkerContext] = None) -> None:
@@ -349,13 +416,15 @@ class _SessionProcessor(FrameProcessor):
             kind = stage.kind
             if kind == "forward":
                 fuser, _ = self._stage_lane(task, stage, ctx)
-                if name == "visible":
-                    task.pyr_visible = fuser.decompose(task.visible)
-                else:
-                    task.pyr_thermal = fuser.decompose(task.thermal)
+                idx = self._forward_index[name]
+                task.pyramids[idx] = fuser.decompose(task.frames[idx])
             elif kind == "fuse":
                 fuser, _ = self._stage_lane(task, stage, ctx)
-                pyramid = fuser.combine(task.pyr_visible, task.pyr_thermal)
+                if len(task.pyramids) == 2:
+                    pyramid = fuser.combine(task.pyramids[0],
+                                            task.pyramids[1])
+                else:
+                    pyramid = fuser.combine_many(task.pyramids)
                 task.fused = fuser.reconstruct(pyramid)
             elif kind == "temporal":
                 session = self._session
@@ -389,14 +458,17 @@ class _SessionProcessor(FrameProcessor):
         """
         members = self.plan.units[name]
         rest = members
-        if members[:3] == ("visible", "thermal", "fuse") \
-                and self._canonical_kinds(members[:3]):
-            self._stacked_chain(task, ctx, with_fuse=True)
-            rest = members[3:]
-        elif members[:2] == ("visible", "thermal") \
-                and self._canonical_kinds(members[:2]):
-            self._stacked_chain(task, ctx, with_fuse=False)
-            rest = members[2:]
+        forwards = self._forward_names
+        k = len(forwards)
+        if k >= 2:
+            if members[:k + 1] == forwards + ("fuse",) \
+                    and self._canonical_kinds(members[:k + 1]):
+                self._stacked_chain(task, ctx, with_fuse=True)
+                rest = members[k + 1:]
+            elif members[:k] == forwards \
+                    and self._canonical_kinds(members[:k]):
+                self._stacked_chain(task, ctx, with_fuse=False)
+                rest = members[k:]
         for member in rest:
             self._run_single(member, task, ctx)
 
@@ -404,9 +476,10 @@ class _SessionProcessor(FrameProcessor):
         """True when the named stages really are the canonical
         forwards (and fuse) — a custom ``map`` stage may reuse the
         names, and must then take the generic member-by-member path."""
-        want = {"visible": "forward", "thermal": "forward",
-                "fuse": "fuse"}
-        return all(self.plan.stage(n).kind == want[n] for n in names)
+        return all(
+            self.plan.stage(n).kind == ("fuse" if n == "fuse"
+                                        else "forward")
+            for n in names)
 
     def _stacked_chain(self, task: _FrameTask,
                        ctx: Optional[_WorkerContext],
@@ -417,6 +490,7 @@ class _SessionProcessor(FrameProcessor):
         anchor = self.plan.stage("fuse" if with_fuse else "visible")
         fuser, _ = self._stage_lane(task, anchor, ctx)
         shape = task.visible.shape
+        k = len(task.frames)
         if self.plan.scratch:
             pool = ctx.scratch if ctx is not None else self._scratch
             # pool the stack in the lane's working dtype: assigning the
@@ -424,21 +498,22 @@ class _SessionProcessor(FrameProcessor):
             # rounding forward_batch's cast performed on a float64
             # stack — values are bitwise-identical, and the backend's
             # own cast becomes a no-op (no hidden per-frame copy)
-            stack = pool.take(("pair-stack", shape), (2,) + shape,
+            stack = pool.take(("group-stack", k, shape), (k,) + shape,
                               dtype=fuser.transform.backend.dtype)
         else:
-            stack = np.empty((2,) + shape)
-        stack[0] = task.visible
-        stack[1] = task.thermal
-        doubled = fuser.decompose_batch(stack)
-        stack_a = doubled.slice(0, 1)
-        stack_b = doubled.slice(1, 2)
-        task.pyr_visible = stack_a[0]
-        task.pyr_thermal = stack_b[0]
+            stack = np.empty((k,) + shape)
+        for s, frame in enumerate(task.frames):
+            stack[s] = frame
+        stacked = fuser.decompose_batch(stack)
+        slices = [stacked.slice(s, s + 1) for s in range(k)]
+        for s in range(k):
+            task.pyramids[s] = slices[s][0]
         if with_fuse:
-            fused = fuser.reconstruct_batch(
-                fuser.combine_stack(stack_a, stack_b))
-            task.fused = fused[0]
+            if k == 2:
+                combined = fuser.combine_stack(slices[0], slices[1])
+            else:
+                combined = fuser.combine_stack_many(slices)
+            task.fused = fuser.reconstruct_batch(combined)[0]
 
     def _stage_lane(self, task: _FrameTask, stage, ctx
                     ) -> Tuple[ImageFusion, Engine]:
@@ -533,39 +608,42 @@ class _SessionProcessor(FrameProcessor):
             groups.setdefault(task.engine.name, []).append(task)
         for name, group in groups.items():
             fuser = session._fusers[name]
+            k = len(group[0].frames)
             if self.plan.scratch:
-                # materialization elimination: the (2B, H, W) input
+                # materialization elimination: the (N*B, H, W) input
                 # stack rides one pooled buffer per engine lane; the
                 # math below is fuse_batch verbatim minus its
-                # concatenate (the buffer already holds visible frames
-                # first, thermal second)
+                # concatenate (the buffer already holds each source's
+                # frames contiguously, source-major)
                 count = len(group)
                 shape = group[0].visible.shape
-                stack = self._scratch.take(("batch-stack", name, count,
-                                            shape),
-                                           (2 * count,) + shape,
+                stack = self._scratch.take(("batch-stack", name, k,
+                                            count, shape),
+                                           (k * count,) + shape,
                                            dtype=fuser.transform
                                            .backend.dtype)
                 for i, task in enumerate(group):
-                    stack[i] = task.visible
-                    stack[count + i] = task.thermal
-                doubled = fuser.decompose_batch(stack)
-                stack_a = doubled.slice(0, count)
-                stack_b = doubled.slice(count, 2 * count)
-                fused = fuser.reconstruct_batch(
-                    fuser.combine_stack(stack_a, stack_b))
+                    for s in range(k):
+                        stack[s * count + i] = task.frames[s]
+                stacked = fuser.decompose_batch(stack)
+                slices = [stacked.slice(s * count, (s + 1) * count)
+                          for s in range(k)]
+                if k == 2:
+                    combined = fuser.combine_stack(slices[0], slices[1])
+                else:
+                    combined = fuser.combine_stack_many(slices)
+                fused = fuser.reconstruct_batch(combined)
                 for i, task in enumerate(group):
-                    task.pyr_visible = stack_a[i]
-                    task.pyr_thermal = stack_b[i]
+                    for s in range(k):
+                        task.pyramids[s] = slices[s][i]
                     task.fused = fused[i]
             else:
                 batch = fuser.fuse_batch(
-                    np.stack([t.visible for t in group]),
-                    np.stack([t.thermal for t in group]),
-                )
+                    *(np.stack([t.frames[s] for t in group])
+                      for s in range(k)))
                 for i, task in enumerate(group):
-                    task.pyr_visible = batch.pyramids_a[i]
-                    task.pyr_thermal = batch.pyramids_b[i]
+                    for s in range(k):
+                        task.pyramids[s] = batch.pyramids[s][i]
                     task.fused = batch.fused[i]
         self._record_wall("batch-core", time.perf_counter() - started)
 
@@ -587,14 +665,14 @@ class _SessionProcessor(FrameProcessor):
         # only the canonical modelled stages participate in per-stage
         # attribution; custom map stages have no hardware model
         co = {stage: engine for stage, engine in task.stage_engines.items()
-              if stage in ("visible", "thermal", "fuse")}
-        if len(co) < 3:
+              if stage in self._modelled_stages}
+        if len(co) < len(self._modelled_stages):
             if not self._forced_engines:
                 seconds = task.model_seconds
                 mj = seconds * power.power_w(task.engine.power_mode) * 1e3
                 return seconds, mj, task.engine.name
             co = {stage: self._forced_engines.get(stage, task.engine)
-                  for stage in ("visible", "thermal", "fuse")
+                  for stage in self._modelled_stages
                   if stage in self.plan}
 
         seconds = 0.0
@@ -634,7 +712,8 @@ class _SessionProcessor(FrameProcessor):
 
         metadata = {"engine": engine_label, "action": action}
         if len([s for s in task.stage_engines
-                if s in ("visible", "thermal", "fuse")]) >= 3:
+                if s in self._modelled_stages]) \
+                >= len(self._modelled_stages):
             metadata["stages"] = {stage: eng.name for stage, eng
                                   in task.stage_engines.items()}
         result = FusedFrameResult(
@@ -655,6 +734,7 @@ class _SessionProcessor(FrameProcessor):
             timestamp_s=task.timestamp_s,
             applied_shift=task.applied_shift,
             quality=quality,
+            extra_sources=tuple(task.frames[2:]),
         )
 
         session._frames += 1
@@ -690,6 +770,7 @@ def build_session_graph(config: FusionConfig) -> FusionGraph:
     graph = FusionGraph.canonical(
         registration=config.registration,
         temporal=config.temporal,
+        n_sources=config.n_sources,
     )
     overrides = config.graph_overrides or {}
     for name in overrides.get("drop", ()):
@@ -767,8 +848,12 @@ class FusionSession:
         }
         self._placement_engines: Dict[str, Engine] = {}
 
-        self.calibrator = (_RigCalibrator(config.levels)
-                           if config.registration else None)
+        # one calibrator per non-reference source: each consensus is
+        # its own cross-frame state (source s is aligned onto source 0)
+        self.calibrators = ([_RigCalibrator(config.levels)
+                             for _ in range(config.n_sources - 1)]
+                            if config.registration else None)
+        self.calibrator = self.calibrators[0] if self.calibrators else None
         self.temporal = (TemporalFusion(fusion=self._fusers[self._engine.name])
                          if config.temporal else None)
         self.monitor = QualityMonitor() if config.monitor else None
@@ -1001,17 +1086,20 @@ class FusionSession:
                              queue_depth=config.queue_depth,
                              batch_size=config.batch_size)
 
-    def process(self, visible: np.ndarray, thermal: np.ndarray,
+    def process(self, *frames: np.ndarray,
                 timestamp_s: float = 0.0,
                 index: Optional[int] = None) -> FusedFrameResult:
-        """Fuse one frame pair under the configured policies.
+        """Fuse one frame group under the configured policies.
 
-        Always executes inline on the calling thread (the serial
-        path), whatever executor the config names for streams.  It
-        cannot run while a *concurrent* stream is driving this
-        session: the executor's capture thread mutates the same
-        ordered state (frame indices, scheduler, calibration), so the
-        call is rejected rather than racing it.
+        Positional arguments are the source frames in source order —
+        the historical ``process(visible, thermal)`` pair, or N frames
+        matching ``FusionConfig(n_sources=N)``.  Always executes
+        inline on the calling thread (the serial path), whatever
+        executor the config names for streams.  It cannot run while a
+        *concurrent* stream is driving this session: the executor's
+        capture thread mutates the same ordered state (frame indices,
+        scheduler, calibration), so the call is rejected rather than
+        racing it.
         """
         if self._concurrent_drive:
             raise ConfigurationError(
@@ -1019,8 +1107,12 @@ class FusionSession:
                 "driving a stream on this session; finish or abandon "
                 "the stream first"
             )
-        pair = FramePair(visible=visible, thermal=thermal,
-                         timestamp_s=timestamp_s)
+        if len(frames) == 2:
+            pair = FramePair(visible=frames[0], thermal=frames[1],
+                             timestamp_s=timestamp_s)
+        else:
+            pair = FrameGroup(frames=tuple(frames),
+                              timestamp_s=timestamp_s)
         processor = self._processor
         task = processor.ingest(pair, index=0)
         if index is not None:

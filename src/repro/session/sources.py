@@ -30,7 +30,7 @@ it with its counterpart — that is what :class:`CameraPairSource` does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,13 +43,58 @@ from ..video.webcam import WebcamSimulator
 
 
 @dataclass
-class FramePair:
-    """One co-captured (visible, thermal) pair, as float arrays."""
+class FrameGroup:
+    """One co-captured group of N >= 2 source frames, as float arrays.
 
-    visible: np.ndarray
-    thermal: np.ndarray
+    ``frames[0]`` is the reference modality (visible by convention),
+    ``frames[1]`` its primary counterpart (thermal); any further
+    entries are additional co-registered modalities (depth, SWIR, a
+    second thermal band).  The :attr:`visible` / :attr:`thermal`
+    accessors keep the whole pairwise API working on any group.
+    """
+
+    frames: Tuple[np.ndarray, ...]
     timestamp_s: float = 0.0
     index: int = 0
+
+    def __post_init__(self) -> None:
+        self.frames = tuple(self.frames)
+        if len(self.frames) < 2:
+            raise FusionError(
+                f"a FrameGroup needs >= 2 source frames, got "
+                f"{len(self.frames)}")
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def visible(self) -> np.ndarray:
+        return self.frames[0]
+
+    @visible.setter
+    def visible(self, value: np.ndarray) -> None:
+        self.frames = (value,) + self.frames[1:]
+
+    @property
+    def thermal(self) -> np.ndarray:
+        return self.frames[1]
+
+    @thermal.setter
+    def thermal(self, value: np.ndarray) -> None:
+        self.frames = self.frames[:1] + (value,) + self.frames[2:]
+
+
+class FramePair(FrameGroup):
+    """One co-captured (visible, thermal) pair — the N=2 group.
+
+    Kept as the pairwise constructor so every existing source and call
+    site is untouched; it *is* a :class:`FrameGroup` of length two.
+    """
+
+    def __init__(self, visible: np.ndarray, thermal: np.ndarray,
+                 timestamp_s: float = 0.0, index: int = 0):
+        super().__init__(frames=(visible, thermal),
+                         timestamp_s=timestamp_s, index=index)
 
 
 class FrameSource:
@@ -96,34 +141,47 @@ class FrameSource:
 
 
 class SyntheticSource(FrameSource):
-    """Render the shared scene straight into both modalities.
+    """Render the shared scene straight into each modality.
 
     The cheapest source: no camera model, no transport — just the
     world sampled at ``fps``.  ``limit`` bounds the stream (``None``
-    streams forever).
+    streams forever).  ``modalities`` selects which renders each group
+    carries, in order — the default pair yields :class:`FramePair`
+    objects bitwise-identical to the historical two-modality source;
+    ``("visible", "thermal", "depth")`` makes this a three-source
+    stream for N-way fusion.
     """
 
     def __init__(self, scene: Optional[SyntheticScene] = None,
                  seed: int = 2016, fps: float = 25.0,
-                 limit: Optional[int] = None):
+                 limit: Optional[int] = None,
+                 modalities: Sequence[str] = ("visible", "thermal")):
         if fps <= 0:
             raise VideoError(f"fps must be positive, got {fps}")
         if limit is not None and limit < 1:
             raise VideoError(f"limit must be >= 1 or None, got {limit}")
+        if len(modalities) < 2:
+            raise VideoError(
+                f"SyntheticSource needs >= 2 modalities, got "
+                f"{tuple(modalities)}")
         self.scene = scene if scene is not None else SyntheticScene(seed=seed)
         self.fps = fps
         self.limit = limit
+        self.modalities = tuple(modalities)
 
-    def frames(self) -> Iterator[FramePair]:
+    def frames(self) -> Iterator[FrameGroup]:
         index = 0
+        pair = self.modalities == ("visible", "thermal")
         while self.limit is None or index < self.limit:
             t_s = index / self.fps
-            yield FramePair(
-                visible=self.scene.render_visible(t_s),
-                thermal=self.scene.render_thermal(t_s),
-                timestamp_s=t_s,
-                index=index,
-            )
+            rendered = tuple(self.scene.render(m, t_s)
+                             for m in self.modalities)
+            if pair:
+                yield FramePair(visible=rendered[0], thermal=rendered[1],
+                                timestamp_s=t_s, index=index)
+            else:
+                yield FrameGroup(frames=rendered, timestamp_s=t_s,
+                                 index=index)
             index += 1
 
 
@@ -145,7 +203,10 @@ class ArraySource(FrameSource):
                  fps: float = 25.0, loop: bool = False):
         visible = [np.asarray(v, dtype=np.float64) for v in visible]
         thermal = [np.asarray(t, dtype=np.float64) for t in thermal]
-        if not visible and not thermal:
+        # `or`, not `and`: a one-sided-empty recording is just as
+        # unusable as a fully empty one, and must not fall through to
+        # the confusing count-mismatch error below
+        if not visible or not thermal:
             raise VideoError("ArraySource needs at least one frame pair")
         if len(visible) != len(thermal):
             raise FusionError(
@@ -181,6 +242,68 @@ class ArraySource(FrameSource):
             yield FramePair(
                 visible=self.visible[slot],
                 thermal=self.thermal[slot],
+                timestamp_s=index / self.fps,
+                index=index,
+            )
+            index += 1
+
+
+class ArrayGroupSource(FrameSource):
+    """Replay N >= 2 in-memory co-registered streams as frame groups.
+
+    The N-way generalization of :class:`ArraySource`: each positional
+    argument is one modality's frame sequence, and frame ``i`` of the
+    group is drawn from position ``i`` of every stream.  The same
+    contract applies — equal counts across streams (a
+    :class:`FusionError` names the offenders otherwise), 2-D frames,
+    and per-group shape agreement.
+    """
+
+    def __init__(self, *streams: Sequence[np.ndarray],
+                 fps: float = 25.0, loop: bool = False):
+        if len(streams) < 2:
+            raise VideoError(
+                f"ArrayGroupSource needs >= 2 streams, got {len(streams)}")
+        streams = tuple(
+            [np.asarray(f, dtype=np.float64) for f in stream]
+            for stream in streams)
+        if any(not stream for stream in streams):
+            raise VideoError(
+                "ArrayGroupSource needs at least one frame group")
+        counts = {len(stream) for stream in streams}
+        if len(counts) != 1:
+            raise FusionError(
+                f"ArrayGroupSource pairs streams frame-for-frame, but "
+                f"the counts differ: "
+                f"{tuple(len(stream) for stream in streams)}")
+        for index, group in enumerate(zip(*streams)):
+            if any(frame.ndim != 2 for frame in group):
+                raise VideoError("array frames must be 2-D grayscale")
+            shapes = {frame.shape for frame in group}
+            if len(shapes) != 1:
+                raise FusionError(
+                    f"frame group {index} mismatched: "
+                    f"{tuple(frame.shape for frame in group)} — "
+                    f"recorded arrays must be co-registered to a "
+                    f"shared geometry")
+        if fps <= 0:
+            raise VideoError(f"fps must be positive, got {fps}")
+        self.streams = streams
+        self.fps = fps
+        self.loop = loop
+
+    def __len__(self) -> int:
+        return len(self.streams[0])
+
+    def frames(self) -> Iterator[FrameGroup]:
+        index = 0
+        count = len(self.streams[0])
+        while True:
+            slot = index % count
+            if not self.loop and index >= count:
+                return
+            yield FrameGroup(
+                frames=tuple(stream[slot] for stream in self.streams),
                 timestamp_s=index / self.fps,
                 index=index,
             )
@@ -296,12 +419,13 @@ class ClosedAwareIterator:
 
 
 def as_frame_source(source) -> FrameSource:
-    """Coerce plain iterables of ``(visible, thermal)`` into a source.
+    """Coerce plain iterables of frame tuples into a source.
 
     Accepts a :class:`FrameSource` (or anything with a ``frames()``
-    method) unchanged, or any iterable yielding :class:`FramePair`
-    objects or 2-tuples of arrays — so callers can stream generator
-    expressions without wrapping them themselves.
+    method) unchanged, or any iterable yielding :class:`FrameGroup` /
+    :class:`FramePair` objects or N-tuples of arrays (2-tuples become
+    pairs, longer tuples become groups) — so callers can stream
+    generator expressions without wrapping them themselves.
     """
     if isinstance(source, FrameSource):
         return source
@@ -322,7 +446,7 @@ def as_frame_source(source) -> FrameSource:
 
 
 class _IterableSource(FrameSource):
-    """Adapter wrapping a plain iterable of pairs."""
+    """Adapter wrapping a plain iterable of groups."""
 
     def __init__(self, iterable: Iterable):
         self._iterable = iterable
@@ -335,14 +459,15 @@ class _IterableSource(FrameSource):
         if callable(closer):
             closer()
 
-    def frames(self) -> Iterator[FramePair]:
+    def frames(self) -> Iterator[FrameGroup]:
         for index, item in enumerate(self._iterable):
-            if isinstance(item, FramePair):
+            if isinstance(item, FrameGroup):
                 yield item
             else:
-                visible, thermal = item
-                yield FramePair(
-                    visible=np.asarray(visible, dtype=np.float64),
-                    thermal=np.asarray(thermal, dtype=np.float64),
-                    index=index,
-                )
+                frames = tuple(np.asarray(frame, dtype=np.float64)
+                               for frame in item)
+                if len(frames) == 2:
+                    yield FramePair(visible=frames[0], thermal=frames[1],
+                                    index=index)
+                else:
+                    yield FrameGroup(frames=frames, index=index)

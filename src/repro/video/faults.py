@@ -12,6 +12,8 @@ All injectors are deterministic given their seed.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -57,7 +59,22 @@ class NoisyByteChannel:
 
 
 class DropoutChannel:
-    """Contiguous byte loss (loose connector, FIFO underrun upstream)."""
+    """Contiguous byte loss (loose connector, FIFO underrun upstream).
+
+    Semantics contract: the *expected* byte-loss fraction equals
+    ``dropout_rate``, independent of ``burst_bytes`` and of how the
+    stream is chunked into ``transmit`` calls; ``burst_bytes`` only
+    sets how the loss clusters (one decision drops a whole burst).
+    The channel walks the stream as a renewal process — each decision
+    either drops the next ``burst_bytes`` bytes with probability
+    ``p = rate / (burst*(1-rate) + rate)`` or passes one byte through
+    — so a dropped decision consumes ``burst`` bytes and a kept one
+    consumes 1, giving E[lost]/E[consumed] = ``p*burst / (p*burst +
+    (1-p))`` = ``dropout_rate`` exactly.  The :class:`FaultStats`
+    ledger is exact per call: ``bytes_seen`` grows by ``len(data)``
+    and equals ``bytes_dropped + len(returned)`` accumulated over the
+    stream.
+    """
 
     def __init__(self, dropout_rate: float, burst_bytes: int = 64,
                  seed: int = 0):
@@ -71,27 +88,71 @@ class DropoutChannel:
         self.stats = FaultStats()
 
     def transmit(self, data: bytes) -> bytes:
-        self.stats.bytes_seen += len(data)
+        n = len(data)
+        self.stats.bytes_seen += n
         if self.dropout_rate <= 0.0 or not data:
             return data
-        out = bytearray()
+        rate = self.dropout_rate
+        burst = self.burst_bytes
+        if rate >= 1.0:
+            self.stats.bytes_dropped += n
+            self.stats.bursts += math.ceil(n / burst)
+            return b""
+        p = rate / (burst * (1.0 - rate) + rate)
+        arr = np.frombuffer(data, dtype=np.uint8)
+        pieces = []
         position = 0
-        while position < len(data):
-            if self._rng.random() < self.dropout_rate:
-                lost = min(self.burst_bytes, len(data) - position)
-                position += lost
-                self.stats.bytes_dropped += lost
-                self.stats.bursts += 1
-            else:
-                chunk_end = min(position + self.burst_bytes, len(data))
-                out.extend(data[position:chunk_end])
-                position = chunk_end
-        return bytes(out)
+        # expected bytes consumed per decision, used to size draws
+        step = p * burst + (1.0 - p)
+        while position < n:
+            remaining = n - position
+            count = max(16, int(remaining / step * 1.1) + 8)
+            drops = self._rng.random(count) < p
+            consumed = np.where(drops, burst, 1).astype(np.int64)
+            ends = np.cumsum(consumed)
+            starts = ends - consumed
+            valid = starts < remaining
+            drops, starts = drops[valid], starts[valid]
+            keep = starts[~drops] + position
+            if keep.size:
+                pieces.append(arr[keep])
+            drop_starts = starts[drops]
+            if drop_starts.size:
+                # only the final valid decision can overrun the end of
+                # the stream, so this clamp is exact per burst
+                self.stats.bytes_dropped += int(
+                    np.minimum(burst, remaining - drop_starts).sum())
+                self.stats.bursts += int(drop_starts.size)
+            position += int(min(ends[valid][-1], remaining))
+        if not pieces:
+            return b""
+        return np.concatenate(pieces).tobytes()
+
+
+def _copy_frame(frame):
+    """A defensive copy of whatever a camera hands back: a bare pixel
+    array, or a frame object carrying a ``pixels`` array (copied along
+    with its metadata dict so consumers can't scribble on the
+    original)."""
+    if isinstance(frame, np.ndarray):
+        return np.copy(frame)
+    if dataclasses.is_dataclass(frame) and hasattr(frame, "pixels"):
+        replacements = {"pixels": np.copy(frame.pixels)}
+        if hasattr(frame, "metadata"):
+            replacements["metadata"] = dict(frame.metadata)
+        return dataclasses.replace(frame, **replacements)
+    return frame
 
 
 class StallingCamera:
     """Wraps a frame source; every ``period``-th capture returns the
-    previous frame again (sensor stall / USB hiccup)."""
+    previous frame again (sensor stall / USB hiccup).
+
+    The stored stall frame and every returned frame are defensive
+    copies: a consumer that mutates a captured frame in place (overlay
+    painting, in-place normalization) must never corrupt the replay
+    the next stall hands out.
+    """
 
     def __init__(self, source, period: int = 5):
         if period < 2:
@@ -106,9 +167,9 @@ class StallingCamera:
         self._count += 1
         if self._last is not None and self._count % self.period == 0:
             self.stalls += 1
-            return self._last
-        self._last = self.source.capture()
-        return self._last
+            return _copy_frame(self._last)
+        self._last = _copy_frame(self.source.capture())
+        return _copy_frame(self._last)
 
 
 def corrupt_stream(stream: bytes, channels: Iterable) -> bytes:

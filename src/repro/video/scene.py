@@ -88,6 +88,10 @@ class SyntheticScene:
         self._gx = self._grid_x / max(1, self.width - 1)
         self._gy = self._grid_y / max(1, self.height - 1)
         self._noise_rng = np.random.default_rng(self.seed + 1)
+        # the depth modality draws from its own stream so adding a
+        # third render never perturbs the visible/thermal noise
+        # sequence (N=2 streams stay bitwise-identical)
+        self._depth_rng = np.random.default_rng(self.seed + 2)
 
     # ------------------------------------------------------------------
     def _object_masks(self, t_s: float) -> List[Tuple[np.ndarray, WarmObject]]:
@@ -129,6 +133,46 @@ class SyntheticScene:
         # radiometric mapping: ambient-20C .. ambient+50C onto 0..255
         lo, hi = self.ambient_c - 20.0, self.ambient_c + 50.0
         return np.clip((temps - lo) / (hi - lo) * 255.0, 0.0, 255.0)
+
+    def render_depth(self, t_s: float, noise_mm: float = 4.0) -> np.ndarray:
+        """Depth frame (float, 0..255, near = bright): ranging sensor.
+
+        The world is a wall 4 m out behind a floor plane sloping toward
+        the viewer; objects protrude in front of the wall in proportion
+        to their radius (a person reads nearer than their silhouette on
+        the wall).  ``noise_mm`` models the ranging sensor's per-pixel
+        jitter.  Depth sees geometry the other two modalities cannot:
+        it is blind to texture *and* temperature.
+        """
+        depth_m = np.full((self.height, self.width), 4.0)
+        depth_m -= 1.5 * self._gy                  # floor slopes nearer
+        depth_m += 0.4 * (self._gx > 0.62)         # doorway recess
+        for mask, obj in self._object_masks(t_s):
+            # an object stands 1..2 m in front of whatever is behind
+            # it, with a hard silhouette the way a ranging sensor sees
+            protrusion = 1.0 + 10.0 * obj.radius
+            depth_m -= protrusion * (mask > 0.35)
+        depth_m += self._depth_rng.normal(0.0, noise_mm / 1000.0,
+                                          depth_m.shape)
+        # map 0.2 m .. 4.5 m onto 255..0 (near = bright)
+        lo, hi = 0.2, 4.5
+        scaled = (np.clip(depth_m, lo, hi) - lo) / (hi - lo)
+        return (1.0 - scaled) * 255.0
+
+    def render(self, modality: str, t_s: float) -> np.ndarray:
+        """Render one named modality — the N-way source entry point."""
+        renderers = {
+            "visible": self.render_visible,
+            "thermal": self.render_thermal,
+            "depth": self.render_depth,
+        }
+        try:
+            renderer = renderers[modality]
+        except KeyError:
+            raise VideoError(
+                f"unknown scene modality {modality!r}; expected one of "
+                f"{sorted(renderers)}") from None
+        return renderer(t_s)
 
     def hottest_position(self, t_s: float) -> Tuple[int, int]:
         """Pixel coordinates (row, col) of the hottest object center."""

@@ -1,0 +1,66 @@
+"""Property-based tests: fault-injection channel contracts.
+
+The :class:`DropoutChannel` semantics are pinned here: the expected
+byte-loss fraction equals ``dropout_rate`` independent of
+``burst_bytes`` and stream length, and the :class:`FaultStats` ledger
+is exact (``bytes_seen == bytes_dropped + emitted``) for every
+(rate, burst, length) combination.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.video.faults import DropoutChannel
+
+_SETTINGS = dict(deadline=None, max_examples=40)
+
+
+class TestDropoutChannelProperties:
+    @settings(**_SETTINGS)
+    @given(
+        rate=st.floats(0.05, 0.9),
+        burst=st.integers(1, 64),
+        length=st.integers(1024, 32768),
+        seed=st.integers(0, 2**16),
+    )
+    def test_loss_fraction_and_ledger(self, rate, burst, length, seed):
+        channel = DropoutChannel(dropout_rate=rate, burst_bytes=burst,
+                                 seed=seed)
+        data = bytes(length)
+        out = channel.transmit(data)
+        stats = channel.stats
+        # ledger exact: every byte is either delivered or accounted
+        # as dropped, per call
+        assert stats.bytes_seen == length
+        assert stats.bytes_dropped + len(out) == length
+        # measured loss within statistical tolerance of the rate; the
+        # per-decision variance scales with the burst size
+        fraction = stats.bytes_dropped / length
+        sigma = (rate * (1.0 - rate) * burst / length) ** 0.5
+        assert abs(fraction - rate) <= max(0.03, 8.0 * sigma)
+
+    @settings(**_SETTINGS)
+    @given(
+        rate=st.floats(0.05, 0.9),
+        burst=st.integers(1, 64),
+        seed=st.integers(0, 2**16),
+        chunks=st.lists(st.integers(0, 4096), min_size=1, max_size=8),
+    )
+    def test_ledger_exact_across_chunked_calls(self, rate, burst, seed,
+                                               chunks):
+        channel = DropoutChannel(dropout_rate=rate, burst_bytes=burst,
+                                 seed=seed)
+        emitted = 0
+        for n in chunks:
+            emitted += len(channel.transmit(bytes(n)))
+        stats = channel.stats
+        assert stats.bytes_seen == sum(chunks)
+        assert stats.bytes_dropped + emitted == stats.bytes_seen
+
+    @settings(**_SETTINGS)
+    @given(burst=st.integers(1, 64), length=st.integers(0, 4096))
+    def test_zero_rate_is_lossless(self, burst, length):
+        channel = DropoutChannel(dropout_rate=0.0, burst_bytes=burst)
+        data = bytes(range(256)) * (length // 256 + 1)
+        data = data[:length]
+        assert channel.transmit(data) == data
+        assert channel.stats.bytes_dropped == 0

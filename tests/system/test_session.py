@@ -6,9 +6,11 @@ import pytest
 from repro.errors import ConfigurationError, FusionError, VideoError
 from repro.hw.registry import create_engine, engine_names, register_engine
 from repro.session import (
+    ArrayGroupSource,
     ArraySource,
     CameraPairSource,
     CaptureChainSource,
+    FrameGroup,
     FramePair,
     FusionConfig,
     FusionSession,
@@ -235,6 +237,16 @@ class TestFrameSources:
         with pytest.raises(FusionError, match="pair 0 mismatched"):
             ArraySource([np.zeros((8, 8))], [np.zeros((8, 10))])
 
+    def test_array_source_rejects_empty_visible_side(self):
+        """An empty visible recording must hit the emptiness guard,
+        not fall through to the count-mismatch complaint."""
+        with pytest.raises(VideoError, match="at least one frame pair"):
+            ArraySource([], [np.zeros((8, 8))])
+
+    def test_array_source_rejects_empty_thermal_side(self):
+        with pytest.raises(VideoError, match="at least one frame pair"):
+            ArraySource([np.zeros((8, 8))], [])
+
     def test_close_is_idempotent_across_all_sources(self):
         """The streaming layer may close a source more than once
         (stream teardown + context manager); every built-in source
@@ -310,3 +322,106 @@ class TestFrameSources:
             for result in results:
                 assert result.pixels.shape == SMALL.array_shape
                 assert result.pixels.dtype == np.uint8
+
+
+class TestFrameGroups:
+    """The N-way source protocol: FrameGroup, its pair alias, and the
+    group-replaying sources."""
+
+    def test_frame_group_basics(self):
+        frames = tuple(np.full((8, 8), float(i)) for i in range(3))
+        group = FrameGroup(frames=frames, timestamp_s=0.5, index=2)
+        assert len(group) == 3
+        assert np.array_equal(group.visible, frames[0])
+        assert np.array_equal(group.thermal, frames[1])
+        assert group.timestamp_s == 0.5 and group.index == 2
+
+    def test_frame_group_needs_two_sources(self):
+        with pytest.raises(FusionError, match=">= 2"):
+            FrameGroup(frames=(np.zeros((8, 8)),))
+
+    def test_frame_pair_is_a_two_source_group(self):
+        pair = FramePair(np.zeros((8, 8)), np.ones((8, 8)))
+        assert isinstance(pair, FrameGroup)
+        assert len(pair) == 2
+        assert pair.frames[0] is pair.visible
+        assert pair.frames[1] is pair.thermal
+
+    def test_synthetic_source_modalities(self):
+        triples = list(SyntheticSource(
+            seed=3, limit=2,
+            modalities=("visible", "thermal", "depth")))
+        assert len(triples) == 2
+        assert all(len(group) == 3 for group in triples)
+        # the first two modalities are the exact frames the default
+        # pair stream renders — adding a modality must not perturb the
+        # existing sequence
+        pairs = list(SyntheticSource(seed=3, limit=2))
+        for pair, triple in zip(pairs, triples):
+            assert np.array_equal(pair.visible, triple.frames[0])
+            assert np.array_equal(pair.thermal, triple.frames[1])
+
+    def test_unknown_modality_rejected(self):
+        with pytest.raises(VideoError, match="depth"):
+            list(SyntheticSource(seed=1, limit=1,
+                                 modalities=("visible", "sonar")))
+
+    def test_array_group_source_replays_and_loops(self):
+        streams = [[np.full((8, 8), float(10 * s + i)) for i in range(2)]
+                   for s in range(3)]
+        groups = list(ArrayGroupSource(*streams))
+        assert len(groups) == 2
+        assert all(len(g) == 3 for g in groups)
+        assert np.array_equal(groups[1].frames[2], streams[2][1])
+        looped = ArrayGroupSource(*streams, loop=True)
+        taken = [g for g, _ in zip(looped, range(5))]
+        assert np.array_equal(taken[4].frames[0], streams[0][0])
+
+    def test_array_group_source_validation(self):
+        good = [np.zeros((8, 8))]
+        with pytest.raises(VideoError, match=">= 2 streams"):
+            ArrayGroupSource(good)
+        with pytest.raises(VideoError, match="at least one"):
+            ArrayGroupSource(good, [], good)
+        with pytest.raises(FusionError, match="counts differ"):
+            ArrayGroupSource(good, good * 2, good)
+        with pytest.raises(VideoError, match="2-D"):
+            ArrayGroupSource(good, good, [np.zeros((8, 8, 3))])
+        with pytest.raises(FusionError, match="group 0 mismatched"):
+            ArrayGroupSource(good, good, [np.zeros((8, 10))])
+
+    def test_three_source_session_stream(self):
+        config = small_config(n_sources=3)
+        source = SyntheticSource(
+            seed=5, modalities=("visible", "thermal", "depth"))
+        with FusionSession(config) as session:
+            results = list(session.stream(source, limit=2))
+        assert len(results) == 2
+        for result in results:
+            assert len(result.sources) == 3
+            assert result.pixels.shape == SMALL.array_shape
+
+    def test_source_width_must_match_plan(self):
+        with FusionSession(small_config(n_sources=3)) as session:
+            with pytest.raises(FusionError, match="fuses 3 sources"):
+                list(session.stream(SyntheticSource(seed=1), limit=1))
+        with FusionSession(small_config()) as session:
+            source = SyntheticSource(
+                seed=1, modalities=("visible", "thermal", "depth"))
+            with pytest.raises(FusionError, match="fuses 2 sources"):
+                list(session.stream(source, limit=1))
+
+    def test_process_accepts_n_frames(self):
+        rng = np.random.default_rng(9)
+        frames = [rng.uniform(0, 255, SMALL.array_shape)
+                  for _ in range(3)]
+        with FusionSession(small_config(n_sources=3)) as session:
+            result = session.process(*frames)
+        assert result.pixels.shape == SMALL.array_shape
+        assert len(result.sources) == 3
+
+    def test_config_rejects_bad_n_sources(self):
+        with pytest.raises(ConfigurationError):
+            FusionConfig(n_sources=1)
+        with pytest.raises(ConfigurationError):
+            FusionConfig(n_sources=3, temporal=True)

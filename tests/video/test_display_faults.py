@@ -138,6 +138,25 @@ class TestDropoutChannel:
             got_after += len(decoder.push_bytes(stream)) if i >= 4 else 0
         assert got_after >= 3  # clean frames decode once the fault clears
 
+    def test_loss_fraction_independent_of_burst(self):
+        """The pinned contract: expected loss fraction == dropout_rate
+        regardless of burst size (the old per-chunk sampling made the
+        realized loss depend on the burst/stream-length interplay)."""
+        data = bytes(65536)
+        for burst in (1, 8, 64):
+            channel = DropoutChannel(dropout_rate=0.3, burst_bytes=burst,
+                                     seed=9)
+            out = channel.transmit(data)
+            fraction = 1.0 - len(out) / len(data)
+            sigma = (0.3 * 0.7 * burst / len(data)) ** 0.5
+            assert abs(fraction - 0.3) < max(0.02, 6 * sigma)
+
+    def test_total_dropout_loses_everything(self):
+        channel = DropoutChannel(dropout_rate=1.0, burst_bytes=16, seed=0)
+        assert channel.transmit(bytes(100)) == b""
+        assert channel.stats.bytes_dropped == 100
+        assert channel.stats.bursts == 7  # ceil(100 / 16)
+
     def test_validation(self):
         with pytest.raises(VideoError):
             DropoutChannel(dropout_rate=2.0)
@@ -150,7 +169,49 @@ class TestStallingCamera:
         camera = StallingCamera(WebcamSimulator(scene), period=3)
         frames = [camera.capture() for _ in range(6)]
         assert camera.stalls == 2
-        assert frames[2] is frames[1]  # third capture stalled
+        # third capture stalled: same content, but a defensive copy —
+        # never the same live object
+        assert frames[2] is not frames[1]
+        assert np.array_equal(frames[2].pixels, frames[1].pixels)
+        assert frames[2].frame_id == frames[1].frame_id
+
+    def test_stall_replay_survives_inplace_mutation(self, scene):
+        """A consumer that paints on captured frames in place must not
+        corrupt the replay the next stall hands out."""
+        camera = StallingCamera(WebcamSimulator(scene), period=3)
+        first = camera.capture()
+        second = camera.capture()
+        pristine = second.pixels.copy()
+        # the consumer scribbles an overlay onto both frames in place
+        first.pixels[:] = 0
+        second.pixels[:] = 0
+        second.metadata["overlay"] = "painted"
+        replay = camera.capture()  # third capture stalls: replays #2
+        assert camera.stalls == 1
+        assert np.array_equal(replay.pixels, pristine)
+        assert "overlay" not in replay.metadata
+        # and the replay itself is a fresh copy each time
+        replay.pixels[:] = 0
+        fresh = camera.capture()  # fourth capture: live again
+        assert not np.array_equal(fresh.pixels, np.zeros_like(fresh.pixels))
+
+    def test_stall_copies_bare_arrays(self):
+        """Sources that return raw ndarrays get the same protection."""
+
+        class ArrayCamera:
+            def __init__(self):
+                self.n = 0
+
+            def capture(self):
+                self.n += 1
+                return np.full((4, 4), float(self.n))
+
+        camera = StallingCamera(ArrayCamera(), period=2)
+        first = camera.capture()
+        first[:] = -1.0  # consumer mutates in place
+        replay = camera.capture()  # second capture stalls: replays #1
+        assert camera.stalls == 1
+        assert np.array_equal(replay, np.full((4, 4), 1.0))
 
     def test_period_validation(self, scene):
         with pytest.raises(VideoError):
